@@ -1,0 +1,146 @@
+// Experiment M1 — google-benchmark microbenchmarks of the hot primitives:
+// segment fingerprints and ranks on the sparse identity list, dense BitVec
+// range popcounts, Mersenne-61 ops, engine round overhead, and a full
+// PhaseKing instance. These bound the per-round simulation cost that the
+// macro harnesses (T1, E1-E5) amortise.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "byzantine/identity_list.h"
+#include "common/bitvec.h"
+#include "common/prng.h"
+#include "consensus/phase_king.h"
+#include "crash/crash_renaming.h"
+#include "hashing/fingerprint.h"
+#include "hashing/mersenne61.h"
+#include "hashing/shared_random.h"
+#include "sim/engine.h"
+
+namespace renaming {
+namespace {
+
+void BM_Mersenne61Mul(benchmark::State& state) {
+  std::uint64_t a = 0x123456789ABCDEFULL % hashing::kMersenne61;
+  std::uint64_t b = 0xFEDCBA987654321ULL % hashing::kMersenne61;
+  for (auto _ : state) {
+    a = hashing::m61_mul(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_Mersenne61Mul);
+
+void BM_BeaconCoefficient(benchmark::State& state) {
+  hashing::SharedRandomness beacon(1);
+  hashing::SetFingerprint fp(beacon);
+  std::uint64_t i = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fp.coefficient(i++));
+  }
+}
+BENCHMARK(BM_BeaconCoefficient);
+
+void BM_IdentityListSummarize(benchmark::State& state) {
+  const std::uint64_t kN = 1 << 22;
+  hashing::SharedRandomness beacon(2);
+  byzantine::IdentityList list(kN, beacon);
+  Xoshiro256 rng(3);
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    list.insert(1 + rng.below(kN));
+  }
+  list.summarize(Interval(1, kN));  // build the prefix table once
+  std::uint64_t lo = 1;
+  for (auto _ : state) {
+    lo = 1 + (lo * 2654435761u) % (kN / 2);
+    benchmark::DoNotOptimize(list.summarize(Interval(lo, lo + kN / 4)));
+  }
+}
+BENCHMARK(BM_IdentityListSummarize)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_BitVecCountRange(benchmark::State& state) {
+  const std::uint64_t kN = 1 << 20;
+  BitVec bits(kN);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 100000; ++i) bits.set(rng.below(kN));
+  std::uint64_t lo = 0;
+  for (auto _ : state) {
+    lo = (lo * 2654435761u) % (kN / 2);
+    benchmark::DoNotOptimize(bits.count_range(lo, lo + kN / 4));
+  }
+}
+BENCHMARK(BM_BitVecCountRange);
+
+void BM_EngineRoundAllToAll(benchmark::State& state) {
+  // Cost of one synchronous all-to-all round at n nodes, the dominant term
+  // of every baseline simulation.
+  const NodeIndex n = static_cast<NodeIndex>(state.range(0));
+  class Bcast final : public sim::Node {
+   public:
+    void send(Round, sim::Outbox& out) override {
+      out.broadcast(sim::make_message(1, 32, std::uint64_t{7}));
+    }
+    void receive(Round, std::span<const sim::Message>) override {}
+    bool done() const override { return false; }
+  };
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<sim::Node>> nodes;
+    for (NodeIndex v = 0; v < n; ++v) nodes.push_back(std::make_unique<Bcast>());
+    sim::Engine engine(std::move(nodes));
+    benchmark::DoNotOptimize(engine.run(1).total_messages);
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_EngineRoundAllToAll)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_CrashRenamingEndToEnd(benchmark::State& state) {
+  const NodeIndex n = static_cast<NodeIndex>(state.range(0));
+  crash::CrashParams params;
+  params.election_constant = 1.0;
+  const auto cfg =
+      SystemConfig::random(n, static_cast<std::uint64_t>(n) * n * 5, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crash::run_crash_renaming(cfg, params).stats.total_messages);
+  }
+}
+BENCHMARK(BM_CrashRenamingEndToEnd)->Arg(128)->Arg(512);
+
+void BM_PhaseKingInstance(benchmark::State& state) {
+  // One full binary consensus among m committee members.
+  const NodeIndex m = static_cast<NodeIndex>(state.range(0));
+  std::vector<consensus::Member> members;
+  for (NodeIndex i = 0; i < m; ++i) members.push_back({100 + i * 3ull, i});
+  const consensus::CommitteeView view(members);
+
+  class Host final : public sim::Node {
+   public:
+    Host(const consensus::CommitteeView& v, std::size_t idx, bool input)
+        : king_(v, idx, 0, 5, 64, input) {}
+    void send(Round r, sim::Outbox& out) override {
+      if (!fin_) king_.send(r - 1, out);
+    }
+    void receive(Round r, std::span<const sim::Message> inbox) override {
+      if (!fin_) fin_ = king_.receive(r - 1, inbox);
+    }
+    bool done() const override { return fin_; }
+
+   private:
+    consensus::PhaseKing king_;
+    bool fin_ = false;
+  };
+
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<sim::Node>> nodes;
+    for (NodeIndex i = 0; i < m; ++i) {
+      nodes.push_back(std::make_unique<Host>(view, i, i % 2 == 0));
+    }
+    sim::Engine engine(std::move(nodes));
+    benchmark::DoNotOptimize(engine.run(1000).rounds);
+  }
+}
+BENCHMARK(BM_PhaseKingInstance)->Arg(7)->Arg(16)->Arg(31);
+
+}  // namespace
+}  // namespace renaming
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// Experiment T1 — reproduces Table 1 of the paper with *measured* numbers.
+//
+// Every implemented algorithm runs on the same instances; for each we
+// report measured rounds, total messages, total bits, the largest single
+// message, and the strong / order-preserving verdicts from the verifier.
+// The paper's claim to check: the two new algorithms match the baselines'
+// round budget while sending asymptotically fewer messages of O(log N)
+// bits each, and their costs scale with the actual number of failures f
+// rather than the worst case.
+#include <cstdio>
+#include <memory>
+
+#include "baselines/cht_crash.h"
+#include "baselines/claiming.h"
+#include "baselines/early_deciding.h"
+#include "baselines/naive.h"
+#include "baselines/obg_byzantine.h"
+#include "bench_util.h"
+#include "byzantine/byz_renaming.h"
+#include "byzantine/strategies.h"
+#include "common/math.h"
+#include "crash/adversaries.h"
+#include "crash/crash_renaming.h"
+
+namespace renaming {
+namespace {
+
+using bench::fixed;
+using bench::human;
+using bench::Table;
+
+std::vector<NodeIndex> spread_byz(NodeIndex n, NodeIndex f) {
+  std::vector<NodeIndex> byz;
+  for (NodeIndex i = 0; i < f; ++i) byz.push_back((i * n) / (f + 1) + 1);
+  return byz;
+}
+
+void run_for(NodeIndex n, std::uint64_t seed) {
+  const std::uint64_t N = static_cast<std::uint64_t>(n) * n * 5;
+  const auto cfg = SystemConfig::random(n, N, seed);
+  const NodeIndex f_crash = n / 8;
+  const NodeIndex f_byz = n / 8;
+
+  Table table({"algorithm", "fault model", "f", "rounds", "msgs", "bits",
+               "max msg bits", "strong", "order"});
+
+  auto emit = [&](const std::string& name, const std::string& model,
+                  NodeIndex f, const sim::RunStats& stats,
+                  const VerifyReport& report) {
+    table.row({name, model, std::to_string(f), std::to_string(stats.rounds),
+               human(stats.total_messages), human(stats.total_bits),
+               std::to_string(stats.max_message_bits),
+               report.unique && report.strong && report.all_correct_decided
+                   ? "yes"
+                   : "NO",
+               report.order_preserving ? "yes" : "-"});
+  };
+
+  {  // Naive floor (fault-free only).
+    const auto r = baselines::run_naive_renaming(cfg);
+    emit("naive collect+sort", "none", 0, r.stats, r.report);
+  }
+  {  // CHT/Okun all-to-all, f = 0 and f = n/8.
+    auto r = baselines::run_cht_renaming(cfg);
+    emit("CHT all-to-all halving", "crash", 0, r.stats, r.report);
+    r = baselines::run_cht_renaming(
+        cfg, std::make_unique<sim::RandomCrashAdversary>(f_crash, 0.2,
+                                                         seed * 3 + 1));
+    emit("CHT all-to-all halving", "crash", f_crash, r.stats, r.report);
+  }
+  {  // Balls-into-bins randomized claiming (ADRS-style), f = 0 and n/8.
+    auto r = baselines::run_claiming_renaming(cfg);
+    emit("ADRS-style rand claiming", "crash", 0, r.stats, r.report);
+    r = baselines::run_claiming_renaming(
+        cfg, std::make_unique<sim::ChaosCrashAdversary>(f_crash, 0.2,
+                                                        seed * 3 + 5));
+    emit("ADRS-style rand claiming", "crash", f_crash, r.stats, r.report);
+  }
+  if (n <= 256) {  // AAGT-style early deciding (simulation is Theta(n^3)
+                   // per round; larger n uses the closed form in E2/E3).
+    auto r = baselines::run_early_deciding_renaming(cfg);
+    emit("AAGT early-deciding", "crash", 0, r.stats, r.report);
+    r = baselines::run_early_deciding_renaming(
+        cfg, std::make_unique<sim::RandomCrashAdversary>(8, 0.5, seed * 3 + 7));
+    emit("AAGT early-deciding", "crash", 8, r.stats, r.report);
+  }
+  {  // This paper, crash algorithm, f = 0 and f = n/8 (committee hunter).
+    crash::CrashParams params;
+    params.election_constant = 2.0;
+    auto r = run_crash_renaming(cfg, params);
+    emit("OURS crash (committee)", "crash", 0, r.stats, r.report);
+    r = run_crash_renaming(cfg, params,
+                           std::make_unique<crash::CommitteeHunter>(
+                               f_crash, crash::CommitteeHunter::Mode::kAtAnnounce,
+                               seed * 3 + 2));
+    emit("OURS crash (committee)", "crash", f_crash, r.stats, r.report);
+  }
+  {  // OBG all-to-all Byzantine, f = 0 and f = n/8.
+    auto r = baselines::run_obg_renaming(cfg);
+    emit("OBG all-to-all (big msgs)", "byzantine", 0, r.stats, r.report);
+    r = baselines::run_obg_renaming(cfg, spread_byz(n, f_byz),
+                                    baselines::ObgByzBehaviour::kSplitAnnounce);
+    emit("OBG all-to-all (big msgs)", "byzantine", f_byz, r.stats, r.report);
+  }
+  {  // This paper, Byzantine algorithm, f = 0 and f = n/8 (split reporters).
+    byzantine::ByzParams params;
+    params.pool_constant = 3.0;
+    params.shared_seed = seed;
+    auto r = byzantine::run_byz_renaming(cfg, params);
+    emit("OURS byzantine (fingerprint)", "byzantine", 0, r.stats, r.report);
+    r = byzantine::run_byz_renaming(cfg, params, spread_byz(n, f_byz),
+                                    &byzantine::SplitReporter::make);
+    emit("OURS byzantine (fingerprint)", "byzantine", f_byz, r.stats,
+         r.report);
+  }
+
+  std::printf("== Table 1 (measured), n = %u, N = %llu, committee constants: "
+              "crash c=2, byz c=3 ==\n",
+              n, static_cast<unsigned long long>(N));
+  table.print();
+}
+
+}  // namespace
+}  // namespace renaming
+
+int main() {
+  std::printf("T1: measured counterpart of the paper's Table 1.\n"
+              "Expected shape: OURS rows send far fewer messages/bits than "
+              "the all-to-all rows,\nwith O(log N)-bit messages, and their "
+              "cost grows with f.\n\n");
+  for (renaming::NodeIndex n : {256u, 512u, 1024u}) {
+    renaming::run_for(n, 1000 + n);
+  }
+  return 0;
+}

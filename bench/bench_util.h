@@ -1,0 +1,106 @@
+// Shared helpers for the experiment harnesses (see DESIGN.md section 3 for
+// the experiment index and EXPERIMENTS.md for recorded results).
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace renaming::bench {
+
+/// Prints a fixed-width table; every harness in bench/ emits the same
+/// row/series format so EXPERIMENTS.md can quote outputs verbatim.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    for (const auto& h : headers_) widths_.push_back(h.size() + 2);
+  }
+
+  void row(const std::vector<std::string>& cells) {
+    rows_.push_back(cells);
+    for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+      widths_[i] = std::max(widths_[i], cells[i].size() + 2);
+    }
+  }
+
+  void print() const {
+    print_row(headers_);
+    std::string rule;
+    for (std::size_t w : widths_) rule += std::string(w, '-') + "+";
+    std::printf("%s\n", rule.c_str());
+    for (const auto& r : rows_) print_row(r);
+    std::printf("\n");
+  }
+
+ private:
+  void print_row(const std::vector<std::string>& cells) const {
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      std::string c = cells[i];
+      c.resize(widths_[i], ' ');
+      line += c + "|";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string human(std::uint64_t v) {
+  char buf[32];
+  if (v >= 10'000'000'000ULL) {
+    std::snprintf(buf, sizeof buf, "%.1fG", static_cast<double>(v) / 1e9);
+  } else if (v >= 10'000'000) {
+    std::snprintf(buf, sizeof buf, "%.1fM", static_cast<double>(v) / 1e6);
+  } else if (v >= 10'000) {
+    std::snprintf(buf, sizeof buf, "%.1fk", static_cast<double>(v) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  }
+  return buf;
+}
+
+inline std::string fixed(double v, int digits = 2) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+
+/// Mean / stddev / extrema accumulator for multi-seed experiment cells.
+class Summary {
+ public:
+  void add(double x) {
+    ++count_;
+    sum_ += x;
+    sum_sq_ += x * x;
+    min_ = count_ == 1 ? x : (x < min_ ? x : min_);
+    max_ = count_ == 1 ? x : (x > max_ ? x : max_);
+  }
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double stddev() const {
+    if (count_ < 2) return 0.0;
+    const double m = mean();
+    const double var = (sum_sq_ - count_ * m * m) / (count_ - 1);
+    return var <= 0.0 ? 0.0 : std::sqrt(var);
+  }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  std::string mean_pm_std() const {
+    return fixed(mean(), 0) + " +/- " + fixed(stddev(), 0);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0, sum_sq_ = 0.0, min_ = 0.0, max_ = 0.0;
+};
+
+}  // namespace renaming::bench

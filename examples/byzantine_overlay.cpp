@@ -1,0 +1,70 @@
+// byzantine_overlay: a permissioned blockchain overlay of 300 validators
+// identified by (a stand-in for) their public-key fingerprints wants
+// compact, ORDER-PRESERVING indices in [1, 300] — order matters because
+// the index doubles as the round-robin block-proposal priority. A third
+// of the namespace is controlled by an adversary that under-reports,
+// equivocates, and attempts identity forgery.
+//
+// This is exactly the cryptocurrency motivation from the paper's
+// introduction; the example exercises Theorem 1.3: strong, order-
+// preserving renaming with almost-linear communication, degrading
+// gracefully with the number of actually-corrupted validators.
+//
+//   $ ./build/examples/byzantine_overlay
+#include <cstdio>
+#include <vector>
+
+#include "byzantine/byz_renaming.h"
+#include "byzantine/strategies.h"
+
+int main() {
+  using namespace renaming;
+
+  const NodeIndex n = 300;
+  // Clustered namespace: validators from a few "operators" have adjacent
+  // key fingerprints — the stress case for segment consensus.
+  const auto cfg = SystemConfig::clustered(n, 5ull * n * n, /*seed=*/555,
+                                           /*clusters=*/6);
+
+  byzantine::ByzParams params;
+  params.pool_constant = 3.0;  // committee of ~3 log n validators
+  params.shared_seed = 0xC0FFEE;
+
+  std::printf("validator overlay: n = %u, namespace %llu (clustered)\n\n", n,
+              static_cast<unsigned long long>(cfg.namespace_size));
+  std::printf("%-26s %-6s %-8s %-10s %-12s %-8s %-8s\n", "adversary",
+              "f", "rounds", "messages", "loop iters", "correct", "order");
+
+  struct Scenario {
+    const char* name;
+    NodeIndex f;
+    byzantine::ByzStrategyFactory factory;
+  };
+  const Scenario scenarios[] = {
+      {"none", 0, nullptr},
+      {"split reporters", 12, &byzantine::SplitReporter::make},
+      {"lying committee members", 12, &byzantine::LyingMember::make},
+      {"spoofers", 12, &byzantine::Spoofer::make},
+      {"split reporters (heavy)", 48, &byzantine::SplitReporter::make},
+  };
+
+  bool all_ok = true;
+  for (const Scenario& s : scenarios) {
+    std::vector<NodeIndex> byz;
+    for (NodeIndex i = 0; i < s.f; ++i) byz.push_back((i * n) / (s.f + 1) + 1);
+    const auto run = byzantine::run_byz_renaming(cfg, params, byz, s.factory);
+    all_ok = all_ok && run.report.ok(/*require_order=*/true);
+    std::printf("%-26s %-6u %-8u %-10llu %-12u %-8s %-8s\n", s.name, s.f,
+                run.stats.rounds,
+                static_cast<unsigned long long>(run.stats.total_messages),
+                run.loop_iterations,
+                run.report.ok() ? "yes" : "NO",
+                run.report.order_preserving ? "yes" : "NO");
+  }
+
+  std::printf("\nevery honest validator got a unique priority index, in key\n"
+              "order, regardless of adversary strategy; the divide-and-\n"
+              "conquer work (loop iters) tracked the number of actually\n"
+              "corrupted validators, not the worst case.\n");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// crash_storm: a cluster of 400 workers must compact their 64-bit machine
+// identifiers into dense slot numbers [1, 400] (e.g. to index a bitmap of
+// shard ownership) while an aggressive failure wave kills machines —
+// including committee members the instant they announce themselves.
+//
+// The scenario drives the paper's headline property (Theorem 1.2): the
+// algorithm is ALWAYS correct and ALWAYS on time; only its message bill
+// grows with the number of machines the storm actually takes down. The
+// example runs the same instance under increasingly violent storms and
+// prints the bill.
+//
+//   $ ./build/examples/crash_storm
+#include <cstdio>
+#include <memory>
+
+#include "crash/adversaries.h"
+#include "crash/crash_renaming.h"
+
+int main() {
+  using namespace renaming;
+
+  const NodeIndex n = 400;
+  const auto cfg = SystemConfig::random(n, 5ull * n * n, /*seed=*/99);
+
+  crash::CrashParams params;
+  params.election_constant = 2.0;  // committees of ~2 log n machines
+
+  std::printf("cluster of %u workers, namespace %llu, round budget %u\n\n",
+              n, static_cast<unsigned long long>(cfg.namespace_size),
+              9 * ceil_log2(n));
+  std::printf("%-28s %-10s %-8s %-12s %-10s\n", "storm", "machines lost",
+              "rounds", "messages", "verdict");
+
+  struct Storm {
+    const char* name;
+    std::uint64_t budget;
+    crash::CommitteeHunter::Mode mode;
+  };
+  const Storm storms[] = {
+      {"calm (no failures)", 0, crash::CommitteeHunter::Mode::kAtAnnounce},
+      {"committee sniper x8", 8, crash::CommitteeHunter::Mode::kAtAnnounce},
+      {"committee sniper x40", 40, crash::CommitteeHunter::Mode::kAtAnnounce},
+      {"mid-response chaos x40", 40, crash::CommitteeHunter::Mode::kMidResponse},
+      {"half the cluster", 200, crash::CommitteeHunter::Mode::kAtAnnounce},
+  };
+
+  bool all_ok = true;
+  for (const Storm& storm : storms) {
+    auto adversary =
+        storm.budget == 0
+            ? nullptr
+            : std::make_unique<crash::CommitteeHunter>(storm.budget,
+                                                       storm.mode, 1234);
+    const auto run =
+        crash::run_crash_renaming(cfg, params, std::move(adversary));
+    all_ok = all_ok && run.report.ok();
+    std::printf("%-28s %-13llu %-8u %-12llu %-10s\n", storm.name,
+                static_cast<unsigned long long>(run.stats.crashes),
+                run.stats.rounds,
+                static_cast<unsigned long long>(run.stats.total_messages),
+                run.report.ok() ? "correct" : "VIOLATION");
+  }
+
+  std::printf("\nevery surviving worker got a unique slot in [1, %u] within "
+              "the same round budget;\nonly the message bill changed with "
+              "the storm's severity (resource competitiveness).\n", n);
+  return all_ok ? 0 : 1;
+}

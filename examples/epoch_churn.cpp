@@ -1,0 +1,77 @@
+// epoch_churn: long-lived operation. A service renames its membership at
+// every epoch boundary as nodes join and leave (churn), keeping the
+// working namespace dense at all times. Each epoch runs the full
+// Byzantine-resilient protocol on the current membership — with a fresh
+// beacon value per epoch — and the verifier checks every epoch
+// independently. The output shows the amortized cost per epoch staying
+// flat: renaming is cheap enough to re-run on every membership change,
+// which is how a deployment would actually use it.
+//
+//   $ ./build/examples/epoch_churn
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+#include <vector>
+
+#include "byzantine/byz_renaming.h"
+#include "common/prng.h"
+
+int main() {
+  using namespace renaming;
+
+  const std::uint64_t kNamespace = 1u << 22;  // the universe of identities
+  const int kEpochs = 8;
+  const NodeIndex kChurn = 40;  // leaves + joins per epoch
+
+  Xoshiro256 rng(0xC0DE);
+  std::unordered_set<OriginalId> members;
+  while (members.size() < 400) members.insert(1 + rng.below(kNamespace));
+
+  std::printf("epoch churn: namespace %llu, ~400 members, %u leave + %u "
+              "join per epoch\n\n",
+              static_cast<unsigned long long>(kNamespace), kChurn, kChurn);
+  std::printf("%-6s %-6s %-8s %-10s %-12s %-8s\n", "epoch", "n", "rounds",
+              "messages", "bits", "verdict");
+
+  bool all_ok = true;
+  std::uint64_t total_bits = 0;
+  for (int epoch = 1; epoch <= kEpochs; ++epoch) {
+    // Churn: some members leave, newcomers join.
+    std::vector<OriginalId> current(members.begin(), members.end());
+    for (NodeIndex k = 0; k < kChurn && !current.empty(); ++k) {
+      const std::size_t victim = rng.below(current.size());
+      members.erase(current[victim]);
+      current.erase(current.begin() + victim);
+    }
+    for (NodeIndex k = 0; k < kChurn; ++k) {
+      members.insert(1 + rng.below(kNamespace));
+    }
+
+    SystemConfig cfg;
+    cfg.n = static_cast<NodeIndex>(members.size());
+    cfg.namespace_size = kNamespace;
+    cfg.ids.assign(members.begin(), members.end());
+    std::sort(cfg.ids.begin(), cfg.ids.end());
+    cfg.seed = 1000 + epoch;
+
+    byzantine::ByzParams params;
+    params.pool_constant = 3.0;
+    params.shared_seed = 0xBEAC0 + epoch;  // fresh beacon value per epoch
+
+    const auto run = byzantine::run_byz_renaming(cfg, params);
+    all_ok = all_ok && run.report.ok(/*require_order=*/true);
+    total_bits += run.stats.total_bits;
+    std::printf("%-6d %-6u %-8u %-10llu %-12llu %-8s\n", epoch, cfg.n,
+                run.stats.rounds,
+                static_cast<unsigned long long>(run.stats.total_messages),
+                static_cast<unsigned long long>(run.stats.total_bits),
+                run.report.ok(true) ? "correct" : "VIOLATION");
+  }
+
+  std::printf("\n%d epochs renamed, %llu total bits (~%llu bits/epoch);\n"
+              "every epoch's assignment was strong, unique and order-\n"
+              "preserving over that epoch's membership.\n",
+              kEpochs, static_cast<unsigned long long>(total_bits),
+              static_cast<unsigned long long>(total_bits / kEpochs));
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,270 @@
+// renaming_cli: run any algorithm in the library against any adversary from
+// the command line, with human-readable or CSV output — the "downstream
+// user" entry point for scripting custom experiments.
+//
+//   renaming_cli crash     --n 512 --seed 1 --constant 2
+//                          --adversary hunter --budget 64 [--early-stop]
+//   renaming_cli byz       --n 256 --seed 1 --pool 3 --f 8 --strategy split
+//   renaming_cli cht       --n 256 --budget 32
+//   renaming_cli claiming  --n 256 --budget 32
+//   renaming_cli early     --n 128 --budget 16
+//   renaming_cli obg       --n 128 --f 16
+//   renaming_cli naive     --n 128
+//   renaming_cli lowerbound --n 256 --budget 128 --trials 2000
+//
+// Common flags: --seed S, --csv, --trace FILE (JSONL event trace, crash/byz
+// only). Exit code 0 iff the verifier accepted the outcome.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/cht_crash.h"
+#include "baselines/claiming.h"
+#include "baselines/early_deciding.h"
+#include "baselines/naive.h"
+#include "baselines/obg_byzantine.h"
+#include "byzantine/byz_renaming.h"
+#include "byzantine/strategies.h"
+#include "crash/adversaries.h"
+#include "crash/crash_renaming.h"
+#include "lowerbound/anonymous.h"
+#include "sim/trace.h"
+
+namespace {
+
+using namespace renaming;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  bool has(const std::string& key) const { return flags.count(key) > 0; }
+  std::uint64_t num(const std::string& key, std::uint64_t fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stoull(it->second);
+  }
+  double real(const std::string& key, double fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stod(it->second);
+  }
+  std::string str(const std::string& key, const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.flags[key] = argv[++i];
+    } else {
+      args.flags[key] = "1";  // boolean flag
+    }
+  }
+  return args;
+}
+
+void report(const Args& args, const std::string& algo,
+            const sim::RunStats& stats, const VerifyReport& verdict,
+            NodeIndex n, std::uint64_t f) {
+  if (args.has("csv")) {
+    std::printf("algo,n,f,rounds,messages,bits,max_msg_bits,spoofs,"
+                "strong,order\n");
+    std::printf("%s,%u,%llu,%u,%llu,%llu,%u,%llu,%d,%d\n", algo.c_str(), n,
+                static_cast<unsigned long long>(f), stats.rounds,
+                static_cast<unsigned long long>(stats.total_messages),
+                static_cast<unsigned long long>(stats.total_bits),
+                stats.max_message_bits,
+                static_cast<unsigned long long>(stats.spoofs_rejected),
+                verdict.ok() ? 1 : 0, verdict.order_preserving ? 1 : 0);
+  } else {
+    std::printf("%s  n=%u f=%llu\n", algo.c_str(), n,
+                static_cast<unsigned long long>(f));
+    std::printf("  rounds        %u\n", stats.rounds);
+    std::printf("  messages      %llu\n",
+                static_cast<unsigned long long>(stats.total_messages));
+    std::printf("  bits          %llu (max %u bits/message)\n",
+                static_cast<unsigned long long>(stats.total_bits),
+                stats.max_message_bits);
+    if (stats.spoofs_rejected > 0) {
+      std::printf("  spoofs        %llu rejected\n",
+                  static_cast<unsigned long long>(stats.spoofs_rejected));
+    }
+    std::printf("  verdict       %s%s\n",
+                verdict.ok() ? "correct" : "VIOLATION",
+                verdict.order_preserving ? " (order-preserving)" : "");
+    if (!verdict.ok()) {
+      for (const std::string& v : verdict.violations) {
+        std::printf("  !! %s\n", v.c_str());
+      }
+    }
+  }
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: renaming_cli crash|byz|cht|early|claiming|obg|naive|lowerbound "
+               "[--n N] [--seed S] [--csv] ...\n"
+               "see the header of examples/renaming_cli.cpp for all flags\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  const NodeIndex n = static_cast<NodeIndex>(args.num("n", 128));
+  const std::uint64_t seed = args.num("seed", 1);
+  const std::uint64_t N = args.num("namespace", 5ull * n * n);
+  const auto cfg = SystemConfig::random(n, N, seed);
+
+  std::ofstream trace_file;
+  std::unique_ptr<sim::JsonlTrace> trace;
+  if (args.has("trace")) {
+    trace_file.open(args.str("trace", "trace.jsonl"));
+    trace = std::make_unique<sim::JsonlTrace>(trace_file,
+                                              args.num("trace-sample", 1));
+  }
+
+  if (args.command == "crash") {
+    crash::CrashParams params;
+    params.election_constant = args.real("constant", 2.0);
+    params.early_stopping = args.has("early-stop");
+    params.adaptive_reelection = !args.has("no-doubling");
+    const std::uint64_t budget = args.num("budget", 0);
+    std::unique_ptr<sim::CrashAdversary> adversary;
+    const std::string kind = args.str("adversary", "hunter");
+    if (budget > 0) {
+      if (kind == "hunter") {
+        adversary = std::make_unique<crash::CommitteeHunter>(
+            budget, crash::CommitteeHunter::Mode::kAtAnnounce, seed * 7);
+      } else if (kind == "midresponse") {
+        adversary = std::make_unique<crash::CommitteeHunter>(
+            budget, crash::CommitteeHunter::Mode::kMidResponse, seed * 7, 0.5);
+      } else if (kind == "random") {
+        adversary = std::make_unique<sim::RandomCrashAdversary>(budget, 0.1,
+                                                                seed * 7);
+      } else if (kind == "chaos") {
+        adversary = std::make_unique<sim::ChaosCrashAdversary>(budget, 0.1,
+                                                               seed * 7);
+      } else {
+        return usage();
+      }
+    }
+    const auto r = crash::run_crash_renaming(cfg, params,
+                                             std::move(adversary),
+                                             trace.get());
+    report(args, "crash", r.stats, r.report, n, r.stats.crashes);
+    return r.report.ok() ? 0 : 1;
+  }
+
+  if (args.command == "byz") {
+    byzantine::ByzParams params;
+    params.pool_constant = args.real("pool", 3.0);
+    params.shared_seed = args.num("beacon", seed);
+    params.use_fingerprints = !args.has("full-vectors");
+    const NodeIndex f = static_cast<NodeIndex>(args.num("f", 0));
+    std::vector<NodeIndex> byz;
+    for (NodeIndex i = 0; i < f && f < n; ++i) {
+      byz.push_back((i * n) / (f + 1) + 1);
+    }
+    byzantine::ByzStrategyFactory factory = nullptr;
+    const std::string strategy = args.str("strategy", "split");
+    if (strategy == "split") {
+      factory = &byzantine::SplitReporter::make;
+    } else if (strategy == "lying") {
+      factory = &byzantine::LyingMember::make;
+    } else if (strategy == "spoof") {
+      factory = &byzantine::Spoofer::make;
+    } else if (strategy == "silent") {
+      factory = [](NodeIndex, const SystemConfig&, const Directory&,
+                   const byzantine::ByzParams&) -> std::unique_ptr<sim::Node> {
+        return std::make_unique<byzantine::SilentNode>();
+      };
+    } else {
+      return usage();
+    }
+    const auto r = byzantine::run_byz_renaming(cfg, params, byz, factory, 0,
+                                               trace.get());
+    report(args, "byz", r.stats, r.report, n, byz.size());
+    if (!args.has("csv")) {
+      std::printf("  loop iters    %u\n", r.loop_iterations);
+    }
+    return r.report.ok(true) ? 0 : 1;
+  }
+
+  if (args.command == "cht" || args.command == "early" ||
+      args.command == "naive" || args.command == "claiming") {
+    const std::uint64_t budget = args.num("budget", 0);
+    std::unique_ptr<sim::CrashAdversary> adversary;
+    if (budget > 0) {
+      adversary =
+          std::make_unique<sim::ChaosCrashAdversary>(budget, 0.15, seed * 7);
+    }
+    if (args.command == "cht") {
+      const auto r = baselines::run_cht_renaming(cfg, std::move(adversary));
+      report(args, "cht", r.stats, r.report, n, r.stats.crashes);
+      return r.report.ok() ? 0 : 1;
+    }
+    if (args.command == "claiming") {
+      const auto r =
+          baselines::run_claiming_renaming(cfg, std::move(adversary));
+      report(args, "claiming", r.stats, r.report, n, r.stats.crashes);
+      return r.report.ok() ? 0 : 1;
+    }
+    if (args.command == "early") {
+      const auto r =
+          baselines::run_early_deciding_renaming(cfg, std::move(adversary));
+      report(args, "early", r.stats, r.report, n, r.stats.crashes);
+      if (!args.has("csv")) {
+        std::printf("  decided by    round %u\n", r.max_decision_round);
+      }
+      return r.report.ok() ? 0 : 1;
+    }
+    const auto r = baselines::run_naive_renaming(cfg, std::move(adversary));
+    report(args, "naive", r.stats, r.report, n, r.stats.crashes);
+    return r.report.ok() ? 0 : 1;
+  }
+
+  if (args.command == "obg") {
+    const NodeIndex f = static_cast<NodeIndex>(args.num("f", 0));
+    std::vector<NodeIndex> byz;
+    for (NodeIndex i = 0; i < f && f < n; ++i) {
+      byz.push_back((i * n) / (f + 1) + 1);
+    }
+    const auto r = baselines::run_obg_renaming(
+        cfg, byz, baselines::ObgByzBehaviour::kSplitAnnounce);
+    report(args, "obg", r.stats, r.report, n, f);
+    return r.report.ok() ? 0 : 1;
+  }
+
+  if (args.command == "lowerbound") {
+    const auto r = lowerbound::run_anonymous_experiment(
+        n, args.num("budget", n / 2), args.num("trials", 1000), seed);
+    if (args.has("csv")) {
+      std::printf("n,budget,trials,success_rate,expected_collisions\n");
+      std::printf("%u,%llu,%llu,%.4f,%.2f\n", n,
+                  static_cast<unsigned long long>(args.num("budget", n / 2)),
+                  static_cast<unsigned long long>(r.trials), r.success_rate,
+                  r.expected_collisions);
+    } else {
+      std::printf("anonymous renaming  n=%u budget=%llu trials=%llu\n", n,
+                  static_cast<unsigned long long>(args.num("budget", n / 2)),
+                  static_cast<unsigned long long>(r.trials));
+      std::printf("  success rate  %.4f (>= 3/4: %s)\n", r.success_rate,
+                  r.success_rate >= 0.75 ? "yes" : "no");
+      std::printf("  E[collisions] %.2f\n", r.expected_collisions);
+    }
+    return 0;
+  }
+
+  return usage();
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every experiment (DESIGN.md section 3).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do
+  echo "===== $(basename "$b") ====="
+  "$b"
+done

@@ -1,0 +1,82 @@
+#include "baselines/cht_crash.h"
+
+#include <algorithm>
+
+#include "common/math.h"
+#include "core/interval.h"
+#include "sim/engine.h"
+
+namespace renaming::baselines {
+
+namespace {
+
+constexpr sim::MsgKind kStatus = 31;
+
+class ChtNode final : public sim::Node {
+ public:
+  ChtNode(NodeIndex self, const SystemConfig& cfg)
+      : id_(cfg.ids[self]),
+        n_(cfg.n),
+        bits_(ceil_log2(cfg.namespace_size) + 2 * ceil_log2(cfg.n)),
+        total_phases_(ceil_log2(cfg.n)),
+        interval_(1, cfg.n) {}
+
+  void send(Round, sim::Outbox& out) override {
+    out.broadcast(sim::make_message(kStatus, bits_, id_, interval_.lo,
+                                    interval_.hi));
+  }
+
+  void receive(Round round, std::span<const sim::Message> inbox) override {
+    phase_ = round;
+    if (interval_.singleton()) return;  // decided; keep reporting only
+    const Interval bot = interval_.bot();
+    std::uint64_t rank = 0, occupied = 0;
+    for (const sim::Message& m : inbox) {
+      if (m.kind != kStatus || m.nwords < 3) continue;
+      const Interval other(std::min(m.w[1], m.w[2]),
+                           std::max(m.w[1], m.w[2]));
+      if (other == interval_ && m.w[0] <= id_) ++rank;
+      if (other.subset_of(bot)) ++occupied;
+    }
+    interval_ = (occupied + rank <= bot.size()) ? bot : interval_.top();
+  }
+
+  bool done() const override { return phase_ >= total_phases_; }
+  std::optional<NewId> new_id() const {
+    if (interval_.singleton()) return interval_.lo;
+    return std::nullopt;
+  }
+  OriginalId original_id() const { return id_; }
+
+ private:
+  OriginalId id_;
+  NodeIndex n_;
+  std::uint32_t bits_;
+  Round total_phases_;
+  Round phase_ = 0;
+  Interval interval_;
+};
+
+}  // namespace
+
+ChtRunResult run_cht_renaming(const SystemConfig& cfg,
+                              std::unique_ptr<sim::CrashAdversary> adversary) {
+  std::vector<std::unique_ptr<sim::Node>> nodes;
+  nodes.reserve(cfg.n);
+  for (NodeIndex v = 0; v < cfg.n; ++v) {
+    nodes.push_back(std::make_unique<ChtNode>(v, cfg));
+  }
+  sim::Engine engine(std::move(nodes), std::move(adversary));
+
+  ChtRunResult result;
+  result.stats = engine.run(ceil_log2(cfg.n) == 0 ? 1 : ceil_log2(cfg.n));
+  for (NodeIndex v = 0; v < cfg.n; ++v) {
+    const auto& node = dynamic_cast<const ChtNode&>(engine.node(v));
+    result.outcomes.push_back(
+        NodeOutcome{node.original_id(), node.new_id(), engine.alive(v)});
+  }
+  result.report = verify_renaming(result.outcomes, cfg.n);
+  return result;
+}
+
+}  // namespace renaming::baselines

@@ -1,0 +1,37 @@
+// All-to-all interval-halving crash-resilient renaming, in the style of
+// Chaudhuri–Herlihy–Tuttle [15] / Okun [32]: every node broadcasts its
+// <identity, interval> each phase and applies the rank-based halving rule
+// to itself from its own view. Since all alive nodes halve every phase,
+// depths stay uniform and no committee machinery is needed; the price is
+// n^2 messages per round — the Table 1 rows the paper's crash algorithm is
+// compared against (O(log n) rounds, O~(n^2) messages/bits, strong).
+//
+// Ghost statuses from senders that crash mid-broadcast can only inflate a
+// survivor's perceived rank (pushing it toward top); the capacity argument
+// of Lemma 2.3 specialises to this all-to-all setting, so the outcome is
+// still collision-free — the test suite hammers it with mid-send crash
+// adversaries to confirm.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/system.h"
+#include "core/verifier.h"
+#include "sim/adversary.h"
+#include "sim/node.h"
+#include "sim/stats.h"
+
+namespace renaming::baselines {
+
+struct ChtRunResult {
+  sim::RunStats stats;
+  std::vector<NodeOutcome> outcomes;
+  VerifyReport report;
+};
+
+ChtRunResult run_cht_renaming(
+    const SystemConfig& cfg,
+    std::unique_ptr<sim::CrashAdversary> adversary = nullptr);
+
+}  // namespace renaming::baselines

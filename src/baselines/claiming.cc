@@ -1,0 +1,111 @@
+#include "baselines/claiming.h"
+
+#include <algorithm>
+
+#include "common/math.h"
+#include "common/prng.h"
+#include "sim/engine.h"
+
+namespace renaming::baselines {
+
+namespace {
+
+constexpr sim::MsgKind kClaim = 50;
+constexpr sim::MsgKind kOwned = 51;
+
+class ClaimingNode final : public sim::Node {
+ public:
+  ClaimingNode(NodeIndex self, const SystemConfig& cfg)
+      : id_(cfg.ids[self]),
+        n_(cfg.n),
+        bits_(ceil_log2(cfg.namespace_size) + ceil_log2(cfg.n)),
+        rng_(SplitMix64(cfg.seed ^ 0xC1A141ULL).next() + self) {}
+
+  void send(Round, sim::Outbox& out) override {
+    if (slot_ != 0) {
+      // Heartbeat: keeps the slot out of everyone's free pool.
+      out.broadcast(sim::make_message(kOwned, bits_, id_, slot_));
+      return;
+    }
+    // Claim a uniformly random slot believed free.
+    std::vector<std::uint64_t> free_slots;
+    free_slots.reserve(n_);
+    for (std::uint64_t s = 1; s <= n_; ++s) {
+      if (!taken_now_[s]) free_slots.push_back(s);
+    }
+    if (free_slots.empty()) return;  // transient; pool refills by recycling
+    claimed_ = free_slots[rng_.below(free_slots.size())];
+    out.broadcast(sim::make_message(kClaim, bits_, id_, claimed_));
+  }
+
+  void receive(Round round, std::span<const sim::Message> inbox) override {
+    last_round_ = round;
+    // Rebuild this round's taken-set from live heartbeats, then resolve
+    // claims: smallest original identity wins each slot.
+    std::vector<bool> taken(n_ + 1, false);
+    std::vector<OriginalId> best(n_ + 1, 0);  // winning claimant per slot
+    for (const sim::Message& m : inbox) {
+      if (m.nwords < 2) continue;
+      const std::uint64_t slot = m.w[1];
+      if (slot < 1 || slot > n_) continue;
+      if (m.kind == kOwned) {
+        taken[slot] = true;
+      } else if (m.kind == kClaim) {
+        if (best[slot] == 0 || m.w[0] < best[slot]) best[slot] = m.w[0];
+      }
+    }
+    if (slot_ == 0 && claimed_ != 0 && !taken[claimed_] &&
+        best[claimed_] == id_) {
+      slot_ = claimed_;  // won the slot
+    }
+    claimed_ = 0;
+    // Slots won by others this round count as taken for the next claims;
+    // slots whose "winner" crashed mid-broadcast resurface once their
+    // heartbeat fails to appear.
+    taken_now_.assign(n_ + 1, false);
+    for (std::uint64_t s = 1; s <= n_; ++s) {
+      taken_now_[s] = taken[s] || best[s] != 0;
+    }
+  }
+
+  bool done() const override { return slot_ != 0; }
+  std::optional<NewId> new_id() const {
+    return slot_ == 0 ? std::nullopt : std::optional<NewId>(slot_);
+  }
+  OriginalId original_id() const { return id_; }
+
+ private:
+  OriginalId id_;
+  NodeIndex n_;
+  std::uint32_t bits_;
+  Xoshiro256 rng_;
+  std::uint64_t claimed_ = 0;  // slot claimed this round (0 = none)
+  std::uint64_t slot_ = 0;     // owned slot (0 = undecided)
+  std::vector<bool> taken_now_ = std::vector<bool>(n_ + 1, false);
+  Round last_round_ = 0;
+};
+
+}  // namespace
+
+ClaimingRunResult run_claiming_renaming(
+    const SystemConfig& cfg, std::unique_ptr<sim::CrashAdversary> adversary) {
+  std::vector<std::unique_ptr<sim::Node>> nodes;
+  nodes.reserve(cfg.n);
+  for (NodeIndex v = 0; v < cfg.n; ++v) {
+    nodes.push_back(std::make_unique<ClaimingNode>(v, cfg));
+  }
+  sim::Engine engine(std::move(nodes), std::move(adversary));
+
+  ClaimingRunResult result;
+  // Whp O(log n) rounds; crashes can only free slots. Generous cap.
+  result.stats = engine.run(20 * protocol_log(cfg.n) + 20);
+  for (NodeIndex v = 0; v < cfg.n; ++v) {
+    const auto& node = dynamic_cast<const ClaimingNode&>(engine.node(v));
+    result.outcomes.push_back(
+        NodeOutcome{node.original_id(), node.new_id(), engine.alive(v)});
+  }
+  result.report = verify_renaming(result.outcomes, cfg.n);
+  return result;
+}
+
+}  // namespace renaming::baselines

@@ -1,0 +1,109 @@
+#include "baselines/early_deciding.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/math.h"
+#include "sim/engine.h"
+
+namespace renaming::baselines {
+
+namespace {
+
+constexpr sim::MsgKind kSet = 45;
+
+class EarlyDecidingNode final : public sim::Node {
+ public:
+  EarlyDecidingNode(NodeIndex self, const SystemConfig& cfg)
+      : id_(cfg.ids[self]),
+        n_(cfg.n),
+        id_bits_(ceil_log2(cfg.namespace_size)),
+        known_{cfg.ids[self]} {}
+
+  void send(Round, sim::Outbox& out) override {
+    // Decided nodes keep broadcasting: stragglers that missed a partial
+    // broadcast converge to the decided set through these echoes.
+    sim::Message m = sim::make_message(kSet, set_bits());
+    m.blob = std::make_shared<const std::vector<std::uint64_t>>(known_);
+    out.broadcast(m);
+  }
+
+  void receive(Round round, std::span<const sim::Message> inbox) override {
+    std::vector<NodeIndex> heard;
+    const std::size_t before = known_.size();
+    for (const sim::Message& m : inbox) {
+      if (m.kind != kSet || !m.blob) continue;
+      heard.push_back(m.sender);
+      known_.insert(known_.end(), m.blob->begin(), m.blob->end());
+    }
+    std::sort(known_.begin(), known_.end());
+    known_.erase(std::unique(known_.begin(), known_.end()), known_.end());
+    std::sort(heard.begin(), heard.end());
+    heard.erase(std::unique(heard.begin(), heard.end()), heard.end());
+
+    // Clean round: same senders as last round and nothing new learned —
+    // every alive node's set is now a subset of ours and will converge to
+    // it (see header), so the rank is final.
+    if (!decided_ && round >= 2 && heard == heard_prev_ &&
+        known_.size() == before) {
+      decided_ = true;
+      decision_round_ = round;
+    }
+    heard_prev_ = std::move(heard);
+  }
+
+  bool done() const override { return decided_; }
+
+  std::optional<NewId> new_id() const {
+    if (!decided_) return std::nullopt;
+    const auto it = std::lower_bound(known_.begin(), known_.end(), id_);
+    return static_cast<NewId>(it - known_.begin()) + 1;
+  }
+  OriginalId original_id() const { return id_; }
+  Round decision_round() const { return decision_round_; }
+
+ private:
+  std::uint32_t set_bits() const {
+    const std::uint64_t bits =
+        std::max<std::uint64_t>(1, known_.size()) * id_bits_;
+    return static_cast<std::uint32_t>(std::min<std::uint64_t>(bits, 1u << 30));
+  }
+
+  OriginalId id_;
+  NodeIndex n_;
+  std::uint32_t id_bits_;
+  std::vector<std::uint64_t> known_;  // sorted cumulative identity set
+  std::vector<NodeIndex> heard_prev_;
+  bool decided_ = false;
+  Round decision_round_ = 0;
+};
+
+}  // namespace
+
+EarlyDecidingRunResult run_early_deciding_renaming(
+    const SystemConfig& cfg, std::unique_ptr<sim::CrashAdversary> adversary) {
+  std::vector<std::unique_ptr<sim::Node>> nodes;
+  nodes.reserve(cfg.n);
+  for (NodeIndex v = 0; v < cfg.n; ++v) {
+    nodes.push_back(std::make_unique<EarlyDecidingNode>(v, cfg));
+  }
+  sim::Engine engine(std::move(nodes), std::move(adversary));
+
+  EarlyDecidingRunResult result;
+  // Every dirty round consumes a crash; 2n + 4 is a safe deterministic cap.
+  result.stats = engine.run(2 * cfg.n + 4);
+  for (NodeIndex v = 0; v < cfg.n; ++v) {
+    const auto& node =
+        dynamic_cast<const EarlyDecidingNode&>(engine.node(v));
+    result.outcomes.push_back(
+        NodeOutcome{node.original_id(), node.new_id(), engine.alive(v)});
+    if (engine.alive(v)) {
+      result.max_decision_round =
+          std::max(result.max_decision_round, node.decision_round());
+    }
+  }
+  result.report = verify_renaming(result.outcomes, cfg.n);
+  return result;
+}
+
+}  // namespace renaming::baselines

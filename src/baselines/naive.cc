@@ -1,0 +1,70 @@
+#include "baselines/naive.h"
+
+#include <algorithm>
+
+#include "common/math.h"
+#include "sim/engine.h"
+
+namespace renaming::baselines {
+
+namespace {
+
+constexpr sim::MsgKind kId = 30;
+
+class NaiveNode final : public sim::Node {
+ public:
+  NaiveNode(NodeIndex self, const SystemConfig& cfg)
+      : id_(cfg.ids[self]), bits_(ceil_log2(cfg.namespace_size)) {}
+
+  void send(Round, sim::Outbox& out) override {
+    out.broadcast(sim::make_message(kId, bits_, id_));
+  }
+
+  void receive(Round, std::span<const sim::Message> inbox) override {
+    std::vector<OriginalId> seen;
+    for (const sim::Message& m : inbox) {
+      if (m.kind == kId && m.nwords >= 1) seen.push_back(m.w[0]);
+    }
+    std::sort(seen.begin(), seen.end());
+    seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+    const auto it = std::lower_bound(seen.begin(), seen.end(), id_);
+    new_id_ = static_cast<NewId>(it - seen.begin()) + 1;
+    decided_ = true;
+  }
+
+  bool done() const override { return decided_; }
+  std::optional<NewId> new_id() const {
+    return decided_ ? std::optional<NewId>(new_id_) : std::nullopt;
+  }
+  OriginalId original_id() const { return id_; }
+
+ private:
+  OriginalId id_;
+  std::uint32_t bits_;
+  NewId new_id_ = kNoNewId;
+  bool decided_ = false;
+};
+
+}  // namespace
+
+NaiveRunResult run_naive_renaming(
+    const SystemConfig& cfg, std::unique_ptr<sim::CrashAdversary> adversary) {
+  std::vector<std::unique_ptr<sim::Node>> nodes;
+  nodes.reserve(cfg.n);
+  for (NodeIndex v = 0; v < cfg.n; ++v) {
+    nodes.push_back(std::make_unique<NaiveNode>(v, cfg));
+  }
+  sim::Engine engine(std::move(nodes), std::move(adversary));
+
+  NaiveRunResult result;
+  result.stats = engine.run(1);
+  for (NodeIndex v = 0; v < cfg.n; ++v) {
+    const auto& node = dynamic_cast<const NaiveNode&>(engine.node(v));
+    result.outcomes.push_back(
+        NodeOutcome{node.original_id(), node.new_id(), engine.alive(v)});
+  }
+  result.report = verify_renaming(result.outcomes, cfg.n);
+  return result;
+}
+
+}  // namespace renaming::baselines

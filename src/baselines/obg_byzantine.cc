@@ -1,0 +1,218 @@
+#include "baselines/obg_byzantine.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <memory>
+
+#include "common/math.h"
+#include "common/prng.h"
+#include "core/directory.h"
+#include "core/interval.h"
+#include "sim/engine.h"
+
+namespace renaming::baselines {
+
+namespace {
+
+constexpr sim::MsgKind kAnnounce = 40;
+constexpr sim::MsgKind kVector = 41;
+constexpr sim::MsgKind kHalving = 42;
+
+std::shared_ptr<const std::vector<std::uint64_t>> to_blob(
+    const std::vector<OriginalId>& ids) {
+  return std::make_shared<const std::vector<std::uint64_t>>(ids.begin(),
+                                                            ids.end());
+}
+
+class ObgNode : public sim::Node {
+ public:
+  ObgNode(NodeIndex self, const SystemConfig& cfg, const Directory& directory)
+      : self_(self),
+        id_(cfg.ids[self]),
+        n_(cfg.n),
+        t_((cfg.n - 1) / 3),
+        id_bits_(ceil_log2(cfg.namespace_size)),
+        halving_phases_(ceil_log2(cfg.n)),
+        directory_(&directory) {}
+
+  void send(Round round, sim::Outbox& out) override {
+    if (round == 1) {
+      out.broadcast(sim::make_message(kAnnounce, id_bits_, id_));
+    } else if (round == 2 || round == 3) {
+      // Full candidate vector: the Omega(n log N)-bit message of [34].
+      sim::Message m = sim::make_message(kVector, vector_bits(candidates_));
+      m.blob = to_blob(candidates_);
+      out.broadcast(m);
+    } else {
+      sim::Message m = sim::make_message(kHalving, vector_bits(candidates_),
+                                         id_, interval_.lo, interval_.hi);
+      m.blob = to_blob(candidates_);
+      out.broadcast(m);
+    }
+  }
+
+  void receive(Round round, std::span<const sim::Message> inbox) override {
+    last_round_ = round;
+    if (round == 1) {
+      for (const sim::Message& m : inbox) {
+        if (m.kind != kAnnounce || m.nwords < 1) continue;
+        if (!directory_->verify(m.sender, m.w[0])) continue;
+        candidates_.push_back(m.w[0]);
+      }
+      normalize(candidates_);
+    } else if (round == 2) {
+      // Witness filter: keep identities vouched by >= t+1 vectors (at
+      // least one correct first-hand witness).
+      candidates_ = filter_by_count(inbox, t_ + 1);
+    } else if (round == 3) {
+      // Majority filter: keep identities in more than half the vectors.
+      candidates_ = filter_by_count(inbox, n_ / 2 + 1);
+      interval_ = Interval(1, std::max<std::uint64_t>(candidates_.size(), 1));
+    } else {
+      halve(inbox);
+    }
+  }
+
+  bool done() const override { return last_round_ >= 3 + halving_phases_; }
+
+  std::optional<NewId> new_id() const {
+    if (last_round_ >= 3 + halving_phases_ && interval_.singleton() &&
+        !candidates_.empty()) {
+      return interval_.lo;
+    }
+    return std::nullopt;
+  }
+  OriginalId original_id() const { return id_; }
+
+ protected:
+  static void normalize(std::vector<OriginalId>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+
+  std::uint32_t vector_bits(const std::vector<OriginalId>& v) const {
+    const std::uint64_t bits =
+        std::max<std::uint64_t>(1, v.size()) * id_bits_;
+    return static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(bits, 1u << 30));
+  }
+
+  std::vector<OriginalId> filter_by_count(std::span<const sim::Message> inbox,
+                                          std::size_t threshold) const {
+    std::unordered_map<OriginalId, std::size_t> counts;
+    counts.reserve(n_ * 2);
+    std::vector<bool> heard(n_, false);
+    for (const sim::Message& m : inbox) {
+      if (m.kind != kVector || !m.blob) continue;
+      if (heard[m.sender]) continue;  // one vector per sender
+      heard[m.sender] = true;
+      for (std::uint64_t id : *m.blob) ++counts[id];
+    }
+    std::vector<OriginalId> kept;
+    for (const auto& [id, count] : counts) {
+      if (count >= threshold) kept.push_back(id);
+    }
+    std::sort(kept.begin(), kept.end());
+    return kept;
+  }
+
+  void halve(std::span<const sim::Message> inbox) {
+    if (interval_.singleton()) return;
+    const Interval bot = interval_.bot();
+    std::uint64_t rank = 0, occupied = 0;
+    for (const sim::Message& m : inbox) {
+      if (m.kind != kHalving || m.nwords < 3) continue;
+      if (!directory_->verify(m.sender, m.w[0])) continue;
+      const Interval other(std::min(m.w[1], m.w[2]),
+                           std::max(m.w[1], m.w[2]));
+      if (other == interval_ && m.w[0] <= id_) ++rank;
+      if (other.subset_of(bot)) ++occupied;
+    }
+    interval_ = (occupied + rank <= bot.size()) ? bot : interval_.top();
+  }
+
+  NodeIndex self_;
+  OriginalId id_;
+  NodeIndex n_;
+  std::uint32_t t_;
+  std::uint32_t id_bits_;
+  Round halving_phases_;
+  Round last_round_ = 0;
+  const Directory* directory_;
+  std::vector<OriginalId> candidates_;
+  Interval interval_{1, 1};
+};
+
+/// Byzantine variants reuse the honest machinery with targeted deviations.
+class ObgByzNode final : public ObgNode {
+ public:
+  ObgByzNode(NodeIndex self, const SystemConfig& cfg,
+             const Directory& directory, ObgByzBehaviour behaviour,
+             std::uint64_t seed)
+      : ObgNode(self, cfg, directory),
+        behaviour_(behaviour),
+        rng_(seed ^ (0x0B6'0B6ULL + self)) {}
+
+  void send(Round round, sim::Outbox& out) override {
+    if (behaviour_ == ObgByzBehaviour::kSilent) return;
+    if (behaviour_ == ObgByzBehaviour::kSplitAnnounce && round == 1) {
+      // Announce to the even half only: the view-splitting attack.
+      for (NodeIndex d = 0; d < n_; d += 2) {
+        out.send(d, sim::make_message(kAnnounce, id_bits_, id_));
+      }
+      return;
+    }
+    if (behaviour_ == ObgByzBehaviour::kForgeIds &&
+        (round == 2 || round == 3)) {
+      // Pad the vector with phantom identities.
+      std::vector<OriginalId> padded = candidates_;
+      for (int k = 0; k < 8; ++k) padded.push_back(1 + rng_.below(1u << 20));
+      normalize(padded);
+      sim::Message m = sim::make_message(kVector, vector_bits(padded));
+      m.blob = to_blob(padded);
+      out.broadcast(m);
+      return;
+    }
+    ObgNode::send(round, out);
+  }
+
+ private:
+  ObgByzBehaviour behaviour_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace
+
+ObgRunResult run_obg_renaming(const SystemConfig& cfg,
+                              const std::vector<NodeIndex>& byzantine,
+                              ObgByzBehaviour behaviour) {
+  const Directory directory(cfg);
+  std::vector<bool> is_byz(cfg.n, false);
+  for (NodeIndex b : byzantine) is_byz[b] = true;
+
+  std::vector<std::unique_ptr<sim::Node>> nodes;
+  nodes.reserve(cfg.n);
+  for (NodeIndex v = 0; v < cfg.n; ++v) {
+    if (is_byz[v]) {
+      nodes.push_back(std::make_unique<ObgByzNode>(v, cfg, directory,
+                                                   behaviour, cfg.seed));
+    } else {
+      nodes.push_back(std::make_unique<ObgNode>(v, cfg, directory));
+    }
+  }
+  sim::Engine engine(std::move(nodes));
+  for (NodeIndex b : byzantine) engine.mark_byzantine(b);
+
+  ObgRunResult result;
+  result.stats = engine.run(3 + std::max<Round>(ceil_log2(cfg.n), 1));
+  for (NodeIndex v = 0; v < cfg.n; ++v) {
+    const auto& node = dynamic_cast<const ObgNode&>(engine.node(v));
+    result.outcomes.push_back(
+        NodeOutcome{node.original_id(), node.new_id(), !is_byz[v]});
+  }
+  result.report = verify_renaming(result.outcomes, cfg.n);
+  return result;
+}
+
+}  // namespace renaming::baselines

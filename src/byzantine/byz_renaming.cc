@@ -1,0 +1,397 @@
+#include "byzantine/byz_renaming.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <memory>
+
+#include "sim/engine.h"
+
+namespace renaming::byzantine {
+
+namespace {
+
+constexpr sim::MsgKind kind_of(Tag t) { return static_cast<sim::MsgKind>(t); }
+
+}  // namespace
+
+ByzNode::ByzNode(NodeIndex self, const SystemConfig& cfg,
+                 const Directory& directory, ByzParams params)
+    : self_(self),
+      n_(cfg.n),
+      namespace_size_(cfg.namespace_size),
+      id_(cfg.ids[self]),
+      directory_(&directory),
+      params_(params),
+      beacon_(params.shared_seed) {}
+
+std::uint32_t ByzNode::fingerprint_bits() const {
+  // <fingerprint (61), count (log n), control>: O(log N) since N >= n.
+  return 61 + ceil_log2(n_ + 1) + 16;
+}
+
+std::uint32_t ByzNode::control_bits() const {
+  return ceil_log2(namespace_size_) + 16;
+}
+
+bool ByzNode::done() const {
+  return stage_ == Stage::kDone && new_id_.has_value();
+}
+
+void ByzNode::send(Round round, sim::Outbox& out) {
+  switch (stage_) {
+    case Stage::kElect: {
+      assert(round == 1);
+      (void)round;
+      // Shared-randomness pool: my identity elects itself with prob p0.
+      if (beacon_.coin(hashing::SharedRandomness::Domain::kCommitteeElection,
+                       id_, params_.pool_probability(n_))) {
+        elected_ = true;
+        out.broadcast(
+            sim::make_message(kind_of(Tag::kElect), control_bits(), id_));
+      }
+      break;
+    }
+    case Stage::kIdReport:
+      for (const consensus::Member& m : view_.members()) {
+        out.send(m.link, sim::make_message(kind_of(Tag::kIdReport),
+                                           control_bits(), id_));
+      }
+      break;
+    case Stage::kValidator:
+      validator_->send(step_, out);
+      break;
+    case Stage::kSameConsensus:
+    case Stage::kDiffConsensus:
+    case Stage::kBitConsensus:
+      king_->send(step_, out);
+      break;
+    case Stage::kFullExchange: {
+      // Ablation A2: ship the entire identity vector to the committee —
+      // the Omega(n log N)-bit pattern the fingerprint loop replaces.
+      sim::Message m;
+      m.kind = kind_of(Tag::kVector);
+      m.blob = std::make_shared<const std::vector<std::uint64_t>>(
+          list_->ids());
+      const std::uint64_t blob_bits =
+          std::max<std::uint64_t>(1, list_->size()) *
+          ceil_log2(namespace_size_);
+      m.bits = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(blob_bits, 1u << 30));
+      consensus::broadcast_to_committee(view_, out, m);
+      break;
+    }
+    case Stage::kDiffExchange:
+      consensus::broadcast_to_committee(
+          view_, out,
+          sim::make_message(kind_of(Tag::kDiff), control_bits(), session_,
+                            static_cast<std::uint64_t>(diff_)));
+      break;
+    case Stage::kDistribute:
+      distribute(out);
+      stage_ = Stage::kDone;
+      break;
+    case Stage::kDone:
+      break;
+  }
+}
+
+void ByzNode::receive(Round round, std::span<const sim::Message> inbox) {
+  (void)round;
+  // NEW messages can arrive in any round once Byzantine members exist;
+  // the view-majority threshold makes early fakes harmless.
+  consider_new_messages(inbox);
+
+  switch (stage_) {
+    case Stage::kElect: {
+      std::vector<consensus::Member> members;
+      for (const sim::Message& m : inbox) {
+        if (m.kind != kind_of(Tag::kElect) || m.nwords < 1) continue;
+        const OriginalId claimed = m.w[0];
+        if (!directory_->verify(m.sender, claimed)) continue;  // forged id
+        if (!beacon_.coin(
+                hashing::SharedRandomness::Domain::kCommitteeElection,
+                claimed, params_.pool_probability(n_))) {
+          continue;  // not in the shared candidate pool
+        }
+        members.push_back({claimed, m.sender});
+      }
+      view_ = consensus::CommitteeView(std::move(members));
+      my_view_index_ = view_.index_of_link(self_);
+      if (elected_ && my_view_index_ == consensus::CommitteeView::npos) {
+        elected_ = false;  // defensive; cannot happen with self-delivery
+      }
+      stage_ = Stage::kIdReport;
+      break;
+    }
+    case Stage::kIdReport: {
+      if (elected_) {
+        list_ = std::make_unique<IdentityList>(namespace_size_, beacon_);
+        for (const sim::Message& m : inbox) {
+          if (m.kind != kind_of(Tag::kIdReport) || m.nwords < 1) continue;
+          const OriginalId claimed = m.w[0];
+          if (claimed < 1 || claimed > namespace_size_) continue;
+          if (!directory_->verify(m.sender, claimed)) continue;
+          list_->insert(claimed);
+          reporters_.emplace(claimed, m.sender);
+        }
+        if (params_.use_fingerprints) {
+          pending_.push_back(Interval(1, namespace_size_));
+          start_iteration();
+        } else {
+          stage_ = Stage::kFullExchange;  // ablation A2
+        }
+      } else {
+        stage_ = Stage::kDone;  // ordinary node: wait for NEW messages
+      }
+      break;
+    }
+    case Stage::kValidator: {
+      if (!validator_->receive(step_++, inbox)) break;
+      validator_same_ = validator_->same();
+      agreed_ = validator_->output();
+      king_ = std::make_unique<consensus::PhaseKing>(
+          view_, my_view_index_, ++session_, kind_of(Tag::kConsensus),
+          control_bits(), validator_same_);
+      step_ = 0;
+      stage_ = Stage::kSameConsensus;
+      break;
+    }
+    case Stage::kSameConsensus: {
+      if (!king_->receive(step_++, inbox)) break;
+      if (!king_->output()) {
+        split_current();
+        start_iteration();
+      } else {
+        diff_ = !(mine_.fingerprint == agreed_.a && mine_.count == agreed_.b);
+        ++session_;  // tags the DIFF exchange
+        step_ = 0;
+        stage_ = Stage::kDiffExchange;
+      }
+      break;
+    }
+    case Stage::kDiffExchange: {
+      // One round: count members reporting diff = 1 for this session.
+      std::vector<bool> heard(view_.size(), false);
+      std::size_t ones = 0;
+      for (const sim::Message& m : inbox) {
+        if (m.kind != kind_of(Tag::kDiff) || m.nwords < 2) continue;
+        if (m.w[0] != session_) continue;
+        const std::size_t idx = view_.index_of_link(m.sender);
+        if (idx == consensus::CommitteeView::npos || heard[idx]) continue;
+        heard[idx] = true;
+        ones += (m.w[1] & 1);
+      }
+      // "Many" = t + 1: Byzantine members alone can never force it, and a
+      // passed vote implies >= m - 2t correct preimage holders.
+      const bool diff_prime =
+          ones >= view_.max_tolerated() + 1 ? true : diff_;
+      king_ = std::make_unique<consensus::PhaseKing>(
+          view_, my_view_index_, ++session_, kind_of(Tag::kConsensus),
+          control_bits(), diff_prime);
+      step_ = 0;
+      stage_ = Stage::kDiffConsensus;
+      break;
+    }
+    case Stage::kDiffConsensus: {
+      if (!king_->receive(step_++, inbox)) break;
+      if (king_->output()) {
+        split_current();
+      } else {
+        accept_current(agreed_.b, /*dirty=*/mine_.fingerprint != agreed_.a ||
+                                      mine_.count != agreed_.b);
+      }
+      start_iteration();
+      break;
+    }
+    case Stage::kBitConsensus: {
+      if (!king_->receive(step_++, inbox)) break;
+      const bool bit = king_->output();
+      list_->set(current_.lo, bit);
+      processed_[current_.lo] =
+          Processed{current_, bit ? 1ull : 0ull, /*dirty=*/false};
+      start_iteration();
+      break;
+    }
+    case Stage::kFullExchange: {
+      // Witness filter: keep identities vouched by >= t+1 members (at
+      // least one correct first-hand witness); all correct members see
+      // the same broadcast blobs, so the result is consistent.
+      std::vector<bool> heard(view_.size(), false);
+      std::map<std::uint64_t, std::size_t> counts;
+      for (const sim::Message& m : inbox) {
+        if (m.kind != kind_of(Tag::kVector) || !m.blob) continue;
+        const std::size_t idx = view_.index_of_link(m.sender);
+        if (idx == consensus::CommitteeView::npos || heard[idx]) continue;
+        heard[idx] = true;
+        for (std::uint64_t id : *m.blob) {
+          if (id >= 1 && id <= namespace_size_) ++counts[id];
+        }
+      }
+      auto merged = std::make_unique<IdentityList>(namespace_size_, beacon_);
+      for (const auto& [id, count] : counts) {
+        if (count >= view_.max_tolerated() + 1) merged->insert(id);
+      }
+      list_ = std::move(merged);
+      iterations_ = 1;
+      processed_.clear();
+      processed_[1] = Processed{Interval(1, namespace_size_), list_->size(),
+                                /*dirty=*/false};
+      stage_ = Stage::kDistribute;
+      break;
+    }
+    case Stage::kDistribute:
+    case Stage::kDone:
+      break;
+  }
+}
+
+void ByzNode::start_iteration() {
+  if (pending_.empty()) {
+    stage_ = Stage::kDistribute;
+    return;
+  }
+  ++iterations_;
+  current_ = pending_.back();
+  pending_.pop_back();
+  step_ = 0;
+  if (current_.singleton()) {
+    const bool bit = list_->summarize(current_).count > 0;
+    king_ = std::make_unique<consensus::PhaseKing>(
+        view_, my_view_index_, ++session_, kind_of(Tag::kConsensus),
+        control_bits(), bit);
+    stage_ = Stage::kBitConsensus;
+  } else {
+    mine_ = list_->summarize(current_);
+    validator_ = std::make_unique<consensus::Validator>(
+        view_, my_view_index_, ++session_, kind_of(Tag::kValidator),
+        fingerprint_bits(),
+        consensus::ValidatorValue{mine_.fingerprint, mine_.count});
+    stage_ = Stage::kValidator;
+  }
+}
+
+void ByzNode::split_current() {
+  ++splits_;
+  pending_.push_back(current_.top());
+  pending_.push_back(current_.bot());  // bot processed first (LIFO)
+}
+
+void ByzNode::accept_current(std::uint64_t agreed_count, bool dirty) {
+  if (dirty) ++dirties_;
+  processed_[current_.lo] = Processed{current_, agreed_count, dirty};
+}
+
+void ByzNode::distribute(sim::Outbox& out) {
+  // Ranks follow from the *agreed* per-segment counts, so dirty segments
+  // never skew positions; the member simply abstains inside them (sending
+  // NEW(null) to the reporters it knows there).
+  std::uint64_t before = 0;  // agreed ones before the current segment
+  for (const auto& [lo, proc] : processed_) {
+    const auto ids = list_->ids_in(proc.segment);
+    const bool usable =
+        !proc.dirty && static_cast<std::uint64_t>(ids.size()) == proc.count;
+    if (usable) {
+      std::uint64_t offset = 0;
+      for (std::uint64_t id : ids) {
+        const NodeIndex link = directory_->link_of(id);
+        ++offset;
+        if (link == kNoNode) continue;  // identity never joined: skip
+        out.send(link,
+                 sim::make_message(kind_of(Tag::kNew),
+                                   ceil_log2(n_ + 1) + 8, before + offset));
+      }
+    } else {
+      // NEW(null) to every reporter inside the dirty segment.
+      for (const auto& [id, link] : reporters_) {
+        if (proc.segment.contains(id)) {
+          out.send(link, sim::make_message(kind_of(Tag::kNew),
+                                           ceil_log2(n_ + 1) + 8,
+                                           std::uint64_t{0}));
+        }
+      }
+    }
+    before += proc.count;
+  }
+}
+
+void ByzNode::consider_new_messages(std::span<const sim::Message> inbox) {
+  if (new_id_.has_value() || view_.empty()) return;
+  for (const sim::Message& m : inbox) {
+    if (m.kind != kind_of(Tag::kNew) || m.nwords < 1) continue;
+    if (view_.index_of_link(m.sender) == consensus::CommitteeView::npos) {
+      continue;  // only committee members distribute
+    }
+    new_votes_.emplace(m.sender, m.w[0]);  // first message per sender wins
+  }
+  if (new_votes_.size() * 2 <= view_.size()) return;  // need > half the view
+
+  // Majority among the non-null votes is the true rank: correct holders of
+  // my segment number >= m - 2t >= t + 1 > |B|.
+  std::map<std::uint64_t, std::size_t> counts;
+  for (const auto& [sender, value] : new_votes_) {
+    if (value >= 1 && value <= n_) ++counts[value];
+  }
+  const auto best =
+      std::max_element(counts.begin(), counts.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.second < b.second;
+                       });
+  if (best != counts.end()) new_id_ = best->first;
+}
+
+ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
+                              const std::vector<NodeIndex>& byzantine,
+                              ByzStrategyFactory factory, Round max_rounds,
+                              sim::TraceSink* trace) {
+  const Directory directory(cfg);
+
+  std::vector<bool> is_byz(cfg.n, false);
+  for (NodeIndex b : byzantine) is_byz[b] = true;
+
+  std::vector<std::unique_ptr<sim::Node>> nodes;
+  nodes.reserve(cfg.n);
+  for (NodeIndex v = 0; v < cfg.n; ++v) {
+    if (is_byz[v] && factory != nullptr) {
+      nodes.push_back(factory(v, cfg, directory, params));
+    } else {
+      nodes.push_back(std::make_unique<ByzNode>(v, cfg, directory, params));
+    }
+  }
+  sim::Engine engine(std::move(nodes));
+  engine.set_trace(trace);
+  for (NodeIndex b : byzantine) engine.mark_byzantine(b);
+
+  if (max_rounds == 0) {
+    // Generous cap derived from Lemma 3.10: <= 4 f log N loop iterations,
+    // each costing O(committee size) rounds of phase-king.
+    const double m_exp = params.pool_probability(cfg.n) * cfg.n * 4 + 8;
+    const std::uint64_t per_iter = 8 + 4 * (static_cast<std::uint64_t>(m_exp / 3) + 2);
+    const std::uint64_t iters =
+        8 + 8ull * (byzantine.size() + 2) * ceil_log2(cfg.namespace_size);
+    max_rounds = static_cast<Round>(
+        std::min<std::uint64_t>(4 + iters * per_iter + 4, 4'000'000));
+  }
+
+  ByzRunResult result;
+  result.stats = engine.run(max_rounds);
+
+  result.outcomes.reserve(cfg.n);
+  for (NodeIndex v = 0; v < cfg.n; ++v) {
+    NodeOutcome o;
+    o.original_id = cfg.ids[v];
+    o.correct = !is_byz[v];
+    if (const auto* node = dynamic_cast<const ByzNode*>(&engine.node(v))) {
+      o.new_id = node->new_id();
+      if (o.correct && node->elected()) {
+        result.loop_iterations =
+            std::max(result.loop_iterations, node->loop_iterations());
+      }
+    }
+    result.outcomes.push_back(o);
+  }
+  result.report = verify_renaming(result.outcomes, cfg.n);
+  return result;
+}
+
+}  // namespace renaming::byzantine

@@ -1,0 +1,211 @@
+// Byzantine-resilient strong order-preserving renaming (Section 3).
+//
+// Protocol outline (all stages in lockstep across correct nodes):
+//
+//   round 1   committee election: the shared beacon elects a candidate
+//             pool over the whole namespace [N]; nodes whose identity is
+//             in the pool broadcast ELECT. Receivers accept an ELECT iff
+//             the claimed identity passes authentication (Directory) and
+//             the pool coin — this yields the committee view C_v.
+//   round 2   identity aggregation: every node reports its identity to the
+//             committee; member v builds its identity list L_v.
+//   loop      divide-and-conquer consensus on L (Figure 4): a stack J of
+//             pending segments starting at [1, N]. Per segment:
+//               |j| = 1 : binary Consensus (phase-king) on the bit.
+//               |j| > 1 : Validator on <fingerprint, count>; Consensus on
+//                         `same`; if agreed, a DIFF exchange + Consensus
+//                         decides whether enough members hold the agreed
+//                         preimage; on failure the segment splits in two.
+//             Members whose own segment mismatches the agreed fingerprint
+//             mark it dirty: the agreed count still fixes every rank, they
+//             just abstain from distributing inside that segment.
+//   finally   distribution: members send NEW(rank) for identities in their
+//             non-dirty segments (rank = agreed ones before the identity),
+//             and NEW(null) to reporters inside dirty segments. A node
+//             decides once more than half of its committee view has spoken,
+//             taking the majority non-null value; since correct holders of
+//             every accepted segment number >= m - 2t >= t + 1 > |B|, the
+//             majority is the true rank.
+//
+// The DIFF threshold is t + 1 (the paper's "many"): if the segment is
+// accepted, fewer than t + 1 correct members lacked the preimage, so at
+// least m - 2t >= t + 1 correct members can distribute within it; and
+// Byzantine members alone (<= t) can never force a consistent segment to
+// split. See DESIGN.md for the substitution notes (broadcast announcements,
+// beacon, engine-level authentication).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/math.h"
+#include "common/types.h"
+#include "consensus/committee.h"
+#include "consensus/phase_king.h"
+#include "consensus/validator.h"
+#include "core/directory.h"
+#include "core/interval.h"
+#include "core/system.h"
+#include "core/verifier.h"
+#include "hashing/shared_random.h"
+#include "byzantine/identity_list.h"
+#include "sim/node.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+
+namespace renaming::byzantine {
+
+struct ByzParams {
+  /// The paper's epsilon_0: tolerance margin, f < (1/3 - eps0) n.
+  double epsilon0 = 1.0 / 12.0;
+  /// Pool probability p0 = min(1, pool_constant * log2(n) / n).
+  /// 0 selects the paper's own constant 8 / ((1 - 3 eps0) eps0^2), which
+  /// makes the committee everyone at laptop scale; benches document the
+  /// value they use instead.
+  double pool_constant = 0.0;
+  /// Seed of the shared-randomness beacon (public, known to all).
+  std::uint64_t shared_seed = 1;
+  /// Ablation A2 (DESIGN.md): when false, the committee skips the
+  /// fingerprint divide-and-conquer entirely and ships full identity
+  /// vectors (Omega(n log N)-bit messages) in a single witness-filtered
+  /// exchange — the communication pattern the paper's loop replaces.
+  bool use_fingerprints = true;
+
+  double pool_probability(NodeIndex n) const {
+    double c = pool_constant;
+    if (c <= 0.0) {
+      c = 8.0 / ((1.0 - 3.0 * epsilon0) * epsilon0 * epsilon0);
+    }
+    const double p = c * static_cast<double>(protocol_log(n)) /
+                     static_cast<double>(n);
+    return p > 1.0 ? 1.0 : p;
+  }
+};
+
+/// Message tags.
+enum class Tag : sim::MsgKind {
+  kElect = 10,      ///< round 1: <id>
+  kIdReport = 11,   ///< round 2: <id>
+  kValidator = 12,  ///< loop: Validator traffic
+  kConsensus = 13,  ///< loop: PhaseKing traffic
+  kDiff = 14,       ///< loop: <session, diff bit>
+  kNew = 15,        ///< distribution: <new id or 0=null>
+  kVector = 16,     ///< ablation: full identity vector (blob)
+};
+
+class ByzNode : public sim::Node {
+ public:
+  ByzNode(NodeIndex self, const SystemConfig& cfg, const Directory& directory,
+          ByzParams params);
+
+  void send(Round round, sim::Outbox& out) override;
+  void receive(Round round, std::span<const sim::Message> inbox) override;
+  bool done() const override;
+
+  // Introspection for tests/benches/adversaries.
+  bool elected() const { return elected_; }
+  OriginalId original_id() const { return id_; }
+  std::optional<NewId> new_id() const { return new_id_; }
+  const consensus::CommitteeView& view() const { return view_; }
+  std::uint32_t loop_iterations() const { return iterations_; }
+  std::uint32_t segments_split() const { return splits_; }
+  std::uint32_t segments_dirty() const { return dirties_; }
+
+ protected:
+  // Hooks used by Byzantine strategy subclasses (see strategies.h): the
+  // honest implementation is final in behaviour but exposes its pieces.
+  enum class Stage {
+    kElect,
+    kIdReport,
+    kValidator,
+    kSameConsensus,
+    kDiffExchange,
+    kDiffConsensus,
+    kBitConsensus,
+    kFullExchange,  ///< ablation: ship whole vectors instead of hashes
+    kDistribute,
+    kDone,
+  };
+
+  Stage stage() const { return stage_; }
+
+ private:
+  struct Processed {
+    Interval segment;
+    std::uint64_t count = 0;  ///< agreed number of ones
+    bool dirty = false;       ///< my content mismatched the agreed hash
+  };
+
+  void start_iteration();
+  void split_current();
+  void accept_current(std::uint64_t agreed_count, bool dirty);
+  void distribute(sim::Outbox& out);
+  void consider_new_messages(std::span<const sim::Message> inbox);
+
+  std::uint32_t fingerprint_bits() const;
+  std::uint32_t control_bits() const;
+
+  // --- immutable context ---
+  NodeIndex self_;
+  NodeIndex n_;
+  std::uint64_t namespace_size_;
+  OriginalId id_;
+  const Directory* directory_;
+  ByzParams params_;
+  hashing::SharedRandomness beacon_;
+
+  // --- common state ---
+  Stage stage_ = Stage::kElect;
+  bool elected_ = false;
+  consensus::CommitteeView view_;
+  std::optional<NewId> new_id_;
+  // NEW votes: sender -> value (0 = null), accumulated across rounds.
+  std::unordered_map<NodeIndex, std::uint64_t> new_votes_;
+
+  // --- committee-member state ---
+  std::unique_ptr<IdentityList> list_;
+  std::unordered_map<std::uint64_t, NodeIndex> reporters_;  // id -> link
+  std::vector<Interval> pending_;                 // the stack J
+  std::map<std::uint64_t, Processed> processed_;  // J-hat, keyed by lo
+  Interval current_{1, 1};
+  SegmentSummary mine_;
+  consensus::ValidatorValue agreed_;
+  bool validator_same_ = false;
+  bool diff_ = false;
+  std::size_t my_view_index_ = consensus::CommitteeView::npos;
+  std::unique_ptr<consensus::Validator> validator_;
+  std::unique_ptr<consensus::PhaseKing> king_;
+  std::uint32_t step_ = 0;
+  std::uint64_t session_ = 0;
+  std::uint32_t iterations_ = 0;
+  std::uint32_t splits_ = 0;
+  std::uint32_t dirties_ = 0;
+};
+
+/// Outcome of one full execution.
+struct ByzRunResult {
+  sim::RunStats stats;
+  std::vector<NodeOutcome> outcomes;
+  VerifyReport report;
+  std::uint32_t loop_iterations = 0;  ///< max over correct members
+};
+
+/// Byzantine strategy factory: given (index, cfg, directory, params),
+/// produce the adversarial Node. See strategies.h for implementations.
+using ByzStrategyFactory = std::unique_ptr<sim::Node> (*)(
+    NodeIndex, const SystemConfig&, const Directory&, const ByzParams&);
+
+/// Runs the protocol with `byzantine[i]` nodes replaced by `factory`
+/// products. `max_rounds` of 0 derives a generous cap from the Lemma 3.10
+/// iteration bound.
+ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
+                              const std::vector<NodeIndex>& byzantine = {},
+                              ByzStrategyFactory factory = nullptr,
+                              Round max_rounds = 0,
+                              sim::TraceSink* trace = nullptr);
+
+}  // namespace renaming::byzantine

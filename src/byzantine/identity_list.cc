@@ -1,0 +1,67 @@
+#include "byzantine/identity_list.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "hashing/mersenne61.h"
+
+namespace renaming::byzantine {
+
+IdentityList::IdentityList(std::uint64_t namespace_size,
+                           const hashing::SharedRandomness& beacon)
+    : namespace_size_(namespace_size), hash_(beacon) {}
+
+void IdentityList::insert(std::uint64_t id) {
+  assert(id >= 1 && id <= namespace_size_);
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end() && *it == id) return;
+  ids_.insert(it, id);
+  prefix_valid_ = false;
+}
+
+void IdentityList::set(std::uint64_t id, bool present) {
+  assert(id >= 1 && id <= namespace_size_);
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  const bool have = it != ids_.end() && *it == id;
+  if (present && !have) {
+    ids_.insert(it, id);
+    prefix_valid_ = false;
+  } else if (!present && have) {
+    ids_.erase(it);
+    prefix_valid_ = false;
+  }
+}
+
+void IdentityList::rebuild_prefix() const {
+  prefix_.assign(ids_.size() + 1, 0);
+  for (std::size_t k = 0; k < ids_.size(); ++k) {
+    prefix_[k + 1] = hashing::m61_add(prefix_[k], hash_.coefficient(ids_[k]));
+  }
+  prefix_valid_ = true;
+}
+
+std::size_t IdentityList::lower(std::uint64_t bound) const {
+  return static_cast<std::size_t>(
+      std::lower_bound(ids_.begin(), ids_.end(), bound) - ids_.begin());
+}
+
+SegmentSummary IdentityList::summarize(const Interval& j) const {
+  assert(j.lo >= 1 && j.hi <= namespace_size_);
+  if (!prefix_valid_) rebuild_prefix();
+  const std::size_t a = lower(j.lo);
+  const std::size_t b = lower(j.hi + 1);
+  return SegmentSummary{hashing::m61_sub(prefix_[b], prefix_[a]),
+                        static_cast<std::uint64_t>(b - a)};
+}
+
+std::uint64_t IdentityList::rank(std::uint64_t id) const {
+  return static_cast<std::uint64_t>(lower(id));
+}
+
+std::span<const std::uint64_t> IdentityList::ids_in(const Interval& j) const {
+  const std::size_t a = lower(j.lo);
+  const std::size_t b = lower(j.hi + 1);
+  return {ids_.data() + a, b - a};
+}
+
+}  // namespace renaming::byzantine

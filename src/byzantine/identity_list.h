@@ -1,0 +1,68 @@
+// The identity list L_v of the Byzantine-resilient algorithm (Section 3.1).
+//
+// Conceptually L_v is a length-N bit vector with L_v[i] = 1 iff identity i
+// was received by committee member v. Materialising N bits per member
+// would cost Theta(N) memory and Theta(segment length) per fingerprint, so
+// this class stores the equivalent sparse form — the sorted set of present
+// identities plus a prefix table of their hash coefficients — giving
+// O(log n)-time segment fingerprints and popcounts over arbitrary [l, r].
+// Tests cross-check every operation against the dense BitVec + the
+// reference fingerprints in src/hashing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/interval.h"
+#include "hashing/fingerprint.h"
+#include "hashing/shared_random.h"
+
+namespace renaming::byzantine {
+
+struct SegmentSummary {
+  std::uint64_t fingerprint = 0;  ///< set-hash of the segment contents
+  std::uint64_t count = 0;        ///< number of ones (identities present)
+  friend bool operator==(const SegmentSummary&, const SegmentSummary&) = default;
+};
+
+class IdentityList {
+ public:
+  /// `namespace_size` is N; coefficients come from the shared beacon so
+  /// that all correct members evaluate the same hash function (Fact 3.2).
+  IdentityList(std::uint64_t namespace_size,
+               const hashing::SharedRandomness& beacon);
+
+  /// Record that identity `id` (1-based, <= N) is present. Idempotent.
+  void insert(std::uint64_t id);
+
+  /// Force position `id` to `present` (used after singleton consensus).
+  void set(std::uint64_t id, bool present);
+
+  /// <fingerprint, popcount> of segment [j.lo, j.hi] (1-based inclusive).
+  SegmentSummary summarize(const Interval& j) const;
+
+  /// Number of ones strictly before position `id`.
+  std::uint64_t rank(std::uint64_t id) const;
+
+  /// All present identities within [j.lo, j.hi], ascending.
+  std::span<const std::uint64_t> ids_in(const Interval& j) const;
+
+  std::uint64_t size() const { return static_cast<std::uint64_t>(ids_.size()); }
+  std::uint64_t namespace_size() const { return namespace_size_; }
+  const std::vector<std::uint64_t>& ids() const { return ids_; }
+
+ private:
+  void rebuild_prefix() const;
+  /// Index of the first id >= bound.
+  std::size_t lower(std::uint64_t bound) const;
+
+  std::uint64_t namespace_size_;
+  hashing::SetFingerprint hash_;
+  std::vector<std::uint64_t> ids_;  // sorted, unique
+  // prefix_[k] = hash of the first k ids; rebuilt lazily after mutation.
+  mutable std::vector<std::uint64_t> prefix_;
+  mutable bool prefix_valid_ = false;
+};
+
+}  // namespace renaming::byzantine

@@ -1,0 +1,247 @@
+// Byzantine node strategies ("Carlo"'s arsenal).
+//
+// A Byzantine node may deviate arbitrarily; the strategies here target the
+// specific mechanisms the algorithm defends with:
+//
+//  * SilentNode          — simulates a crash (the paper notes Byzantine
+//                          subsumes crash behaviour).
+//  * SplitReporter       — reports its identity to only half of the
+//                          committee, driving the correct members' identity
+//                          lists apart: this is the force behind the
+//                          divide-and-conquer splitting (Lemma 3.10).
+//  * LyingMember         — a corrupted committee member: equivocates in
+//                          Validator/Consensus/DIFF traffic per recipient,
+//                          sends premature fake NEW messages, and skews the
+//                          ranks it distributes.
+//  * Spoofer             — attempts to forge both the transport origin and
+//                          the claimed identity; exists to show the
+//                          authentication layer is load-bearing.
+//
+// LyingMember and SplitReporter stay in lockstep by running the honest
+// state machine internally and corrupting its outbox — the standard
+// honest-but-corrupted-output construction. (Their announcements are
+// broadcast-or-nothing; see DESIGN.md on committee-view consistency.)
+#pragma once
+
+#include <memory>
+
+#include "byzantine/byz_renaming.h"
+#include "common/prng.h"
+#include "core/directory.h"
+#include "sim/node.h"
+
+namespace renaming::byzantine {
+
+class SilentNode final : public sim::Node {
+ public:
+  void send(Round, sim::Outbox&) override {}
+  void receive(Round, std::span<const sim::Message>) override {}
+  bool done() const override { return true; }
+};
+
+/// Runs the honest protocol but lets a strategy rewrite the outbox.
+class CorruptedNode : public sim::Node {
+ public:
+  CorruptedNode(NodeIndex self, const SystemConfig& cfg,
+                const Directory& directory, const ByzParams& params)
+      : self_(self),
+        n_(cfg.n),
+        honest_(self, cfg, directory, params),
+        rng_(SplitMix64(cfg.seed ^ 0xBADBADULL).next() + self) {}
+
+  void send(Round round, sim::Outbox& out) override {
+    sim::Outbox staged(self_, n_);
+    honest_.send(round, staged);
+    corrupt(round, staged, out);
+  }
+
+  void receive(Round round, std::span<const sim::Message> inbox) override {
+    honest_.receive(round, inbox);
+  }
+
+  bool done() const override { return true; }  // Byzantine: never awaited
+
+ protected:
+  /// Move/modify/drop staged entries into `out`.
+  virtual void corrupt(Round round, sim::Outbox& staged, sim::Outbox& out) = 0;
+
+  NodeIndex self_;
+  NodeIndex n_;
+  ByzNode honest_;
+  Xoshiro256 rng_;
+};
+
+/// Reports its identity to only the even-indexed committee members.
+class SplitReporter final : public CorruptedNode {
+ public:
+  using CorruptedNode::CorruptedNode;
+
+  static std::unique_ptr<sim::Node> make(NodeIndex self,
+                                         const SystemConfig& cfg,
+                                         const Directory& directory,
+                                         const ByzParams& params) {
+    return std::make_unique<SplitReporter>(self, cfg, directory, params);
+  }
+
+ private:
+  void corrupt(Round round, sim::Outbox& staged, sim::Outbox& out) override {
+    std::size_t report_index = 0;
+    for (auto& [dest, msg] : staged.entries()) {
+      if (round == 2 && msg.kind == static_cast<sim::MsgKind>(Tag::kIdReport)) {
+        if (report_index++ % 2 == 1) continue;  // starve odd members
+      }
+      out.send(dest, std::move(msg));
+    }
+  }
+};
+
+/// A corrupted committee member: per-recipient equivocation everywhere.
+class LyingMember final : public CorruptedNode {
+ public:
+  using CorruptedNode::CorruptedNode;
+
+  static std::unique_ptr<sim::Node> make(NodeIndex self,
+                                         const SystemConfig& cfg,
+                                         const Directory& directory,
+                                         const ByzParams& params) {
+    return std::make_unique<LyingMember>(self, cfg, directory, params);
+  }
+
+ private:
+  void corrupt(Round round, sim::Outbox& staged, sim::Outbox& out) override {
+    for (auto& [dest, msg] : staged.entries()) {
+      switch (static_cast<Tag>(msg.kind)) {
+        case Tag::kValidator:
+        case Tag::kConsensus:
+          // Equivocate: flip the value payload for a random half of the
+          // recipients; scramble fingerprints entirely now and then.
+          if (rng_.chance(0.5)) msg.w[2] ^= 1;
+          if (msg.nwords >= 4 && rng_.chance(0.25)) msg.w[3] = rng_();
+          break;
+        case Tag::kDiff:
+          if (rng_.chance(0.5)) msg.w[1] ^= 1;
+          break;
+        case Tag::kNew:
+          // Skew half the distributed ranks by one; zero out some others.
+          if (rng_.chance(0.3)) {
+            msg.w[0] += 1;
+          } else if (rng_.chance(0.2)) {
+            msg.w[0] = 0;
+          }
+          break;
+        default:
+          break;
+      }
+      out.send(dest, std::move(msg));
+    }
+    // Premature fake NEW volley: tries to trick nodes into deciding early.
+    if (round == 3) {
+      for (NodeIndex d = 0; d < n_; ++d) {
+        out.send(d, sim::make_message(static_cast<sim::MsgKind>(Tag::kNew),
+                                      16, 1 + rng_.below(n_)));
+      }
+    }
+  }
+};
+
+/// Attempts transport-origin forgery plus identity forgery.
+class Spoofer final : public CorruptedNode {
+ public:
+  using CorruptedNode::CorruptedNode;
+
+  static std::unique_ptr<sim::Node> make(NodeIndex self,
+                                         const SystemConfig& cfg,
+                                         const Directory& directory,
+                                         const ByzParams& params) {
+    return std::make_unique<Spoofer>(self, cfg, directory, params);
+  }
+
+ private:
+  void corrupt(Round round, sim::Outbox& staged, sim::Outbox& out) override {
+    for (auto& [dest, msg] : staged.entries()) out.send(dest, std::move(msg));
+    if (round <= 2) {
+      // Forge transport origin (engine drops + counts these) and claim
+      // identities we do not own (receivers' certificate check drops them).
+      for (NodeIndex d = 0; d < n_; ++d) {
+        sim::Message forged = sim::make_message(
+            static_cast<sim::MsgKind>(round == 1 ? Tag::kElect : Tag::kIdReport),
+            32, rng_.below(1u << 30) + 1);
+        forged.claimed_sender = static_cast<NodeIndex>((self_ + 1) % n_);
+        out.send(d, forged);
+      }
+    }
+  }
+};
+
+
+/// Reports its identity to a contiguous *prefix* of the committee (by view
+/// order). Unlike SplitReporter's even/odd split, a prefix split puts the
+/// disagreement boundary through the quorum structure asymmetrically —
+/// the Validator sees "almost a quorum" instead of a clean half/half.
+class PrefixReporter final : public CorruptedNode {
+ public:
+  using CorruptedNode::CorruptedNode;
+
+  static std::unique_ptr<sim::Node> make(NodeIndex self,
+                                         const SystemConfig& cfg,
+                                         const Directory& directory,
+                                         const ByzParams& params) {
+    return std::make_unique<PrefixReporter>(self, cfg, directory, params);
+  }
+
+ private:
+  void corrupt(Round round, sim::Outbox& staged, sim::Outbox& out) override {
+    const std::size_t total = staged.entries().size();
+    std::size_t index = 0;
+    for (auto& [dest, msg] : staged.entries()) {
+      if (round == 2 &&
+          msg.kind == static_cast<sim::MsgKind>(Tag::kIdReport)) {
+        // Keep roughly two thirds: just below the m - t quorum at t ~ m/3.
+        if (index++ * 3 >= total * 2) continue;
+      }
+      out.send(dest, std::move(msg));
+    }
+  }
+};
+
+/// Combines the two attacks: splits its identity report (forcing the
+/// divide-and-conquer to work) AND equivocates inside every consensus
+/// instance that work triggers.
+class DoubleDealer final : public CorruptedNode {
+ public:
+  using CorruptedNode::CorruptedNode;
+
+  static std::unique_ptr<sim::Node> make(NodeIndex self,
+                                         const SystemConfig& cfg,
+                                         const Directory& directory,
+                                         const ByzParams& params) {
+    return std::make_unique<DoubleDealer>(self, cfg, directory, params);
+  }
+
+ private:
+  void corrupt(Round round, sim::Outbox& staged, sim::Outbox& out) override {
+    std::size_t report_index = 0;
+    for (auto& [dest, msg] : staged.entries()) {
+      switch (static_cast<Tag>(msg.kind)) {
+        case Tag::kIdReport:
+          if (round == 2 && report_index++ % 2 == 1) continue;
+          break;
+        case Tag::kValidator:
+        case Tag::kConsensus:
+          if (rng_.chance(0.5)) msg.w[2] ^= 1;
+          break;
+        case Tag::kDiff:
+          if (rng_.chance(0.5)) msg.w[1] ^= 1;
+          break;
+        case Tag::kNew:
+          if (rng_.chance(0.5)) msg.w[0] = rng_.below(1u << 20);
+          break;
+        default:
+          break;
+      }
+      out.send(dest, std::move(msg));
+    }
+  }
+};
+
+}  // namespace renaming::byzantine

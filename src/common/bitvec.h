@@ -1,0 +1,78 @@
+// Dense dynamic bit vector with fast range popcount.
+//
+// The Byzantine-resilient algorithm's identity list L_v is "a bit vector
+// consisting of N bits" (Section 3.1). This dense representation is used in
+// tests and as a cross-check against the sparse IdentityList; it supports
+// the exact operations the protocol needs: set/test, rank (number of ones
+// strictly before a position), and popcount over a segment [l, r].
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace renaming {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::uint64_t nbits)
+      : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  std::uint64_t size() const { return nbits_; }
+
+  bool test(std::uint64_t i) const {
+    assert(i < nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void set(std::uint64_t i, bool value = true) {
+    assert(i < nbits_);
+    if (value) {
+      words_[i >> 6] |= (1ULL << (i & 63));
+    } else {
+      words_[i >> 6] &= ~(1ULL << (i & 63));
+    }
+  }
+
+  /// Number of set bits in the whole vector.
+  std::uint64_t count() const {
+    std::uint64_t c = 0;
+    for (std::uint64_t w : words_) c += static_cast<std::uint64_t>(std::popcount(w));
+    return c;
+  }
+
+  /// Number of set bits in positions [lo, hi] inclusive.
+  std::uint64_t count_range(std::uint64_t lo, std::uint64_t hi) const {
+    assert(lo <= hi && hi < nbits_);
+    const std::uint64_t wl = lo >> 6, wh = hi >> 6;
+    const std::uint64_t mask_lo = ~0ULL << (lo & 63);
+    const std::uint64_t mask_hi =
+        (hi & 63) == 63 ? ~0ULL : ((1ULL << ((hi & 63) + 1)) - 1);
+    if (wl == wh) {
+      return static_cast<std::uint64_t>(
+          std::popcount(words_[wl] & mask_lo & mask_hi));
+    }
+    std::uint64_t c = static_cast<std::uint64_t>(std::popcount(words_[wl] & mask_lo));
+    for (std::uint64_t w = wl + 1; w < wh; ++w) {
+      c += static_cast<std::uint64_t>(std::popcount(words_[w]));
+    }
+    c += static_cast<std::uint64_t>(std::popcount(words_[wh] & mask_hi));
+    return c;
+  }
+
+  /// Rank: number of set bits strictly before position i.
+  std::uint64_t rank(std::uint64_t i) const {
+    if (i == 0) return 0;
+    return count_range(0, i - 1);
+  }
+
+  bool operator==(const BitVec& other) const = default;
+
+ private:
+  std::uint64_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace renaming

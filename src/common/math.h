@@ -1,0 +1,36 @@
+// Small integer-math helpers used across the protocols.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace renaming {
+
+/// ceil(log2(x)) for x >= 1; returns 0 for x == 1.
+inline std::uint32_t ceil_log2(std::uint64_t x) {
+  assert(x >= 1);
+  return static_cast<std::uint32_t>(std::bit_width(x - 1));
+}
+
+/// floor(log2(x)) for x >= 1.
+inline std::uint32_t floor_log2(std::uint64_t x) {
+  assert(x >= 1);
+  return static_cast<std::uint32_t>(std::bit_width(x)) - 1;
+}
+
+/// Natural-log-ish integer log used for "log n" in the paper's probability
+/// expressions: max(1, ceil(log2(n))) so that probabilities never vanish
+/// for tiny n.
+inline std::uint32_t protocol_log(std::uint64_t n) {
+  const std::uint32_t l = ceil_log2(n < 2 ? 2 : n);
+  return l == 0 ? 1 : l;
+}
+
+/// Integer ceiling division.
+inline std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  assert(b != 0);
+  return (a + b - 1) / b;
+}
+
+}  // namespace renaming

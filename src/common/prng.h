@@ -1,0 +1,83 @@
+// Deterministic pseudo-random generators.
+//
+// All randomness in the repository flows through these generators so that
+// every simulation, test, and benchmark is reproducible from a single seed.
+// SplitMix64 is used to derive independent streams (one per node, one for
+// the adversary, one for the shared-randomness beacon) from a master seed;
+// Xoshiro256** is the workhorse generator. Both are tiny, allocation-free
+// value types, per the Core Guidelines' preference for regular types.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace renaming {
+
+/// SplitMix64: stateless-feeling stream splitter. Used for seeding.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t bound) {
+    if (bound <= 1) return 0;
+    // Unbiased enough for simulation purposes: 128-bit multiply-high.
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>((*this)()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    // 53-bit uniform double in [0,1).
+    const double u =
+        static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    return u < p;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace renaming

@@ -1,0 +1,34 @@
+// Basic identifier and round types shared by every module.
+//
+// The paper's model (Section 1): n nodes, each with a unique *original*
+// identity drawn from the namespace [N] = {1, ..., N}; the goal of strong
+// renaming is a unique *new* identity in [n]. We keep the two identifier
+// spaces as distinct types so the compiler catches confusions between
+// "index of a node in the simulator" and "identity in the namespace".
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace renaming {
+
+/// Index of a node inside the simulated system, in [0, n).
+/// This is a simulator-level handle, not a protocol-visible identity.
+using NodeIndex = std::uint32_t;
+
+/// An original identity in the namespace [N] = {1, ..., N}.
+using OriginalId = std::uint64_t;
+
+/// A new identity produced by a renaming algorithm, in [1, M].
+using NewId = std::uint64_t;
+
+/// Synchronous round counter (1-based; 0 means "before the first round").
+using Round = std::uint32_t;
+
+/// Sentinel for "no identity assigned (yet)".
+inline constexpr NewId kNoNewId = 0;
+
+/// Sentinel for an invalid node index.
+inline constexpr NodeIndex kNoNode = std::numeric_limits<NodeIndex>::max();
+
+}  // namespace renaming

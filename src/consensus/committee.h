@@ -1,0 +1,72 @@
+// Committee context shared by the consensus sub-protocols.
+//
+// After the announcement round of the Byzantine-resilient algorithm, every
+// correct node holds a committee view: the list of (original id, link)
+// pairs that announced membership and passed the shared-randomness pool
+// check plus authentication. Lemma 3.5 gives G (all correct members) as a
+// subset of every correct view with |B| < c_g/2; the sub-protocols run over
+// this list with the classical threshold t = floor((m-1)/3), which the
+// assumption 2|B| < |G| guarantees is >= |B| (see DESIGN.md).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace renaming::consensus {
+
+struct Member {
+  OriginalId id = 0;
+  NodeIndex link = kNoNode;
+
+  friend bool operator<(const Member& a, const Member& b) {
+    return a.id < b.id;
+  }
+  friend bool operator==(const Member& a, const Member& b) = default;
+};
+
+/// A node's view of the committee, ordered by original identity (so the
+/// phase-king schedule is identical wherever the views are identical).
+class CommitteeView {
+ public:
+  CommitteeView() = default;
+  explicit CommitteeView(std::vector<Member> members)
+      : members_(std::move(members)) {
+    std::sort(members_.begin(), members_.end());
+    members_.erase(std::unique(members_.begin(), members_.end()),
+                   members_.end());
+  }
+
+  std::size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+  const Member& member(std::size_t i) const { return members_[i]; }
+  const std::vector<Member>& members() const { return members_; }
+
+  /// Classical Byzantine tolerance for this view size.
+  std::uint32_t max_tolerated() const {
+    return members_.empty()
+               ? 0
+               : static_cast<std::uint32_t>((members_.size() - 1) / 3);
+  }
+
+  /// Index of the member with this link, or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t index_of_link(NodeIndex link) const {
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (members_[i].link == link) return i;
+    }
+    return npos;
+  }
+
+  bool contains_link(NodeIndex link) const {
+    return index_of_link(link) != npos;
+  }
+
+ private:
+  std::vector<Member> members_;
+};
+
+}  // namespace renaming::consensus

@@ -1,0 +1,43 @@
+// Round-consuming sub-protocol interface.
+//
+// The Byzantine-resilient renaming runs a sequence of consensus primitives
+// (Validator, binary Consensus) inside its divide-and-conquer loop. Each
+// primitive is packaged as a SubProtocol that consumes engine rounds: the
+// host node forwards its send/receive callbacks to the active sub-protocol
+// until it reports completion. Because every correct committee member takes
+// identical branches (branch variables are agreed by Consensus first), all
+// correct members drive the same sub-protocol in the same rounds.
+//
+// Messages carry a session tag so that protocol stages cannot be confused
+// by Byzantine replays of earlier stages' traffic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "consensus/committee.h"
+#include "sim/message.h"
+#include "sim/node.h"
+
+namespace renaming::consensus {
+
+class SubProtocol {
+ public:
+  virtual ~SubProtocol() = default;
+
+  /// Send-phase of the `step`-th round of this sub-protocol (0-based).
+  virtual void send(std::uint32_t step, sim::Outbox& out) = 0;
+
+  /// Receive-phase of the `step`-th round; returns true when the protocol
+  /// has completed (output is then available).
+  virtual bool receive(std::uint32_t step,
+                       std::span<const sim::Message> inbox) = 0;
+};
+
+/// Broadcast helper: send `m` to every member of the view.
+inline void broadcast_to_committee(const CommitteeView& view,
+                                   sim::Outbox& out, const sim::Message& m) {
+  for (const Member& member : view.members()) out.send(member.link, m);
+}
+
+}  // namespace renaming::consensus

@@ -1,0 +1,105 @@
+#include "consensus/validator.h"
+
+#include <cassert>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace renaming::consensus {
+
+using ValueKey = std::pair<std::uint64_t, std::uint64_t>;
+
+Validator::Validator(const CommitteeView& view, std::size_t my_index,
+                     std::uint64_t session, sim::MsgKind kind,
+                     std::uint32_t message_bits, ValidatorValue input)
+    : view_(view),
+      my_index_(my_index),
+      session_(session),
+      kind_(kind),
+      message_bits_(message_bits),
+      tolerated_(view.max_tolerated()),
+      in_(input),
+      out_(input) {
+  assert(my_index_ < view_.size());
+}
+
+void Validator::send(std::uint32_t step, sim::Outbox& out) {
+  if (step == 0) {
+    broadcast_to_committee(
+        view_, out,
+        sim::make_message(kind_, message_bits_, session_,
+                          static_cast<std::uint64_t>(kPropose), in_.a, in_.b));
+  } else {
+    // Vote round; an explicit "bottom" flag marks the no-quorum case.
+    const std::uint64_t has = vote_.has_value() ? 1 : 0;
+    const ValidatorValue v = vote_.value_or(ValidatorValue{});
+    broadcast_to_committee(
+        view_, out,
+        sim::make_message(kind_, message_bits_, session_,
+                          static_cast<std::uint64_t>(kVote), has, v.a, v.b));
+  }
+}
+
+bool Validator::receive(std::uint32_t step,
+                        std::span<const sim::Message> inbox) {
+  const std::size_t m = view_.size();
+  const std::size_t quorum = m - tolerated_;
+
+  if (step == 0) {
+    std::vector<bool> heard(m, false);
+    std::map<ValueKey, std::size_t> counts;
+    for (const sim::Message& msg : inbox) {
+      if (msg.kind != kind_ || msg.nwords < 4) continue;
+      if (msg.w[0] != session_ || msg.w[1] != kPropose) continue;
+      const std::size_t idx = view_.index_of_link(msg.sender);
+      if (idx == CommitteeView::npos || heard[idx]) continue;
+      heard[idx] = true;
+      ++counts[{msg.w[2], msg.w[3]}];
+    }
+    vote_.reset();
+    for (const auto& [key, count] : counts) {
+      if (count >= quorum) {
+        vote_ = ValidatorValue{key.first, key.second};
+        break;  // at most one value can reach m - t support
+      }
+    }
+    return false;
+  }
+
+  // Step 1: tally votes.
+  std::vector<bool> heard(m, false);
+  std::map<ValueKey, std::size_t> counts;
+  for (const sim::Message& msg : inbox) {
+    if (msg.kind != kind_ || msg.nwords < 5) continue;
+    if (msg.w[0] != session_ || msg.w[1] != kVote) continue;
+    if (msg.w[2] == 0) continue;  // bottom votes carry no value
+    const std::size_t idx = view_.index_of_link(msg.sender);
+    if (idx == CommitteeView::npos || heard[idx]) continue;
+    heard[idx] = true;
+    ++counts[{msg.w[3], msg.w[4]}];
+  }
+
+  same_ = false;
+  out_ = in_;
+  // Prefer the strongest supported value.
+  const std::map<ValueKey, std::size_t>::const_iterator best = [&] {
+    auto it = counts.cbegin(), winner = counts.cend();
+    for (; it != counts.cend(); ++it) {
+      if (winner == counts.cend() || it->second > winner->second) winner = it;
+    }
+    return winner;
+  }();
+  if (best != counts.cend()) {
+    if (best->second >= quorum) {
+      same_ = true;
+      out_ = ValidatorValue{best->first.first, best->first.second};
+    } else if (best->second >= tolerated_ + 1) {
+      // At least one correct member voted it; with m > 3t, at most one
+      // value can have a correct voter, so this choice is consistent.
+      out_ = ValidatorValue{best->first.first, best->first.second};
+    }
+  }
+  return true;
+}
+
+}  // namespace renaming::consensus

@@ -1,0 +1,46 @@
+// Identity verification and addressing directory.
+//
+// Models the two network-layer facilities the paper assumes without giving
+// nodes any knowledge that would trivialise renaming:
+//
+//  * verify(sender, claimed_id) — signature/certificate-chain verification
+//    (Section 3.2): given a message and a claimed original identity, any
+//    node can check that the message really originates from the holder of
+//    that identity. Nodes never enumerate identities through this API.
+//  * link_of(id) — addressing by identity: the ability to send a message
+//    to "the node with original identity i", which a message-passing
+//    system with routable identities provides. Returns kNoNode for
+//    identities not present in the system (messages to them vanish).
+#pragma once
+
+#include <unordered_map>
+
+#include "common/types.h"
+#include "core/system.h"
+
+namespace renaming {
+
+class Directory {
+ public:
+  explicit Directory(const SystemConfig& cfg) : cfg_(&cfg) {
+    by_id_.reserve(cfg.n);
+    for (NodeIndex v = 0; v < cfg.n; ++v) by_id_.emplace(cfg.ids[v], v);
+  }
+
+  /// Certificate-chain check: does `sender` really own `claimed_id`?
+  bool verify(NodeIndex sender, OriginalId claimed_id) const {
+    return sender < cfg_->n && cfg_->ids[sender] == claimed_id;
+  }
+
+  /// Addressing by identity; kNoNode if no such participant exists.
+  NodeIndex link_of(OriginalId id) const {
+    const auto it = by_id_.find(id);
+    return it == by_id_.end() ? kNoNode : it->second;
+  }
+
+ private:
+  const SystemConfig* cfg_;
+  std::unordered_map<OriginalId, NodeIndex> by_id_;
+};
+
+}  // namespace renaming

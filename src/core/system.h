@@ -1,0 +1,71 @@
+// System configuration: the instance every renaming protocol runs on.
+//
+// Definition 1.1: n nodes, each with a unique original identity in
+// [N] = {1, ..., N}; every node knows its own identity and n. The factory
+// below samples distinct original identities uniformly from [N], which is
+// the hard case for the algorithms (dense/sorted namespaces are easier for
+// the divide-and-conquer fingerprint consensus).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/prng.h"
+#include "common/types.h"
+
+namespace renaming {
+
+struct SystemConfig {
+  NodeIndex n = 0;               ///< Number of participating nodes.
+  std::uint64_t namespace_size = 0;  ///< N, the original namespace size.
+  std::vector<OriginalId> ids;   ///< ids[v] = original identity of node v.
+  std::uint64_t seed = 0;        ///< Master seed for all randomness.
+
+  /// Samples a config with distinct uniform identities from [N].
+  static SystemConfig random(NodeIndex n, std::uint64_t namespace_size,
+                             std::uint64_t seed) {
+    assert(namespace_size >= n);
+    SystemConfig cfg;
+    cfg.n = n;
+    cfg.namespace_size = namespace_size;
+    cfg.seed = seed;
+    cfg.ids.reserve(n);
+    Xoshiro256 rng(seed ^ 0xABCDEF0123456789ULL);
+    std::unordered_set<OriginalId> used;
+    used.reserve(n * 2);
+    while (cfg.ids.size() < n) {
+      const OriginalId id = 1 + rng.below(namespace_size);
+      if (used.insert(id).second) cfg.ids.push_back(id);
+    }
+    return cfg;
+  }
+
+  /// A config whose identities are the worst case for divide-and-conquer:
+  /// clustered into a few dense runs so segment disagreements concentrate.
+  static SystemConfig clustered(NodeIndex n, std::uint64_t namespace_size,
+                                std::uint64_t seed, std::uint32_t clusters) {
+    assert(namespace_size >= n && clusters >= 1);
+    SystemConfig cfg;
+    cfg.n = n;
+    cfg.namespace_size = namespace_size;
+    cfg.seed = seed;
+    Xoshiro256 rng(seed ^ 0x5DEECE66DULL);
+    std::unordered_set<OriginalId> used;
+    const NodeIndex per = (n + clusters - 1) / clusters;
+    while (cfg.ids.size() < n) {
+      const OriginalId base =
+          1 + rng.below(namespace_size > per ? namespace_size - per : 1);
+      for (NodeIndex k = 0; k < per && cfg.ids.size() < n; ++k) {
+        const OriginalId id = base + k;
+        if (id <= namespace_size && used.insert(id).second) {
+          cfg.ids.push_back(id);
+        }
+      }
+    }
+    return cfg;
+  }
+};
+
+}  // namespace renaming

@@ -1,0 +1,88 @@
+// Renaming correctness oracle.
+//
+// Checks the three properties from Section 1 against an execution outcome:
+//   * uniqueness      — no two correct surviving nodes share a new identity
+//   * strength        — every assigned identity lies in [1, M] with M = n
+//   * order-preserving— ID(u) < ID(v)  iff  NewID(u) < NewID(v)
+//
+// Every test and every benchmark funnels its outcome through this verifier,
+// so a protocol bug cannot hide behind a favourable workload.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/system.h"
+
+namespace renaming {
+
+struct NodeOutcome {
+  OriginalId original_id = 0;
+  std::optional<NewId> new_id;  ///< nullopt: crashed before deciding.
+  bool correct = true;          ///< false for Byzantine nodes.
+};
+
+struct VerifyReport {
+  bool unique = true;
+  bool strong = true;
+  bool order_preserving = true;
+  bool all_correct_decided = true;
+  std::vector<std::string> violations;
+
+  bool ok(bool require_order = false) const {
+    return unique && strong && all_correct_decided &&
+           (!require_order || order_preserving);
+  }
+};
+
+inline VerifyReport verify_renaming(const std::vector<NodeOutcome>& outcomes,
+                                    NodeIndex n) {
+  VerifyReport report;
+  std::map<NewId, OriginalId> taken;           // new id -> original id
+  std::map<OriginalId, NewId> by_original;     // for order checking
+
+  for (const NodeOutcome& o : outcomes) {
+    if (!o.correct) continue;  // Byzantine outputs are unconstrained
+    if (!o.new_id.has_value()) {
+      report.all_correct_decided = false;
+      report.violations.push_back("node with original id " +
+                                  std::to_string(o.original_id) +
+                                  " never decided");
+      continue;
+    }
+    const NewId nid = *o.new_id;
+    if (nid < 1 || nid > n) {
+      report.strong = false;
+      report.violations.push_back("new id " + std::to_string(nid) +
+                                  " outside [1," + std::to_string(n) + "]");
+    }
+    auto [it, inserted] = taken.emplace(nid, o.original_id);
+    if (!inserted) {
+      report.unique = false;
+      report.violations.push_back(
+          "new id " + std::to_string(nid) + " assigned to both original " +
+          std::to_string(it->second) + " and " + std::to_string(o.original_id));
+    }
+    by_original[o.original_id] = nid;
+  }
+
+  // Order preservation: original ids ascend => new ids must ascend.
+  NewId prev = 0;
+  bool first = true;
+  for (const auto& [orig, nid] : by_original) {
+    if (!first && nid <= prev) {
+      report.order_preserving = false;
+      report.violations.push_back("order violated at original id " +
+                                  std::to_string(orig));
+    }
+    prev = nid;
+    first = false;
+  }
+  return report;
+}
+
+}  // namespace renaming

@@ -1,0 +1,111 @@
+// Protocol-aware crash adversaries for the crash-resilient renaming.
+//
+// These implement "Eve" strategies tailored to the algorithm's weak points,
+// the ones the paper's lemmas are defending against:
+//
+//  * CommitteeHunter (kAtAnnounce) — wipes out every committee member the
+//    moment it announces itself, before it can respond. This is the
+//    strategy behind Lemma 2.4/2.7: the algorithm must keep doubling p and
+//    the adversary must spend ~2^p log n crashes per wiped generation.
+//  * CommitteeHunter (kMidResponse) — lets the committee collect statuses
+//    and crashes it in the middle of round 3 so only a subset of responses
+//    escape; different recipients see different (possibly conflicting)
+//    halving decisions. This is the inconsistency Lemma 2.3 must survive.
+//  * StatusSplitter — crashes ordinary nodes in the middle of round 2 so
+//    that different committee members receive different mailboxes M_u and
+//    compute different ranks; a second source of Lemma 2.3 stress.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/prng.h"
+#include "crash/crash_renaming.h"
+#include "sim/adversary.h"
+
+namespace renaming::crash {
+
+class CommitteeHunter final : public sim::CrashAdversary {
+ public:
+  enum class Mode {
+    kAtAnnounce,   ///< crash members during round 1, dropping a random
+                   ///< subset of their notifications
+    kMidResponse,  ///< crash members during round 3, keeping a random
+                   ///< subset of their responses
+  };
+
+  CommitteeHunter(std::uint64_t budget, Mode mode, std::uint64_t seed,
+                  double keep_fraction = 0.5)
+      : budget_(budget), mode_(mode), keep_fraction_(keep_fraction),
+        rng_(seed ^ 0xE5E5E5E5ULL) {}
+
+  std::vector<sim::CrashOrder> decide(const sim::AdversaryView& view) override {
+    const std::uint32_t sub = (view.round - 1) % 3 + 1;
+    const std::uint32_t strike_round = mode_ == Mode::kAtAnnounce ? 1 : 3;
+    std::vector<sim::CrashOrder> orders;
+    if (sub != strike_round) return orders;
+    for (NodeIndex v = 0; v < view.n && spent_ < budget_; ++v) {
+      if (!view.is_alive(v)) continue;
+      const auto* node = dynamic_cast<const CrashNode*>(&view.node(v));
+      if (node == nullptr || !node->elected()) continue;
+      sim::CrashOrder o;
+      o.victim = v;
+      const std::size_t total = view.outbox(v).entries().size();
+      for (std::uint32_t i = 0; i < total; ++i) {
+        if (rng_.chance(keep_fraction_)) o.keep.push_back(i);
+      }
+      orders.push_back(std::move(o));
+      ++spent_;
+    }
+    return orders;
+  }
+
+  std::uint64_t budget() const override { return budget_; }
+  std::uint64_t spent() const { return spent_; }
+
+ private:
+  std::uint64_t budget_;
+  Mode mode_;
+  double keep_fraction_;
+  Xoshiro256 rng_;
+  std::uint64_t spent_ = 0;
+};
+
+/// Crashes ordinary (non-committee) nodes in the middle of their round-2
+/// status report, so committee members build divergent mailboxes M_u.
+class StatusSplitter final : public sim::CrashAdversary {
+ public:
+  StatusSplitter(std::uint64_t budget, double per_round_prob,
+                 std::uint64_t seed)
+      : budget_(budget), prob_(per_round_prob), rng_(seed ^ 0x51A7ULL) {}
+
+  std::vector<sim::CrashOrder> decide(const sim::AdversaryView& view) override {
+    std::vector<sim::CrashOrder> orders;
+    if ((view.round - 1) % 3 + 1 != 2) return orders;
+    for (NodeIndex v = 0; v < view.n && spent_ < budget_; ++v) {
+      if (!view.is_alive(v)) continue;
+      const auto* node = dynamic_cast<const CrashNode*>(&view.node(v));
+      if (node == nullptr || node->elected()) continue;  // keep committee up
+      if (!rng_.chance(prob_)) continue;
+      sim::CrashOrder o;
+      o.victim = v;
+      // Keep the first half of the status sends: the canonical "different
+      // committee members saw different things" split.
+      const std::size_t total = view.outbox(v).entries().size();
+      for (std::uint32_t i = 0; i < total / 2; ++i) o.keep.push_back(i);
+      orders.push_back(std::move(o));
+      ++spent_;
+    }
+    return orders;
+  }
+
+  std::uint64_t budget() const override { return budget_; }
+
+ private:
+  std::uint64_t budget_;
+  double prob_;
+  Xoshiro256 rng_;
+  std::uint64_t spent_ = 0;
+};
+
+}  // namespace renaming::crash

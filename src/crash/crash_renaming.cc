@@ -1,0 +1,241 @@
+#include "crash/crash_renaming.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "sim/engine.h"
+
+namespace renaming::crash {
+
+namespace {
+
+constexpr std::uint32_t kSubrounds = 3;
+
+std::uint32_t subround(Round round) { return (round - 1) % kSubrounds + 1; }
+
+}  // namespace
+
+CrashNode::CrashNode(NodeIndex self, const SystemConfig& cfg,
+                     CrashParams params)
+    : self_(self),
+      n_(cfg.n),
+      namespace_size_(cfg.namespace_size),
+      id_(cfg.ids[self]),
+      params_(params),
+      total_phases_(params.phase_multiplier * ceil_log2(cfg.n)),
+      rng_(SplitMix64(cfg.seed).next() ^ (0x6e6f646500ULL + self)),
+      interval_(1, cfg.n) {
+  // Figure 1 line 2: initial self-election with probability c*log(n)/n.
+  try_elect();
+}
+
+std::uint32_t CrashNode::status_bits() const {
+  // <ID, I.lo, I.hi, d, p>: O(log N) bits as required by the model.
+  return ceil_log2(namespace_size_) + 2 * ceil_log2(n_) + 16;
+}
+
+void CrashNode::try_elect() {
+  if (elected_) return;
+  const double logn = static_cast<double>(protocol_log(n_));
+  const int exponent = params_.adaptive_reelection ? static_cast<int>(p_) : 0;
+  const double prob = params_.election_constant * std::ldexp(1.0, exponent) *
+                      logn / static_cast<double>(n_);
+  if (rng_.chance(prob)) elected_ = true;
+}
+
+std::optional<NewId> CrashNode::new_id() const {
+  if (interval_.singleton()) return interval_.lo;
+  return std::nullopt;
+}
+
+bool CrashNode::done() const {
+  return finished_early_ || rounds_executed_ >= total_phases_ * kSubrounds;
+}
+
+void CrashNode::send(Round round, sim::Outbox& out) {
+  if (done()) return;
+  switch (subround(round)) {
+    case 1:
+      // Committee announcement on all n links (Figure 1 line 5).
+      if (elected_) {
+        out.broadcast(sim::make_message(static_cast<sim::MsgKind>(Tag::kCommittee),
+                                        ceil_log2(namespace_size_), id_));
+      }
+      break;
+    case 2:
+      // Report status to every link that announced committee membership
+      // (Figure 1 lines 6-7). Note this includes ourselves if elected.
+      for (NodeIndex link : announced_committee_) {
+        out.send(link,
+                 sim::make_message(static_cast<sim::MsgKind>(Tag::kStatus),
+                                   status_bits(), id_, interval_.lo,
+                                   interval_.hi, d_, p_));
+      }
+      break;
+    case 3:
+      if (elected_) committee_action(out);
+      break;
+    default:
+      break;
+  }
+}
+
+void CrashNode::committee_action(sim::Outbox& out) {
+  // Figure 2. The minimum depth is taken over *undecided* intervals (see
+  // header: Definition 2.1 restricts depth to nodes with |I_v| > 1).
+  std::uint32_t min_depth = std::numeric_limits<std::uint32_t>::max();
+  bool all_singleton = !mailbox_.empty();
+  for (const Status& s : mailbox_) {
+    if (!s.interval.singleton()) {
+      min_depth = std::min(min_depth, s.d);
+      all_singleton = false;
+    }
+  }
+  // Early-stopping extension: every alive node reports to an alive member,
+  // so an all-singleton mailbox proves global completion.
+  const std::uint64_t done_flag =
+      params_.early_stopping && all_singleton ? 1 : 0;
+
+  for (const Status& w : mailbox_) {
+    Interval reply_interval = w.interval;
+    std::uint32_t reply_d = w.d;
+    if (!w.interval.singleton() && w.d == min_depth) {
+      // Halve: compare w's rank among same-interval nodes against the
+      // capacity of bot(I_w), counting nodes already inside bot(I_w).
+      const Interval bot = w.interval.bot();
+      std::uint64_t rank = 0;       // 1-based rank of w.id in ID_{(v,w)}
+      std::uint64_t occupied = 0;   // |B_{(v,w)}|
+      for (const Status& u : mailbox_) {
+        if (u.interval == w.interval && u.id <= w.id) ++rank;
+        if (u.interval.subset_of(bot)) ++occupied;
+      }
+      assert(rank >= 1 && "w's own status is in the mailbox");
+      if (occupied + rank <= bot.size()) {
+        reply_interval = bot;
+      } else {
+        reply_interval = w.interval.top();
+      }
+      reply_d = w.d + 1;
+    }
+    out.send(w.link, sim::make_message(
+                         static_cast<sim::MsgKind>(Tag::kResponse),
+                         status_bits(), w.id, reply_interval.lo,
+                         reply_interval.hi, reply_d,
+                         p_ | (done_flag << 32)));
+  }
+}
+
+void CrashNode::receive(Round round, std::span<const sim::Message> inbox) {
+  ++rounds_executed_;
+  switch (subround(round)) {
+    case 1:
+      announced_committee_.clear();
+      for (const sim::Message& m : inbox) {
+        if (m.kind == static_cast<sim::MsgKind>(Tag::kCommittee)) {
+          announced_committee_.push_back(m.sender);
+        }
+      }
+      break;
+    case 2:
+      if (elected_) {
+        mailbox_.clear();
+        for (const sim::Message& m : inbox) {
+          if (m.kind != static_cast<sim::MsgKind>(Tag::kStatus)) continue;
+          mailbox_.push_back(Status{
+              m.w[0], Interval(m.w[1], m.w[2]),
+              static_cast<std::uint32_t>(m.w[3]),
+              static_cast<std::uint32_t>(m.w[4]), m.sender});
+        }
+        // Figure 1 line 10: absorb the maximum p seen.
+        for (const Status& s : mailbox_) p_ = std::max(p_, s.p);
+      }
+      break;
+    case 3:
+      node_action(inbox);
+      mailbox_.clear();
+      announced_committee_.clear();
+      break;
+    default:
+      break;
+  }
+}
+
+void CrashNode::node_action(std::span<const sim::Message> inbox) {
+  // Figure 3. Decode the committee responses addressed to us.
+  struct Response {
+    Interval interval;
+    std::uint32_t d;
+    std::uint32_t p;
+  };
+  std::vector<Response> responses;
+  for (const sim::Message& m : inbox) {
+    if (m.kind != static_cast<sim::MsgKind>(Tag::kResponse)) continue;
+    if (m.w[0] != id_) continue;  // defensive: responses are per-recipient
+    responses.push_back(Response{Interval(m.w[1], m.w[2]),
+                                 static_cast<std::uint32_t>(m.w[3]),
+                                 static_cast<std::uint32_t>(m.w[4])});
+    if (params_.early_stopping && (m.w[4] >> 32) != 0 &&
+        interval_.singleton()) {
+      finished_early_ = true;
+    }
+  }
+
+  if (responses.empty()) {
+    // Whole committee crashed before responding (proof of Lemma 2.4):
+    // double the election probability and maybe join the committee.
+    ++p_;
+    try_elect();
+    return;
+  }
+
+  // Sort by d descending, then left endpoint ascending; adopt the first.
+  std::sort(responses.begin(), responses.end(),
+            [](const Response& a, const Response& b) {
+              if (a.d != b.d) return a.d > b.d;
+              return a.interval.lo < b.interval.lo;
+            });
+  if (!interval_.singleton()) {
+    d_ = responses.front().d;
+    interval_ = responses.front().interval;
+  }
+  std::uint32_t max_p = 0;
+  for (const Response& r : responses) max_p = std::max(max_p, r.p);
+  if (max_p > p_) {
+    p_ = max_p;
+    try_elect();
+  }
+}
+
+CrashRunResult run_crash_renaming(
+    const SystemConfig& cfg, const CrashParams& params,
+    std::unique_ptr<sim::CrashAdversary> adversary, sim::TraceSink* trace) {
+  std::vector<std::unique_ptr<sim::Node>> nodes;
+  nodes.reserve(cfg.n);
+  for (NodeIndex v = 0; v < cfg.n; ++v) {
+    nodes.push_back(std::make_unique<CrashNode>(v, cfg, params));
+  }
+  sim::Engine engine(std::move(nodes), std::move(adversary));
+  engine.set_trace(trace);
+
+  const Round max_rounds =
+      params.phase_multiplier * ceil_log2(cfg.n) * kSubrounds;
+  CrashRunResult result;
+  result.stats = engine.run(max_rounds);
+
+  result.outcomes.reserve(cfg.n);
+  for (NodeIndex v = 0; v < cfg.n; ++v) {
+    const auto& node = dynamic_cast<const CrashNode&>(engine.node(v));
+    NodeOutcome o;
+    o.original_id = node.original_id();
+    o.new_id = node.new_id();
+    o.correct = engine.alive(v);
+    if (o.correct) result.max_p = std::max(result.max_p, node.p());
+    result.outcomes.push_back(o);
+  }
+  result.report = verify_renaming(result.outcomes, cfg.n);
+  return result;
+}
+
+}  // namespace renaming::crash

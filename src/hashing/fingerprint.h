@@ -1,0 +1,99 @@
+// Segment fingerprints for the Byzantine-resilient algorithm (Fact 3.2).
+//
+// The committee must compare segments L_v[l..r] of length-N bit vectors
+// while exchanging only O(log N) bits. Two interchangeable fingerprints are
+// provided; both are derived from the shared randomness beacon, so all
+// correct committee members evaluate the *same* random hash function:
+//
+//  * SetFingerprint — H(L[l..r]) = sum over set positions i in [l,r] of
+//    c_i mod (2^61-1), with per-position coefficients c_i drawn lazily from
+//    the beacon. Position-sensitive within the fixed namespace, computable
+//    in O(ones) (or O(log) with a prefix structure), and homomorphic under
+//    single-bit flips, which makes incremental maintenance trivial. Two
+//    different segments (as subsets of [N]) collide with probability 1/p.
+//
+//  * RabinFingerprint — the classical polynomial fingerprint of the
+//    explicit bit string, sum b_j x^j mod p at a shared random point x.
+//    Content-based (two equal bit strings at different offsets hash equal),
+//    used as an independent cross-check in tests.
+//
+// The paper only requires: identical segments hash identically (trivially
+// true), and distinct segments hash distinctly w.h.p. (Property 3.7,
+// item 2). Tests exercise both over adversarially similar inputs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bitvec.h"
+#include "hashing/mersenne61.h"
+#include "hashing/shared_random.h"
+
+namespace renaming::hashing {
+
+class SetFingerprint {
+ public:
+  explicit SetFingerprint(const SharedRandomness& beacon) : beacon_(&beacon) {}
+
+  /// Coefficient for namespace position `i` (1-based original identity).
+  std::uint64_t coefficient(std::uint64_t i) const {
+    // Draw until below p: rejection keeps coefficients uniform in [0, p).
+    std::uint64_t salt = 0;
+    for (;;) {
+      const std::uint64_t c = beacon_->value(
+                                  SharedRandomness::Domain::kHashCoefficients,
+                                  i + (salt << 48)) &
+                              kMersenne61;
+      if (c != kMersenne61) return c;  // c == p would be out of field range
+      ++salt;
+    }
+  }
+
+  /// Fingerprint of the set positions of `bits` restricted to [lo, hi]
+  /// (inclusive, 0-based positions). O(hi-lo) scan; protocol code uses the
+  /// incremental prefix structure in byzantine/identity_list.h instead.
+  std::uint64_t of_range(const BitVec& bits, std::uint64_t lo,
+                         std::uint64_t hi) const {
+    std::uint64_t h = 0;
+    for (std::uint64_t i = lo; i <= hi; ++i) {
+      if (bits.test(i)) h = m61_add(h, coefficient(i + 1));
+    }
+    return h;
+  }
+
+  /// Fingerprint of an explicit sorted list of set positions (1-based ids).
+  std::uint64_t of_ids(std::span<const std::uint64_t> ids) const {
+    std::uint64_t h = 0;
+    for (std::uint64_t id : ids) h = m61_add(h, coefficient(id));
+    return h;
+  }
+
+ private:
+  const SharedRandomness* beacon_;
+};
+
+class RabinFingerprint {
+ public:
+  explicit RabinFingerprint(const SharedRandomness& beacon)
+      : x_(1 + beacon.value(SharedRandomness::Domain::kHashCoefficients, 0) %
+                   (kMersenne61 - 1)) {}
+
+  /// Fingerprint of the bit string bits[lo..hi]: sum bits[lo+j] * x^j mod p.
+  std::uint64_t of_range(const BitVec& bits, std::uint64_t lo,
+                         std::uint64_t hi) const {
+    std::uint64_t h = 0;
+    std::uint64_t xj = 1;
+    for (std::uint64_t i = lo; i <= hi; ++i) {
+      if (bits.test(i)) h = m61_add(h, xj);
+      xj = m61_mul(xj, x_);
+    }
+    return h;
+  }
+
+  std::uint64_t point() const { return x_; }
+
+ private:
+  std::uint64_t x_;
+};
+
+}  // namespace renaming::hashing

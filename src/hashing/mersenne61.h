@@ -1,0 +1,50 @@
+// Arithmetic modulo the Mersenne prime p = 2^61 - 1.
+//
+// Fact 3.2 needs hash outputs of O(log N) bits with collision probability
+// polynomially small in the input-set size; fingerprints over a 61-bit
+// prime field give collision probability <= k/p per comparison (k = degree
+// or set size), far below every union bound the analysis takes. Mersenne
+// reduction keeps the hot path branch-light.
+#pragma once
+
+#include <cstdint>
+
+namespace renaming::hashing {
+
+inline constexpr std::uint64_t kMersenne61 = (1ULL << 61) - 1;
+
+/// Reduce a value < 2^122 modulo 2^61 - 1.
+inline std::uint64_t m61_reduce(unsigned __int128 x) {
+  std::uint64_t lo = static_cast<std::uint64_t>(x & kMersenne61);
+  std::uint64_t hi = static_cast<std::uint64_t>(x >> 61);
+  std::uint64_t s = lo + hi;
+  if (s >= kMersenne61) s -= kMersenne61;
+  return s;
+}
+
+inline std::uint64_t m61_add(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a + b;  // a, b < 2^61, no overflow in 64 bits
+  if (s >= kMersenne61) s -= kMersenne61;
+  return s;
+}
+
+inline std::uint64_t m61_sub(std::uint64_t a, std::uint64_t b) {
+  return a >= b ? a - b : a + kMersenne61 - b;
+}
+
+inline std::uint64_t m61_mul(std::uint64_t a, std::uint64_t b) {
+  return m61_reduce(static_cast<unsigned __int128>(a) * b);
+}
+
+inline std::uint64_t m61_pow(std::uint64_t base, std::uint64_t exp) {
+  std::uint64_t result = 1;
+  base %= kMersenne61;
+  while (exp > 0) {
+    if (exp & 1) result = m61_mul(result, base);
+    base = m61_mul(base, base);
+    exp >>= 1;
+  }
+  return result;
+}
+
+}  // namespace renaming::hashing

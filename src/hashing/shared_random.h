@@ -1,0 +1,58 @@
+// Shared randomness beacon.
+//
+// Assumption of Theorem 1.3: "nodes can access shared random bits". We
+// model this as a stateless beacon: every correct node constructs a
+// SharedRandomness from the same public seed and can query the value
+// associated with any (domain, index) pair without coordination. The
+// static Byzantine adversary sees the beacon too (it is *shared*, not
+// secret), which is the worst case the paper's analysis assumes.
+//
+// Statelessness matters: the Byzantine algorithm derives (a) the committee
+// candidate pool over the whole namespace [N] and (b) per-position hash
+// coefficients for arbitrary segments, lazily; materialising N values up
+// front would cost Theta(N) memory at every node.
+#pragma once
+
+#include <cstdint>
+
+namespace renaming::hashing {
+
+class SharedRandomness {
+ public:
+  /// Domains keep independent uses of the beacon from colliding.
+  enum class Domain : std::uint64_t {
+    kCommitteeElection = 1,
+    kHashCoefficients = 2,
+    kConsensusCoins = 3,
+    kUser = 100,
+  };
+
+  explicit SharedRandomness(std::uint64_t public_seed) : seed_(public_seed) {}
+
+  /// The beacon value for (domain, index): a full 64-bit word, identical at
+  /// every node that holds the same seed.
+  std::uint64_t value(Domain domain, std::uint64_t index) const {
+    return mix(mix(seed_ ^ static_cast<std::uint64_t>(domain)) + index);
+  }
+
+  /// Bernoulli(p) coin for (domain, index), identical at every node.
+  bool coin(Domain domain, std::uint64_t index, double p) const {
+    const double u =
+        static_cast<double>(value(domain, index) >> 11) * 0x1.0p-53;
+    return u < p;
+  }
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  static std::uint64_t mix(std::uint64_t z) {
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t seed_;
+};
+
+}  // namespace renaming::hashing

@@ -1,0 +1,62 @@
+#include "lowerbound/anonymous.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/prng.h"
+
+namespace renaming::lowerbound {
+
+AnonymousResult run_anonymous_experiment(NodeIndex n,
+                                         std::uint64_t message_budget,
+                                         std::uint64_t trials,
+                                         std::uint64_t seed) {
+  AnonymousResult result;
+  result.trials = trials;
+  Xoshiro256 rng(seed ^ 0xA11011ULL);
+
+  const std::uint64_t coordinated = std::min<std::uint64_t>(message_budget, n);
+  const std::uint64_t silent = n - coordinated;
+  // Coordinated nodes take names [1, coordinated]; silent nodes draw
+  // uniformly from the remaining `free` names — the collision-optimal
+  // fixed distribution.
+  const std::uint64_t free_names = n - coordinated;
+
+  std::vector<std::uint32_t> taken(free_names, 0);
+  std::uint64_t total_collisions = 0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    std::fill(taken.begin(), taken.end(), 0);
+    std::uint64_t colliding_pairs = 0;
+    for (std::uint64_t k = 0; k < silent; ++k) {
+      const std::uint64_t pick = rng.below(free_names);
+      colliding_pairs += taken[pick];
+      ++taken[pick];
+    }
+    total_collisions += colliding_pairs;
+    result.successes += (colliding_pairs == 0);
+  }
+  result.success_rate =
+      trials == 0 ? 0.0
+                  : static_cast<double>(result.successes) /
+                        static_cast<double>(trials);
+  result.expected_collisions =
+      trials == 0 ? 0.0
+                  : static_cast<double>(total_collisions) /
+                        static_cast<double>(trials);
+  return result;
+}
+
+double analytic_success(NodeIndex n, std::uint64_t message_budget) {
+  const std::uint64_t coordinated = std::min<std::uint64_t>(message_budget, n);
+  const std::uint64_t silent = n - coordinated;
+  const std::uint64_t free_names = n - coordinated;
+  if (silent <= 1) return 1.0;
+  double p = 1.0;
+  for (std::uint64_t i = 1; i < silent; ++i) {
+    p *= 1.0 - static_cast<double>(i) / static_cast<double>(free_names);
+    if (p <= 0.0) return 0.0;
+  }
+  return p;
+}
+
+}  // namespace renaming::lowerbound

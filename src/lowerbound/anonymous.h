@@ -1,0 +1,45 @@
+// Empirical counterpart of the Omega(n) message lower bound (Theorem 1.4).
+//
+// The proof defines *anonymous renaming*: nodes have no identities at all
+// and must still pick distinct names in [n]. If a strong-renaming algorithm
+// for a namespace of size N >= 5n^2 sends few messages, then (after fixing
+// the shared randomness) many nodes send and receive nothing, and such
+// silent nodes must pick their name from a fixed distribution — two of
+// them collide with constant probability, so success >= 3/4 forces
+// Omega(n) messages in expectation.
+//
+// This module simulates exactly that mechanism: a message budget m lets
+// `m` nodes coordinate perfectly (they receive distinct reserved names —
+// the most generous possible use of the budget); every unbudgeted node
+// draws independently from the best fixed distribution (uniform over the
+// remaining names). The measured success probability vs m/n reproduces the
+// cliff: success >= 3/4 requires m >= c * n.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace renaming::lowerbound {
+
+struct AnonymousResult {
+  std::uint64_t trials = 0;
+  std::uint64_t successes = 0;
+  double success_rate = 0.0;
+  double expected_collisions = 0.0;  ///< mean colliding pairs per trial
+};
+
+/// Runs `trials` independent anonymous-renaming executions with `n` nodes
+/// of which `message_budget` get coordinated; returns the success stats.
+AnonymousResult run_anonymous_experiment(NodeIndex n,
+                                         std::uint64_t message_budget,
+                                         std::uint64_t trials,
+                                         std::uint64_t seed);
+
+/// Analytic success probability for the same process (used by tests to
+/// validate the simulation): k = n - budget uncoordinated nodes drawing
+/// uniformly from s >= k free slots collide-free with probability
+/// prod_{i<k} (1 - i/s).
+double analytic_success(NodeIndex n, std::uint64_t message_budget);
+
+}  // namespace renaming::lowerbound

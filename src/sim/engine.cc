@@ -1,0 +1,107 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace renaming::sim {
+
+Engine::Engine(std::vector<std::unique_ptr<Node>> nodes,
+               std::unique_ptr<CrashAdversary> adversary)
+    : nodes_(std::move(nodes)),
+      adversary_(adversary ? std::move(adversary)
+                           : std::make_unique<NoCrashAdversary>()),
+      alive_(nodes_.size(), true),
+      byzantine_(nodes_.size(), false) {
+  assert(!nodes_.empty());
+}
+
+void Engine::mark_byzantine(NodeIndex v) {
+  assert(v < nodes_.size());
+  byzantine_[v] = true;
+  ++stats_.byzantine;
+}
+
+RunStats Engine::run(Round max_rounds) {
+  const NodeIndex n = size();
+
+  auto all_correct_done = [&] {
+    for (NodeIndex v = 0; v < n; ++v) {
+      if (alive_[v] && !byzantine_[v] && !nodes_[v]->done()) return false;
+    }
+    return true;
+  };
+
+  std::vector<std::vector<Message>> inbox(n);
+
+  for (Round round = 1; round <= max_rounds; ++round) {
+    if (all_correct_done()) break;
+    stats_.rounds = round;
+    stats_.per_round.push_back({});
+    if (trace_ != nullptr) trace_->on_round_begin(round);
+
+    // --- Send phase: every alive node queues its messages. -------------
+    std::vector<Outbox> outboxes;
+    outboxes.reserve(n);
+    for (NodeIndex v = 0; v < n; ++v) {
+      outboxes.emplace_back(v, n);
+      if (alive_[v]) nodes_[v]->send(round, outboxes.back());
+    }
+
+    // --- Adversary phase: Eve may crash nodes, possibly mid-send. ------
+    AdversaryView view{round, n, &alive_, &outboxes, &nodes_};
+    for (CrashOrder& order : adversary_->decide(view)) {
+      const NodeIndex v = order.victim;
+      assert(v < n);
+      if (!alive_[v]) continue;
+      assert(!byzantine_[v] && "Byzantine nodes do not crash in this model");
+      alive_[v] = false;
+      ++stats_.crashes;
+      ++stats_.per_round.back().crashes;
+      // Retain only the messages the adversary lets escape.
+      auto& entries = outboxes[v].entries();
+      if (trace_ != nullptr) {
+        trace_->on_crash(round, v, order.keep.size(), entries.size());
+      }
+      std::vector<std::pair<NodeIndex, Message>> kept;
+      kept.reserve(order.keep.size());
+      std::sort(order.keep.begin(), order.keep.end());
+      for (std::uint32_t idx : order.keep) {
+        assert(idx < entries.size());
+        kept.push_back(std::move(entries[idx]));
+      }
+      entries = std::move(kept);
+    }
+
+    // --- Delivery phase: authenticate, account, deliver. ---------------
+    for (NodeIndex v = 0; v < n; ++v) {
+      for (auto& [dest, msg] : outboxes[v].entries()) {
+        assert(msg.sender == v && "engine stamps the true origin");
+        // The message left the sender: it counts toward complexity even if
+        // the destination has crashed (the sender still paid for it).
+        stats_.note_message(msg.bits);
+        const bool delivered = !msg.spoofed() && alive_[dest];
+        if (trace_ != nullptr) trace_->on_message(round, msg, dest, delivered);
+        if (msg.spoofed()) {
+          // Authentication (PKI assumption of Theorem 1.3): forged origins
+          // are detected by the receiver and discarded.
+          ++stats_.spoofs_rejected;
+          continue;
+        }
+        if (alive_[dest]) inbox[dest].push_back(std::move(msg));
+      }
+    }
+
+    // --- Receive phase. -------------------------------------------------
+    for (NodeIndex v = 0; v < n; ++v) {
+      if (alive_[v]) {
+        nodes_[v]->receive(round, inbox[v]);
+      }
+      inbox[v].clear();
+    }
+    if (trace_ != nullptr) trace_->on_round_end(round, stats_.per_round.back());
+  }
+
+  return stats_;
+}
+
+}  // namespace renaming::sim

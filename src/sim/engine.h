@@ -1,0 +1,59 @@
+// The synchronous message-passing engine.
+//
+// Executes the model of Section 1: n nodes on a complete network proceed in
+// synchronous rounds; each round every alive node queues messages on its n
+// links, the adaptive crash adversary may fell nodes (possibly mid-send),
+// and surviving messages are delivered within the same round. The engine
+// also enforces message authentication: a message whose claimed origin
+// differs from its true origin never reaches its destination (the attempt
+// is counted in the run statistics).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/adversary.h"
+#include "sim/node.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+
+namespace renaming::sim {
+
+class Engine {
+ public:
+  /// Takes ownership of the nodes (index i is node i) and, optionally, a
+  /// crash adversary (defaults to no failures).
+  Engine(std::vector<std::unique_ptr<Node>> nodes,
+         std::unique_ptr<CrashAdversary> adversary = nullptr);
+
+  /// Attaches a non-owning trace sink receiving structured events during
+  /// run(); pass nullptr to detach.
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+
+  /// Marks node `v` as Byzantine for accounting purposes (its Node
+  /// implementation is expected to be an adversarial strategy). Byzantine
+  /// nodes never "crash"; they run for the whole execution.
+  void mark_byzantine(NodeIndex v);
+
+  /// Runs until every correct (non-Byzantine, alive) node reports done() or
+  /// `max_rounds` elapses. Returns the accumulated statistics.
+  RunStats run(Round max_rounds);
+
+  NodeIndex size() const { return static_cast<NodeIndex>(nodes_.size()); }
+  bool alive(NodeIndex v) const { return alive_[v]; }
+  bool byzantine(NodeIndex v) const { return byzantine_[v]; }
+  Node& node(NodeIndex v) { return *nodes_[v]; }
+  const Node& node(NodeIndex v) const { return *nodes_[v]; }
+  const RunStats& stats() const { return stats_; }
+
+ private:
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<CrashAdversary> adversary_;
+  std::vector<bool> alive_;
+  std::vector<bool> byzantine_;
+  RunStats stats_;
+  TraceSink* trace_ = nullptr;
+};
+
+}  // namespace renaming::sim

@@ -1,0 +1,77 @@
+// Protocol-node interface and per-round outbox.
+//
+// A protocol implements Node once; the same implementation runs unchanged
+// whether the adversary crashes nobody, everybody, or replaces a third of
+// the system with Byzantine strategies. The engine drives two phases per
+// synchronous round, matching the standard model (e.g. Lynch, Ch. 2):
+//
+//   1. send(round, outbox)    — queue messages over the node's n links
+//   2. receive(round, inbox)  — process everything delivered this round
+//
+// Nodes never see simulator internals; everything they learn arrives
+// through the inbox.
+#pragma once
+
+#include <cassert>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/message.h"
+
+namespace renaming::sim {
+
+/// Messages queued by one node during one round's send phase.
+class Outbox {
+ public:
+  explicit Outbox(NodeIndex self, NodeIndex n) : self_(self), n_(n) {}
+
+  /// Send `m` over the link to `dest`. Honest senders leave claimed_sender
+  /// untouched; the engine stamps both fields.
+  void send(NodeIndex dest, Message m) {
+    assert(dest < n_);
+    assert(m.bits > 0 && "every message must declare a wire size");
+    if (m.claimed_sender == kNoNode) m.claimed_sender = self_;
+    m.sender = self_;
+    queued_.emplace_back(dest, std::move(m));
+  }
+
+  /// Broadcast to all n nodes (including self; the paper's algorithms
+  /// explicitly use all n links, e.g. committee announcements).
+  void broadcast(const Message& m) {
+    for (NodeIndex d = 0; d < n_; ++d) send(d, m);
+  }
+
+  std::size_t size() const { return queued_.size(); }
+  NodeIndex self() const { return self_; }
+
+  /// Engine access: the queued (dest, message) pairs, in send order.
+  std::vector<std::pair<NodeIndex, Message>>& entries() { return queued_; }
+  const std::vector<std::pair<NodeIndex, Message>>& entries() const {
+    return queued_;
+  }
+
+ private:
+  NodeIndex self_;
+  NodeIndex n_;
+  std::vector<std::pair<NodeIndex, Message>> queued_;
+};
+
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// First phase of each round: queue outgoing messages.
+  virtual void send(Round round, Outbox& out) = 0;
+
+  /// Second phase: consume the messages delivered this round.
+  virtual void receive(Round round, std::span<const Message> inbox) = 0;
+
+  /// True once the node has completed the protocol (used by the engine to
+  /// stop early; fixed-round protocols may simply return false until their
+  /// final round).
+  virtual bool done() const = 0;
+};
+
+}  // namespace renaming::sim

@@ -1,0 +1,39 @@
+// Execution statistics: the quantities the paper's theorems bound.
+//
+// Message complexity counts messages that actually left a sender (a node
+// crashed mid-send is charged only for the messages the adversary let out,
+// matching "we allow a node to crash ... even in the middle of sending a
+// message"). Bit complexity sums the declared wire sizes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace renaming::sim {
+
+struct RoundStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t crashes = 0;  ///< Nodes crashed during this round.
+};
+
+struct RunStats {
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bits = 0;
+  std::uint32_t rounds = 0;
+  std::uint64_t crashes = 0;          ///< f: actual number of crash failures.
+  std::uint64_t byzantine = 0;        ///< f: actual number of Byzantine nodes.
+  std::uint64_t spoofs_rejected = 0;  ///< Forged-origin messages dropped.
+  std::uint32_t max_message_bits = 0;
+  std::vector<RoundStats> per_round;
+
+  void note_message(std::uint32_t bits) {
+    ++total_messages;
+    total_bits += bits;
+    if (bits > max_message_bits) max_message_bits = bits;
+    ++per_round.back().messages;
+    per_round.back().bits += bits;
+  }
+};
+
+}  // namespace renaming::sim

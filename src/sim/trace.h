@@ -1,0 +1,109 @@
+// Execution tracing: a sink interface the engine reports structured events
+// to, plus two stock sinks — a per-message-kind counter and a JSON-lines
+// writer. Used by the adversary_lab example, the CLI, and tests that audit
+// the engine's accounting against an independent observer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+
+#include "common/types.h"
+#include "sim/message.h"
+#include "sim/stats.h"
+
+namespace renaming::sim {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  virtual void on_round_begin(Round /*round*/) {}
+  /// A message left its sender. `delivered` is false when the destination
+  /// has crashed or authentication rejected a forged origin.
+  virtual void on_message(Round /*round*/, const Message& /*m*/,
+                          NodeIndex /*dest*/, bool /*delivered*/) {}
+  /// A node crashed; `kept` of its `queued` outbox entries escaped.
+  virtual void on_crash(Round /*round*/, NodeIndex /*victim*/,
+                        std::size_t /*kept*/, std::size_t /*queued*/) {}
+  virtual void on_round_end(Round /*round*/, const RoundStats& /*stats*/) {}
+};
+
+/// Aggregates message counts per protocol tag — the cheap way to see where
+/// a protocol's message budget goes.
+class CountingTrace final : public TraceSink {
+ public:
+  void on_message(Round, const Message& m, NodeIndex, bool delivered) override {
+    ++sent_[m.kind];
+    bits_[m.kind] += m.bits;
+    if (!delivered) ++undelivered_[m.kind];
+    ++total_;
+  }
+
+  void on_crash(Round, NodeIndex, std::size_t, std::size_t) override {
+    ++crashes_;
+  }
+
+  std::uint64_t sent(MsgKind kind) const { return value_or_zero(sent_, kind); }
+  std::uint64_t bits(MsgKind kind) const { return value_or_zero(bits_, kind); }
+  std::uint64_t undelivered(MsgKind kind) const {
+    return value_or_zero(undelivered_, kind);
+  }
+  std::uint64_t total() const { return total_; }
+  std::uint64_t crashes() const { return crashes_; }
+  const std::map<MsgKind, std::uint64_t>& by_kind() const { return sent_; }
+
+ private:
+  static std::uint64_t value_or_zero(const std::map<MsgKind, std::uint64_t>& m,
+                                     MsgKind k) {
+    const auto it = m.find(k);
+    return it == m.end() ? 0 : it->second;
+  }
+
+  std::map<MsgKind, std::uint64_t> sent_;
+  std::map<MsgKind, std::uint64_t> bits_;
+  std::map<MsgKind, std::uint64_t> undelivered_;
+  std::uint64_t total_ = 0;
+  std::uint64_t crashes_ = 0;
+};
+
+/// Emits one JSON object per event; `message` events can be sampled down
+/// with `message_sample` (1 = every message) to keep traces readable.
+class JsonlTrace final : public TraceSink {
+ public:
+  explicit JsonlTrace(std::ostream& out, std::uint64_t message_sample = 1)
+      : out_(&out), sample_(message_sample == 0 ? 1 : message_sample) {}
+
+  void on_round_begin(Round round) override {
+    *out_ << "{\"event\":\"round\",\"round\":" << round << "}\n";
+  }
+
+  void on_message(Round round, const Message& m, NodeIndex dest,
+                  bool delivered) override {
+    if (++seen_ % sample_ != 0) return;
+    *out_ << "{\"event\":\"message\",\"round\":" << round
+          << ",\"from\":" << m.sender << ",\"to\":" << dest
+          << ",\"kind\":" << m.kind << ",\"bits\":" << m.bits
+          << ",\"delivered\":" << (delivered ? "true" : "false") << "}\n";
+  }
+
+  void on_crash(Round round, NodeIndex victim, std::size_t kept,
+                std::size_t queued) override {
+    *out_ << "{\"event\":\"crash\",\"round\":" << round
+          << ",\"node\":" << victim << ",\"kept\":" << kept
+          << ",\"queued\":" << queued << "}\n";
+  }
+
+  void on_round_end(Round round, const RoundStats& stats) override {
+    *out_ << "{\"event\":\"round_end\",\"round\":" << round
+          << ",\"messages\":" << stats.messages << ",\"bits\":" << stats.bits
+          << ",\"crashes\":" << stats.crashes << "}\n";
+  }
+
+ private:
+  std::ostream* out_;
+  std::uint64_t sample_;
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace renaming::sim

@@ -1,0 +1,216 @@
+// White-box unit tests for ByzNode stages: election + view construction
+// (with authentication rejections), identity aggregation, the NEW-message
+// decision threshold, and the kFullExchange ablation path — all driven
+// with hand-crafted inboxes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "byzantine/byz_renaming.h"
+
+namespace renaming::byzantine {
+namespace {
+
+SystemConfig fixed_config(NodeIndex n = 6) {
+  SystemConfig cfg;
+  cfg.n = n;
+  cfg.namespace_size = 1000;
+  for (NodeIndex v = 0; v < n; ++v) cfg.ids.push_back(50 * (v + 1));
+  cfg.seed = 3;
+  return cfg;
+}
+
+ByzParams everyone_in_pool() {
+  ByzParams p;
+  p.pool_constant = 1e9;  // p0 clamps to 1: every identity is a candidate
+  p.shared_seed = 11;
+  return p;
+}
+
+sim::Message tagged(Tag tag, NodeIndex sender, std::uint64_t w0) {
+  auto m = sim::make_message(static_cast<sim::MsgKind>(tag), 32, w0);
+  m.sender = sender;
+  m.claimed_sender = sender;
+  return m;
+}
+
+TEST(ByzNodeUnit, ElectionBroadcastsWhenInPool) {
+  const auto cfg = fixed_config();
+  const Directory dir(cfg);
+  ByzNode node(0, cfg, dir, everyone_in_pool());
+  sim::Outbox out(0, cfg.n);
+  node.send(1, out);
+  EXPECT_TRUE(node.elected());
+  ASSERT_EQ(out.size(), cfg.n);
+  for (const auto& [dest, msg] : out.entries()) {
+    EXPECT_EQ(msg.kind, static_cast<sim::MsgKind>(Tag::kElect));
+    EXPECT_EQ(msg.w[0], 50u);
+  }
+}
+
+TEST(ByzNodeUnit, NoElectionWhenPoolEmpty) {
+  const auto cfg = fixed_config();
+  const Directory dir(cfg);
+  ByzParams params;
+  params.pool_constant = 1e-12;  // p0 ~ 0
+  params.shared_seed = 11;
+  ByzNode node(0, cfg, dir, params);
+  sim::Outbox out(0, cfg.n);
+  node.send(1, out);
+  EXPECT_FALSE(node.elected());
+  EXPECT_EQ(out.size(), 0u);
+}
+
+TEST(ByzNodeUnit, ViewRejectsForgedIdentityClaims) {
+  const auto cfg = fixed_config();
+  const Directory dir(cfg);
+  ByzNode node(0, cfg, dir, everyone_in_pool());
+  sim::Outbox out(0, cfg.n);
+  node.send(1, out);
+  std::vector<sim::Message> inbox = {
+      tagged(Tag::kElect, 0, 50),    // self, valid
+      tagged(Tag::kElect, 1, 100),   // valid
+      tagged(Tag::kElect, 2, 999),   // node 2 claims an id it does not own
+      tagged(Tag::kElect, 3, 100),   // node 3 claims node 1's identity
+  };
+  node.receive(1, inbox);
+  EXPECT_EQ(node.view().size(), 2u);
+  EXPECT_TRUE(node.view().contains_link(0));
+  EXPECT_TRUE(node.view().contains_link(1));
+  EXPECT_FALSE(node.view().contains_link(2));
+  EXPECT_FALSE(node.view().contains_link(3));
+}
+
+TEST(ByzNodeUnit, ViewIsOrderedByOriginalId) {
+  const auto cfg = fixed_config();
+  const Directory dir(cfg);
+  ByzNode node(0, cfg, dir, everyone_in_pool());
+  sim::Outbox out(0, cfg.n);
+  node.send(1, out);
+  std::vector<sim::Message> inbox = {
+      tagged(Tag::kElect, 3, 200),
+      tagged(Tag::kElect, 1, 100),
+      tagged(Tag::kElect, 5, 300),
+  };
+  node.receive(1, inbox);
+  ASSERT_EQ(node.view().size(), 3u);
+  EXPECT_EQ(node.view().member(0).id, 100u);
+  EXPECT_EQ(node.view().member(1).id, 200u);
+  EXPECT_EQ(node.view().member(2).id, 300u);
+}
+
+TEST(ByzNodeUnit, IdReportGoesToWholeView) {
+  const auto cfg = fixed_config();
+  const Directory dir(cfg);
+  ByzNode node(2, cfg, dir, everyone_in_pool());
+  sim::Outbox skip(2, cfg.n);
+  node.send(1, skip);
+  node.receive(1, std::vector<sim::Message>{tagged(Tag::kElect, 0, 50),
+                                            tagged(Tag::kElect, 4, 250)});
+  sim::Outbox out(2, cfg.n);
+  node.send(2, out);
+  ASSERT_EQ(out.size(), 2u);
+  for (const auto& [dest, msg] : out.entries()) {
+    EXPECT_EQ(msg.kind, static_cast<sim::MsgKind>(Tag::kIdReport));
+    EXPECT_EQ(msg.w[0], 150u);  // node 2's identity
+    EXPECT_TRUE(dest == 0 || dest == 4);
+  }
+}
+
+class ByzNodeDecisionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cfg_ = fixed_config();
+    dir_ = std::make_unique<Directory>(cfg_);
+    node_ = std::make_unique<ByzNode>(0, cfg_, *dir_, everyone_in_pool());
+    sim::Outbox out(0, cfg_.n);
+    node_->send(1, out);
+    // View: members at links 1..5 plus self => 6 members; majority = 4.
+    std::vector<sim::Message> elects;
+    for (NodeIndex v = 0; v < cfg_.n; ++v) {
+      elects.push_back(tagged(Tag::kElect, v, cfg_.ids[v]));
+    }
+    node_->receive(1, elects);
+    ASSERT_EQ(node_->view().size(), 6u);
+  }
+
+  SystemConfig cfg_;
+  std::unique_ptr<Directory> dir_;
+  std::unique_ptr<ByzNode> node_;
+};
+
+TEST_F(ByzNodeDecisionTest, MinorityNewMessagesDoNotDecide) {
+  // 3 of 6 view members (not > half) push a fake name early.
+  std::vector<sim::Message> fakes = {tagged(Tag::kNew, 1, 5),
+                                     tagged(Tag::kNew, 2, 5),
+                                     tagged(Tag::kNew, 3, 5)};
+  node_->receive(2, fakes);
+  EXPECT_FALSE(node_->new_id().has_value());
+}
+
+TEST_F(ByzNodeDecisionTest, MajorityNewMessagesDecideOnPlurality) {
+  std::vector<sim::Message> votes = {
+      tagged(Tag::kNew, 1, 4), tagged(Tag::kNew, 2, 4),
+      tagged(Tag::kNew, 3, 4), tagged(Tag::kNew, 4, 9),
+      tagged(Tag::kNew, 5, 0),  // null vote: counted for quorum, not value
+  };
+  node_->receive(2, votes);
+  ASSERT_TRUE(node_->new_id().has_value());
+  EXPECT_EQ(*node_->new_id(), 4u);
+}
+
+TEST_F(ByzNodeDecisionTest, NonViewSendersAreIgnored) {
+  // Link 1..3 are in view, but a burst from one sender repeated and one
+  // non-member must not inflate the quorum.
+  std::vector<sim::Message> votes = {
+      tagged(Tag::kNew, 1, 4), tagged(Tag::kNew, 1, 4),
+      tagged(Tag::kNew, 1, 4), tagged(Tag::kNew, 2, 4),
+  };
+  node_->receive(2, votes);
+  EXPECT_FALSE(node_->new_id().has_value());  // only 2 distinct members
+}
+
+TEST_F(ByzNodeDecisionTest, OutOfRangeValuesNeverWin) {
+  std::vector<sim::Message> votes = {
+      tagged(Tag::kNew, 1, 777), tagged(Tag::kNew, 2, 777),
+      tagged(Tag::kNew, 3, 777), tagged(Tag::kNew, 4, 777),
+      tagged(Tag::kNew, 5, 2),
+  };
+  node_->receive(2, votes);
+  // 777 > n is malformed; the only admissible value is 2.
+  ASSERT_TRUE(node_->new_id().has_value());
+  EXPECT_EQ(*node_->new_id(), 2u);
+}
+
+TEST(ByzNodeUnit, FullExchangeAblationMergesByWitnessCount) {
+  const auto cfg = fixed_config();
+  const Directory dir(cfg);
+  ByzParams params = everyone_in_pool();
+  params.use_fingerprints = false;
+  ByzNode node(0, cfg, dir, params);
+  sim::Outbox out(0, cfg.n);
+  node.send(1, out);
+  std::vector<sim::Message> elects;
+  for (NodeIndex v = 0; v < 4; ++v) {
+    elects.push_back(tagged(Tag::kElect, v, cfg.ids[v]));
+  }
+  node.receive(1, elects);  // view of 4 members, t = 1
+  // Round 2: id reports.
+  std::vector<sim::Message> reports;
+  for (NodeIndex v = 0; v < cfg.n; ++v) {
+    reports.push_back(tagged(Tag::kIdReport, v, cfg.ids[v]));
+  }
+  node.receive(2, reports);
+  // Round 3 send: must broadcast the identity vector blob to the view.
+  sim::Outbox vec_out(0, cfg.n);
+  node.send(3, vec_out);
+  ASSERT_EQ(vec_out.size(), 4u);
+  for (const auto& [dest, msg] : vec_out.entries()) {
+    EXPECT_EQ(msg.kind, static_cast<sim::MsgKind>(Tag::kVector));
+    ASSERT_TRUE(msg.blob);
+    EXPECT_EQ(msg.blob->size(), cfg.n);
+  }
+}
+
+}  // namespace
+}  // namespace renaming::byzantine

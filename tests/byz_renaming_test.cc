@@ -1,0 +1,250 @@
+// Integration + property tests for the Byzantine-resilient renaming
+// algorithm (Theorem 1.3 and the lemmas of Section 3.3).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "byzantine/byz_renaming.h"
+#include "byzantine/strategies.h"
+#include "common/math.h"
+
+namespace renaming::byzantine {
+namespace {
+
+ByzParams test_params(double pool_constant = 4.0, std::uint64_t seed = 99) {
+  ByzParams p;
+  p.pool_constant = pool_constant;
+  p.shared_seed = seed;
+  return p;
+}
+
+std::unique_ptr<sim::Node> silent_factory(NodeIndex, const SystemConfig&,
+                                          const Directory&,
+                                          const ByzParams&) {
+  return std::make_unique<SilentNode>();
+}
+
+/// Deterministically picks `f` Byzantine nodes spread across the system.
+std::vector<NodeIndex> pick_byz(NodeIndex n, NodeIndex f, std::uint64_t seed) {
+  std::vector<NodeIndex> byz;
+  Xoshiro256 rng(seed ^ 0xB142ULL);
+  std::vector<bool> used(n, false);
+  while (byz.size() < f) {
+    const NodeIndex v = static_cast<NodeIndex>(rng.below(n));
+    if (!used[v]) {
+      used[v] = true;
+      byz.push_back(v);
+    }
+  }
+  return byz;
+}
+
+TEST(ByzRenaming, FailureFreeSmall) {
+  for (NodeIndex n : {4u, 9u, 16u, 33u, 64u}) {
+    const auto cfg = SystemConfig::random(n, static_cast<std::uint64_t>(n) * n * 5, n + 7);
+    const auto result = run_byz_renaming(cfg, test_params());
+    EXPECT_TRUE(result.report.ok(/*require_order=*/true))
+        << "n=" << n << " : "
+        << (result.report.violations.empty() ? ""
+                                             : result.report.violations[0]);
+  }
+}
+
+TEST(ByzRenaming, FailureFreeIsOrderPreserving) {
+  const auto cfg = SystemConfig::random(100, 100 * 100 * 5, 3);
+  const auto result = run_byz_renaming(cfg, test_params());
+  ASSERT_TRUE(result.report.ok(true));
+  EXPECT_TRUE(result.report.order_preserving);
+}
+
+TEST(ByzRenaming, FailureFreeAcceptsWholeListFirstIteration) {
+  // With no Byzantine nodes all correct members hold identical lists: the
+  // very first divide-and-conquer iteration accepts [1, N] whole.
+  const auto cfg = SystemConfig::random(64, 64 * 64 * 5, 11);
+  const auto result = run_byz_renaming(cfg, test_params());
+  ASSERT_TRUE(result.report.ok(true));
+  EXPECT_EQ(result.loop_iterations, 1u);
+}
+
+TEST(ByzRenaming, MessagesAreLogNBits) {
+  const auto cfg = SystemConfig::random(64, 64 * 64 * 5, 12);
+  const auto result = run_byz_renaming(cfg, test_params());
+  ASSERT_TRUE(result.report.ok(true));
+  // O(log N): fingerprint field (61) + counts + control.
+  EXPECT_LE(result.stats.max_message_bits,
+            61 + 3 * ceil_log2(cfg.namespace_size) + 32);
+}
+
+TEST(ByzRenaming, SurvivesSilentByzantines) {
+  const NodeIndex n = 60;
+  const auto cfg = SystemConfig::random(n, static_cast<std::uint64_t>(n) * n * 5, 21);
+  const auto byz = pick_byz(n, n / 6, 5);
+  const auto result = run_byz_renaming(cfg, test_params(), byz,
+                                       &silent_factory);
+  EXPECT_TRUE(result.report.ok(true))
+      << (result.report.violations.empty() ? ""
+                                           : result.report.violations[0]);
+}
+
+TEST(ByzRenaming, SurvivesSplitReporters) {
+  const NodeIndex n = 60;
+  const auto cfg = SystemConfig::random(n, static_cast<std::uint64_t>(n) * n * 5, 22);
+  const auto byz = pick_byz(n, n / 6, 6);
+  const auto result =
+      run_byz_renaming(cfg, test_params(), byz, &SplitReporter::make);
+  EXPECT_TRUE(result.report.ok(true))
+      << (result.report.violations.empty() ? ""
+                                           : result.report.violations[0]);
+  // Split reporting forces actual divide-and-conquer work.
+  EXPECT_GT(result.loop_iterations, 1u);
+}
+
+TEST(ByzRenaming, SurvivesLyingMembers) {
+  const NodeIndex n = 60;
+  const auto cfg = SystemConfig::random(n, static_cast<std::uint64_t>(n) * n * 5, 23);
+  const auto byz = pick_byz(n, n / 8, 7);
+  const auto result =
+      run_byz_renaming(cfg, test_params(), byz, &LyingMember::make);
+  EXPECT_TRUE(result.report.ok(true))
+      << (result.report.violations.empty() ? ""
+                                           : result.report.violations[0]);
+}
+
+TEST(ByzRenaming, SurvivesSpoofersAndCountsAttempts) {
+  const NodeIndex n = 40;
+  const auto cfg = SystemConfig::random(n, static_cast<std::uint64_t>(n) * n * 5, 24);
+  const auto byz = pick_byz(n, 4, 8);
+  const auto result = run_byz_renaming(cfg, test_params(), byz,
+                                       &Spoofer::make);
+  EXPECT_TRUE(result.report.ok(true));
+  EXPECT_GT(result.stats.spoofs_rejected, 0u);
+}
+
+TEST(ByzRenaming, DeterministicGivenSeed) {
+  const auto cfg = SystemConfig::random(48, 48 * 48 * 5, 31);
+  const auto byz = pick_byz(48, 6, 9);
+  const auto a = run_byz_renaming(cfg, test_params(), byz, &SplitReporter::make);
+  const auto b = run_byz_renaming(cfg, test_params(), byz, &SplitReporter::make);
+  EXPECT_EQ(a.stats.total_messages, b.stats.total_messages);
+  for (NodeIndex v = 0; v < 48; ++v) {
+    EXPECT_EQ(a.outcomes[v].new_id, b.outcomes[v].new_id);
+  }
+}
+
+TEST(ByzRenaming, LoopIterationsScaleWithFaults) {
+  // Lemma 3.10: the while loop terminates within 4 f log N iterations; the
+  // failure-free run takes exactly one.
+  const NodeIndex n = 64;
+  const auto cfg = SystemConfig::random(n, static_cast<std::uint64_t>(n) * n * 5, 41);
+  std::uint32_t prev = 0;
+  for (NodeIndex f : {0u, 2u, 6u}) {
+    const auto byz = pick_byz(n, f, 10);
+    const auto result =
+        run_byz_renaming(cfg, test_params(), byz, &SplitReporter::make);
+    ASSERT_TRUE(result.report.ok(true)) << "f=" << f;
+    EXPECT_LE(result.loop_iterations,
+              f == 0 ? 1u : 8u * f * ceil_log2(cfg.namespace_size))
+        << "f=" << f;
+    EXPECT_GE(result.loop_iterations, prev) << "f=" << f;
+    prev = result.loop_iterations;
+  }
+}
+
+TEST(ByzRenaming, ClusteredNamespaceStillWorks) {
+  const NodeIndex n = 48;
+  const auto cfg = SystemConfig::clustered(n, static_cast<std::uint64_t>(n) * n * 5, 51, 3);
+  const auto byz = pick_byz(n, 6, 11);
+  const auto result =
+      run_byz_renaming(cfg, test_params(), byz, &SplitReporter::make);
+  EXPECT_TRUE(result.report.ok(true));
+}
+
+TEST(ByzRenaming, PaperConstantFullCommitteeAlsoWorks) {
+  // With the paper's own p0 every node is a committee member.
+  const auto cfg = SystemConfig::random(24, 24 * 24 * 5, 61);
+  ByzParams params;  // pool_constant = 0 => paper's formula (=> p0 = 1 here)
+  params.shared_seed = 5;
+  const auto result = run_byz_renaming(cfg, params);
+  EXPECT_TRUE(result.report.ok(true));
+}
+
+
+TEST(ByzRenaming, PoolProbabilityFormula) {
+  ByzParams paper;  // pool_constant = 0 selects the paper's constant
+  // 8 / ((1 - 3 eps) eps^2) with eps = 1/12: 8 / ((3/4)(1/144)) = 1536.
+  // At n = 4096 (log2 = 12): p0 = 1536 * 12 / 4096 = 4.5 -> clamped to 1.
+  EXPECT_DOUBLE_EQ(paper.pool_probability(4096), 1.0);
+  ByzParams small;
+  small.pool_constant = 2.0;
+  EXPECT_NEAR(small.pool_probability(1024), 2.0 * 10 / 1024.0, 1e-12);
+  EXPECT_LE(small.pool_probability(4), 1.0);
+}
+
+TEST(ByzRenaming, NewIdsAreContiguousRanks) {
+  // Implementation property stronger than Definition 1.1: the assigned
+  // names are exactly the ranks 1..M for some M <= n with no holes among
+  // correct nodes (Byzantine identities may or may not consume a rank).
+  const NodeIndex n = 48;
+  const auto cfg = SystemConfig::random(n, static_cast<std::uint64_t>(n) * n * 5, 91);
+  const auto byz = pick_byz(n, 6, 14);
+  const auto result =
+      run_byz_renaming(cfg, test_params(), byz, &SplitReporter::make);
+  ASSERT_TRUE(result.report.ok(true));
+  std::vector<NewId> ids;
+  for (const auto& o : result.outcomes) {
+    if (o.correct && o.new_id) ids.push_back(*o.new_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  // Gaps can only be ranks consumed by Byzantine identities (<= |byz|).
+  std::uint64_t gaps = ids.back() - ids.size();
+  EXPECT_LE(gaps, byz.size());
+}
+
+// --- Parameterized sweep over (n, f, strategy, seed) ---------------------
+
+using ByzSweepParam = std::tuple<NodeIndex, int, int, std::uint64_t>;
+
+class ByzSweep : public ::testing::TestWithParam<ByzSweepParam> {};
+
+TEST_P(ByzSweep, CorrectUniqueOrderPreserving) {
+  const auto [n, f_num, strategy, seed] = GetParam();
+  const NodeIndex f = static_cast<NodeIndex>(n * f_num / 24);  // 0..n/4
+  // Alternate namespace shapes: uniform (hard for density assumptions) and
+  // clustered (hard for the divide-and-conquer segment structure).
+  const auto cfg =
+      seed % 2 == 1
+          ? SystemConfig::random(n, static_cast<std::uint64_t>(n) * n * 5,
+                                 seed)
+          : SystemConfig::clustered(n, static_cast<std::uint64_t>(n) * n * 5,
+                                    seed, 4);
+  const auto byz = pick_byz(n, f, seed * 13 + 1);
+  ByzStrategyFactory factory = nullptr;
+  switch (strategy) {
+    case 0: factory = &silent_factory; break;
+    case 1: factory = &SplitReporter::make; break;
+    case 2: factory = &LyingMember::make; break;
+    case 3: factory = &Spoofer::make; break;
+    case 4: factory = &PrefixReporter::make; break;
+    case 5: factory = &DoubleDealer::make; break;
+    default: FAIL();
+  }
+  const auto result = run_byz_renaming(cfg, test_params(4.0, seed), byz,
+                                       factory);
+  EXPECT_TRUE(result.report.ok(/*require_order=*/true))
+      << "n=" << n << " f=" << f << " strategy=" << strategy
+      << " seed=" << seed << " : "
+      << (result.report.violations.empty() ? ""
+                                           : result.report.violations[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategyGrid, ByzSweep,
+    ::testing::Combine(::testing::Values<NodeIndex>(24, 48, 72),
+                       ::testing::Values(0, 3, 6),  // f = n*k/24
+                       ::testing::Values(0, 1, 2, 3, 4, 5),
+                       ::testing::Values<std::uint64_t>(1, 2)));
+
+}  // namespace
+}  // namespace renaming::byzantine

@@ -1,0 +1,277 @@
+// White-box unit tests for CrashNode: each sub-round's behaviour is checked
+// against Figures 1-3 by feeding hand-crafted inboxes and inspecting the
+// outbox — no engine, no randomness in the checked paths (the election
+// probability is pinned to 1 via the constant).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "crash/crash_renaming.h"
+
+namespace renaming::crash {
+namespace {
+
+SystemConfig fixed_config() {
+  SystemConfig cfg;
+  cfg.n = 4;
+  cfg.namespace_size = 1000;
+  cfg.ids = {100, 200, 300, 400};  // node v has id 100*(v+1)
+  cfg.seed = 1;
+  return cfg;
+}
+
+CrashParams always_elected() {
+  CrashParams p;
+  p.election_constant = 1e9;  // probability clamps to 1: deterministic
+  return p;
+}
+
+sim::Message status(NodeIndex sender, OriginalId id, Interval i,
+                    std::uint32_t d, std::uint32_t p) {
+  auto m = sim::make_message(static_cast<sim::MsgKind>(Tag::kStatus), 64, id,
+                             i.lo, i.hi, d, p);
+  m.sender = sender;
+  m.claimed_sender = sender;
+  return m;
+}
+
+sim::Message committee_notice(NodeIndex sender, OriginalId id) {
+  auto m = sim::make_message(static_cast<sim::MsgKind>(Tag::kCommittee), 16,
+                             id);
+  m.sender = sender;
+  m.claimed_sender = sender;
+  return m;
+}
+
+sim::Message response(NodeIndex sender, OriginalId dest_id, Interval i,
+                      std::uint32_t d, std::uint32_t p) {
+  auto m = sim::make_message(static_cast<sim::MsgKind>(Tag::kResponse), 64,
+                             dest_id, i.lo, i.hi, d, p);
+  m.sender = sender;
+  m.claimed_sender = sender;
+  return m;
+}
+
+TEST(CrashNodeUnit, InitialState) {
+  const auto cfg = fixed_config();
+  CrashNode node(0, cfg, always_elected());
+  EXPECT_EQ(node.interval(), Interval(1, 4));
+  EXPECT_EQ(node.p(), 0u);
+  EXPECT_EQ(node.depth(), 0u);
+  EXPECT_TRUE(node.elected());  // constant pins probability to 1
+  EXPECT_FALSE(node.new_id().has_value());
+  EXPECT_FALSE(node.done());
+}
+
+TEST(CrashNodeUnit, Round1ElectedBroadcastsNotice) {
+  const auto cfg = fixed_config();
+  CrashNode node(1, cfg, always_elected());
+  sim::Outbox out(1, 4);
+  node.send(1, out);
+  ASSERT_EQ(out.size(), 4u);  // all n links, including self
+  for (const auto& [dest, msg] : out.entries()) {
+    EXPECT_EQ(msg.kind, static_cast<sim::MsgKind>(Tag::kCommittee));
+    EXPECT_EQ(msg.w[0], 200u);
+  }
+}
+
+TEST(CrashNodeUnit, Round2ReportsOnlyToAnnouncedLinks) {
+  const auto cfg = fixed_config();
+  CrashNode node(0, cfg, always_elected());
+  // Round 1: notices from links 2 and 3 only.
+  std::vector<sim::Message> inbox = {committee_notice(2, 300),
+                                     committee_notice(3, 400)};
+  node.receive(1, inbox);
+  sim::Outbox out(0, 4);
+  node.send(2, out);
+  ASSERT_EQ(out.size(), 2u);
+  std::vector<NodeIndex> dests;
+  for (const auto& [dest, msg] : out.entries()) {
+    dests.push_back(dest);
+    EXPECT_EQ(msg.kind, static_cast<sim::MsgKind>(Tag::kStatus));
+    EXPECT_EQ(msg.w[0], 100u);           // its own identity
+    EXPECT_EQ(Interval(msg.w[1], msg.w[2]), Interval(1, 4));
+  }
+  std::sort(dests.begin(), dests.end());
+  EXPECT_EQ(dests, (std::vector<NodeIndex>{2, 3}));
+}
+
+// Drives one committee round-3 action with a crafted mailbox and decodes
+// the responses per recipient id.
+std::map<OriginalId, Interval> committee_halving(
+    CrashNode& member, const std::vector<sim::Message>& statuses,
+    std::map<OriginalId, std::uint32_t>* depths = nullptr) {
+  member.receive(1, std::vector<sim::Message>{committee_notice(0, 100)});
+  member.receive(2, statuses);
+  sim::Outbox out(0, 4);
+  member.send(3, out);
+  std::map<OriginalId, Interval> replies;
+  for (const auto& [dest, msg] : out.entries()) {
+    EXPECT_EQ(msg.kind, static_cast<sim::MsgKind>(Tag::kResponse));
+    replies[msg.w[0]] = Interval(msg.w[1], msg.w[2]);
+    if (depths != nullptr) {
+      (*depths)[msg.w[0]] = static_cast<std::uint32_t>(msg.w[3]);
+    }
+  }
+  return replies;
+}
+
+TEST(CrashNodeUnit, CommitteeHalvesByRank) {
+  const auto cfg = fixed_config();
+  CrashNode member(0, cfg, always_elected());
+  const Interval whole(1, 4);
+  std::map<OriginalId, std::uint32_t> depths;
+  const auto replies = committee_halving(
+      member,
+      {status(0, 100, whole, 0, 0), status(1, 200, whole, 0, 0),
+       status(2, 300, whole, 0, 0), status(3, 400, whole, 0, 0)},
+      &depths);
+  // Ranks 1,2 -> bot [1,2]; ranks 3,4 -> top [3,4]; depth advanced to 1.
+  EXPECT_EQ(replies.at(100), Interval(1, 2));
+  EXPECT_EQ(replies.at(200), Interval(1, 2));
+  EXPECT_EQ(replies.at(300), Interval(3, 4));
+  EXPECT_EQ(replies.at(400), Interval(3, 4));
+  for (const auto& [id, d] : depths) EXPECT_EQ(d, 1u) << id;
+}
+
+TEST(CrashNodeUnit, CommitteeCountsOccupiedBotSlots) {
+  // One node already sits inside bot([1,4]) = [1,2]; only one rank-slot of
+  // bot remains, so the rank-2 node at depth 0 must go top.
+  const auto cfg = fixed_config();
+  CrashNode member(0, cfg, always_elected());
+  const auto replies = committee_halving(
+      member, {status(0, 100, Interval(1, 4), 0, 0),
+               status(1, 200, Interval(1, 4), 0, 0),
+               status(2, 300, Interval(1, 2), 1, 0)});
+  EXPECT_EQ(replies.at(100), Interval(1, 2));  // 1 occupied + rank 1 <= 2
+  EXPECT_EQ(replies.at(200), Interval(3, 4));  // 1 occupied + rank 2 > 2
+  EXPECT_EQ(replies.at(300), Interval(1, 2));  // deeper: echoed unchanged
+}
+
+TEST(CrashNodeUnit, CommitteeOnlyHalvesMinimumUndecidedDepth) {
+  const auto cfg = fixed_config();
+  CrashNode member(0, cfg, always_elected());
+  std::map<OriginalId, std::uint32_t> depths;
+  const auto replies = committee_halving(
+      member,
+      {status(0, 100, Interval(1, 4), 0, 0),
+       status(1, 200, Interval(1, 4), 0, 0),
+       status(2, 300, Interval(3, 4), 1, 0)},  // ahead: must wait
+      &depths);
+  EXPECT_EQ(replies.at(300), Interval(3, 4));
+  EXPECT_EQ(depths.at(300), 1u);  // unchanged, not advanced
+  EXPECT_EQ(depths.at(100), 1u);  // halved: 0 -> 1
+}
+
+TEST(CrashNodeUnit, SingletonsDoNotPinMinimumDepth) {
+  // A decided node at depth 1 (singleton [3,3]) must not stop the
+  // depth-2 nodes from halving (the Definition 2.1 subtlety).
+  const auto cfg = fixed_config();
+  CrashNode member(0, cfg, always_elected());
+  std::map<OriginalId, std::uint32_t> depths;
+  const auto replies = committee_halving(
+      member,
+      {status(0, 100, Interval(1, 2), 2, 0),
+       status(1, 200, Interval(1, 2), 2, 0),
+       status(2, 300, Interval(3, 3), 1, 0)},  // decided leaf, shallower
+      &depths);
+  EXPECT_EQ(replies.at(100), Interval(1, 1));
+  EXPECT_EQ(replies.at(200), Interval(2, 2));
+  EXPECT_EQ(replies.at(300), Interval(3, 3));  // echoed, never "halved"
+  EXPECT_EQ(depths.at(100), 3u);
+}
+
+TEST(CrashNodeUnit, NodeAdoptsDeepestThenLeftmostResponse) {
+  const auto cfg = fixed_config();
+  CrashParams params;
+  params.election_constant = 0.0;  // never elected: pure NodeAction
+  CrashNode node(0, cfg, params);
+  node.receive(1, std::vector<sim::Message>{committee_notice(1, 200)});
+  node.receive(2, std::vector<sim::Message>{});
+  std::vector<sim::Message> responses = {
+      response(1, 100, Interval(3, 4), 1, 0),
+      response(2, 100, Interval(1, 2), 1, 0),  // same depth, smaller lo
+      response(3, 100, Interval(1, 4), 0, 0),  // shallower: ignored
+  };
+  node.receive(3, responses);
+  EXPECT_EQ(node.interval(), Interval(1, 2));
+  EXPECT_EQ(node.depth(), 1u);
+}
+
+TEST(CrashNodeUnit, DecidedNodeKeepsIntervalButTracksP) {
+  const auto cfg = fixed_config();
+  CrashParams params;
+  params.election_constant = 0.0;
+  CrashNode node(0, cfg, params);
+  // Drive to a decided state: adopt singleton response.
+  node.receive(1, std::vector<sim::Message>{committee_notice(1, 200)});
+  node.receive(2, {});
+  node.receive(3, std::vector<sim::Message>{
+                      response(1, 100, Interval(2, 2), 2, 0)});
+  ASSERT_EQ(node.new_id(), NewId{2});
+  // Later response with a different interval must not move it, but a
+  // larger p must still propagate.
+  node.receive(4, std::vector<sim::Message>{committee_notice(1, 200)});
+  node.receive(5, {});
+  node.receive(6, std::vector<sim::Message>{
+                      response(1, 100, Interval(3, 3), 2, 5)});
+  EXPECT_EQ(node.new_id(), NewId{2});
+  EXPECT_EQ(node.p(), 5u);
+}
+
+TEST(CrashNodeUnit, NoResponsesBumpsP) {
+  const auto cfg = fixed_config();
+  CrashParams params;
+  params.election_constant = 0.0;
+  CrashNode node(2, cfg, params);
+  EXPECT_EQ(node.p(), 0u);
+  for (Round r = 1; r <= 6; ++r) node.receive(r, {});
+  EXPECT_EQ(node.p(), 2u);  // one bump per committee-less phase
+}
+
+TEST(CrashNodeUnit, ResponsesForOtherIdsAreIgnored) {
+  const auto cfg = fixed_config();
+  CrashParams params;
+  params.election_constant = 0.0;
+  CrashNode node(0, cfg, params);
+  node.receive(1, std::vector<sim::Message>{committee_notice(1, 200)});
+  node.receive(2, {});
+  // A response addressed to id 200 reaches node 0 (misrouted/Byzantine-ish).
+  node.receive(3, std::vector<sim::Message>{
+                      response(1, 200, Interval(3, 4), 1, 0)});
+  // Treated as "no response for me": p bumped, interval unchanged.
+  EXPECT_EQ(node.interval(), Interval(1, 4));
+  EXPECT_EQ(node.p(), 1u);
+}
+
+TEST(CrashNodeUnit, CommitteeAbsorbsMaxP) {
+  const auto cfg = fixed_config();
+  CrashNode member(0, cfg, always_elected());
+  member.receive(1, std::vector<sim::Message>{committee_notice(0, 100)});
+  member.receive(2, std::vector<sim::Message>{
+                        status(0, 100, Interval(1, 4), 0, 0),
+                        status(1, 200, Interval(1, 4), 0, 3)});
+  EXPECT_EQ(member.p(), 3u);
+  // And it is stamped into the responses.
+  sim::Outbox out(0, 4);
+  member.send(3, out);
+  for (const auto& [dest, msg] : out.entries()) {
+    EXPECT_EQ(static_cast<std::uint32_t>(msg.w[4]), 3u);
+  }
+}
+
+TEST(CrashNodeUnit, DoneAfterAllPhases) {
+  const auto cfg = fixed_config();  // n = 4 -> 3 * 2 phases * 3 rounds = 18
+  CrashParams params;
+  params.election_constant = 0.0;
+  CrashNode node(0, cfg, params);
+  for (Round r = 1; r <= 18; ++r) {
+    EXPECT_FALSE(node.done()) << r;
+    node.receive(r, {});
+  }
+  EXPECT_TRUE(node.done());
+}
+
+}  // namespace
+}  // namespace renaming::crash

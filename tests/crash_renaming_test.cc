@@ -1,0 +1,320 @@
+// Integration + property tests for the crash-resilient renaming algorithm
+// (Theorem 1.2 and the lemmas of Section 2.2).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "common/math.h"
+#include "crash/adversaries.h"
+#include "crash/crash_renaming.h"
+
+namespace renaming::crash {
+namespace {
+
+CrashParams small_committee() {
+  // The paper's constant 256 makes every node a committee member for all
+  // testable n; these tests run both regimes. 4.0 gives committees of
+  // ~4 log n expected members.
+  CrashParams p;
+  p.election_constant = 4.0;
+  return p;
+}
+
+TEST(CrashRenaming, SingleNodeTrivial) {
+  const auto cfg = SystemConfig::random(1, 100, 1);
+  const auto result = run_crash_renaming(cfg, CrashParams{});
+  EXPECT_TRUE(result.report.ok());
+  EXPECT_EQ(result.outcomes[0].new_id, NewId{1});
+  EXPECT_EQ(result.stats.rounds, 0u);
+}
+
+TEST(CrashRenaming, FailureFreeSmall) {
+  for (NodeIndex n : {2u, 3u, 5u, 8u, 17u, 64u, 100u}) {
+    const auto cfg = SystemConfig::random(n, n * n * 5, n);
+    const auto result = run_crash_renaming(cfg, CrashParams{});
+    EXPECT_TRUE(result.report.ok())
+        << "n=" << n << " violations: "
+        << (result.report.violations.empty() ? "none"
+                                             : result.report.violations[0]);
+  }
+}
+
+TEST(CrashRenaming, FailureFreeIsOrderPreservingWithFullCommittee) {
+  // With the paper's constant every node is a committee member, every
+  // mailbox is complete, and the rank-based halving is globally consistent;
+  // the outcome then equals the rank of the original identity.
+  const auto cfg = SystemConfig::random(64, 64 * 64 * 5, 3);
+  const auto result = run_crash_renaming(cfg, CrashParams{});
+  EXPECT_TRUE(result.report.ok());
+  EXPECT_TRUE(result.report.order_preserving);
+}
+
+TEST(CrashRenaming, RoundBudgetIsThreeLogN) {
+  for (NodeIndex n : {16u, 64u, 256u}) {
+    const auto cfg = SystemConfig::random(n, n * n * 5, n + 1);
+    const auto result = run_crash_renaming(cfg, small_committee());
+    EXPECT_LE(result.stats.rounds, 3u * 3u * ceil_log2(n));
+    EXPECT_TRUE(result.report.ok());
+  }
+}
+
+TEST(CrashRenaming, MessagesAreLogNBits) {
+  const auto cfg = SystemConfig::random(128, 128u * 128u * 5u, 9);
+  const auto result = run_crash_renaming(cfg, small_committee());
+  // O(log N) bits: generous explicit cap of 4*log2(N) + 32.
+  EXPECT_LE(result.stats.max_message_bits,
+            4 * ceil_log2(cfg.namespace_size) + 32);
+}
+
+TEST(CrashRenaming, SurvivesCommitteeAnnihilationAtAnnounce) {
+  const NodeIndex n = 128;
+  const auto cfg = SystemConfig::random(n, n * n * 5, 42);
+  auto adversary = std::make_unique<CommitteeHunter>(
+      n / 2, CommitteeHunter::Mode::kAtAnnounce, 7);
+  const auto result = run_crash_renaming(cfg, small_committee(),
+                                         std::move(adversary));
+  EXPECT_TRUE(result.report.ok())
+      << (result.report.violations.empty() ? ""
+                                           : result.report.violations[0]);
+  EXPECT_GT(result.stats.crashes, 0u);
+}
+
+TEST(CrashRenaming, SurvivesMidResponseCrashes) {
+  const NodeIndex n = 128;
+  const auto cfg = SystemConfig::random(n, n * n * 5, 43);
+  auto adversary = std::make_unique<CommitteeHunter>(
+      n / 2, CommitteeHunter::Mode::kMidResponse, 11, 0.5);
+  const auto result = run_crash_renaming(cfg, small_committee(),
+                                         std::move(adversary));
+  EXPECT_TRUE(result.report.ok())
+      << (result.report.violations.empty() ? ""
+                                           : result.report.violations[0]);
+}
+
+TEST(CrashRenaming, SurvivesStatusSplitter) {
+  const NodeIndex n = 96;
+  const auto cfg = SystemConfig::random(n, n * n * 5, 44);
+  auto adversary = std::make_unique<StatusSplitter>(n / 3, 0.05, 5);
+  const auto result = run_crash_renaming(cfg, small_committee(),
+                                         std::move(adversary));
+  EXPECT_TRUE(result.report.ok());
+}
+
+TEST(CrashRenaming, SurvivesRandomCrashesUpToNMinusOne) {
+  const NodeIndex n = 64;
+  const auto cfg = SystemConfig::random(n, n * n * 5, 45);
+  auto adversary =
+      std::make_unique<sim::RandomCrashAdversary>(n - 1, 0.08, 99);
+  const auto result = run_crash_renaming(cfg, small_committee(),
+                                         std::move(adversary));
+  EXPECT_TRUE(result.report.ok());
+}
+
+TEST(CrashRenaming, DeterministicGivenSeed) {
+  const auto cfg = SystemConfig::random(64, 64 * 64 * 5, 7);
+  const auto a = run_crash_renaming(cfg, small_committee());
+  const auto b = run_crash_renaming(cfg, small_committee());
+  EXPECT_EQ(a.stats.total_messages, b.stats.total_messages);
+  EXPECT_EQ(a.stats.total_bits, b.stats.total_bits);
+  for (NodeIndex v = 0; v < 64; ++v) {
+    EXPECT_EQ(a.outcomes[v].new_id, b.outcomes[v].new_id);
+  }
+}
+
+TEST(CrashRenaming, FewFailuresMeansSubquadraticMessages) {
+  // Theorem 1.2's headline: with f = 0 the message count is O(n log^2 n),
+  // i.e. subquadratic. The bound carries log^2 n factors, so at laptop
+  // scale the honest check is (a) the normalized cost msgs/n^2 strictly
+  // falls as n grows and (b) an explicit O(n log^2 n) cap holds.
+  CrashParams params;
+  params.election_constant = 1.0;  // committee ~ log n members
+  double prev_ratio = 1e18;
+  for (NodeIndex n : {128u, 512u, 2048u}) {
+    const auto cfg =
+        SystemConfig::random(n, static_cast<std::uint64_t>(n) * n * 5, 77);
+    const auto result = run_crash_renaming(cfg, params);
+    ASSERT_TRUE(result.report.ok()) << "n=" << n;
+    const double msgs = static_cast<double>(result.stats.total_messages);
+    const double ratio = msgs / (static_cast<double>(n) * n);
+    EXPECT_LT(ratio, prev_ratio) << "n=" << n;
+    prev_ratio = ratio;
+    const double logn = ceil_log2(n);
+    EXPECT_LT(msgs, 30.0 * n * logn * logn) << "n=" << n;
+  }
+}
+
+TEST(CrashRenaming, WorstCaseMessageCapQuadraticLog) {
+  // "never sends more than Theta(n^2 log n) messages" — check the explicit
+  // deterministic cap: per round at most n committee members exchange with
+  // n nodes, over 9 log n rounds.
+  const NodeIndex n = 128;
+  const auto cfg = SystemConfig::random(n, n * n * 5, 21);
+  CrashParams everyone;  // constant 256 => all nodes in committee
+  const auto result = run_crash_renaming(cfg, everyone);
+  ASSERT_TRUE(result.report.ok());
+  const std::uint64_t cap = 2ull * 9ull * ceil_log2(n) * n * n;
+  EXPECT_LE(result.stats.total_messages, cap);
+}
+
+
+TEST(CrashRenaming, EarlyStoppingCutsRoundsAndStaysCorrect) {
+  const NodeIndex n = 256;
+  const auto cfg = SystemConfig::random(n, static_cast<std::uint64_t>(n) * n * 5, 88);
+  CrashParams base = small_committee();
+  CrashParams early = base;
+  early.early_stopping = true;
+  const auto slow = run_crash_renaming(cfg, base);
+  const auto fast = run_crash_renaming(cfg, early);
+  ASSERT_TRUE(slow.report.ok());
+  ASSERT_TRUE(fast.report.ok());
+  EXPECT_LT(fast.stats.rounds, slow.stats.rounds);
+  EXPECT_LT(fast.stats.total_messages, slow.stats.total_messages);
+  for (NodeIndex v = 0; v < n; ++v) {
+    EXPECT_EQ(slow.outcomes[v].new_id, fast.outcomes[v].new_id);
+  }
+}
+
+TEST(CrashRenaming, EarlyStoppingSurvivesAdversaries) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const NodeIndex n = 96;
+    const auto cfg = SystemConfig::random(n, static_cast<std::uint64_t>(n) * n * 5, seed + 200);
+    CrashParams params = small_committee();
+    params.early_stopping = true;
+    auto adversary = std::make_unique<sim::ChaosCrashAdversary>(n / 2, 0.1,
+                                                                seed * 7);
+    const auto result =
+        run_crash_renaming(cfg, params, std::move(adversary));
+    EXPECT_TRUE(result.report.ok())
+        << "seed=" << seed << " : "
+        << (result.report.violations.empty() ? ""
+                                             : result.report.violations[0]);
+  }
+}
+
+TEST(CrashRenaming, SurvivesChaosAdversaryArbitrarySubsets) {
+  // The strongest generic Eve: arbitrary victims, arbitrary mid-send
+  // delivery subsets (not just prefixes).
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const NodeIndex n = 80;
+    const auto cfg = SystemConfig::random(n, static_cast<std::uint64_t>(n) * n * 5, seed + 300);
+    auto adversary =
+        std::make_unique<sim::ChaosCrashAdversary>(n - 1, 0.12, seed * 31);
+    const auto result =
+        run_crash_renaming(cfg, small_committee(), std::move(adversary));
+    EXPECT_TRUE(result.report.ok())
+        << "seed=" << seed << " : "
+        << (result.report.violations.empty() ? ""
+                                             : result.report.violations[0]);
+  }
+}
+
+// --- Parameterized property sweep: (n, budget, mode, seed) -------------
+
+using SweepParam = std::tuple<NodeIndex, std::uint64_t, int, std::uint64_t>;
+
+class CrashSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(CrashSweep, AlwaysCorrectAlwaysOnTime) {
+  const auto [n, budget, mode, seed] = GetParam();
+  const auto cfg =
+      SystemConfig::random(n, static_cast<std::uint64_t>(n) * n * 5, seed);
+  std::unique_ptr<sim::CrashAdversary> adversary;
+  switch (mode) {
+    case 0:
+      adversary = nullptr;
+      break;
+    case 1:
+      adversary = std::make_unique<CommitteeHunter>(
+          budget, CommitteeHunter::Mode::kAtAnnounce, seed * 31 + 1);
+      break;
+    case 2:
+      adversary = std::make_unique<CommitteeHunter>(
+          budget, CommitteeHunter::Mode::kMidResponse, seed * 31 + 2, 0.4);
+      break;
+    case 3:
+      adversary = std::make_unique<sim::RandomCrashAdversary>(budget, 0.06,
+                                                              seed * 31 + 3);
+      break;
+    case 4:
+      adversary = std::make_unique<StatusSplitter>(budget, 0.08, seed * 31 + 4);
+      break;
+    default:
+      FAIL();
+  }
+  const auto result =
+      run_crash_renaming(cfg, small_committee(), std::move(adversary));
+  // Theorem 1.2: always correct, always within 3 ceil(log n) phases.
+  EXPECT_TRUE(result.report.ok())
+      << "n=" << n << " mode=" << mode << " seed=" << seed << " : "
+      << (result.report.violations.empty() ? ""
+                                           : result.report.violations[0]);
+  EXPECT_LE(result.stats.rounds, 9u * ceil_log2(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AdversaryGrid, CrashSweep,
+    ::testing::Combine(::testing::Values<NodeIndex>(10, 33, 64, 100),
+                       ::testing::Values<std::uint64_t>(3, 20),
+                       ::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+
+
+TEST(CrashRenaming, CustomPhaseMultiplierStillCorrect) {
+  // More phases than needed must be harmless (decided nodes just idle).
+  const auto cfg = SystemConfig::random(48, 48u * 48u * 5u, 19);
+  CrashParams params = small_committee();
+  params.phase_multiplier = 5;
+  const auto result = run_crash_renaming(cfg, params);
+  EXPECT_TRUE(result.report.ok());
+  EXPECT_LE(result.stats.rounds, 5u * 3u * ceil_log2(48));
+}
+
+TEST(CrashRenaming, TwoNodes) {
+  const auto cfg = SystemConfig::random(2, 50, 23);
+  const auto result = run_crash_renaming(cfg, CrashParams{});
+  ASSERT_TRUE(result.report.ok());
+  // With a full committee the outcome is the identity rank.
+  const bool first_smaller = cfg.ids[0] < cfg.ids[1];
+  EXPECT_EQ(result.outcomes[0].new_id, NewId{first_smaller ? 1u : 2u});
+}
+
+// --- Election-constant sweep: the protocol must be correct for any
+// committee size regime, from "barely any committee" to "everyone". -----
+
+using ConstantParam = std::tuple<double, int, std::uint64_t>;
+
+class ConstantSweep : public ::testing::TestWithParam<ConstantParam> {};
+
+TEST_P(ConstantSweep, CorrectAcrossCommitteeRegimes) {
+  const auto [constant, mode, seed] = GetParam();
+  const NodeIndex n = 64;
+  const auto cfg =
+      SystemConfig::random(n, static_cast<std::uint64_t>(n) * n * 5, seed);
+  CrashParams params;
+  params.election_constant = constant;
+  std::unique_ptr<sim::CrashAdversary> adversary;
+  if (mode == 1) {
+    adversary = std::make_unique<CommitteeHunter>(
+        n / 3, CommitteeHunter::Mode::kAtAnnounce, seed * 5);
+  } else if (mode == 2) {
+    adversary = std::make_unique<sim::ChaosCrashAdversary>(n / 3, 0.1,
+                                                           seed * 5);
+  }
+  const auto result = run_crash_renaming(cfg, params, std::move(adversary));
+  EXPECT_TRUE(result.report.ok())
+      << "constant=" << constant << " mode=" << mode << " seed=" << seed
+      << " : "
+      << (result.report.violations.empty() ? ""
+                                           : result.report.violations[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, ConstantSweep,
+    ::testing::Combine(::testing::Values(0.5, 1.0, 8.0, 256.0),
+                       ::testing::Values(0, 1, 2),
+                       ::testing::Values<std::uint64_t>(11, 12, 13)));
+
+}  // namespace
+}  // namespace renaming::crash

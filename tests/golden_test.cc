@@ -1,0 +1,67 @@
+// Golden determinism regression: fixed (seed, params) executions must
+// reproduce exact statistics forever. If a protocol change alters any of
+// these numbers *intentionally*, update the goldens in the same commit —
+// the test exists so that can never happen silently.
+#include <gtest/gtest.h>
+
+#include "byzantine/byz_renaming.h"
+#include "byzantine/strategies.h"
+#include "crash/adversaries.h"
+#include "crash/crash_renaming.h"
+
+namespace renaming {
+namespace {
+
+TEST(Golden, CrashRunIsBitStable) {
+  const auto cfg = SystemConfig::random(64, 64 * 64 * 5, 4242);
+  crash::CrashParams params;
+  params.election_constant = 2.0;
+  const auto a = crash::run_crash_renaming(cfg, params);
+  const auto b = crash::run_crash_renaming(cfg, params);
+  ASSERT_TRUE(a.report.ok());
+  EXPECT_EQ(a.stats.total_messages, b.stats.total_messages);
+  EXPECT_EQ(a.stats.total_bits, b.stats.total_bits);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].new_id, b.outcomes[i].new_id);
+  }
+  // Cross-process stability: identical numbers on every platform with the
+  // same IEEE doubles and the same PRNG (both are part of this repo).
+  EXPECT_EQ(a.stats.rounds, 54u);
+}
+
+TEST(Golden, ByzantineRunIsBitStable) {
+  const auto cfg = SystemConfig::random(48, 48 * 48 * 5, 777);
+  byzantine::ByzParams params;
+  params.pool_constant = 4.0;
+  params.shared_seed = 4242;
+  const std::vector<NodeIndex> byz = {5, 23, 41};
+  const auto a = byzantine::run_byz_renaming(cfg, params, byz,
+                                             &byzantine::SplitReporter::make);
+  const auto b = byzantine::run_byz_renaming(cfg, params, byz,
+                                             &byzantine::SplitReporter::make);
+  ASSERT_TRUE(a.report.ok(true));
+  EXPECT_EQ(a.stats.total_messages, b.stats.total_messages);
+  EXPECT_EQ(a.loop_iterations, b.loop_iterations);
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].new_id, b.outcomes[i].new_id);
+  }
+}
+
+TEST(Golden, AdversarialCrashRunIsBitStable) {
+  const auto cfg = SystemConfig::random(96, 96u * 96u * 5u, 31337);
+  crash::CrashParams params;
+  params.election_constant = 1.0;
+  auto make_adversary = [] {
+    return std::make_unique<crash::CommitteeHunter>(
+        24, crash::CommitteeHunter::Mode::kMidResponse, 99, 0.5);
+  };
+  const auto a = crash::run_crash_renaming(cfg, params, make_adversary());
+  const auto b = crash::run_crash_renaming(cfg, params, make_adversary());
+  ASSERT_TRUE(a.report.ok());
+  EXPECT_EQ(a.stats.total_messages, b.stats.total_messages);
+  EXPECT_EQ(a.stats.crashes, b.stats.crashes);
+}
+
+}  // namespace
+}  // namespace renaming

@@ -1,0 +1,152 @@
+// Tests for IdentityList: cross-checked against the dense BitVec + the
+// reference SetFingerprint on random and adversarial contents.
+#include <gtest/gtest.h>
+
+#include "byzantine/identity_list.h"
+#include "common/bitvec.h"
+#include "common/prng.h"
+#include "hashing/fingerprint.h"
+
+namespace renaming::byzantine {
+namespace {
+
+class IdentityListTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint64_t kN = 5000;
+  hashing::SharedRandomness beacon_{4242};
+  hashing::SetFingerprint reference_{beacon_};
+};
+
+TEST_F(IdentityListTest, EmptyListSummaries) {
+  IdentityList list(kN, beacon_);
+  const auto s = list.summarize(Interval(1, kN));
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.fingerprint, 0u);
+  EXPECT_EQ(list.rank(kN), 0u);
+}
+
+TEST_F(IdentityListTest, InsertIsIdempotent) {
+  IdentityList list(kN, beacon_);
+  list.insert(17);
+  list.insert(17);
+  list.insert(17);
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.summarize(Interval(1, kN)).count, 1u);
+}
+
+TEST_F(IdentityListTest, MatchesDenseReferenceOnRandomContents) {
+  // SetFingerprint::of_range is 0-based (position i <-> identity i+1), so
+  // the dense mirror stores identity `id` at position `id - 1`.
+  IdentityList list(kN, beacon_);
+  BitVec dense(kN);
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 800; ++i) {
+    const std::uint64_t id = 1 + rng.below(kN);
+    list.insert(id);
+    dense.set(id - 1);
+  }
+  EXPECT_EQ(list.size(), dense.count());
+  for (int trial = 0; trial < 300; ++trial) {
+    std::uint64_t lo = 1 + rng.below(kN);
+    std::uint64_t hi = 1 + rng.below(kN);
+    if (lo > hi) std::swap(lo, hi);
+    const auto s = list.summarize(Interval(lo, hi));
+    ASSERT_EQ(s.count, dense.count_range(lo - 1, hi - 1)) << lo << ".." << hi;
+    ASSERT_EQ(s.fingerprint, reference_.of_range(dense, lo - 1, hi - 1))
+        << lo << ".." << hi;
+  }
+}
+
+TEST_F(IdentityListTest, RankMatchesDense) {
+  IdentityList list(kN, beacon_);
+  BitVec dense(kN + 1);
+  Xoshiro256 rng(10);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t id = 1 + rng.below(kN);
+    list.insert(id);
+    dense.set(id);
+  }
+  for (std::uint64_t probe : {std::uint64_t{1}, std::uint64_t{100}, std::uint64_t{2500}, kN}) {
+    EXPECT_EQ(list.rank(probe), dense.rank(probe));
+  }
+}
+
+TEST_F(IdentityListTest, SetFlipsBitsBothWays) {
+  IdentityList list(kN, beacon_);
+  list.insert(100);
+  list.insert(200);
+  const auto before = list.summarize(Interval(1, kN));
+  list.set(100, false);
+  EXPECT_EQ(list.summarize(Interval(1, kN)).count, 1u);
+  list.set(100, true);
+  const auto after = list.summarize(Interval(1, kN));
+  EXPECT_EQ(after, before);
+  list.set(300, true);
+  EXPECT_EQ(list.size(), 3u);
+  list.set(999, false);  // absent: no-op
+  EXPECT_EQ(list.size(), 3u);
+}
+
+TEST_F(IdentityListTest, SegmentAdditivity) {
+  // fingerprint([1,N]) = fp([1,mid]) + fp([mid+1,N]) in the field.
+  IdentityList list(kN, beacon_);
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 300; ++i) list.insert(1 + rng.below(kN));
+  const auto whole = list.summarize(Interval(1, kN));
+  const auto left = list.summarize(Interval(1, kN / 2));
+  const auto right = list.summarize(Interval(kN / 2 + 1, kN));
+  EXPECT_EQ(whole.count, left.count + right.count);
+  EXPECT_EQ(whole.fingerprint,
+            hashing::m61_add(left.fingerprint, right.fingerprint));
+}
+
+TEST_F(IdentityListTest, IdsInReturnsExactWindow) {
+  IdentityList list(kN, beacon_);
+  for (std::uint64_t id : {10ULL, 20ULL, 30ULL, 40ULL}) list.insert(id);
+  const auto window = list.ids_in(Interval(15, 35));
+  ASSERT_EQ(window.size(), 2u);
+  EXPECT_EQ(window[0], 20u);
+  EXPECT_EQ(window[1], 30u);
+  EXPECT_EQ(list.ids_in(Interval(41, kN)).size(), 0u);
+  EXPECT_EQ(list.ids_in(Interval(10, 10)).size(), 1u);
+}
+
+TEST_F(IdentityListTest, TwoListsSameContentSameFingerprints) {
+  IdentityList a(kN, beacon_), b(kN, beacon_);
+  Xoshiro256 rng(12);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 200; ++i) ids.push_back(1 + rng.below(kN));
+  for (auto id : ids) a.insert(id);
+  for (auto it = ids.rbegin(); it != ids.rend(); ++it) b.insert(*it);
+  for (std::uint64_t span : {std::uint64_t{1}, std::uint64_t{7}, std::uint64_t{100}, kN}) {
+    for (std::uint64_t lo = 1; lo + span - 1 <= kN; lo += kN / 7 + 1) {
+      const Interval j(lo, lo + span - 1);
+      ASSERT_EQ(a.summarize(j), b.summarize(j));
+    }
+  }
+}
+
+TEST_F(IdentityListTest, DiffersAtSingleIdDetected) {
+  IdentityList a(kN, beacon_), b(kN, beacon_);
+  for (std::uint64_t id = 5; id <= kN; id += 13) {
+    a.insert(id);
+    b.insert(id);
+  }
+  b.insert(1234);  // one extra identity
+  EXPECT_NE(a.summarize(Interval(1, kN)), b.summarize(Interval(1, kN)));
+  // Drill down: exactly the root-to-leaf path containing 1234 differs.
+  Interval j(1, kN);
+  int depth = 0;
+  while (!j.singleton()) {
+    EXPECT_NE(a.summarize(j).fingerprint, b.summarize(j).fingerprint);
+    const Interval sibling = j.bot().contains(1234) ? j.top() : j.bot();
+    EXPECT_EQ(a.summarize(sibling), b.summarize(sibling));
+    j = j.bot().contains(1234) ? j.bot() : j.top();
+    ++depth;
+  }
+  EXPECT_EQ(a.summarize(j).count + 1, b.summarize(j).count);
+  EXPECT_GT(depth, 5);
+}
+
+}  // namespace
+}  // namespace renaming::byzantine

@@ -1,0 +1,81 @@
+// Tests for the Theorem 1.4 lower-bound experiment.
+#include <gtest/gtest.h>
+
+#include "lowerbound/anonymous.h"
+
+namespace renaming::lowerbound {
+namespace {
+
+TEST(Anonymous, FullBudgetAlwaysSucceeds) {
+  const auto r = run_anonymous_experiment(100, 100, 500, 1);
+  EXPECT_EQ(r.successes, r.trials);
+  EXPECT_DOUBLE_EQ(analytic_success(100, 100), 1.0);
+}
+
+TEST(Anonymous, NearFullBudgetStillSucceeds) {
+  // One silent node cannot collide with anyone.
+  const auto r = run_anonymous_experiment(100, 99, 500, 2);
+  EXPECT_EQ(r.successes, r.trials);
+  EXPECT_DOUBLE_EQ(analytic_success(100, 99), 1.0);
+}
+
+TEST(Anonymous, SublinearBudgetFailsTheThreeQuartersBar) {
+  // Theorem 1.4: success probability >= 3/4 requires Omega(n) messages.
+  // With half the budget the success rate collapses.
+  for (NodeIndex n : {64u, 256u, 1024u}) {
+    const auto r = run_anonymous_experiment(n, n / 2, 400, 3);
+    EXPECT_LT(r.success_rate, 0.75) << "n=" << n;
+    EXPECT_LT(analytic_success(n, n / 2), 0.05) << "n=" << n;
+  }
+}
+
+TEST(Anonymous, ZeroBudgetEssentiallyNeverSucceeds) {
+  const auto r = run_anonymous_experiment(128, 0, 300, 4);
+  EXPECT_LT(r.success_rate, 0.01);
+  EXPECT_GT(r.expected_collisions, 10.0);
+}
+
+TEST(Anonymous, SimulationTracksAnalyticCurve) {
+  const NodeIndex n = 200;
+  for (std::uint64_t budget : {150u, 180u, 190u, 196u, 199u}) {
+    const auto r = run_anonymous_experiment(n, budget, 4000, budget);
+    const double expect = analytic_success(n, budget);
+    EXPECT_NEAR(r.success_rate, expect, 0.05)
+        << "n=" << n << " budget=" << budget;
+  }
+}
+
+TEST(Anonymous, SuccessRateMonotoneInBudget) {
+  const NodeIndex n = 128;
+  double prev = -1.0;
+  for (std::uint64_t budget : {0u, 32u, 64u, 96u, 120u, 126u, 128u}) {
+    const double p = analytic_success(n, budget);
+    EXPECT_GE(p, prev) << "budget=" << budget;
+    prev = p;
+  }
+}
+
+TEST(Anonymous, CollisionCountMatchesBirthdayIntuition) {
+  // k silent nodes into k uniform slots: expected colliding pairs is
+  // C(k,2)/k = (k-1)/2.
+  const NodeIndex n = 100;
+  const std::uint64_t budget = 50;  // k = 50 silent, 50 slots
+  const auto r = run_anonymous_experiment(n, budget, 5000, 9);
+  EXPECT_NEAR(r.expected_collisions, (50.0 - 1.0) / 2.0, 1.5);
+}
+
+
+TEST(Anonymous, ZeroTrialsIsWellDefined) {
+  const auto r = run_anonymous_experiment(10, 5, 0, 1);
+  EXPECT_EQ(r.trials, 0u);
+  EXPECT_DOUBLE_EQ(r.success_rate, 0.0);
+  EXPECT_DOUBLE_EQ(r.expected_collisions, 0.0);
+}
+
+TEST(Anonymous, BudgetAboveNIsClamped) {
+  const auto r = run_anonymous_experiment(16, 1000, 100, 2);
+  EXPECT_EQ(r.successes, r.trials);
+}
+
+}  // namespace
+}  // namespace renaming::lowerbound

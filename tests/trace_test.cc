@@ -1,0 +1,130 @@
+// Tests for the engine trace sinks: the counting sink must agree exactly
+// with the engine's own statistics (an independent double-entry check of
+// the accounting), and the JSONL sink must emit well-formed records.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "byzantine/byz_renaming.h"
+#include "byzantine/strategies.h"
+#include "crash/adversaries.h"
+#include "crash/crash_renaming.h"
+#include "sim/trace.h"
+
+namespace renaming {
+namespace {
+
+TEST(CountingTrace, AgreesWithEngineStats) {
+  const NodeIndex n = 64;
+  const auto cfg = SystemConfig::random(n, 5ull * n * n, 4);
+  crash::CrashParams params;
+  params.election_constant = 3.0;
+  sim::CountingTrace trace;
+  auto adversary = std::make_unique<crash::CommitteeHunter>(
+      16, crash::CommitteeHunter::Mode::kMidResponse, 3, 0.5);
+  const auto result = crash::run_crash_renaming(cfg, params,
+                                                std::move(adversary), &trace);
+  ASSERT_TRUE(result.report.ok());
+  EXPECT_EQ(trace.total(), result.stats.total_messages);
+  EXPECT_EQ(trace.crashes(), result.stats.crashes);
+  std::uint64_t sum = 0, bits = 0;
+  for (const auto& [kind, count] : trace.by_kind()) {
+    sum += count;
+    bits += trace.bits(kind);
+  }
+  EXPECT_EQ(sum, result.stats.total_messages);
+  EXPECT_EQ(bits, result.stats.total_bits);
+}
+
+TEST(CountingTrace, BreaksDownCrashProtocolTraffic) {
+  const NodeIndex n = 64;
+  const auto cfg = SystemConfig::random(n, 5ull * n * n, 5);
+  crash::CrashParams params;
+  params.election_constant = 2.0;
+  sim::CountingTrace trace;
+  const auto result =
+      crash::run_crash_renaming(cfg, params, nullptr, &trace);
+  ASSERT_TRUE(result.report.ok());
+  const auto kind = [](crash::Tag t) { return static_cast<sim::MsgKind>(t); };
+  // All three tags present; statuses and responses pair up one-to-one in a
+  // failure-free run (every status gets exactly one response).
+  EXPECT_GT(trace.sent(kind(crash::Tag::kCommittee)), 0u);
+  EXPECT_GT(trace.sent(kind(crash::Tag::kStatus)), 0u);
+  EXPECT_EQ(trace.sent(kind(crash::Tag::kStatus)),
+            trace.sent(kind(crash::Tag::kResponse)));
+  EXPECT_EQ(trace.undelivered(kind(crash::Tag::kStatus)), 0u);
+}
+
+TEST(CountingTrace, SeesByzantineProtocolKinds) {
+  const NodeIndex n = 48;
+  const auto cfg = SystemConfig::random(n, 5ull * n * n, 6);
+  byzantine::ByzParams params;
+  params.pool_constant = 4.0;
+  params.shared_seed = 9;
+  sim::CountingTrace trace;
+  const auto result = byzantine::run_byz_renaming(
+      cfg, params, {1, 17}, &byzantine::SplitReporter::make, 0, &trace);
+  ASSERT_TRUE(result.report.ok(true));
+  const auto kind = [](byzantine::Tag t) {
+    return static_cast<sim::MsgKind>(t);
+  };
+  EXPECT_GT(trace.sent(kind(byzantine::Tag::kElect)), 0u);
+  EXPECT_GT(trace.sent(kind(byzantine::Tag::kIdReport)), 0u);
+  EXPECT_GT(trace.sent(kind(byzantine::Tag::kValidator)), 0u);
+  EXPECT_GT(trace.sent(kind(byzantine::Tag::kConsensus)), 0u);
+  EXPECT_GT(trace.sent(kind(byzantine::Tag::kNew)), 0u);
+  // Consensus traffic dominates (the phase-king cost of the loop).
+  EXPECT_GT(trace.sent(kind(byzantine::Tag::kConsensus)),
+            trace.sent(kind(byzantine::Tag::kElect)));
+}
+
+TEST(JsonlTrace, EmitsWellFormedLines) {
+  const NodeIndex n = 8;
+  const auto cfg = SystemConfig::random(n, 5ull * n * n, 7);
+  crash::CrashParams params;  // full committee
+  std::ostringstream out;
+  sim::JsonlTrace trace(out, /*message_sample=*/10);
+  auto adversary = std::make_unique<sim::RandomCrashAdversary>(2, 0.2, 8);
+  crash::run_crash_renaming(cfg, params, std::move(adversary), &trace);
+  const std::string text = out.str();
+  ASSERT_FALSE(text.empty());
+  std::istringstream lines(text);
+  std::string line;
+  int rounds = 0, round_ends = 0, messages = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_EQ(line.front(), '{') << line;
+    ASSERT_EQ(line.back(), '}') << line;
+    ASSERT_NE(line.find("\"event\":"), std::string::npos) << line;
+    rounds += line.find("\"event\":\"round\"") != std::string::npos;
+    round_ends += line.find("\"event\":\"round_end\"") != std::string::npos;
+    messages += line.find("\"event\":\"message\"") != std::string::npos;
+  }
+  EXPECT_GT(rounds, 0);
+  EXPECT_EQ(rounds, round_ends);
+  EXPECT_GT(messages, 0);
+}
+
+TEST(JsonlTrace, SamplingReducesMessageEvents) {
+  const NodeIndex n = 16;
+  const auto cfg = SystemConfig::random(n, 5ull * n * n, 8);
+  crash::CrashParams params;
+  auto count_messages = [&](std::uint64_t sample) {
+    std::ostringstream out;
+    sim::JsonlTrace trace(out, sample);
+    crash::run_crash_renaming(cfg, params, nullptr, &trace);
+    std::istringstream lines(out.str());
+    std::string line;
+    int messages = 0;
+    while (std::getline(lines, line)) {
+      messages += line.find("\"event\":\"message\"") != std::string::npos;
+    }
+    return messages;
+  };
+  const int all = count_messages(1);
+  const int sampled = count_messages(100);
+  EXPECT_GT(all, 0);
+  EXPECT_LT(sampled, all / 50);
+}
+
+}  // namespace
+}  // namespace renaming
