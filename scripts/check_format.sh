@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Formatting check: clang-format --dry-run --Werror over every C++ file in
+# src/, tests/, bench/ and examples/. Skips (exit 0, with a warning) when
+# clang-format is not installed — CI installs it and runs this same script.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format.sh: warning: clang-format not installed; skipping (CI runs it)" >&2
+  exit 0
+fi
+
+find "${ROOT}/src" "${ROOT}/tests" "${ROOT}/bench" "${ROOT}/examples" \
+  \( -name '*.h' -o -name '*.cc' \) -print0 |
+  xargs -0 clang-format --dry-run --Werror
+
+echo "check_format.sh: all files formatted"

@@ -1,0 +1,425 @@
+#!/usr/bin/env python3
+"""Protocol lint: repo-specific static checks no generic linter knows about.
+
+The simulator's claims (EXPERIMENTS.md, the theorem checks in tests/) are
+only meaningful if the codebase upholds a handful of protocol-level
+conventions. This script enforces them mechanically:
+
+  R1 nondeterminism  Executions must be pure functions of the seed. All
+                     randomness flows through the seeded PRNGs in
+                     common/prng.h / hashing/shared_random.h; wall-clock
+                     time, rand(), std::random_device, pid/env lookups and
+                     address-based hashing are banned in src/.
+  R2 msgkind         Every message tag (enum class Tag : sim::MsgKind
+                     enumerator, or file-local `constexpr sim::MsgKind`)
+                     must be referenced at least once outside its
+                     definition. A tag that is declared but never handled
+                     means a dispatch switch silently drops a message kind.
+  R3 bits-width      Wire-size ("bits") accumulation must use 64-bit
+                     types: a quadratic baseline at n = 1e5 with
+                     Omega(n)-bit messages overflows 32-bit counters and
+                     the overflow is exactly the kind of bug that fakes a
+                     subquadratic result.
+  R4 unordered-iter  Iterating an unordered container feeds its
+                     address-dependent order into message emission, traces
+                     or stats. Unordered containers are allowed for
+                     lookup/membership only; iteration requires an ordered
+                     container (or an explicit allow marker).
+  R5 header-hygiene  Every header under src/ must compile standalone
+                     (include-what-you-use smoke test with
+                     `g++ -fsyntax-only`).
+
+Findings can be suppressed per line with `// lint:allow(<rule>)` where
+<rule> is one of: nondeterminism, bits-width, unordered-iteration.
+
+Exit status: 0 if clean, 1 if any violation, 2 on usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SOURCE_SUFFIXES = {".h", ".cc"}
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z0-9-]+)\)")
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+
+
+class Violation:
+    def __init__(self, rule: str, path: Path, line: int, message: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def source_files(src: Path) -> list[Path]:
+    return sorted(
+        p for p in src.rglob("*") if p.suffix in SOURCE_SUFFIXES and p.is_file()
+    )
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Best-effort removal of // comments and string literals from one line."""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c == '"' or c == "'":
+            quote = c
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            out.append(quote + quote)  # keep token structure, drop content
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def allowed(line: str, rule: str) -> bool:
+    m = ALLOW_RE.search(line)
+    return bool(m and m.group(1) == rule)
+
+
+# ---------------------------------------------------------------------------
+# R1: nondeterminism sources
+
+NONDETERMINISM_PATTERNS = [
+    (re.compile(r"\brand\s*\("), "rand() (unseeded global PRNG)"),
+    (re.compile(r"\bsrand\s*\("), "srand() (global PRNG state)"),
+    (re.compile(r"std\s*::\s*random_device"), "std::random_device (entropy source)"),
+    (re.compile(r"\btime\s*\("), "time() (wall clock)"),
+    (re.compile(r"\bclock\s*\(\s*\)"), "clock() (wall clock)"),
+    (re.compile(r"\bgettimeofday\b"), "gettimeofday (wall clock)"),
+    (
+        re.compile(r"(system_clock|steady_clock|high_resolution_clock)\s*::\s*now"),
+        "chrono clock (wall clock)",
+    ),
+    (re.compile(r"\bgetpid\s*\("), "getpid() (process-dependent value)"),
+    (re.compile(r"\bgetenv\s*\("), "getenv() (environment-dependent value)"),
+    (
+        re.compile(r"std\s*::\s*hash\s*<[^<>]*\*\s*>"),
+        "std::hash over a pointer type (address-based hashing)",
+    ),
+]
+
+
+def check_nondeterminism(src: Path) -> list[Violation]:
+    violations = []
+    for path in source_files(src):
+        for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+            if allowed(raw, "nondeterminism"):
+                continue
+            code = strip_comments_and_strings(raw)
+            for pattern, why in NONDETERMINISM_PATTERNS:
+                if pattern.search(code):
+                    violations.append(
+                        Violation(
+                            "nondeterminism",
+                            path,
+                            lineno,
+                            f"{why}; all randomness must flow through the "
+                            "seeded PRNGs in common/prng.h",
+                        )
+                    )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# R2: every message kind is handled somewhere
+
+TAG_ENUM_RE = re.compile(r"enum\s+class\s+(\w+)\s*:\s*(?:sim\s*::\s*)?MsgKind\s*\{")
+ENUMERATOR_RE = re.compile(r"^\s*(k\w+)\s*=?")
+CONSTEXPR_KIND_RE = re.compile(
+    r"constexpr\s+(?:sim\s*::\s*)?MsgKind\s+(k\w+)\s*="
+)
+
+
+def check_msgkind_exhaustive(src: Path) -> list[Violation]:
+    files = source_files(src)
+    texts = {p: p.read_text() for p in files}
+
+    violations = []
+    for path, text in texts.items():
+        lines = text.splitlines()
+
+        # File-local constexpr MsgKind constants: must be referenced in the
+        # same translation unit outside their definition line.
+        for lineno, raw in enumerate(lines, start=1):
+            m = CONSTEXPR_KIND_RE.search(strip_comments_and_strings(raw))
+            if not m:
+                continue
+            name = m.group(1)
+            refs = 0
+            for other_no, other in enumerate(lines, start=1):
+                if other_no == lineno:
+                    continue
+                if re.search(rf"\b{re.escape(name)}\b",
+                             strip_comments_and_strings(other)):
+                    refs += 1
+            if refs == 0:
+                violations.append(
+                    Violation(
+                        "msgkind",
+                        path,
+                        lineno,
+                        f"message kind {name} is declared but never handled "
+                        "at any dispatch site in this file",
+                    )
+                )
+
+        # enum class Tag : sim::MsgKind enumerators: must be referenced as
+        # Enum::kName somewhere in the same protocol directory (outside the
+        # enum body itself).
+        for m in TAG_ENUM_RE.finditer(text):
+            enum_name = m.group(1)
+            body_start = text.index("{", m.start())
+            body_end = text.index("}", body_start)
+            body = text[body_start + 1 : body_end]
+            body_first_line = text[:body_start].count("\n") + 1
+            enumerators = []
+            for offset, raw in enumerate(body.splitlines()):
+                em = ENUMERATOR_RE.match(strip_comments_and_strings(raw))
+                if em:
+                    enumerators.append((em.group(1), body_first_line + offset))
+            proto_dir = path.parent
+            for name, lineno in enumerators:
+                ref_re = re.compile(
+                    rf"\b{re.escape(enum_name)}\s*::\s*{re.escape(name)}\b"
+                )
+                refs = 0
+                for other in files:
+                    if other.parent != proto_dir:
+                        continue
+                    other_lines = texts[other].splitlines()
+                    for other_no, other_raw in enumerate(other_lines, start=1):
+                        if other == path and other_no == lineno:
+                            continue
+                        if ref_re.search(strip_comments_and_strings(other_raw)):
+                            refs += 1
+                if refs == 0:
+                    violations.append(
+                        Violation(
+                            "msgkind",
+                            path,
+                            lineno,
+                            f"{enum_name}::{name} is declared but never "
+                            f"handled at any dispatch site under "
+                            f"{proto_dir.name}/ — a switch over {enum_name} "
+                            "is silently dropping this message kind",
+                        )
+                    )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# R3: wire-size accounting uses 64-bit types
+
+NARROW_INT_TYPES = (
+    r"(?:std\s*::\s*)?u?int(?:8|16|32)_t",
+    r"unsigned\s+(?:short|int)",
+    r"(?:unsigned|int|short)",
+)
+NARROW_BITS_DECL_RE = re.compile(
+    r"\b(?:" + "|".join(NARROW_INT_TYPES) + r")\s+(\w*[Bb]its\w*)\s*(?:=|;|\{)"
+)
+
+
+def check_bits_width(src: Path) -> list[Violation]:
+    violations = []
+    for path in source_files(src):
+        lines = path.read_text().splitlines()
+        narrow: dict[str, int] = {}
+        for lineno, raw in enumerate(lines, start=1):
+            code = strip_comments_and_strings(raw)
+            m = NARROW_BITS_DECL_RE.search(code)
+            if m and "64" not in code.split(m.group(1))[0]:
+                narrow[m.group(1)] = lineno
+        if not narrow:
+            continue
+        for lineno, raw in enumerate(lines, start=1):
+            if allowed(raw, "bits-width"):
+                continue
+            code = strip_comments_and_strings(raw)
+            for name, decl_line in narrow.items():
+                if re.search(rf"\b{re.escape(name)}\s*[+\-]=", code):
+                    violations.append(
+                        Violation(
+                            "bits-width",
+                            path,
+                            lineno,
+                            f"accumulating into '{name}' declared with a "
+                            f"<64-bit type at line {decl_line}; wire-size "
+                            "totals must use std::uint64_t (a quadratic "
+                            "baseline overflows 32 bits)",
+                        )
+                    )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# R4: no iteration over unordered containers
+
+UNORDERED_DECL_RE = re.compile(r"std\s*::\s*unordered_\w+\s*<[^;()]*>\s+(\w+)\s*[;{=]")
+
+
+def check_unordered_iteration(src: Path) -> list[Violation]:
+    violations = []
+    for path in source_files(src):
+        lines = path.read_text().splitlines()
+        names: set[str] = set()
+        for raw in lines:
+            m = UNORDERED_DECL_RE.search(strip_comments_and_strings(raw))
+            if m:
+                names.add(m.group(1))
+        if not names:
+            continue
+        for lineno, raw in enumerate(lines, start=1):
+            if allowed(raw, "unordered-iteration"):
+                continue
+            code = strip_comments_and_strings(raw)
+            for name in names:
+                range_for = re.search(rf"for\s*\([^;)]*:\s*{re.escape(name)}\b", code)
+                explicit = re.search(rf"\b{re.escape(name)}\s*\.\s*(begin|cbegin)\s*\(", code)
+                if range_for or explicit:
+                    violations.append(
+                        Violation(
+                            "unordered-iteration",
+                            path,
+                            lineno,
+                            f"iterating unordered container '{name}': its "
+                            "order is address-dependent and would leak "
+                            "nondeterminism into traces/messages; use an "
+                            "ordered container or add "
+                            "// lint:allow(unordered-iteration) with a "
+                            "justification",
+                        )
+                    )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# R5: headers are self-contained
+
+
+def check_header_hygiene(src: Path, compiler: str) -> list[Violation]:
+    if shutil.which(compiler) is None:
+        print(
+            f"protocol_lint: warning: '{compiler}' not found; "
+            "skipping header self-containment checks",
+            file=sys.stderr,
+        )
+        return []
+    violations = []
+    headers = sorted(p for p in src.rglob("*.h") if p.is_file())
+    with tempfile.TemporaryDirectory(prefix="protocol_lint_") as tmp:
+        tu = Path(tmp) / "tu.cc"
+        for header in headers:
+            rel = header.relative_to(src).as_posix()
+            tu.write_text(f'#include "{rel}"\nint main() {{ return 0; }}\n')
+            proc = subprocess.run(
+                [compiler, "-std=c++20", "-fsyntax-only", "-Wall", "-Wextra",
+                 f"-I{src}", str(tu)],
+                capture_output=True,
+                text=True,
+            )
+            if proc.returncode != 0:
+                first = proc.stderr.strip().splitlines()
+                detail = first[0] if first else "compilation failed"
+                violations.append(
+                    Violation(
+                        "header-hygiene",
+                        header,
+                        1,
+                        f"header is not self-contained: {detail}",
+                    )
+                )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+
+RULES = {
+    "nondeterminism": lambda src, args: check_nondeterminism(src),
+    "msgkind": lambda src, args: check_msgkind_exhaustive(src),
+    "bits-width": lambda src, args: check_bits_width(src),
+    "unordered-iteration": lambda src, args: check_unordered_iteration(src),
+    "header-hygiene": lambda src, args: check_header_hygiene(src, args.compiler),
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: parent of scripts/)",
+    )
+    parser.add_argument(
+        "--rules",
+        default="all",
+        help="comma-separated rule subset: "
+        + ",".join(RULES)
+        + " (default: all)",
+    )
+    parser.add_argument(
+        "--compiler",
+        default="g++",
+        help="compiler used for the header self-containment smoke test",
+    )
+    args = parser.parse_args()
+
+    src = args.root / "src"
+    if not src.is_dir():
+        print(f"protocol_lint: error: {src} is not a directory", file=sys.stderr)
+        return 2
+
+    if args.rules == "all":
+        selected = list(RULES)
+    else:
+        selected = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in selected if r not in RULES]
+        if unknown:
+            print(
+                f"protocol_lint: error: unknown rule(s) {', '.join(unknown)}",
+                file=sys.stderr,
+            )
+            return 2
+
+    violations: list[Violation] = []
+    for rule in selected:
+        violations.extend(RULES[rule](src, args))
+
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"protocol_lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"protocol_lint: OK ({', '.join(selected)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

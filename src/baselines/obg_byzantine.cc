@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <map>
-#include <unordered_map>
 #include <memory>
 
 #include "common/math.h"
@@ -100,8 +99,8 @@ class ObgNode : public sim::Node {
 
   std::vector<OriginalId> filter_by_count(std::span<const sim::Message> inbox,
                                           std::size_t threshold) const {
-    std::unordered_map<OriginalId, std::size_t> counts;
-    counts.reserve(n_ * 2);
+    // Ordered map: iteration below builds the kept vector in id order.
+    std::map<OriginalId, std::size_t> counts;
     std::vector<bool> heard(n_, false);
     for (const sim::Message& m : inbox) {
       if (m.kind != kVector || !m.blob) continue;
@@ -111,9 +110,8 @@ class ObgNode : public sim::Node {
     }
     std::vector<OriginalId> kept;
     for (const auto& [id, count] : counts) {
-      if (count >= threshold) kept.push_back(id);
+      if (count >= threshold) kept.push_back(id);  // ascending: map order
     }
-    std::sort(kept.begin(), kept.end());
     return kept;
   }
 

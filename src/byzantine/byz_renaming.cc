@@ -1,10 +1,10 @@
 #include "byzantine/byz_renaming.h"
 
 #include <algorithm>
-#include <cassert>
 #include <map>
 #include <memory>
 
+#include "common/check.h"
 #include "sim/engine.h"
 
 namespace renaming::byzantine {
@@ -41,7 +41,7 @@ bool ByzNode::done() const {
 void ByzNode::send(Round round, sim::Outbox& out) {
   switch (stage_) {
     case Stage::kElect: {
-      assert(round == 1);
+      RENAMING_CHECK(round == 1, "election happens in the first round");
       (void)round;
       // Shared-randomness pool: my identity elects itself with prob p0.
       if (beacon_.coin(hashing::SharedRandomness::Domain::kCommitteeElection,

@@ -39,7 +39,6 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/math.h"
@@ -164,11 +163,15 @@ class ByzNode : public sim::Node {
   consensus::CommitteeView view_;
   std::optional<NewId> new_id_;
   // NEW votes: sender -> value (0 = null), accumulated across rounds.
-  std::unordered_map<NodeIndex, std::uint64_t> new_votes_;
+  // Ordered container: its iteration feeds the decision tally, and the
+  // protocol lint bans unordered iteration anywhere near traces or stats.
+  std::map<NodeIndex, std::uint64_t> new_votes_;
 
   // --- committee-member state ---
   std::unique_ptr<IdentityList> list_;
-  std::unordered_map<std::uint64_t, NodeIndex> reporters_;  // id -> link
+  // Ordered by id: distribute() iterates this map to emit NEW(null)
+  // messages, so its order is part of the deterministic trace.
+  std::map<std::uint64_t, NodeIndex> reporters_;  // id -> link
   std::vector<Interval> pending_;                 // the stack J
   std::map<std::uint64_t, Processed> processed_;  // J-hat, keyed by lo
   Interval current_{1, 1};

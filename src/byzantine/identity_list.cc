@@ -1,8 +1,8 @@
 #include "byzantine/identity_list.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.h"
 #include "hashing/mersenne61.h"
 
 namespace renaming::byzantine {
@@ -12,7 +12,8 @@ IdentityList::IdentityList(std::uint64_t namespace_size,
     : namespace_size_(namespace_size), hash_(beacon) {}
 
 void IdentityList::insert(std::uint64_t id) {
-  assert(id >= 1 && id <= namespace_size_);
+  RENAMING_CHECK(id >= 1 && id <= namespace_size_,
+                 "identity outside the namespace");
   const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
   if (it != ids_.end() && *it == id) return;
   ids_.insert(it, id);
@@ -20,7 +21,8 @@ void IdentityList::insert(std::uint64_t id) {
 }
 
 void IdentityList::set(std::uint64_t id, bool present) {
-  assert(id >= 1 && id <= namespace_size_);
+  RENAMING_CHECK(id >= 1 && id <= namespace_size_,
+                 "identity outside the namespace");
   const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
   const bool have = it != ids_.end() && *it == id;
   if (present && !have) {
@@ -46,7 +48,8 @@ std::size_t IdentityList::lower(std::uint64_t bound) const {
 }
 
 SegmentSummary IdentityList::summarize(const Interval& j) const {
-  assert(j.lo >= 1 && j.hi <= namespace_size_);
+  RENAMING_CHECK(j.lo >= 1 && j.hi <= namespace_size_,
+                 "segment outside the namespace");
   if (!prefix_valid_) rebuild_prefix();
   const std::size_t a = lower(j.lo);
   const std::size_t b = lower(j.hi + 1);

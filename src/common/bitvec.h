@@ -8,9 +8,10 @@
 #pragma once
 
 #include <bit>
-#include <cassert>
 #include <cstdint>
 #include <vector>
+
+#include "common/check.h"
 
 namespace renaming {
 
@@ -23,12 +24,12 @@ class BitVec {
   std::uint64_t size() const { return nbits_; }
 
   bool test(std::uint64_t i) const {
-    assert(i < nbits_);
+    RENAMING_CHECK(i < nbits_, "BitVec::test out of range");
     return (words_[i >> 6] >> (i & 63)) & 1ULL;
   }
 
   void set(std::uint64_t i, bool value = true) {
-    assert(i < nbits_);
+    RENAMING_CHECK(i < nbits_, "BitVec::set out of range");
     if (value) {
       words_[i >> 6] |= (1ULL << (i & 63));
     } else {
@@ -45,7 +46,7 @@ class BitVec {
 
   /// Number of set bits in positions [lo, hi] inclusive.
   std::uint64_t count_range(std::uint64_t lo, std::uint64_t hi) const {
-    assert(lo <= hi && hi < nbits_);
+    RENAMING_CHECK(lo <= hi && hi < nbits_, "BitVec::count_range out of range");
     const std::uint64_t wl = lo >> 6, wh = hi >> 6;
     const std::uint64_t mask_lo = ~0ULL << (lo & 63);
     const std::uint64_t mask_hi =

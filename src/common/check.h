@@ -1,0 +1,58 @@
+// Always-on invariant checking.
+//
+// The paper's value proposition is *measured* bit/message complexity, and a
+// silently-corrupted simulator invalidates every number downstream. The
+// default build is RelWithDebInfo, where NDEBUG erases assert(); invariants
+// guarded by assert() therefore never ran in the builds that produce
+// EXPERIMENTS.md. RENAMING_CHECK closes that hole: it is evaluated in every
+// build type unless the benchmark-only RENAMING_UNCHECKED macro is defined
+// (see docs/TOOLING.md for the policy and CMakePresets.json for the
+// `release` preset that sets it).
+//
+// Usage:
+//   RENAMING_CHECK(i < size());
+//   RENAMING_CHECK(msg.bits > 0, "every message must declare a wire size");
+//
+// The macro is usable inside constexpr functions: a failing check during
+// constant evaluation is a compile error (the failure branch calls a
+// non-constexpr function), and a failing check at runtime prints the
+// condition, location and optional message, then aborts.
+//
+// RENAMING_DCHECK is for hot-path checks that are too expensive even for
+// RelWithDebInfo; it compiles away unless RENAMING_DEBUG_CHECKS is defined.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace renaming::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "RENAMING_CHECK failed: %s\n  at %s:%d\n", expr, file,
+               line);
+  if (msg != nullptr && msg[0] != '\0') {
+    std::fprintf(stderr, "  %s\n", msg);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace renaming::detail
+
+#if defined(RENAMING_UNCHECKED)
+// Benchmark builds: the condition still has to compile (so checked and
+// unchecked builds cannot drift apart) but is never evaluated.
+#define RENAMING_CHECK(cond, ...) static_cast<void>(false && (cond))
+#else
+#define RENAMING_CHECK(cond, ...)                                  \
+  ((cond) ? static_cast<void>(0)                                   \
+          : ::renaming::detail::check_failed(#cond, __FILE__, __LINE__, \
+                                             "" __VA_ARGS__))
+#endif
+
+#if defined(RENAMING_DEBUG_CHECKS)
+#define RENAMING_DCHECK(cond, ...) RENAMING_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#else
+#define RENAMING_DCHECK(cond, ...) static_cast<void>(false && (cond))
+#endif

@@ -2,20 +2,21 @@
 #pragma once
 
 #include <bit>
-#include <cassert>
 #include <cstdint>
+
+#include "common/check.h"
 
 namespace renaming {
 
 /// ceil(log2(x)) for x >= 1; returns 0 for x == 1.
 inline std::uint32_t ceil_log2(std::uint64_t x) {
-  assert(x >= 1);
+  RENAMING_CHECK(x >= 1);
   return static_cast<std::uint32_t>(std::bit_width(x - 1));
 }
 
 /// floor(log2(x)) for x >= 1.
 inline std::uint32_t floor_log2(std::uint64_t x) {
-  assert(x >= 1);
+  RENAMING_CHECK(x >= 1);
   return static_cast<std::uint32_t>(std::bit_width(x)) - 1;
 }
 
@@ -29,7 +30,7 @@ inline std::uint32_t protocol_log(std::uint64_t n) {
 
 /// Integer ceiling division.
 inline std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
-  assert(b != 0);
+  RENAMING_CHECK(b != 0);
   return (a + b - 1) / b;
 }
 

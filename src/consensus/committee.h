@@ -10,10 +10,10 @@
 #pragma once
 
 #include <algorithm>
-#include <cassert>
 #include <cstdint>
 #include <vector>
 
+#include "common/check.h"
 #include "common/types.h"
 
 namespace renaming::consensus {

@@ -1,7 +1,8 @@
 #include "consensus/phase_king.h"
 
-#include <cassert>
 #include <vector>
+
+#include "common/check.h"
 
 namespace renaming::consensus {
 
@@ -21,7 +22,8 @@ PhaseKing::PhaseKing(const CommitteeView& view, std::size_t my_index,
       message_bits_(message_bits),
       tolerated_(view.max_tolerated()),
       value_(input) {
-  assert(my_index_ < view_.size());
+  RENAMING_CHECK(my_index_ < view_.size(),
+                 "phase-king participant must be a view member");
 }
 
 void PhaseKing::send(std::uint32_t step, sim::Outbox& out) {

@@ -1,9 +1,10 @@
 #include "consensus/validator.h"
 
-#include <cassert>
 #include <map>
 #include <utility>
 #include <vector>
+
+#include "common/check.h"
 
 namespace renaming::consensus {
 
@@ -20,7 +21,8 @@ Validator::Validator(const CommitteeView& view, std::size_t my_index,
       tolerated_(view.max_tolerated()),
       in_(input),
       out_(input) {
-  assert(my_index_ < view_.size());
+  RENAMING_CHECK(my_index_ < view_.size(),
+                 "validator participant must be a view member");
 }
 
 void Validator::send(std::uint32_t step, sim::Outbox& out) {

@@ -10,9 +10,10 @@
 // baselines) uses exactly these operations.
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <string>
+
+#include "common/check.h"
 
 namespace renaming {
 
@@ -22,7 +23,7 @@ struct Interval {
 
   constexpr Interval() = default;
   constexpr Interval(std::uint64_t l, std::uint64_t h) : lo(l), hi(h) {
-    assert(l <= h);
+    RENAMING_CHECK(l <= h, "interval endpoints out of order");
   }
 
   constexpr std::uint64_t size() const { return hi - lo + 1; }
@@ -37,13 +38,13 @@ struct Interval {
 
   /// Left child in the interval tree: [l, floor((l+r)/2)].
   constexpr Interval bot() const {
-    assert(!singleton());
+    RENAMING_CHECK(!singleton(), "a singleton interval has no children");
     return Interval(lo, lo + (hi - lo) / 2);
   }
 
   /// Right child in the interval tree: [floor((l+r)/2)+1, r].
   constexpr Interval top() const {
-    assert(!singleton());
+    RENAMING_CHECK(!singleton(), "a singleton interval has no children");
     return Interval(lo + (hi - lo) / 2 + 1, hi);
   }
 
@@ -60,7 +61,7 @@ struct Interval {
 inline std::uint32_t tree_depth(Interval root, const Interval& target) {
   std::uint32_t d = 0;
   while (root != target) {
-    assert(!root.singleton());
+    RENAMING_CHECK(!root.singleton(), "target is not inside this tree");
     root = target.subset_of(root.bot()) ? root.bot() : root.top();
     ++d;
   }

@@ -7,11 +7,11 @@
 // the divide-and-conquer fingerprint consensus).
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <unordered_set>
 #include <vector>
 
+#include "common/check.h"
 #include "common/prng.h"
 #include "common/types.h"
 
@@ -26,7 +26,7 @@ struct SystemConfig {
   /// Samples a config with distinct uniform identities from [N].
   static SystemConfig random(NodeIndex n, std::uint64_t namespace_size,
                              std::uint64_t seed) {
-    assert(namespace_size >= n);
+    RENAMING_CHECK(namespace_size >= n, "namespace must fit all nodes");
     SystemConfig cfg;
     cfg.n = n;
     cfg.namespace_size = namespace_size;
@@ -46,7 +46,7 @@ struct SystemConfig {
   /// clustered into a few dense runs so segment disagreements concentrate.
   static SystemConfig clustered(NodeIndex n, std::uint64_t namespace_size,
                                 std::uint64_t seed, std::uint32_t clusters) {
-    assert(namespace_size >= n && clusters >= 1);
+    RENAMING_CHECK(namespace_size >= n && clusters >= 1);
     SystemConfig cfg;
     cfg.n = n;
     cfg.namespace_size = namespace_size;

@@ -1,9 +1,10 @@
 #include "crash/crash_renaming.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
+
+#include "common/check.h"
 
 #include "sim/engine.h"
 
@@ -111,7 +112,7 @@ void CrashNode::committee_action(sim::Outbox& out) {
         if (u.interval == w.interval && u.id <= w.id) ++rank;
         if (u.interval.subset_of(bot)) ++occupied;
       }
-      assert(rank >= 1 && "w's own status is in the mailbox");
+      RENAMING_CHECK(rank >= 1, "w's own status is in the mailbox");
       if (occupied + rank <= bot.size()) {
         reply_interval = bot;
       } else {

@@ -1,7 +1,8 @@
 #include "sim/engine.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace renaming::sim {
 
@@ -12,13 +13,40 @@ Engine::Engine(std::vector<std::unique_ptr<Node>> nodes,
                            : std::make_unique<NoCrashAdversary>()),
       alive_(nodes_.size(), true),
       byzantine_(nodes_.size(), false) {
-  assert(!nodes_.empty());
+  RENAMING_CHECK(!nodes_.empty(), "an engine needs at least one node");
+  for (const std::unique_ptr<Node>& node : nodes_) {
+    RENAMING_CHECK(node != nullptr, "every node slot must be populated");
+  }
 }
 
 void Engine::mark_byzantine(NodeIndex v) {
-  assert(v < nodes_.size());
+  RENAMING_CHECK(v < nodes_.size(), "byzantine index out of range");
   byzantine_[v] = true;
   ++stats_.byzantine;
+}
+
+void Engine::check_stats_consistent() const {
+  // Double-entry accounting: the per-round ledgers must reconcile exactly
+  // with the run totals, or some path bypassed note_message / the crash
+  // bookkeeping and every complexity figure downstream is suspect.
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+  std::uint64_t crashes = 0;
+  for (const RoundStats& r : stats_.per_round) {
+    messages += r.messages;
+    bits += r.bits;
+    crashes += r.crashes;
+  }
+  RENAMING_CHECK(messages == stats_.total_messages,
+                 "per-round message ledger disagrees with run total");
+  RENAMING_CHECK(bits == stats_.total_bits,
+                 "per-round bit ledger disagrees with run total");
+  RENAMING_CHECK(crashes == stats_.crashes,
+                 "per-round crash ledger disagrees with run total");
+  RENAMING_CHECK(stats_.per_round.size() == stats_.rounds,
+                 "one per-round entry per executed round");
+  RENAMING_CHECK(stats_.crashes <= adversary_->budget(),
+                 "adversary exceeded its declared crash budget");
 }
 
 RunStats Engine::run(Round max_rounds) {
@@ -32,11 +60,13 @@ RunStats Engine::run(Round max_rounds) {
   };
 
   std::vector<std::vector<Message>> inbox(n);
+  std::vector<char> crashed_now(n, 0);
 
   for (Round round = 1; round <= max_rounds; ++round) {
     if (all_correct_done()) break;
     stats_.rounds = round;
     stats_.per_round.push_back({});
+    std::fill(crashed_now.begin(), crashed_now.end(), 0);
     if (trace_ != nullptr) trace_->on_round_begin(round);
 
     // --- Send phase: every alive node queues its messages. -------------
@@ -51,10 +81,12 @@ RunStats Engine::run(Round max_rounds) {
     AdversaryView view{round, n, &alive_, &outboxes, &nodes_};
     for (CrashOrder& order : adversary_->decide(view)) {
       const NodeIndex v = order.victim;
-      assert(v < n);
+      RENAMING_CHECK(v < n, "crash order names a node outside the system");
       if (!alive_[v]) continue;
-      assert(!byzantine_[v] && "Byzantine nodes do not crash in this model");
+      RENAMING_CHECK(!byzantine_[v],
+                     "Byzantine nodes do not crash in this model");
       alive_[v] = false;
+      crashed_now[v] = 1;
       ++stats_.crashes;
       ++stats_.per_round.back().crashes;
       // Retain only the messages the adversary lets escape.
@@ -66,7 +98,8 @@ RunStats Engine::run(Round max_rounds) {
       kept.reserve(order.keep.size());
       std::sort(order.keep.begin(), order.keep.end());
       for (std::uint32_t idx : order.keep) {
-        assert(idx < entries.size());
+        RENAMING_CHECK(idx < entries.size(),
+                       "crash order keeps a message that was never queued");
         kept.push_back(std::move(entries[idx]));
       }
       entries = std::move(kept);
@@ -74,8 +107,16 @@ RunStats Engine::run(Round max_rounds) {
 
     // --- Delivery phase: authenticate, account, deliver. ---------------
     for (NodeIndex v = 0; v < n; ++v) {
+      // A node felled in an earlier round must not produce traffic; only
+      // this round's victims may still have (adversary-kept) entries.
+      RENAMING_CHECK(
+          alive_[v] || crashed_now[v] != 0 || outboxes[v].entries().empty(),
+          "crashed node sent messages after falling");
       for (auto& [dest, msg] : outboxes[v].entries()) {
-        assert(msg.sender == v && "engine stamps the true origin");
+        RENAMING_CHECK(dest < n, "message addressed outside the system");
+        RENAMING_CHECK(msg.sender == v, "engine stamps the true origin");
+        RENAMING_CHECK(msg.bits > 0,
+                       "every message must declare a wire size");
         // The message left the sender: it counts toward complexity even if
         // the destination has crashed (the sender still paid for it).
         stats_.note_message(msg.bits);
@@ -101,6 +142,7 @@ RunStats Engine::run(Round max_rounds) {
     if (trace_ != nullptr) trace_->on_round_end(round, stats_.per_round.back());
   }
 
+  check_stats_consistent();
   return stats_;
 }
 

@@ -48,6 +48,10 @@ class Engine {
   const RunStats& stats() const { return stats_; }
 
  private:
+  // Aborts (RENAMING_CHECK) if the per-round ledgers disagree with the run
+  // totals or the adversary overspent its budget; called at the end of run().
+  void check_stats_consistent() const;
+
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<CrashAdversary> adversary_;
   std::vector<bool> alive_;

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/check.h"
 #include "common/types.h"
 
 namespace renaming::sim {
@@ -52,6 +53,7 @@ struct Message {
 template <typename... Words>
 Message make_message(MsgKind kind, std::uint32_t bits, Words... words) {
   static_assert(sizeof...(Words) <= kInlineWords);
+  RENAMING_CHECK(bits > 0, "every message must declare a wire size");
   Message m;
   m.kind = kind;
   m.bits = bits;

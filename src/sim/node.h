@@ -12,11 +12,11 @@
 // through the inbox.
 #pragma once
 
-#include <cassert>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/types.h"
 #include "sim/message.h"
 
@@ -30,8 +30,8 @@ class Outbox {
   /// Send `m` over the link to `dest`. Honest senders leave claimed_sender
   /// untouched; the engine stamps both fields.
   void send(NodeIndex dest, Message m) {
-    assert(dest < n_);
-    assert(m.bits > 0 && "every message must declare a wire size");
+    RENAMING_CHECK(dest < n_, "send to a link outside the system");
+    RENAMING_CHECK(m.bits > 0, "every message must declare a wire size");
     if (m.claimed_sender == kNoNode) m.claimed_sender = self_;
     m.sender = self_;
     queued_.emplace_back(dest, std::move(m));

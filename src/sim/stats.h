@@ -9,12 +9,16 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/check.h"
+
 namespace renaming::sim {
 
 struct RoundStats {
   std::uint64_t messages = 0;
   std::uint64_t bits = 0;
   std::uint64_t crashes = 0;  ///< Nodes crashed during this round.
+
+  friend bool operator==(const RoundStats&, const RoundStats&) = default;
 };
 
 struct RunStats {
@@ -27,7 +31,15 @@ struct RunStats {
   std::uint32_t max_message_bits = 0;
   std::vector<RoundStats> per_round;
 
+  friend bool operator==(const RunStats&, const RunStats&) = default;
+
+  /// Charges one `bits`-sized message to the totals and to the current
+  /// round's ledger. All accumulators are 64-bit: a quadratic baseline at
+  /// n = 10^5 with Omega(n)-bit messages overflows 32-bit bit counters.
   void note_message(std::uint32_t bits) {
+    RENAMING_CHECK(!per_round.empty(),
+                   "note_message before any round began");
+    RENAMING_CHECK(bits > 0, "every message must declare a wire size");
     ++total_messages;
     total_bits += bits;
     if (bits > max_message_bits) max_message_bits = bits;

@@ -1,0 +1,99 @@
+// Accounting edge cases for sim/stats.h.
+//
+// The theorems are statements about exactly these counters, so the
+// accounting layer gets its own tests: note_message misuse must abort (not
+// silently write out of bounds), max_message_bits must track the high-water
+// mark, and the CountingTrace observer must reconcile with RunStats even
+// when spoofed traffic is charged but never delivered.
+#include <gtest/gtest.h>
+
+#include "byzantine/byz_renaming.h"
+#include "byzantine/strategies.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+
+namespace renaming {
+namespace {
+
+#if !defined(RENAMING_UNCHECKED)
+TEST(StatsAccountingDeathTest, NoteMessageBeforeAnyRoundAborts) {
+  // per_round.back() on an empty vector was undefined behaviour; now it is
+  // a RENAMING_CHECK abort in every build type, including RelWithDebInfo.
+  sim::RunStats stats;
+  ASSERT_TRUE(stats.per_round.empty());
+  EXPECT_DEATH(stats.note_message(8), "note_message before any round began");
+}
+
+TEST(StatsAccountingDeathTest, ZeroBitMessageAborts) {
+  sim::RunStats stats;
+  stats.per_round.push_back({});
+  EXPECT_DEATH(stats.note_message(0), "wire size");
+}
+#endif
+
+TEST(StatsAccounting, NoteMessageUpdatesTotalsAndCurrentRound) {
+  sim::RunStats stats;
+  stats.per_round.push_back({});
+  stats.note_message(16);
+  stats.note_message(48);
+  stats.per_round.push_back({});
+  stats.note_message(32);
+  EXPECT_EQ(stats.total_messages, 3u);
+  EXPECT_EQ(stats.total_bits, 96u);
+  EXPECT_EQ(stats.per_round[0].messages, 2u);
+  EXPECT_EQ(stats.per_round[0].bits, 64u);
+  EXPECT_EQ(stats.per_round[1].messages, 1u);
+  EXPECT_EQ(stats.per_round[1].bits, 32u);
+}
+
+TEST(StatsAccounting, MaxMessageBitsTracksHighWaterMark) {
+  sim::RunStats stats;
+  stats.per_round.push_back({});
+  stats.note_message(8);
+  EXPECT_EQ(stats.max_message_bits, 8u);
+  stats.note_message(1u << 30);  // a quadratic-baseline-sized blob
+  stats.note_message(8);         // smaller traffic must not lower the mark
+  EXPECT_EQ(stats.max_message_bits, 1u << 30);
+  EXPECT_EQ(stats.total_bits, 16u + (1u << 30));
+}
+
+TEST(StatsAccounting, BitTotalsUse64BitAccumulators) {
+  // 8 messages of 2^30 bits overflow a 32-bit total; the accounting types
+  // must carry them exactly (the protocol lint enforces this statically).
+  sim::RunStats stats;
+  stats.per_round.push_back({});
+  for (int i = 0; i < 8; ++i) stats.note_message(1u << 30);
+  EXPECT_EQ(stats.total_bits, 8ull << 30);
+  EXPECT_EQ(stats.per_round[0].bits, 8ull << 30);
+}
+
+TEST(StatsAccounting, CountingTraceReconcilesWithRunStatsUnderSpoofing) {
+  // A spoofer charges traffic that is never delivered; the independent
+  // CountingTrace observer and the engine's RunStats must still agree on
+  // every ledger (sent, bits, crashes) — double-entry accounting.
+  const NodeIndex n = 36;
+  const auto cfg = SystemConfig::random(n, 5ull * n * n, 11);
+  byzantine::ByzParams params;
+  params.pool_constant = 4.0;
+  params.shared_seed = 5;
+  sim::CountingTrace trace;
+  const auto result = byzantine::run_byz_renaming(
+      cfg, params, {2, 9}, &byzantine::Spoofer::make, 0, &trace);
+  ASSERT_TRUE(result.report.ok(true));
+  EXPECT_GT(result.stats.spoofs_rejected, 0u);
+
+  EXPECT_EQ(trace.total(), result.stats.total_messages);
+  std::uint64_t sent = 0, bits = 0, undelivered = 0;
+  for (const auto& [kind, count] : trace.by_kind()) {
+    sent += count;
+    bits += trace.bits(kind);
+    undelivered += trace.undelivered(kind);
+  }
+  EXPECT_EQ(sent, result.stats.total_messages);
+  EXPECT_EQ(bits, result.stats.total_bits);
+  // Every spoofed message is counted as sent-but-undelivered by the trace.
+  EXPECT_GE(undelivered, result.stats.spoofs_rejected);
+}
+
+}  // namespace
+}  // namespace renaming
