@@ -1,0 +1,210 @@
+// Experiment E8 — raw engine throughput (docs/PERFORMANCE.md).
+//
+// Measures the simulator hot path itself, independent of any renaming
+// claim: events/sec (one event = one message leaving a sender) on
+//   * ping       — n nodes broadcasting one O(log N)-bit message per round
+//                  for a fixed number of rounds: pure engine overhead;
+//   * cht        — the all-to-all CHT halving baseline, the workload that
+//                  made bench_crash_scaling dodge n >= 4096 before the
+//                  broadcast fast path existed;
+//   * cht-crash  — same under a random crash adversary, exercising the
+//                  mid-send crash (outbox expansion) slow path.
+//
+// Independent seeds run in parallel (bench_util.h pool); each simulation is
+// single-threaded and deterministic. `--json` writes BENCH_engine.json so
+// CI can accrue per-PR numbers; `--smoke` shrinks the sweep for CI.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/cht_crash.h"
+#include "bench_util.h"
+#include "common/math.h"
+#include "sim/adversary.h"
+#include "sim/engine.h"
+
+namespace renaming {
+namespace {
+
+using bench::fixed;
+using bench::human;
+using bench::Json;
+using bench::Table;
+
+constexpr sim::MsgKind kPing = 41;
+
+/// Broadcasts one small message per round for a fixed number of rounds.
+class PingNode final : public sim::Node {
+ public:
+  PingNode(NodeIndex self, Round rounds) : self_(self), rounds_(rounds) {}
+
+  void send(Round, sim::Outbox& out) override {
+    out.broadcast(
+        sim::make_message(kPing, 32, static_cast<std::uint64_t>(self_)));
+  }
+
+  void receive(Round round, sim::InboxView inbox) override {
+    seen_ += inbox.size();
+    executed_ = round;
+  }
+
+  bool done() const override { return executed_ >= rounds_; }
+
+ private:
+  NodeIndex self_;
+  Round rounds_;
+  Round executed_ = 0;
+  std::uint64_t seen_ = 0;
+};
+
+struct Workload {
+  std::string name;
+  std::vector<NodeIndex> sizes;
+  std::uint64_t seeds = 4;
+};
+
+struct Cell {
+  std::string workload;
+  NodeIndex n = 0;
+  std::uint64_t seeds = 0;
+  std::uint64_t rounds = 0;  ///< Rounds of one representative run.
+  std::uint64_t events = 0;  ///< Messages sent, summed over all seeds.
+  double wall_ms = 0.0;      ///< Wall time for the whole seed batch.
+  double events_per_sec = 0.0;
+  std::uint64_t peak_rss = 0;
+};
+
+sim::RunStats run_ping(NodeIndex n, std::uint64_t /*seed*/) {
+  constexpr Round kRounds = 10;
+  std::vector<std::unique_ptr<sim::Node>> nodes;
+  nodes.reserve(n);
+  for (NodeIndex v = 0; v < n; ++v) {
+    nodes.push_back(std::make_unique<PingNode>(v, kRounds));
+  }
+  sim::Engine engine(std::move(nodes));
+  return engine.run(kRounds);
+}
+
+sim::RunStats run_cht(NodeIndex n, std::uint64_t seed, bool with_crashes) {
+  const auto cfg =
+      SystemConfig::random(n, static_cast<std::uint64_t>(n) * n * 5, seed);
+  auto adversary =
+      with_crashes ? std::make_unique<sim::RandomCrashAdversary>(
+                         ceil_log2(n), 0.3, seed)
+                   : nullptr;
+  auto result = baselines::run_cht_renaming(cfg, std::move(adversary));
+  if (!result.report.ok()) {
+    std::printf("WARNING: cht verifier failed at n=%u seed=%llu\n", n,
+                static_cast<unsigned long long>(seed));
+  }
+  return result.stats;
+}
+
+Cell measure(const std::string& workload, NodeIndex n, std::uint64_t seeds,
+             unsigned threads) {
+  std::vector<sim::RunStats> stats(seeds);
+  const auto start = std::chrono::steady_clock::now();
+  bench::parallel_jobs(
+      seeds,
+      [&](std::size_t i) {
+        const std::uint64_t seed = 7000 + 13 * i;
+        if (workload == "ping") {
+          stats[i] = run_ping(n, seed);
+        } else {
+          stats[i] = run_cht(n, seed, workload == "cht-crash");
+        }
+      },
+      threads);
+  const auto stop = std::chrono::steady_clock::now();
+
+  Cell cell;
+  cell.workload = workload;
+  cell.n = n;
+  cell.seeds = seeds;
+  cell.rounds = stats[0].rounds;
+  for (const sim::RunStats& s : stats) cell.events += s.total_messages;
+  cell.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  cell.events_per_sec =
+      cell.wall_ms > 0.0 ? cell.events / (cell.wall_ms / 1e3) : 0.0;
+  cell.peak_rss = bench::peak_rss_bytes();
+  return cell;
+}
+
+int run(int argc, char** argv) {
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  const bool json = bench::has_flag(argc, argv, "--json");
+  const std::string out_path =
+      bench::flag_value(argc, argv, "--out", "BENCH_engine.json");
+  const unsigned threads = static_cast<unsigned>(
+      std::stoul(bench::flag_value(argc, argv, "--threads", "0")));
+
+  std::vector<Workload> workloads;
+  if (smoke) {
+    workloads = {{"ping", {256, 512}, 2},
+                 {"cht", {256, 512}, 2},
+                 {"cht-crash", {256}, 2}};
+  } else {
+    workloads = {{"ping", {256, 1024, 2048, 4096}, 4},
+                 {"cht", {256, 512, 1024, 2048, 4096}, 4},
+                 {"cht-crash", {1024, 2048}, 4}};
+  }
+
+  Table table({"workload", "n", "seeds", "rounds", "events", "wall ms",
+               "events/s", "peak rss"});
+  Json rows = Json::array();
+  for (const Workload& w : workloads) {
+    for (NodeIndex n : w.sizes) {
+      const Cell cell = measure(w.name, n, w.seeds, threads);
+      table.row({cell.workload, std::to_string(cell.n),
+                 std::to_string(cell.seeds), std::to_string(cell.rounds),
+                 human(cell.events), fixed(cell.wall_ms, 1),
+                 human(static_cast<std::uint64_t>(cell.events_per_sec)),
+                 human(cell.peak_rss)});
+      rows.push(Json::object()
+                    .set("workload", Json::str(cell.workload))
+                    .set("n", Json::integer(cell.n))
+                    .set("seeds", Json::integer(cell.seeds))
+                    .set("rounds", Json::integer(cell.rounds))
+                    .set("events", Json::integer(cell.events))
+                    .set("wall_ms", Json::num(cell.wall_ms, 1))
+                    .set("events_per_sec",
+                         Json::num(cell.events_per_sec, 0))
+                    .set("peak_rss_bytes", Json::integer(cell.peak_rss)));
+    }
+  }
+
+  std::printf("== E8: engine throughput (events = messages sent; "
+              "seeds run in parallel) ==\n");
+  table.print();
+
+  if (json) {
+    Json doc = Json::object();
+    doc.set("bench", Json::str("engine"))
+        .set("smoke", Json::boolean(smoke))
+        .set("unchecked",
+#if defined(RENAMING_UNCHECKED)
+             Json::boolean(true)
+#else
+             Json::boolean(false)
+#endif
+                 )
+        .set("rows", std::move(rows));
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+      return 1;
+    }
+    out << doc.dump();
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace renaming
+
+int main(int argc, char** argv) { return renaming::run(argc, argv); }

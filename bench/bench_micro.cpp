@@ -79,7 +79,7 @@ void BM_EngineRoundAllToAll(benchmark::State& state) {
     void send(Round, sim::Outbox& out) override {
       out.broadcast(sim::make_message(1, 32, std::uint64_t{7}));
     }
-    void receive(Round, std::span<const sim::Message>) override {}
+    void receive(Round, sim::InboxView) override {}
     bool done() const override { return false; }
   };
   for (auto _ : state) {
@@ -119,7 +119,7 @@ void BM_PhaseKingInstance(benchmark::State& state) {
     void send(Round r, sim::Outbox& out) override {
       if (!fin_) king_.send(r - 1, out);
     }
-    void receive(Round r, std::span<const sim::Message> inbox) override {
+    void receive(Round r, sim::InboxView inbox) override {
       if (!fin_) fin_ = king_.receive(r - 1, inbox);
     }
     bool done() const override { return fin_; }

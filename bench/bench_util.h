@@ -1,12 +1,23 @@
 // Shared helpers for the experiment harnesses (see DESIGN.md section 3 for
 // the experiment index and EXPERIMENTS.md for recorded results).
+//
+// Threading note: bench/ is the only place in the repository allowed to use
+// <thread> (scripts/protocol_lint.py enforces the ban under src/). The
+// parallelism here fans *independent seeds/configs* across cores; each
+// simulation itself stays single-threaded and deterministic.
 #pragma once
 
-#include <cstdint>
+#include <sys/resource.h>
+
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "common/check.h"
 
 namespace renaming::bench {
 
@@ -20,8 +31,10 @@ class Table {
   }
 
   void row(const std::vector<std::string>& cells) {
+    RENAMING_CHECK(cells.size() == headers_.size(),
+                   "table row arity must match the header count");
     rows_.push_back(cells);
-    for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
       widths_[i] = std::max(widths_[i], cells[i].size() + 2);
     }
   }
@@ -102,5 +115,176 @@ class Summary {
   std::uint64_t count_ = 0;
   double sum_ = 0.0, sum_sq_ = 0.0, min_ = 0.0, max_ = 0.0;
 };
+
+// ---------------------------------------------------------------------------
+// JSON output (--json mode shared by the harnesses; see docs/PERFORMANCE.md)
+
+/// Minimal JSON value builder: enough for the flat metadata-plus-rows shape
+/// every harness emits (BENCH_*.json), with stable key order so diffs of
+/// committed artifacts stay readable.
+class Json {
+ public:
+  static Json object() { return Json(Kind::kObject); }
+  static Json array() { return Json(Kind::kArray); }
+  static Json str(std::string v) {
+    Json j(Kind::kScalar);
+    j.scalar_ = "\"" + escape(v) + "\"";
+    return j;
+  }
+  static Json num(double v, int digits = 3) {
+    Json j(Kind::kScalar);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+    j.scalar_ = buf;
+    return j;
+  }
+  static Json integer(std::uint64_t v) {
+    Json j(Kind::kScalar);
+    j.scalar_ = std::to_string(v);
+    return j;
+  }
+  static Json boolean(bool v) {
+    Json j(Kind::kScalar);
+    j.scalar_ = v ? "true" : "false";
+    return j;
+  }
+
+  Json& set(const std::string& key, Json v) {
+    RENAMING_CHECK(kind_ == Kind::kObject, "set() on a non-object");
+    members_.emplace_back(key, std::move(v));
+    return *this;
+  }
+  Json& push(Json v) {
+    RENAMING_CHECK(kind_ == Kind::kArray, "push() on a non-array");
+    members_.emplace_back(std::string(), std::move(v));
+    return *this;
+  }
+
+  std::string dump(int indent = 0) const {
+    std::string out;
+    write(out, indent);
+    out += "\n";
+    return out;
+  }
+
+ private:
+  enum class Kind { kObject, kArray, kScalar };
+  explicit Json(Kind kind) : kind_(kind) {}
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  void write(std::string& out, int indent) const {
+    const std::string pad(2 * static_cast<std::size_t>(indent), ' ');
+    const std::string inner_pad(2 * static_cast<std::size_t>(indent + 1), ' ');
+    switch (kind_) {
+      case Kind::kScalar:
+        out += scalar_;
+        break;
+      case Kind::kObject:
+      case Kind::kArray: {
+        const char open = kind_ == Kind::kObject ? '{' : '[';
+        const char close = kind_ == Kind::kObject ? '}' : ']';
+        if (members_.empty()) {
+          out += open;
+          out += close;
+          break;
+        }
+        out += open;
+        out += "\n";
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          out += inner_pad;
+          if (kind_ == Kind::kObject) {
+            out += "\"" + escape(members_[i].first) + "\": ";
+          }
+          members_[i].second.write(out, indent + 1);
+          if (i + 1 < members_.size()) out += ",";
+          out += "\n";
+        }
+        out += pad;
+        out += close;
+        break;
+      }
+    }
+  }
+
+  Kind kind_;
+  std::string scalar_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+// ---------------------------------------------------------------------------
+// Seed-level parallelism for the harness drivers
+
+/// Runs jobs 0..count-1 across a fixed worker pool (default: one thread per
+/// core). Each job must write only its own result slot; the caller then
+/// reads results in job order, so the *output* is deterministic even though
+/// the scheduling is not. The simulations themselves stay single-threaded —
+/// this fans out independent (seed, config) cells only.
+template <typename Fn>
+inline void parallel_jobs(std::size_t count, Fn&& fn, unsigned threads = 0) {
+  if (count == 0) return;
+  unsigned workers = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  if (workers > count) workers = static_cast<unsigned>(count);
+  if (workers == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < count;
+           i = next.fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+// ---------------------------------------------------------------------------
+// Process metrics + tiny CLI-flag helpers
+
+/// Peak resident set size of this process, in bytes (Linux: ru_maxrss is
+/// reported in kilobytes). Returns 0 if the syscall fails.
+inline std::uint64_t peak_rss_bytes() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+inline bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
+}
+
+/// Value of `--flag=value` or `--flag value`; `fallback` when absent.
+inline std::string flag_value(int argc, char** argv, const std::string& flag,
+                              const std::string& fallback) {
+  const std::string prefix = flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+    if (arg == flag && i + 1 < argc) return argv[i + 1];
+  }
+  return fallback;
+}
 
 }  // namespace renaming::bench

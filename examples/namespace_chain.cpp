@@ -32,7 +32,7 @@ class GossipNode final : public sim::Node {
   void send(Round, sim::Outbox& out) override {
     out.broadcast(sim::make_message(/*kind=*/70, bits_, best_));
   }
-  void receive(Round round, std::span<const sim::Message> inbox) override {
+  void receive(Round round, sim::InboxView inbox) override {
     for (const sim::Message& m : inbox) best_ = std::max(best_, m.w[0]);
     executed_ = round;
   }

@@ -28,9 +28,18 @@ conventions. This script enforces them mechanically:
   R5 header-hygiene  Every header under src/ must compile standalone
                      (include-what-you-use smoke test with
                      `g++ -fsyntax-only`).
+  R6 threading       The simulator is single-threaded and deterministic by
+                     design (ROADMAP invariant; docs/PERFORMANCE.md):
+                     <thread>, <mutex>, <shared_mutex>, <condition_variable>,
+                     <future>, <stop_token> and the std::thread/std::jthread/
+                     std::mutex/std::async/std::atomic families are banned
+                     under src/. Parallelism lives in the bench drivers
+                     (bench/bench_util.h runs independent seeds on a pool),
+                     which this script does not scan.
 
 Findings can be suppressed per line with `// lint:allow(<rule>)` where
-<rule> is one of: nondeterminism, bits-width, unordered-iteration.
+<rule> is one of: nondeterminism, bits-width, unordered-iteration,
+threading.
 
 Exit status: 0 if clean, 1 if any violation, 2 on usage error.
 """
@@ -279,6 +288,52 @@ def check_bits_width(src: Path) -> list[Violation]:
 
 
 # ---------------------------------------------------------------------------
+# R6: no threading primitives in the simulator
+
+THREADING_PATTERNS = [
+    (
+        re.compile(
+            r"#\s*include\s*<(thread|mutex|shared_mutex|condition_variable|"
+            r"future|stop_token|semaphore|barrier|latch|atomic)>"
+        ),
+        "threading/atomics header",
+    ),
+    (
+        re.compile(
+            r"std\s*::\s*(thread|jthread|mutex|recursive_mutex|shared_mutex|"
+            r"timed_mutex|condition_variable|future|promise|async|atomic\b|"
+            r"atomic_|lock_guard|unique_lock|scoped_lock|shared_lock|"
+            r"counting_semaphore|binary_semaphore|barrier|latch|call_once|"
+            r"once_flag)"
+        ),
+        "threading/atomics primitive",
+    ),
+]
+
+
+def check_threading(src: Path) -> list[Violation]:
+    violations = []
+    for path in source_files(src):
+        for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+            if allowed(raw, "threading"):
+                continue
+            code = strip_comments_and_strings(raw)
+            for pattern, why in THREADING_PATTERNS:
+                if pattern.search(code):
+                    violations.append(
+                        Violation(
+                            "threading",
+                            path,
+                            lineno,
+                            f"{why} in simulator code; src/ is "
+                            "single-threaded and deterministic — parallelism "
+                            "belongs in the bench drivers (bench/)",
+                        )
+                    )
+    return violations
+
+
+# ---------------------------------------------------------------------------
 # R4: no iteration over unordered containers
 
 UNORDERED_DECL_RE = re.compile(r"std\s*::\s*unordered_\w+\s*<[^;()]*>\s+(\w+)\s*[;{=]")
@@ -366,6 +421,7 @@ RULES = {
     "bits-width": lambda src, args: check_bits_width(src),
     "unordered-iteration": lambda src, args: check_unordered_iteration(src),
     "header-hygiene": lambda src, args: check_header_hygiene(src, args.compiler),
+    "threading": lambda src, args: check_threading(src),
 }
 
 

@@ -26,7 +26,7 @@ class ChtNode final : public sim::Node {
                                     interval_.hi));
   }
 
-  void receive(Round round, std::span<const sim::Message> inbox) override {
+  void receive(Round round, sim::InboxView inbox) override {
     phase_ = round;
     if (interval_.singleton()) return;  // decided; keep reporting only
     const Interval bot = interval_.bot();

@@ -38,7 +38,7 @@ class ClaimingNode final : public sim::Node {
     out.broadcast(sim::make_message(kClaim, bits_, id_, claimed_));
   }
 
-  void receive(Round round, std::span<const sim::Message> inbox) override {
+  void receive(Round round, sim::InboxView inbox) override {
     last_round_ = round;
     // Rebuild this round's taken-set from live heartbeats, then resolve
     // claims: smallest original identity wins each slot.

@@ -28,7 +28,7 @@ class EarlyDecidingNode final : public sim::Node {
     out.broadcast(m);
   }
 
-  void receive(Round round, std::span<const sim::Message> inbox) override {
+  void receive(Round round, sim::InboxView inbox) override {
     std::vector<NodeIndex> heard;
     const std::size_t before = known_.size();
     for (const sim::Message& m : inbox) {

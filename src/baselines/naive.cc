@@ -20,7 +20,7 @@ class NaiveNode final : public sim::Node {
     out.broadcast(sim::make_message(kId, bits_, id_));
   }
 
-  void receive(Round, std::span<const sim::Message> inbox) override {
+  void receive(Round, sim::InboxView inbox) override {
     std::vector<OriginalId> seen;
     for (const sim::Message& m : inbox) {
       if (m.kind == kId && m.nwords >= 1) seen.push_back(m.w[0]);

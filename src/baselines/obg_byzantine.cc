@@ -51,7 +51,7 @@ class ObgNode : public sim::Node {
     }
   }
 
-  void receive(Round round, std::span<const sim::Message> inbox) override {
+  void receive(Round round, sim::InboxView inbox) override {
     last_round_ = round;
     if (round == 1) {
       for (const sim::Message& m : inbox) {
@@ -97,7 +97,7 @@ class ObgNode : public sim::Node {
         std::min<std::uint64_t>(bits, 1u << 30));
   }
 
-  std::vector<OriginalId> filter_by_count(std::span<const sim::Message> inbox,
+  std::vector<OriginalId> filter_by_count(sim::InboxView inbox,
                                           std::size_t threshold) const {
     // Ordered map: iteration below builds the kept vector in id order.
     std::map<OriginalId, std::size_t> counts;
@@ -115,7 +115,7 @@ class ObgNode : public sim::Node {
     return kept;
   }
 
-  void halve(std::span<const sim::Message> inbox) {
+  void halve(sim::InboxView inbox) {
     if (interval_.singleton()) return;
     const Interval bot = interval_.bot();
     std::uint64_t rank = 0, occupied = 0;

@@ -69,7 +69,7 @@ class TurncoatNode final : public sim::Node {
     honest_.send(round, out);
   }
 
-  void receive(Round round, std::span<const sim::Message> inbox) override {
+  void receive(Round round, sim::InboxView inbox) override {
     if (turned_) return;
     honest_.receive(round, inbox);
     // The election resolves during the round-1 receive; the adaptive

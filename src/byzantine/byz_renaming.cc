@@ -96,7 +96,7 @@ void ByzNode::send(Round round, sim::Outbox& out) {
   }
 }
 
-void ByzNode::receive(Round round, std::span<const sim::Message> inbox) {
+void ByzNode::receive(Round round, sim::InboxView inbox) {
   (void)round;
   // NEW messages can arrive in any round once Byzantine members exist;
   // the view-majority threshold makes early fakes harmless.
@@ -315,7 +315,7 @@ void ByzNode::distribute(sim::Outbox& out) {
   }
 }
 
-void ByzNode::consider_new_messages(std::span<const sim::Message> inbox) {
+void ByzNode::consider_new_messages(sim::InboxView inbox) {
   if (new_id_.has_value() || view_.empty()) return;
   for (const sim::Message& m : inbox) {
     if (m.kind != kind_of(Tag::kNew) || m.nwords < 1) continue;

@@ -102,7 +102,7 @@ class ByzNode : public sim::Node {
           ByzParams params);
 
   void send(Round round, sim::Outbox& out) override;
-  void receive(Round round, std::span<const sim::Message> inbox) override;
+  void receive(Round round, sim::InboxView inbox) override;
   bool done() const override;
 
   // Introspection for tests/benches/adversaries.
@@ -143,7 +143,7 @@ class ByzNode : public sim::Node {
   void split_current();
   void accept_current(std::uint64_t agreed_count, bool dirty);
   void distribute(sim::Outbox& out);
-  void consider_new_messages(std::span<const sim::Message> inbox);
+  void consider_new_messages(sim::InboxView inbox);
 
   std::uint32_t fingerprint_bits() const;
   std::uint32_t control_bits() const;

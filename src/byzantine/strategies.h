@@ -35,7 +35,7 @@ namespace renaming::byzantine {
 class SilentNode final : public sim::Node {
  public:
   void send(Round, sim::Outbox&) override {}
-  void receive(Round, std::span<const sim::Message>) override {}
+  void receive(Round, sim::InboxView) override {}
   bool done() const override { return true; }
 };
 
@@ -52,10 +52,14 @@ class CorruptedNode : public sim::Node {
   void send(Round round, sim::Outbox& out) override {
     sim::Outbox staged(self_, n_);
     honest_.send(round, staged);
+    // The strategies tamper per recipient (split a report, equivocate to a
+    // random half): expand any compressed broadcast into the per-recipient
+    // entries so entry indices mean "one message to one destination".
+    staged.expand();
     corrupt(round, staged, out);
   }
 
-  void receive(Round round, std::span<const sim::Message> inbox) override {
+  void receive(Round round, sim::InboxView inbox) override {
     honest_.receive(round, inbox);
   }
 

@@ -59,7 +59,7 @@ void PhaseKing::send(std::uint32_t step, sim::Outbox& out) {
 }
 
 bool PhaseKing::receive(std::uint32_t step,
-                        std::span<const sim::Message> inbox) {
+                        sim::InboxView inbox) {
   const std::uint32_t phase = step / 3;
   const std::size_t m = view_.size();
   const std::size_t quorum = m - tolerated_;

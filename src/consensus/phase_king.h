@@ -37,7 +37,7 @@ class PhaseKing final : public SubProtocol {
 
   void send(std::uint32_t step, sim::Outbox& out) override;
   bool receive(std::uint32_t step,
-               std::span<const sim::Message> inbox) override;
+               sim::InboxView inbox) override;
 
   bool output() const { return value_; }
   std::uint32_t total_steps() const { return 3 * (tolerated_ + 1); }

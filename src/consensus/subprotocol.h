@@ -31,7 +31,7 @@ class SubProtocol {
   /// Receive-phase of the `step`-th round; returns true when the protocol
   /// has completed (output is then available).
   virtual bool receive(std::uint32_t step,
-                       std::span<const sim::Message> inbox) = 0;
+                       sim::InboxView inbox) = 0;
 };
 
 /// Broadcast helper: send `m` to every member of the view.

@@ -43,7 +43,7 @@ void Validator::send(std::uint32_t step, sim::Outbox& out) {
 }
 
 bool Validator::receive(std::uint32_t step,
-                        std::span<const sim::Message> inbox) {
+                        sim::InboxView inbox) {
   const std::size_t m = view_.size();
   const std::size_t quorum = m - tolerated_;
 

@@ -39,7 +39,7 @@ class Validator final : public SubProtocol {
 
   void send(std::uint32_t step, sim::Outbox& out) override;
   bool receive(std::uint32_t step,
-               std::span<const sim::Message> inbox) override;
+               sim::InboxView inbox) override;
 
   bool same() const { return same_; }
   const ValidatorValue& output() const { return out_; }

@@ -50,7 +50,7 @@ class CommitteeHunter final : public sim::CrashAdversary {
       if (node == nullptr || !node->elected()) continue;
       sim::CrashOrder o;
       o.victim = v;
-      const std::size_t total = view.outbox(v).entries().size();
+      const std::size_t total = view.outbox(v).size();
       for (std::uint32_t i = 0; i < total; ++i) {
         if (rng_.chance(keep_fraction_)) o.keep.push_back(i);
       }
@@ -91,7 +91,7 @@ class StatusSplitter final : public sim::CrashAdversary {
       o.victim = v;
       // Keep the first half of the status sends: the canonical "different
       // committee members saw different things" split.
-      const std::size_t total = view.outbox(v).entries().size();
+      const std::size_t total = view.outbox(v).size();
       for (std::uint32_t i = 0; i < total / 2; ++i) o.keep.push_back(i);
       orders.push_back(std::move(o));
       ++spent_;

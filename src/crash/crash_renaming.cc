@@ -128,7 +128,7 @@ void CrashNode::committee_action(sim::Outbox& out) {
   }
 }
 
-void CrashNode::receive(Round round, std::span<const sim::Message> inbox) {
+void CrashNode::receive(Round round, sim::InboxView inbox) {
   ++rounds_executed_;
   switch (subround(round)) {
     case 1:
@@ -163,7 +163,7 @@ void CrashNode::receive(Round round, std::span<const sim::Message> inbox) {
   }
 }
 
-void CrashNode::node_action(std::span<const sim::Message> inbox) {
+void CrashNode::node_action(sim::InboxView inbox) {
   // Figure 3. Decode the committee responses addressed to us.
   struct Response {
     Interval interval;

@@ -81,7 +81,7 @@ class CrashNode final : public sim::Node {
   CrashNode(NodeIndex self, const SystemConfig& cfg, CrashParams params);
 
   void send(Round round, sim::Outbox& out) override;
-  void receive(Round round, std::span<const sim::Message> inbox) override;
+  void receive(Round round, sim::InboxView inbox) override;
   bool done() const override;
 
   // Introspection (used by protocol-aware adversaries, the verifier and
@@ -103,7 +103,7 @@ class CrashNode final : public sim::Node {
   };
 
   void committee_action(sim::Outbox& out);
-  void node_action(std::span<const sim::Message> responses);
+  void node_action(sim::InboxView responses);
   void try_elect();
   std::uint32_t status_bits() const;
 

@@ -26,6 +26,12 @@
 namespace renaming::sim {
 
 /// Read-only view of the execution the crash adversary may inspect.
+///
+/// Outboxes are stored compressed: a broadcast is one entry with the
+/// Outbox::kBroadcast destination. Adversaries that reason about individual
+/// (dest, message) sends should use Outbox::size() for the logical count —
+/// that is the index space CrashOrder::keep addresses — and remember that a
+/// broadcast entry's recipients are 0..n-1 in order.
 struct AdversaryView {
   Round round = 0;
   NodeIndex n = 0;
@@ -38,9 +44,10 @@ struct AdversaryView {
   const Outbox& outbox(NodeIndex v) const { return (*outboxes)[v]; }
 };
 
-/// One crash order: victim plus the indices (into its outbox, in send
-/// order) of the messages that are still delivered. An empty keep list is a
-/// crash "before sending anything"; a full list is a crash "after sending".
+/// One crash order: victim plus the indices (into its logical per-recipient
+/// outbox sequence, in send order; broadcasts expand to n entries) of the
+/// messages that are still delivered. An empty keep list is a crash "before
+/// sending anything"; a full list is a crash "after sending".
 struct CrashOrder {
   NodeIndex victim = kNoNode;
   std::vector<std::uint32_t> keep;
@@ -80,7 +87,7 @@ class RandomCrashAdversary final : public CrashAdversary {
       if (!view.is_alive(v) || !rng_.chance(prob_)) continue;
       CrashOrder o;
       o.victim = v;
-      const auto total = view.outbox(v).entries().size();
+      const auto total = view.outbox(v).size();
       const std::uint64_t kept = rng_.below(total + 1);
       o.keep.reserve(kept);
       for (std::uint32_t i = 0; i < kept; ++i) o.keep.push_back(i);
@@ -115,7 +122,7 @@ class ChaosCrashAdversary final : public CrashAdversary {
       if (!view.is_alive(v) || !rng_.chance(prob_)) continue;
       CrashOrder o;
       o.victim = v;
-      const std::size_t total = view.outbox(v).entries().size();
+      const std::size_t total = view.outbox(v).size();
       for (std::uint32_t i = 0; i < total; ++i) {
         if (rng_.chance(0.5)) o.keep.push_back(i);
       }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "sim/inbox.h"
 
 namespace renaming::sim {
 
@@ -59,8 +60,26 @@ RunStats Engine::run(Round max_rounds) {
     return true;
   };
 
-  std::vector<std::vector<Message>> inbox(n);
+  // Persistent round buffers (docs/PERFORMANCE.md): one outbox per node and
+  // one flat delivery arena, constructed once and clear()ed per round, so
+  // the steady-state round has no per-message allocation at all.
+  std::vector<Outbox> outboxes;
+  outboxes.reserve(n);
+  for (NodeIndex v = 0; v < n; ++v) outboxes.emplace_back(v, n);
+  InboxArena inbox;
   std::vector<char> crashed_now(n, 0);
+  // Ascending list of alive destinations, rebuilt after each crash phase:
+  // the broadcast fast path iterates it instead of bit-testing alive_ per
+  // recipient. Ascending order keeps delivery order identical to n
+  // individual sends.
+  std::vector<NodeIndex> alive_dests;
+  alive_dests.reserve(n);
+  // Shared inbox for broadcast-only rounds: when every queued entry is a
+  // broadcast (the steady state of all-to-all protocols) each alive node
+  // receives exactly the same messages in the same order, so one slot list
+  // serves every recipient and delivery is O(#broadcasts), not O(n^2).
+  std::vector<const Message*> shared_slots;
+  shared_slots.reserve(n);
 
   for (Round round = 1; round <= max_rounds; ++round) {
     if (all_correct_done()) break;
@@ -70,11 +89,9 @@ RunStats Engine::run(Round max_rounds) {
     if (trace_ != nullptr) trace_->on_round_begin(round);
 
     // --- Send phase: every alive node queues its messages. -------------
-    std::vector<Outbox> outboxes;
-    outboxes.reserve(n);
     for (NodeIndex v = 0; v < n; ++v) {
-      outboxes.emplace_back(v, n);
-      if (alive_[v]) nodes_[v]->send(round, outboxes.back());
+      outboxes[v].clear();
+      if (alive_[v]) nodes_[v]->send(round, outboxes[v]);
     }
 
     // --- Adversary phase: Eve may crash nodes, possibly mid-send. ------
@@ -89,11 +106,15 @@ RunStats Engine::run(Round max_rounds) {
       crashed_now[v] = 1;
       ++stats_.crashes;
       ++stats_.per_round.back().crashes;
-      // Retain only the messages the adversary lets escape.
+      // Keep-indices address the logical per-recipient sequence, so a
+      // victim's compressed broadcasts are expanded first; the adversary
+      // may cut a broadcast anywhere mid-fanout.
+      outboxes[v].expand();
       auto& entries = outboxes[v].entries();
       if (trace_ != nullptr) {
         trace_->on_crash(round, v, order.keep.size(), entries.size());
       }
+      // Retain only the messages the adversary lets escape.
       std::vector<std::pair<NodeIndex, Message>> kept;
       kept.reserve(order.keep.size());
       std::sort(order.keep.begin(), order.keep.end());
@@ -106,6 +127,42 @@ RunStats Engine::run(Round max_rounds) {
     }
 
     // --- Delivery phase: authenticate, account, deliver. ---------------
+    // Pass 1 sizes each node's arena slice (an upper bound is enough);
+    // pass 2 walks the same entries in order, so inbox order is exactly
+    // sender-index-ascending, send order within a sender — identical to
+    // delivering every copy individually.
+    alive_dests.clear();
+    for (NodeIndex d = 0; d < n; ++d) {
+      if (alive_[d]) alive_dests.push_back(d);
+    }
+
+    // Broadcast-only rounds use the shared inbox; the traced path falls
+    // back to the general one so per-copy trace events keep their order.
+    bool broadcast_only = trace_ == nullptr;
+    for (NodeIndex v = 0; v < n && broadcast_only; ++v) {
+      for (const auto& entry : outboxes[v].entries()) {
+        if (entry.first != Outbox::kBroadcast) {
+          broadcast_only = false;
+          break;
+        }
+      }
+    }
+
+    if (!broadcast_only) {
+      inbox.begin_round(n);
+      for (NodeIndex v = 0; v < n; ++v) {
+        for (const auto& entry : outboxes[v].entries()) {
+          if (entry.first == Outbox::kBroadcast) {
+            inbox.expect_broadcast();
+          } else {
+            inbox.expect_unicast(entry.first);
+          }
+        }
+      }
+      inbox.commit();
+    }
+    shared_slots.clear();
+
     for (NodeIndex v = 0; v < n; ++v) {
       // A node felled in an earlier round must not produce traffic; only
       // this round's victims may still have (adversary-kept) entries.
@@ -113,31 +170,63 @@ RunStats Engine::run(Round max_rounds) {
           alive_[v] || crashed_now[v] != 0 || outboxes[v].entries().empty(),
           "crashed node sent messages after falling");
       for (auto& [dest, msg] : outboxes[v].entries()) {
-        RENAMING_CHECK(dest < n, "message addressed outside the system");
         RENAMING_CHECK(msg.sender == v, "engine stamps the true origin");
         RENAMING_CHECK(msg.bits > 0,
                        "every message must declare a wire size");
+        if (dest == Outbox::kBroadcast) {
+          // Broadcast fast path: one stored message, per-recipient
+          // accounting, zero copies. The sender paid for all n copies even
+          // if some destinations have crashed.
+          const bool spoofed = msg.spoofed();
+          if (trace_ == nullptr) {
+            stats_.note_messages(n, msg.bits);
+            if (spoofed) {
+              // Authentication (PKI assumption of Theorem 1.3): forged
+              // origins are detected by every receiver and discarded.
+              stats_.spoofs_rejected += n;
+            } else if (broadcast_only) {
+              shared_slots.push_back(&msg);
+            } else {
+              inbox.deliver_broadcast(msg, alive_dests);
+            }
+          } else {
+            // Tracing observes every logical copy, in fanout order.
+            for (NodeIndex d = 0; d < n; ++d) {
+              stats_.note_message(msg.bits);
+              const bool delivered = !spoofed && alive_[d];
+              trace_->on_message(round, msg, d, delivered);
+              if (spoofed) {
+                ++stats_.spoofs_rejected;
+              } else if (alive_[d]) {
+                inbox.deliver(d, msg);
+              }
+            }
+          }
+          continue;
+        }
+        RENAMING_CHECK(dest < n, "message addressed outside the system");
         // The message left the sender: it counts toward complexity even if
         // the destination has crashed (the sender still paid for it).
         stats_.note_message(msg.bits);
         const bool delivered = !msg.spoofed() && alive_[dest];
         if (trace_ != nullptr) trace_->on_message(round, msg, dest, delivered);
         if (msg.spoofed()) {
-          // Authentication (PKI assumption of Theorem 1.3): forged origins
-          // are detected by the receiver and discarded.
           ++stats_.spoofs_rejected;
           continue;
         }
-        if (alive_[dest]) inbox[dest].push_back(std::move(msg));
+        if (alive_[dest]) inbox.deliver(dest, msg);
       }
     }
 
     // --- Receive phase. -------------------------------------------------
+    // The arena slices point into the outboxes, which stay untouched until
+    // the next round's send phase clears them.
+    const InboxView shared_view(shared_slots.data(), shared_slots.size());
     for (NodeIndex v = 0; v < n; ++v) {
       if (alive_[v]) {
-        nodes_[v]->receive(round, inbox[v]);
+        nodes_[v]->receive(round, broadcast_only ? shared_view
+                                                 : inbox.view(v));
       }
-      inbox[v].clear();
     }
     if (trace_ != nullptr) trace_->on_round_end(round, stats_.per_round.back());
   }

@@ -1,0 +1,167 @@
+// Delivery-side buffers for the engine hot path (docs/PERFORMANCE.md).
+//
+// The engine never materializes one Message per recipient. A broadcast is
+// stored once in its sender's outbox; delivery appends a *pointer* to that
+// single message into each recipient's slice of a flat, offset-indexed
+// arena. Receivers read their round's traffic through InboxView, which
+// iterates either a contiguous Message array (unit tests drive nodes
+// directly with a std::vector<Message>) or an arena slice of pointers (the
+// engine path) — the protocol code is identical either way.
+//
+// The arena is a persistent round buffer: it is sized once and reset per
+// round, so the steady-state delivery cost is one pointer store per
+// (message, recipient) pair with no allocation at all.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "sim/message.h"
+
+namespace renaming::sim {
+
+/// Read-only view of the messages delivered to one node in one round, in
+/// delivery order (sender index ascending, each sender's send order). Views
+/// are invalidated when the buffers behind them are cleared — i.e. at the
+/// end of the receive callback they were passed to.
+class InboxView {
+ public:
+  InboxView() = default;
+  /// Contiguous messages (direct mode, used by unit tests and drivers).
+  InboxView(const Message* msgs, std::size_t size)
+      : direct_(msgs), size_(size) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  InboxView(std::span<const Message> msgs)
+      : direct_(msgs.data()), size_(msgs.size()) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  InboxView(const std::vector<Message>& msgs)
+      : direct_(msgs.data()), size_(msgs.size()) {}
+  /// Arena slice (indirect mode, the engine delivery path).
+  InboxView(const Message* const* slots, std::size_t size)
+      : slots_(slots), size_(size) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const Message& operator[](std::size_t i) const {
+    RENAMING_CHECK(i < size_, "inbox index out of range");
+    return get(i);
+  }
+
+  class Iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Message;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Message*;
+    using reference = const Message&;
+
+    Iterator(const InboxView& view, std::size_t i) : view_(&view), i_(i) {}
+    reference operator*() const { return view_->get(i_); }
+    pointer operator->() const { return &view_->get(i_); }
+    Iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    Iterator operator++(int) {
+      Iterator tmp = *this;
+      ++i_;
+      return tmp;
+    }
+    friend bool operator==(const Iterator&, const Iterator&) = default;
+
+   private:
+    const InboxView* view_;
+    std::size_t i_;
+  };
+
+  Iterator begin() const { return Iterator(*this, 0); }
+  Iterator end() const { return Iterator(*this, size_); }
+
+ private:
+  const Message& get(std::size_t i) const {
+    return slots_ != nullptr ? *slots_[i] : direct_[i];
+  }
+
+  const Message* const* slots_ = nullptr;
+  const Message* direct_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Flat, offset-indexed per-round delivery buffer: one slice of Message
+/// pointers per node, all in a single backing vector that is reused across
+/// rounds. Usage per round:
+///
+///   arena.begin_round(n);
+///   for every queued entry:   expect_unicast(dest) / expect_broadcast();
+///   arena.commit();           // offsets from the (upper-bound) counts
+///   for every delivery:       arena.deliver(dest, msg);
+///   for every node:           node.receive(round, arena.view(v));
+///
+/// The expectation pass only has to be an upper bound per node (spoofed or
+/// crashed-destination traffic may end up undelivered); slices never
+/// overlap and view(v) reports the slots actually filled.
+class InboxArena {
+ public:
+  void begin_round(NodeIndex n) {
+    n_ = n;
+    broadcasts_ = 0;
+    unicasts_.assign(n, 0);
+    offset_.assign(static_cast<std::size_t>(n) + 1, 0);
+    cursor_.assign(n, 0);
+  }
+
+  void expect_unicast(NodeIndex dest) {
+    RENAMING_CHECK(dest < n_, "message addressed outside the system");
+    ++unicasts_[dest];
+  }
+  void expect_broadcast() { ++broadcasts_; }
+
+  void commit() {
+    std::size_t total = 0;
+    for (NodeIndex v = 0; v < n_; ++v) {
+      offset_[v] = total;
+      cursor_[v] = total;
+      total += unicasts_[v] + broadcasts_;
+    }
+    offset_[n_] = total;
+    if (slots_.size() < total) slots_.resize(total);
+  }
+
+  void deliver(NodeIndex dest, const Message& m) {
+    RENAMING_CHECK(cursor_[dest] < offset_[static_cast<std::size_t>(dest) + 1],
+                   "delivery overflows the node's arena slice");
+    slots_[cursor_[dest]++] = &m;
+  }
+
+  /// Bulk form of deliver() for the broadcast fast path: appends `m` to
+  /// every destination in `dests` (which the engine keeps in ascending
+  /// order, so delivery order matches n individual deliver() calls).
+  void deliver_broadcast(const Message& m, const std::vector<NodeIndex>& dests) {
+    const Message** slots = slots_.data();
+    std::size_t* cursor = cursor_.data();
+    for (NodeIndex d : dests) {
+      RENAMING_CHECK(cursor[d] < offset_[static_cast<std::size_t>(d) + 1],
+                     "delivery overflows the node's arena slice");
+      slots[cursor[d]++] = &m;
+    }
+  }
+
+  InboxView view(NodeIndex dest) const {
+    return InboxView(slots_.data() + offset_[dest],
+                     cursor_[dest] - offset_[dest]);
+  }
+
+ private:
+  NodeIndex n_ = 0;
+  std::size_t broadcasts_ = 0;
+  std::vector<std::uint32_t> unicasts_;
+  std::vector<std::size_t> offset_;
+  std::vector<std::size_t> cursor_;
+  std::vector<const Message*> slots_;
+};
+
+}  // namespace renaming::sim

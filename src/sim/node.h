@@ -12,19 +12,32 @@
 // through the inbox.
 #pragma once
 
-#include <span>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "common/types.h"
+#include "sim/inbox.h"
 #include "sim/message.h"
 
 namespace renaming::sim {
 
 /// Messages queued by one node during one round's send phase.
+///
+/// Broadcast fast path (docs/PERFORMANCE.md): broadcast() records ONE
+/// compressed entry whose destination is the kBroadcast sentinel instead of
+/// n per-recipient copies; the engine delivers it by reference to every
+/// node. All *index-based* semantics (CrashOrder::keep, the Byzantine
+/// strategies' per-recipient tampering) are defined over the expanded
+/// per-recipient sequence — call expand() first to materialize it; the
+/// expansion is byte-equivalent to what n individual send() calls would
+/// have queued.
 class Outbox {
  public:
+  /// Destination sentinel of a compressed broadcast entry: the message goes
+  /// to every node in [0, n), including the sender.
+  static constexpr NodeIndex kBroadcast = kNoNode;
+
   explicit Outbox(NodeIndex self, NodeIndex n) : self_(self), n_(n) {}
 
   /// Send `m` over the link to `dest`. Honest senders leave claimed_sender
@@ -38,15 +51,56 @@ class Outbox {
   }
 
   /// Broadcast to all n nodes (including self; the paper's algorithms
-  /// explicitly use all n links, e.g. committee announcements).
-  void broadcast(const Message& m) {
-    for (NodeIndex d = 0; d < n_; ++d) send(d, m);
+  /// explicitly use all n links, e.g. committee announcements). Costs O(1):
+  /// one compressed entry, not n copies.
+  void broadcast(Message m) {
+    RENAMING_CHECK(m.bits > 0, "every message must declare a wire size");
+    if (m.claimed_sender == kNoNode) m.claimed_sender = self_;
+    m.sender = self_;
+    queued_.emplace_back(kBroadcast, std::move(m));
   }
 
-  std::size_t size() const { return queued_.size(); }
-  NodeIndex self() const { return self_; }
+  /// Number of *logical* (per-recipient) messages queued: a broadcast entry
+  /// counts n. This is the index space of CrashOrder::keep.
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& entry : queued_) {
+      total += entry.first == kBroadcast ? n_ : 1;
+    }
+    return total;
+  }
 
-  /// Engine access: the queued (dest, message) pairs, in send order.
+  NodeIndex self() const { return self_; }
+  NodeIndex fanout() const { return n_; }
+
+  /// Replaces every compressed broadcast entry with its n per-recipient
+  /// copies (destinations 0..n-1, in order), preserving the logical send
+  /// order. After expand(), entries() indices coincide with the logical
+  /// per-recipient indices. O(size()); only the crash and tampering paths
+  /// need it.
+  void expand() {
+    bool compressed = false;
+    for (const auto& entry : queued_) compressed |= entry.first == kBroadcast;
+    if (!compressed) return;
+    std::vector<std::pair<NodeIndex, Message>> flat;
+    flat.reserve(size());
+    for (auto& [dest, msg] : queued_) {
+      if (dest == kBroadcast) {
+        for (NodeIndex d = 0; d < n_; ++d) flat.emplace_back(d, msg);
+      } else {
+        flat.emplace_back(dest, std::move(msg));
+      }
+    }
+    queued_ = std::move(flat);
+  }
+
+  /// Drops all queued entries but keeps the allocation: the engine reuses
+  /// one Outbox per node across all rounds.
+  void clear() { queued_.clear(); }
+
+  /// Engine access: the queued (dest, message) entries, in send order. A
+  /// dest of kBroadcast is a compressed broadcast (one entry, n logical
+  /// messages); unicast entries hold a real destination.
   std::vector<std::pair<NodeIndex, Message>>& entries() { return queued_; }
   const std::vector<std::pair<NodeIndex, Message>>& entries() const {
     return queued_;
@@ -65,8 +119,9 @@ class Node {
   /// First phase of each round: queue outgoing messages.
   virtual void send(Round round, Outbox& out) = 0;
 
-  /// Second phase: consume the messages delivered this round.
-  virtual void receive(Round round, std::span<const Message> inbox) = 0;
+  /// Second phase: consume the messages delivered this round. The view is
+  /// only valid for the duration of the call.
+  virtual void receive(Round round, InboxView inbox) = 0;
 
   /// True once the node has completed the protocol (used by the engine to
   /// stop early; fixed-round protocols may simply return false until their

@@ -25,7 +25,7 @@ constexpr MsgKind kPing = 3;
 class QuietNode : public Node {
  public:
   void send(Round, Outbox&) override {}
-  void receive(Round, std::span<const Message>) override {}
+  void receive(Round, InboxView) override {}
   bool done() const override { return true; }
 };
 

@@ -48,7 +48,7 @@ class HarnessNode : public sim::Node {
   void send(Round round, sim::Outbox& out) override {
     if (!finished_) protocol_->send(round - 1, out);
   }
-  void receive(Round round, std::span<const sim::Message> inbox) override {
+  void receive(Round round, sim::InboxView inbox) override {
     if (!finished_) finished_ = protocol_->receive(round - 1, inbox);
   }
   bool done() const override { return finished_; }
@@ -78,7 +78,7 @@ class EquivocatorNode : public sim::Node {
       }
     }
   }
-  void receive(Round, std::span<const sim::Message>) override {}
+  void receive(Round, sim::InboxView) override {}
   bool done() const override { return true; }
 
  private:
@@ -302,7 +302,7 @@ class SplitVoteNode : public sim::Node {
                sim::make_message(kKind, kBits, session_, subkind, value));
     }
   }
-  void receive(Round, std::span<const sim::Message>) override {}
+  void receive(Round, sim::InboxView) override {}
   bool done() const override { return true; }
 
  private:

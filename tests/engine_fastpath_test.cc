@@ -1,0 +1,412 @@
+// Seed-engine equivalence tests for the broadcast fast path and the reused
+// round buffers (docs/PERFORMANCE.md).
+//
+// The pre-optimization engine implemented broadcast() as n individual
+// send() calls and rebuilt every outbox/inbox each round. The optimized
+// engine must be observationally identical: same JSONL trace bytes, same
+// RunStats, same per-node inbox order. Since a loop of send() calls IS the
+// seed representation (the engine still takes that path for unicasts),
+// every test here runs each scenario twice — once with compressed
+// broadcast() entries, once with the expanded send() fan-out — and demands
+// byte-identical traces and identical stats and receive logs, across
+// crash, Byzantine and spoofing scenarios, including mid-send crashes
+// whose keep-indices cut a broadcast in half.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sim/adversary.h"
+#include "sim/engine.h"
+#include "sim/inbox.h"
+#include "sim/message.h"
+#include "sim/node.h"
+#include "sim/trace.h"
+
+namespace renaming::sim {
+namespace {
+
+constexpr MsgKind kWave = 11;
+constexpr MsgKind kExtra = 12;
+
+using ReceiveLog = std::vector<std::tuple<Round, NodeIndex, std::uint64_t>>;
+
+/// Sends one all-nodes wave per round — either as a compressed broadcast or
+/// as the n-send fan-out the seed engine used — plus unicast extras around
+/// it so mixed outboxes keep their interleaved delivery order. Optionally
+/// spoofs the wave's claimed origin.
+class WaveNode : public Node {
+ public:
+  WaveNode(NodeIndex self, NodeIndex n, Round rounds, bool use_broadcast,
+           bool spoof = false)
+      : self_(self), n_(n), rounds_(rounds), use_broadcast_(use_broadcast),
+        spoof_(spoof) {}
+
+  void send(Round round, Outbox& out) override {
+    if (self_ % 3 == 0) {
+      out.send((self_ + 1) % n_,
+               make_message(kExtra, 16, static_cast<std::uint64_t>(round)));
+    }
+    Message wave = make_message(kWave, 32,
+                                static_cast<std::uint64_t>(self_), round);
+    if (spoof_) wave.claimed_sender = (self_ + 1) % n_;
+    if (use_broadcast_) {
+      out.broadcast(wave);
+    } else {
+      for (NodeIndex d = 0; d < n_; ++d) out.send(d, wave);
+    }
+    if (self_ % 4 == 0) {
+      out.send((self_ + 2) % n_,
+               make_message(kExtra, 24, static_cast<std::uint64_t>(round)));
+    }
+  }
+
+  void receive(Round round, InboxView inbox) override {
+    executed_ = round;
+    for (const Message& m : inbox) log_.emplace_back(round, m.sender, m.w[0]);
+  }
+
+  bool done() const override { return executed_ >= rounds_; }
+
+  const ReceiveLog& log() const { return log_; }
+
+ protected:
+  NodeIndex self_;
+  NodeIndex n_;
+  Round rounds_;
+  bool use_broadcast_;
+  bool spoof_;
+  Round executed_ = 0;
+  ReceiveLog log_;
+};
+
+struct Observed {
+  std::string jsonl;
+  RunStats stats;
+  std::vector<ReceiveLog> logs;
+};
+
+Observed run_waves(bool use_broadcast, NodeIndex n, Round rounds,
+                   std::unique_ptr<CrashAdversary> adversary,
+                   const std::vector<NodeIndex>& spoofers = {}) {
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (NodeIndex v = 0; v < n; ++v) {
+    const bool spoof =
+        std::find(spoofers.begin(), spoofers.end(), v) != spoofers.end();
+    nodes.push_back(
+        std::make_unique<WaveNode>(v, n, rounds, use_broadcast, spoof));
+  }
+  Engine engine(std::move(nodes), std::move(adversary));
+  for (NodeIndex v : spoofers) engine.mark_byzantine(v);
+  std::ostringstream out;
+  JsonlTrace trace(out);
+  engine.set_trace(&trace);
+  Observed result;
+  result.stats = engine.run(rounds + 5);
+  result.jsonl = out.str();
+  for (NodeIndex v = 0; v < n; ++v) {
+    result.logs.push_back(dynamic_cast<const WaveNode&>(engine.node(v)).log());
+  }
+  return result;
+}
+
+void expect_equivalent(const Observed& fast, const Observed& seed) {
+  EXPECT_EQ(fast.jsonl, seed.jsonl)
+      << "broadcast fast path diverged from the per-recipient send() path";
+  EXPECT_EQ(fast.stats, seed.stats);
+  ASSERT_EQ(fast.logs.size(), seed.logs.size());
+  for (std::size_t v = 0; v < fast.logs.size(); ++v) {
+    EXPECT_EQ(fast.logs[v], seed.logs[v]) << "inbox order differs at node "
+                                          << v;
+  }
+}
+
+TEST(BroadcastFastPath, MatchesSendFanoutWithoutFailures) {
+  const Observed fast = run_waves(true, 7, 3, nullptr);
+  const Observed seed = run_waves(false, 7, 3, nullptr);
+  ASSERT_FALSE(fast.jsonl.empty());
+  expect_equivalent(fast, seed);
+}
+
+TEST(BroadcastFastPath, MatchesSendFanoutUnderRandomCrashes) {
+  const Observed fast = run_waves(
+      true, 9, 4, std::make_unique<RandomCrashAdversary>(4, 0.25, 77));
+  const Observed seed = run_waves(
+      false, 9, 4, std::make_unique<RandomCrashAdversary>(4, 0.25, 77));
+  EXPECT_GT(fast.stats.crashes, 0u);
+  expect_equivalent(fast, seed);
+}
+
+TEST(BroadcastFastPath, MatchesSendFanoutUnderChaosMidSendCrashes) {
+  // ChaosCrashAdversary keeps an arbitrary *subset* of each victim's
+  // logical outbox — the keep-indices cut straight through compressed
+  // broadcast entries.
+  const Observed fast = run_waves(
+      true, 8, 4, std::make_unique<ChaosCrashAdversary>(5, 0.35, 13));
+  const Observed seed = run_waves(
+      false, 8, 4, std::make_unique<ChaosCrashAdversary>(5, 0.35, 13));
+  EXPECT_GT(fast.stats.crashes, 0u);
+  expect_equivalent(fast, seed);
+}
+
+TEST(BroadcastFastPath, MatchesSendFanoutWithSpoofedBroadcasts) {
+  // A Byzantine node broadcasting with a forged claimed origin: all n
+  // copies are charged and rejected, none delivered.
+  const Observed fast = run_waves(true, 6, 3, nullptr, {2});
+  const Observed seed = run_waves(false, 6, 3, nullptr, {2});
+  EXPECT_GT(fast.stats.spoofs_rejected, 0u);
+  EXPECT_EQ(fast.stats.spoofs_rejected, seed.stats.spoofs_rejected);
+  expect_equivalent(fast, seed);
+}
+
+/// Crashes one victim in round 1 keeping an explicit keep list.
+class ScriptedKeep final : public CrashAdversary {
+ public:
+  ScriptedKeep(NodeIndex victim, std::vector<std::uint32_t> keep)
+      : victim_(victim), keep_(std::move(keep)) {}
+
+  std::vector<CrashOrder> decide(const AdversaryView& view) override {
+    if (view.round != 1) return {};
+    CrashOrder o;
+    o.victim = victim_;
+    o.keep = keep_;
+    return {o};
+  }
+  std::uint64_t budget() const override { return 1; }
+
+ private:
+  NodeIndex victim_;
+  std::vector<std::uint32_t> keep_;
+};
+
+/// Pure broadcaster (no extras) used by the keep-index and shared-inbox
+/// tests; can expand its broadcast into sends and/or spoof its origin.
+class PureBroadcaster final : public Node {
+ public:
+  PureBroadcaster(NodeIndex self, Round rounds, NodeIndex n = 0,
+                  bool use_broadcast = true, bool spoof = false)
+      : self_(self), rounds_(rounds), n_(n), use_broadcast_(use_broadcast),
+        spoof_(spoof) {}
+  void send(Round, Outbox& out) override {
+    Message m = make_message(kWave, 32, static_cast<std::uint64_t>(self_));
+    if (spoof_) m.claimed_sender = (self_ + 1) % n_;
+    if (use_broadcast_) {
+      out.broadcast(m);
+    } else {
+      for (NodeIndex d = 0; d < n_; ++d) out.send(d, m);
+    }
+  }
+  void receive(Round round, InboxView inbox) override {
+    executed_ = round;
+    for (const Message& m : inbox) senders_.push_back(m.sender);
+  }
+  bool done() const override { return executed_ >= rounds_; }
+  std::vector<NodeIndex> senders_;
+
+ private:
+  NodeIndex self_;
+  Round rounds_;
+  NodeIndex n_;
+  bool use_broadcast_;
+  bool spoof_;
+  Round executed_ = 0;
+};
+
+TEST(BroadcastFastPath, UntracedSharedInboxMatchesSendFanout) {
+  // Without a trace sink a broadcast-only round takes the shared-inbox
+  // path (docs/PERFORMANCE.md); with the expanded fan-out the same system
+  // takes the per-node arena path. Same stats, same inboxes — including a
+  // spoofer whose copies are rejected on both paths.
+  const NodeIndex n = 6;
+  auto build = [n](bool use_broadcast) {
+    std::vector<std::unique_ptr<Node>> nodes;
+    for (NodeIndex v = 0; v < n; ++v) {
+      nodes.push_back(
+          std::make_unique<PureBroadcaster>(v, 3, n, use_broadcast, v == 4));
+    }
+    return nodes;
+  };
+  Engine fast(build(true));
+  fast.mark_byzantine(4);
+  Engine seed(build(false));
+  seed.mark_byzantine(4);
+  const RunStats fast_stats = fast.run(6);
+  const RunStats seed_stats = seed.run(6);
+  EXPECT_EQ(fast_stats, seed_stats);
+  EXPECT_EQ(fast_stats.spoofs_rejected, 3u * n);
+  for (NodeIndex v = 0; v < n; ++v) {
+    EXPECT_EQ(dynamic_cast<const PureBroadcaster&>(fast.node(v)).senders_,
+              dynamic_cast<const PureBroadcaster&>(seed.node(v)).senders_)
+        << "node " << v;
+  }
+}
+
+TEST(BroadcastFastPath, MidSendCrashKeepIndicesAddressBroadcastRecipients) {
+  // Victim 0 broadcasts to 5 nodes (logical entries 0..4, dest == index)
+  // and crashes keeping logical indices {1, 3}: exactly nodes 1 and 3 see
+  // the wave.
+  const NodeIndex n = 5;
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (NodeIndex v = 0; v < n; ++v) {
+    nodes.push_back(std::make_unique<PureBroadcaster>(v, 2));
+  }
+  Engine engine(std::move(nodes),
+                std::make_unique<ScriptedKeep>(
+                    0, std::vector<std::uint32_t>{1, 3}));
+  const RunStats stats = engine.run(5);
+  EXPECT_EQ(stats.crashes, 1u);
+  // Round 1: victim delivered 2 of 5, others 5 each.
+  EXPECT_EQ(stats.per_round[0].messages, 2u + 4u * 5u);
+  for (NodeIndex v = 1; v < n; ++v) {
+    const auto& node = dynamic_cast<const PureBroadcaster&>(engine.node(v));
+    int from_victim = 0;
+    for (NodeIndex s : node.senders_) from_victim += (s == 0);
+    EXPECT_EQ(from_victim, (v == 1 || v == 3) ? 1 : 0) << "node " << v;
+  }
+}
+
+/// Varies its outbox size per round; exercises the reused buffers with
+/// shrinking and growing outboxes and empty rounds.
+class BurstyNode final : public Node {
+ public:
+  BurstyNode(NodeIndex self, NodeIndex n, Round rounds)
+      : self_(self), n_(n), rounds_(rounds) {}
+  void send(Round round, Outbox& out) override {
+    // Round 1: burst of unicasts; round 2: nothing; round 3: broadcast.
+    switch ((round - 1) % 3) {
+      case 0:
+        for (NodeIndex d = 0; d < n_; d += 2) {
+          out.send(d, make_message(kExtra, 8, static_cast<std::uint64_t>(d)));
+        }
+        break;
+      case 1:
+        break;
+      case 2:
+        out.broadcast(make_message(kWave, 32,
+                                   static_cast<std::uint64_t>(self_)));
+        break;
+    }
+  }
+  void receive(Round round, InboxView inbox) override {
+    executed_ = round;
+    received_per_round_.push_back(inbox.size());
+  }
+  bool done() const override { return executed_ >= rounds_; }
+  std::vector<std::size_t> received_per_round_;
+
+ private:
+  NodeIndex self_;
+  NodeIndex n_;
+  Round rounds_;
+  Round executed_ = 0;
+};
+
+TEST(BufferReuse, ClearedOutboxesNeverLeakEntriesAcrossRounds) {
+  const NodeIndex n = 6;
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (NodeIndex v = 0; v < n; ++v) {
+    nodes.push_back(std::make_unique<BurstyNode>(v, n, 6));
+  }
+  Engine engine(std::move(nodes));
+  const RunStats stats = engine.run(6);
+  ASSERT_EQ(stats.rounds, 6u);
+  // Burst rounds: each node unicasts to ceil(n/2)=3 even dests; quiet
+  // rounds carry zero traffic (a stale buffer would resurrect round-1
+  // entries); broadcast rounds carry n^2.
+  EXPECT_EQ(stats.per_round[0].messages, n * 3u);
+  EXPECT_EQ(stats.per_round[1].messages, 0u);
+  EXPECT_EQ(stats.per_round[2].messages,
+            static_cast<std::uint64_t>(n) * n);
+  EXPECT_EQ(stats.per_round[3].messages, n * 3u);
+  EXPECT_EQ(stats.per_round[4].messages, 0u);
+  EXPECT_EQ(stats.per_round[5].messages,
+            static_cast<std::uint64_t>(n) * n);
+  for (NodeIndex v = 0; v < n; ++v) {
+    const auto& node = dynamic_cast<const BurstyNode&>(engine.node(v));
+    // Even-indexed nodes get n unicasts, odd get none; everyone gets the
+    // n broadcasts.
+    const std::size_t unicasts = v % 2 == 0 ? n : 0;
+    ASSERT_EQ(node.received_per_round_.size(), 6u);
+    EXPECT_EQ(node.received_per_round_[0], unicasts);
+    EXPECT_EQ(node.received_per_round_[1], 0u);
+    EXPECT_EQ(node.received_per_round_[2], static_cast<std::size_t>(n));
+  }
+}
+
+TEST(Outbox, ExpandPreservesLogicalOrderAndStamps) {
+  Outbox out(1, 3);
+  out.send(2, make_message(kExtra, 8, std::uint64_t{9}));
+  out.broadcast(make_message(kWave, 32, std::uint64_t{5}));
+  out.send(0, make_message(kExtra, 8, std::uint64_t{4}));
+  EXPECT_EQ(out.entries().size(), 3u);
+  EXPECT_EQ(out.size(), 5u);
+  out.expand();
+  ASSERT_EQ(out.entries().size(), 5u);
+  EXPECT_EQ(out.size(), 5u);
+  const std::vector<NodeIndex> expected_dests = {2, 0, 1, 2, 0};
+  for (std::size_t i = 0; i < expected_dests.size(); ++i) {
+    EXPECT_EQ(out.entries()[i].first, expected_dests[i]) << "entry " << i;
+    EXPECT_EQ(out.entries()[i].second.sender, 1u);
+    EXPECT_EQ(out.entries()[i].second.claimed_sender, 1u);
+  }
+  for (std::size_t i = 1; i <= 3; ++i) {
+    EXPECT_EQ(out.entries()[i].second.kind, kWave);
+    EXPECT_EQ(out.entries()[i].second.w[0], 5u);
+  }
+  // Idempotent: a second expand is a no-op.
+  out.expand();
+  EXPECT_EQ(out.entries().size(), 5u);
+}
+
+TEST(InboxView, DirectAndIndirectModesIterateIdentically) {
+  std::vector<Message> msgs;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    msgs.push_back(make_message(kWave, 16, i));
+  }
+  std::vector<const Message*> ptrs;
+  for (const Message& m : msgs) ptrs.push_back(&m);
+
+  const InboxView direct(msgs);
+  const InboxView indirect(ptrs.data(), ptrs.size());
+  ASSERT_EQ(direct.size(), indirect.size());
+  EXPECT_FALSE(direct.empty());
+  std::size_t i = 0;
+  for (const Message& m : indirect) {
+    EXPECT_EQ(m.w[0], direct[i].w[0]);
+    ++i;
+  }
+  EXPECT_EQ(i, 4u);
+  EXPECT_TRUE(InboxView().empty());
+}
+
+TEST(InboxArena, UpperBoundSlicesReportOnlyDeliveredSlots) {
+  // Two nodes; node 0 is expected to receive up to 3 messages but only 1
+  // is delivered (the others are "spoofed/crashed away"): view(0) must see
+  // exactly the delivered one, and node 1's slice must be unaffected.
+  const Message a = make_message(kWave, 16, std::uint64_t{1});
+  const Message b = make_message(kWave, 16, std::uint64_t{2});
+  InboxArena arena;
+  arena.begin_round(2);
+  arena.expect_unicast(0);
+  arena.expect_unicast(0);
+  arena.expect_broadcast();
+  arena.commit();
+  arena.deliver(0, a);
+  arena.deliver(1, b);
+  ASSERT_EQ(arena.view(0).size(), 1u);
+  EXPECT_EQ(arena.view(0)[0].w[0], 1u);
+  ASSERT_EQ(arena.view(1).size(), 1u);
+  EXPECT_EQ(arena.view(1)[0].w[0], 2u);
+  // Round reuse: everything resets.
+  arena.begin_round(2);
+  arena.commit();
+  EXPECT_TRUE(arena.view(0).empty());
+  EXPECT_TRUE(arena.view(1).empty());
+}
+
+}  // namespace
+}  // namespace renaming::sim

@@ -26,7 +26,7 @@ class PingNode : public Node {
     out.broadcast(make_message(kPing, 32, static_cast<std::uint64_t>(self_)));
   }
 
-  void receive(Round round, std::span<const Message> inbox) override {
+  void receive(Round round, InboxView inbox) override {
     executed_ = round;
     for (const Message& m : inbox) senders_.push_back(m.sender);
   }
@@ -208,7 +208,7 @@ TEST(Engine, ByzantineNodesNeverBlockTermination) {
   class NeverDone final : public Node {
    public:
     void send(Round, Outbox&) override {}
-    void receive(Round, std::span<const Message>) override {}
+    void receive(Round, InboxView) override {}
     bool done() const override { return false; }
   };
   std::vector<std::unique_ptr<Node>> nodes;
@@ -242,7 +242,12 @@ TEST(Engine, CrashOrderKeepIndicesMayBeUnsorted) {
 TEST(OutboxBroadcastIncludesSelf, Basic) {
   Outbox out(2, 4);
   out.broadcast(make_message(kPing, 8, 0ULL));
+  // Compressed: one stored entry, four logical messages.
+  ASSERT_EQ(out.entries().size(), 1u);
   ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.entries().front().first, Outbox::kBroadcast);
+  out.expand();
+  ASSERT_EQ(out.entries().size(), 4u);
   bool self_seen = false;
   for (const auto& [dest, msg] : out.entries()) self_seen |= (dest == 2);
   EXPECT_TRUE(self_seen);
