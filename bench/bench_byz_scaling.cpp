@@ -2,7 +2,14 @@
 // (Theorem 1.3): with f in {0, log n}, messages grow like n log n, i.e.
 // msgs/n stays ~polylog while the OBG-style all-to-all baseline stays at
 // msgs/n ~ n and bits/n ~ n^2.
+//
+// `--json [--out PATH]` writes BENCH_byz_scaling.json (bench_util.h Json
+// shape, one row per (n, f) cell including wall_ms) so CI can track the
+// protocol-side hot path; `--smoke` shrinks the sweep for CI.
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "baselines/obg_byzantine.h"
 #include "bench_util.h"
@@ -15,6 +22,7 @@ namespace {
 
 using bench::fixed;
 using bench::human;
+using bench::Json;
 using bench::Table;
 
 std::vector<NodeIndex> spread_byz(NodeIndex n, NodeIndex f) {
@@ -23,22 +31,36 @@ std::vector<NodeIndex> spread_byz(NodeIndex n, NodeIndex f) {
   return byz;
 }
 
-void sweep() {
+int sweep(int argc, char** argv) {
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  const bool json = bench::has_flag(argc, argv, "--json");
+  const std::string out_path =
+      bench::flag_value(argc, argv, "--out", "BENCH_byz_scaling.json");
+
   byzantine::ByzParams params;
   params.pool_constant = 2.0;
   params.shared_seed = 23;
 
   Table table({"n", "f", "ours msgs", "ours msgs/n", "ours bits/n",
-               "obg msgs", "obg msgs/n", "obg bits/n", "ours/obg bits"});
+               "ours wall ms", "obg msgs", "obg msgs/n", "obg bits/n",
+               "ours/obg bits"});
+  Json rows = Json::array();
 
-  for (NodeIndex n : {128u, 256u, 512u, 1024u, 2048u}) {
+  const std::vector<NodeIndex> sizes =
+      smoke ? std::vector<NodeIndex>{128u, 256u}
+            : std::vector<NodeIndex>{128u, 256u, 512u, 1024u, 2048u};
+  for (NodeIndex n : sizes) {
     for (int mode = 0; mode < 2; ++mode) {
       const NodeIndex f = mode == 0 ? 0 : ceil_log2(n);
       const std::uint64_t N = static_cast<std::uint64_t>(n) * n * 5;
       const auto cfg = SystemConfig::random(n, N, 2200 + n + mode);
       const auto byz = spread_byz(n, f);
+      const auto start = std::chrono::steady_clock::now();
       const auto ours = byzantine::run_byz_renaming(
           cfg, params, byz, &byzantine::SplitReporter::make);
+      const auto stop = std::chrono::steady_clock::now();
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(stop - start).count();
       if (!ours.report.ok(true)) std::printf("OURS FAILED at n=%u f=%u\n", n, f);
       // Simulating the all-to-all baseline is itself Theta(n^3) work per
       // receiver-round (that is the point of the comparison); above n = 512
@@ -47,7 +69,7 @@ void sweep() {
       // Byzantine senders' deviations.
       std::uint64_t obg_msgs, obg_bits;
       bool extrapolated = false;
-      if (n <= 512) {
+      if (n <= 512 && !smoke) {
         const auto obg = baselines::run_obg_renaming(
             cfg, byz, baselines::ObgByzBehaviour::kSplitAnnounce);
         if (!obg.report.ok()) std::printf("OBG FAILED at n=%u f=%u\n", n, f);
@@ -66,26 +88,58 @@ void sweep() {
            human(ours.stats.total_messages),
            fixed(static_cast<double>(ours.stats.total_messages) / n, 1),
            fixed(static_cast<double>(ours.stats.total_bits) / n, 1),
+           fixed(wall_ms, 1),
            human(obg_msgs) + (extrapolated ? "*" : ""),
            fixed(static_cast<double>(obg_msgs) / n, 1),
            fixed(static_cast<double>(obg_bits) / n, 1),
            fixed(static_cast<double>(ours.stats.total_bits) /
                      static_cast<double>(obg_bits),
                  4)});
+      rows.push(Json::object()
+                    .set("n", Json::integer(n))
+                    .set("f", Json::integer(f))
+                    .set("msgs", Json::integer(ours.stats.total_messages))
+                    .set("bits", Json::integer(ours.stats.total_bits))
+                    .set("rounds", Json::integer(ours.stats.rounds))
+                    .set("wall_ms", Json::num(wall_ms, 1))
+                    .set("obg_msgs", Json::integer(obg_msgs))
+                    .set("obg_bits", Json::integer(obg_bits))
+                    .set("obg_extrapolated", Json::boolean(extrapolated)));
     }
   }
   std::printf("== E5: Byzantine algorithm scaling (pool constant 2.0; * = closed form) ==\n");
   table.print();
+
+  if (json) {
+    Json doc = Json::object();
+    doc.set("bench", Json::str("byz_scaling"))
+        .set("smoke", Json::boolean(smoke))
+        .set("unchecked",
+#if defined(RENAMING_UNCHECKED)
+             Json::boolean(true)
+#else
+             Json::boolean(false)
+#endif
+                 )
+        .set("rows", std::move(rows));
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+      return 1;
+    }
+    out << doc.dump();
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace renaming
 
-int main() {
+int main(int argc, char** argv) {
   std::printf(
       "E5: 'ours msgs/n' stays polylogarithmic (almost-linear total) while\n"
       "'obg msgs/n' grows ~n and 'obg bits/n' grows ~n^2; the bits ratio\n"
       "collapses toward 0 as n grows.\n\n");
-  renaming::sweep();
-  return 0;
+  return renaming::sweep(argc, argv);
 }

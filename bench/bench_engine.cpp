@@ -8,7 +8,10 @@
 //                  made bench_crash_scaling dodge n >= 4096 before the
 //                  broadcast fast path existed;
 //   * cht-crash  — same under a random crash adversary, exercising the
-//                  mid-send crash (outbox expansion) slow path.
+//                  mid-send crash (outbox expansion) slow path;
+//   * byz        — the full Byzantine renaming protocol (committee
+//                  multicast, identity-list summaries, fingerprint
+//                  consensus): the protocol-side hot path end to end.
 //
 // Independent seeds run in parallel (bench_util.h pool); each simulation is
 // single-threaded and deterministic. `--json` writes BENCH_engine.json so
@@ -22,6 +25,8 @@
 
 #include "baselines/cht_crash.h"
 #include "bench_util.h"
+#include "byzantine/byz_renaming.h"
+#include "byzantine/strategies.h"
 #include "common/math.h"
 #include "sim/adversary.h"
 #include "sim/engine.h"
@@ -103,6 +108,24 @@ sim::RunStats run_cht(NodeIndex n, std::uint64_t seed, bool with_crashes) {
   return result.stats;
 }
 
+sim::RunStats run_byz(NodeIndex n, std::uint64_t seed) {
+  const auto cfg =
+      SystemConfig::random(n, static_cast<std::uint64_t>(n) * n * 5, seed);
+  byzantine::ByzParams params;
+  params.pool_constant = 3.0;
+  params.shared_seed = seed;
+  const NodeIndex f = ceil_log2(n);
+  std::vector<NodeIndex> byz;
+  for (NodeIndex i = 0; i < f; ++i) byz.push_back((i * n) / (f + 1) + 1);
+  auto result = byzantine::run_byz_renaming(cfg, params, byz,
+                                            &byzantine::SplitReporter::make);
+  if (!result.report.ok(true)) {
+    std::printf("WARNING: byz verifier failed at n=%u seed=%llu\n", n,
+                static_cast<unsigned long long>(seed));
+  }
+  return result.stats;
+}
+
 Cell measure(const std::string& workload, NodeIndex n, std::uint64_t seeds,
              unsigned threads) {
   std::vector<sim::RunStats> stats(seeds);
@@ -113,6 +136,8 @@ Cell measure(const std::string& workload, NodeIndex n, std::uint64_t seeds,
         const std::uint64_t seed = 7000 + 13 * i;
         if (workload == "ping") {
           stats[i] = run_ping(n, seed);
+        } else if (workload == "byz") {
+          stats[i] = run_byz(n, seed);
         } else {
           stats[i] = run_cht(n, seed, workload == "cht-crash");
         }
@@ -146,11 +171,13 @@ int run(int argc, char** argv) {
   if (smoke) {
     workloads = {{"ping", {256, 512}, 2},
                  {"cht", {256, 512}, 2},
-                 {"cht-crash", {256}, 2}};
+                 {"cht-crash", {256}, 2},
+                 {"byz", {96}, 2}};
   } else {
     workloads = {{"ping", {256, 1024, 2048, 4096}, 4},
                  {"cht", {256, 512, 1024, 2048, 4096}, 4},
-                 {"cht-crash", {1024, 2048}, 4}};
+                 {"cht-crash", {1024, 2048}, 4},
+                 {"byz", {96, 192, 384}, 4}};
   }
 
   Table table({"workload", "n", "seeds", "rounds", "events", "wall ms",

@@ -40,6 +40,21 @@ void BM_BeaconCoefficient(benchmark::State& state) {
 }
 BENCHMARK(BM_BeaconCoefficient);
 
+void BM_CachedCoefficient(benchmark::State& state) {
+  // The shared per-run cache: after warmup every lookup is one vector read
+  // instead of a rejection-sampled beacon evaluation.
+  const auto cache = hashing::make_coefficient_cache(1);
+  hashing::SetFingerprint fp(cache);
+  const std::uint64_t kUniverse = 1 << 16;
+  for (std::uint64_t i = 1; i <= kUniverse; ++i) fp.coefficient(i);  // warm
+  std::uint64_t i = 1;
+  for (auto _ : state) {
+    i = 1 + (i * 2654435761u) % kUniverse;
+    benchmark::DoNotOptimize(fp.coefficient(i));
+  }
+}
+BENCHMARK(BM_CachedCoefficient);
+
 void BM_IdentityListSummarize(benchmark::State& state) {
   const std::uint64_t kN = 1 << 22;
   hashing::SharedRandomness beacon(2);
@@ -48,7 +63,6 @@ void BM_IdentityListSummarize(benchmark::State& state) {
   for (std::int64_t i = 0; i < state.range(0); ++i) {
     list.insert(1 + rng.below(kN));
   }
-  list.summarize(Interval(1, kN));  // build the prefix table once
   std::uint64_t lo = 1;
   for (auto _ : state) {
     lo = 1 + (lo * 2654435761u) % (kN / 2);
@@ -56,6 +70,50 @@ void BM_IdentityListSummarize(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IdentityListSummarize)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_IdentityListMixedOps(benchmark::State& state) {
+  // The protocol's actual access pattern: interleaved inserts, removals and
+  // summaries. The bucketed list keeps this O(log k + bucket) per op; the
+  // old sorted-vector + prefix table rebuilt an O(k) table after every
+  // mutation batch.
+  const std::uint64_t kN = 1 << 22;
+  hashing::SharedRandomness beacon(6);
+  byzantine::IdentityList list(kN, beacon);
+  Xoshiro256 rng(7);
+  std::vector<std::uint64_t> present;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    const std::uint64_t id = 1 + rng.below(kN);
+    list.insert(id);
+    present.push_back(id);
+  }
+  std::size_t k = 0;
+  for (auto _ : state) {
+    const std::uint64_t id = 1 + rng.below(kN);
+    list.insert(id);
+    list.set(present[k % present.size()], false);
+    present[k % present.size()] = id;
+    ++k;
+    const std::uint64_t lo = 1 + rng.below(kN / 2);
+    benchmark::DoNotOptimize(list.summarize(Interval(lo, lo + kN / 4)));
+  }
+}
+BENCHMARK(BM_IdentityListMixedOps)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_RabinOfRangeSparse(benchmark::State& state) {
+  // Sparse Rabin evaluation: cost scales with the number of set bits (the
+  // jump table hops zero runs), not the range width.
+  const std::uint64_t kN = 1 << 20;
+  hashing::SharedRandomness beacon(8);
+  hashing::RabinFingerprint rabin(beacon);
+  BitVec bits(kN);
+  Xoshiro256 rng(9);
+  for (std::int64_t i = 0; i < state.range(0); ++i) bits.set(rng.below(kN));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rabin.of_range(bits, 0, kN - 1));
+  }
+  state.SetItemsProcessed(state.iterations() * bits.count());
+}
+BENCHMARK(BM_RabinOfRangeSparse)->Arg(64)->Arg(4096)->Arg(262144);
 
 void BM_BitVecCountRange(benchmark::State& state) {
   const std::uint64_t kN = 1 << 20;

@@ -36,10 +36,17 @@ conventions. This script enforces them mechanically:
                      under src/. Parallelism lives in the bench drivers
                      (bench/bench_util.h runs independent seeds on a pool),
                      which this script does not scan.
+  R7 dense-of-range  Protocol code (src/byzantine/, src/crash/) must not
+                     call SetFingerprint/RabinFingerprint::of_range: those
+                     evaluate a fingerprint by walking a dense BitVec over
+                     the identity space — an O(N)-shaped scan that the
+                     bucketed IdentityList's incremental summaries exist to
+                     avoid (docs/PERFORMANCE.md "Protocol hot path").
+                     of_range belongs in tests and cross-checks only.
 
 Findings can be suppressed per line with `// lint:allow(<rule>)` where
 <rule> is one of: nondeterminism, bits-width, unordered-iteration,
-threading.
+threading, dense-of-range.
 
 Exit status: 0 if clean, 1 if any violation, 2 on usage error.
 """
@@ -334,6 +341,38 @@ def check_threading(src: Path) -> list[Violation]:
 
 
 # ---------------------------------------------------------------------------
+# R7: protocol code must not evaluate fingerprints over the dense id space
+
+OF_RANGE_CALL_RE = re.compile(r"\.\s*of_range\s*\(")
+DENSE_SCAN_DIRS = {"byzantine", "crash"}
+
+
+def check_dense_of_range(src: Path) -> list[Violation]:
+    violations = []
+    for path in source_files(src):
+        if path.parent.name not in DENSE_SCAN_DIRS:
+            continue
+        for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+            if allowed(raw, "dense-of-range"):
+                continue
+            code = strip_comments_and_strings(raw)
+            if OF_RANGE_CALL_RE.search(code):
+                violations.append(
+                    Violation(
+                        "dense-of-range",
+                        path,
+                        lineno,
+                        "of_range scans a dense BitVec over the identity "
+                        "space; protocol code must use IdentityList's "
+                        "incremental summaries (summarize/rank/ids_in) "
+                        "instead — of_range is for tests and cross-checks "
+                        "only",
+                    )
+                )
+    return violations
+
+
+# ---------------------------------------------------------------------------
 # R4: no iteration over unordered containers
 
 UNORDERED_DECL_RE = re.compile(r"std\s*::\s*unordered_\w+\s*<[^;()]*>\s+(\w+)\s*[;{=]")
@@ -422,6 +461,7 @@ RULES = {
     "unordered-iteration": lambda src, args: check_unordered_iteration(src),
     "header-hygiene": lambda src, args: check_header_hygiene(src, args.compiler),
     "threading": lambda src, args: check_threading(src),
+    "dense-of-range": lambda src, args: check_dense_of_range(src),
 }
 
 

@@ -5,7 +5,14 @@ cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
+timings=()
 for b in build/bench/*; do
   echo "===== $(basename "$b") ====="
+  start=$(date +%s.%N)
   "$b"
+  end=$(date +%s.%N)
+  timings+=("$(awk -v n="$(basename "$b")" -v s="$start" -v e="$end" \
+    'BEGIN { printf "%-24s %8.1fs", n, e - s }')")
 done
+echo "===== wall-clock summary ====="
+for t in "${timings[@]}"; do echo "$t"; done

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "byzantine/byz_renaming.h"
@@ -60,8 +61,9 @@ class TurncoatNode final : public sim::Node {
  public:
   TurncoatNode(NodeIndex self, const SystemConfig& cfg,
                const Directory& directory, const ByzParams& params,
-               AdaptiveController& controller)
-      : self_(self), honest_(self, cfg, directory, params),
+               AdaptiveController& controller,
+               std::shared_ptr<const hashing::CoefficientCache> cache = nullptr)
+      : self_(self), honest_(self, cfg, directory, params, std::move(cache)),
         controller_(&controller) {}
 
   void send(Round round, sim::Outbox& out) override {
@@ -81,6 +83,10 @@ class TurncoatNode final : public sim::Node {
   }
 
   bool done() const override { return turned_ || honest_.done(); }
+
+  /// Turned nodes are silent forever; otherwise defer to the honest state
+  /// machine (its round-1 election hook runs before it can ever be idle).
+  bool idle() const override { return turned_ || honest_.idle(); }
 
   bool turned() const { return turned_; }
   const ByzNode& honest() const { return honest_; }

@@ -16,14 +16,18 @@ constexpr sim::MsgKind kind_of(Tag t) { return static_cast<sim::MsgKind>(t); }
 }  // namespace
 
 ByzNode::ByzNode(NodeIndex self, const SystemConfig& cfg,
-                 const Directory& directory, ByzParams params)
+                 const Directory& directory, ByzParams params,
+                 std::shared_ptr<const hashing::CoefficientCache> cache)
     : self_(self),
       n_(cfg.n),
       namespace_size_(cfg.namespace_size),
       id_(cfg.ids[self]),
       directory_(&directory),
       params_(params),
-      beacon_(params.shared_seed) {}
+      beacon_(params.shared_seed),
+      coeff_cache_(cache != nullptr
+                       ? std::move(cache)
+                       : hashing::make_coefficient_cache(params.shared_seed)) {}
 
 std::uint32_t ByzNode::fingerprint_bits() const {
   // <fingerprint (61), count (log n), control>: O(log N) since N >= n.
@@ -72,7 +76,7 @@ void ByzNode::send(Round round, sim::Outbox& out) {
       sim::Message m;
       m.kind = kind_of(Tag::kVector);
       m.blob = std::make_shared<const std::vector<std::uint64_t>>(
-          list_->ids());
+          list_->to_vector());
       const std::uint64_t blob_bits =
           std::max<std::uint64_t>(1, list_->size()) *
           ceil_log2(namespace_size_);
@@ -126,7 +130,7 @@ void ByzNode::receive(Round round, sim::InboxView inbox) {
     }
     case Stage::kIdReport: {
       if (elected_) {
-        list_ = std::make_unique<IdentityList>(namespace_size_, beacon_);
+        list_ = std::make_unique<IdentityList>(namespace_size_, coeff_cache_);
         for (const sim::Message& m : inbox) {
           if (m.kind != kind_of(Tag::kIdReport) || m.nwords < 1) continue;
           const OriginalId claimed = m.w[0];
@@ -228,7 +232,8 @@ void ByzNode::receive(Round round, sim::InboxView inbox) {
           if (id >= 1 && id <= namespace_size_) ++counts[id];
         }
       }
-      auto merged = std::make_unique<IdentityList>(namespace_size_, beacon_);
+      auto merged =
+          std::make_unique<IdentityList>(namespace_size_, coeff_cache_);
       for (const auto& [id, count] : counts) {
         if (count >= view_.max_tolerated() + 1) merged->insert(id);
       }
@@ -288,7 +293,9 @@ void ByzNode::distribute(sim::Outbox& out) {
   // NEW(null) to the reporters it knows there).
   std::uint64_t before = 0;  // agreed ones before the current segment
   for (const auto& [lo, proc] : processed_) {
-    const auto ids = list_->ids_in(proc.segment);
+    scratch_ids_.clear();
+    list_->append_ids_in(proc.segment, scratch_ids_);
+    const auto& ids = scratch_ids_;
     const bool usable =
         !proc.dirty && static_cast<std::uint64_t>(ids.size()) == proc.count;
     if (usable) {
@@ -349,13 +356,18 @@ ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
   std::vector<bool> is_byz(cfg.n, false);
   for (NodeIndex b : byzantine) is_byz[b] = true;
 
+  // One coefficient cache for the whole run: every correct node holds the
+  // same beacon seed, so the memo is shared knowledge, not a shortcut.
+  const auto coeff_cache = hashing::make_coefficient_cache(params.shared_seed);
+
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
   for (NodeIndex v = 0; v < cfg.n; ++v) {
     if (is_byz[v] && factory != nullptr) {
       nodes.push_back(factory(v, cfg, directory, params));
     } else {
-      nodes.push_back(std::make_unique<ByzNode>(v, cfg, directory, params));
+      nodes.push_back(
+          std::make_unique<ByzNode>(v, cfg, directory, params, coeff_cache));
     }
   }
   sim::Engine engine(std::move(nodes));

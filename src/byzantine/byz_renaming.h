@@ -50,6 +50,7 @@
 #include "core/interval.h"
 #include "core/system.h"
 #include "core/verifier.h"
+#include "hashing/coefficient_cache.h"
 #include "hashing/shared_random.h"
 #include "byzantine/identity_list.h"
 #include "sim/node.h"
@@ -98,12 +99,20 @@ enum class Tag : sim::MsgKind {
 
 class ByzNode : public sim::Node {
  public:
+  /// `cache` is the run-wide fingerprint-coefficient cache; when null the
+  /// node builds a private one from params.shared_seed (same values, just
+  /// not shared — used by strategy wrappers constructed via the factory).
   ByzNode(NodeIndex self, const SystemConfig& cfg, const Directory& directory,
-          ByzParams params);
+          ByzParams params,
+          std::shared_ptr<const hashing::CoefficientCache> cache = nullptr);
 
   void send(Round round, sim::Outbox& out) override;
   void receive(Round round, sim::InboxView inbox) override;
   bool done() const override;
+  /// Ordinary nodes spend almost the whole execution in the terminal
+  /// kDone stage waiting for NEW messages; both send() and an empty-inbox
+  /// receive() are no-ops there, so the engine may skip them.
+  bool idle() const override { return stage_ == Stage::kDone; }
 
   // Introspection for tests/benches/adversaries.
   bool elected() const { return elected_; }
@@ -156,6 +165,10 @@ class ByzNode : public sim::Node {
   const Directory* directory_;
   ByzParams params_;
   hashing::SharedRandomness beacon_;
+  // Run-wide memo of the beacon's rejection-sampled hash coefficients
+  // (hashing/coefficient_cache.h): every node of a run shares one cache,
+  // sound because the beacon seed is common knowledge (Fact 3.2).
+  std::shared_ptr<const hashing::CoefficientCache> coeff_cache_;
 
   // --- common state ---
   Stage stage_ = Stage::kElect;
@@ -187,6 +200,7 @@ class ByzNode : public sim::Node {
   std::uint32_t iterations_ = 0;
   std::uint32_t splits_ = 0;
   std::uint32_t dirties_ = 0;
+  std::vector<std::uint64_t> scratch_ids_;  // reused by distribute()
 };
 
 /// Outcome of one full execution.

@@ -2,19 +2,25 @@
 //
 // Conceptually L_v is a length-N bit vector with L_v[i] = 1 iff identity i
 // was received by committee member v. Materialising N bits per member
-// would cost Theta(N) memory and Theta(segment length) per fingerprint, so
-// this class stores the equivalent sparse form — the sorted set of present
-// identities plus a prefix table of their hash coefficients — giving
-// O(log n)-time segment fingerprints and popcounts over arbitrary [l, r].
-// Tests cross-check every operation against the dense BitVec + the
-// reference fingerprints in src/hashing.
+// would cost Theta(N) memory, so this class stores the equivalent sparse
+// form as a bucketed ordered container: B-tree-style leaves of a few
+// hundred sorted ids, each carrying a SegmentSummary aggregate
+// <fingerprint, count> that is maintained *incrementally* on every
+// insert/set — m61 addition is an invertible group operation (Fact 3.2),
+// so a single-bit flip updates a bucket aggregate with one add/sub instead
+// of a global rebuild. insert/set/rank cost O(log(k/B) + B) and summarize
+// costs O(log(k/B) + buckets overlapped + B) for k stored ids and bucket
+// capacity B; there is no lazily rebuilt prefix table and no O(k) rebuild
+// anywhere on the hot path. Tests cross-check every operation against the
+// dense BitVec + the reference fingerprints in src/hashing.
 #pragma once
 
 #include <cstdint>
-#include <span>
+#include <memory>
 #include <vector>
 
 #include "core/interval.h"
+#include "hashing/coefficient_cache.h"
 #include "hashing/fingerprint.h"
 #include "hashing/shared_random.h"
 
@@ -28,10 +34,24 @@ struct SegmentSummary {
 
 class IdentityList {
  public:
+  /// Leaves split once they exceed this many ids. A few hundred keeps the
+  /// per-operation binary search short while the aggregates make segment
+  /// summaries skip whole leaves. Tests pass a tiny capacity to force
+  /// splits on small inputs.
+  static constexpr std::size_t kDefaultBucketCapacity = 256;
+
   /// `namespace_size` is N; coefficients come from the shared beacon so
   /// that all correct members evaluate the same hash function (Fact 3.2).
+  /// The beacon must outlive the list.
   IdentityList(std::uint64_t namespace_size,
-               const hashing::SharedRandomness& beacon);
+               const hashing::SharedRandomness& beacon,
+               std::size_t bucket_capacity = kDefaultBucketCapacity);
+
+  /// Cache-backed form: all lists of one run share `cache`, so each
+  /// position's rejection-sampled coefficient is derived once per run.
+  IdentityList(std::uint64_t namespace_size,
+               std::shared_ptr<const hashing::CoefficientCache> cache,
+               std::size_t bucket_capacity = kDefaultBucketCapacity);
 
   /// Record that identity `id` (1-based, <= N) is present. Idempotent.
   void insert(std::uint64_t id);
@@ -45,24 +65,40 @@ class IdentityList {
   /// Number of ones strictly before position `id`.
   std::uint64_t rank(std::uint64_t id) const;
 
-  /// All present identities within [j.lo, j.hi], ascending.
-  std::span<const std::uint64_t> ids_in(const Interval& j) const;
+  /// Appends all present identities within [j.lo, j.hi] to `out`,
+  /// ascending. The allocation-free form used by the distribution loop.
+  void append_ids_in(const Interval& j, std::vector<std::uint64_t>& out) const;
 
-  std::uint64_t size() const { return static_cast<std::uint64_t>(ids_.size()); }
+  /// All present identities within [j.lo, j.hi], ascending.
+  std::vector<std::uint64_t> ids_in(const Interval& j) const;
+
+  /// All present identities, ascending (materialized; used by the A2
+  /// full-vector ablation to build its message blob).
+  std::vector<std::uint64_t> to_vector() const;
+
+  std::uint64_t size() const { return size_; }
   std::uint64_t namespace_size() const { return namespace_size_; }
-  const std::vector<std::uint64_t>& ids() const { return ids_; }
+  std::size_t bucket_count() const { return buckets_.size(); }
 
  private:
-  void rebuild_prefix() const;
-  /// Index of the first id >= bound.
-  std::size_t lower(std::uint64_t bound) const;
+  /// One leaf: a sorted run of ids plus its incrementally maintained
+  /// aggregate. Invariant: never empty, fingerprint == m61 sum of the ids'
+  /// coefficients, buckets' id ranges are disjoint and ascending.
+  struct Bucket {
+    std::vector<std::uint64_t> ids;
+    std::uint64_t fingerprint = 0;
+  };
+
+  /// Index of the first bucket whose max id is >= bound (== buckets_.size()
+  /// when every stored id is smaller).
+  std::size_t bucket_for(std::uint64_t bound) const;
+  void split_bucket(std::size_t b);
 
   std::uint64_t namespace_size_;
   hashing::SetFingerprint hash_;
-  std::vector<std::uint64_t> ids_;  // sorted, unique
-  // prefix_[k] = hash of the first k ids; rebuilt lazily after mutation.
-  mutable std::vector<std::uint64_t> prefix_;
-  mutable bool prefix_valid_ = false;
+  std::size_t bucket_capacity_;
+  std::vector<Bucket> buckets_;
+  std::uint64_t size_ = 0;
 };
 
 }  // namespace renaming::byzantine

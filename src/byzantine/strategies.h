@@ -37,6 +37,7 @@ class SilentNode final : public sim::Node {
   void send(Round, sim::Outbox&) override {}
   void receive(Round, sim::InboxView) override {}
   bool done() const override { return true; }
+  bool idle() const override { return true; }  // both callbacks are no-ops
 };
 
 /// Runs the honest protocol but lets a strategy rewrite the outbox.

@@ -69,6 +69,22 @@ class BitVec {
     return count_range(0, i - 1);
   }
 
+  /// Index of the first set bit at position >= from, or size() if there is
+  /// none (from >= size() is allowed and returns size()). Scans whole words,
+  /// so iterating all set bits costs O(words + ones) rather than O(size()).
+  std::uint64_t next_set(std::uint64_t from) const {
+    if (from >= nbits_) return nbits_;
+    std::uint64_t w = from >> 6;
+    std::uint64_t word = words_[w] & (~0ULL << (from & 63));
+    while (word == 0) {
+      if (++w == words_.size()) return nbits_;
+      word = words_[w];
+    }
+    const std::uint64_t i =
+        (w << 6) + static_cast<std::uint64_t>(std::countr_zero(word));
+    return i < nbits_ ? i : nbits_;
+  }
+
   bool operator==(const BitVec& other) const = default;
 
  private:

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -38,12 +39,24 @@ class CommitteeView {
     std::sort(members_.begin(), members_.end());
     members_.erase(std::unique(members_.begin(), members_.end()),
                    members_.end());
+    // Link lookup table: every inbound committee message resolves its
+    // sender through index_of_link, so the per-message cost must not be a
+    // linear scan of the member list (docs/PERFORMANCE.md).
+    by_link_.reserve(members_.size());
+    links_.reserve(members_.size());
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      by_link_.emplace_back(members_[i].link, i);
+      links_.push_back(members_[i].link);
+    }
+    std::sort(by_link_.begin(), by_link_.end());
   }
 
   std::size_t size() const { return members_.size(); }
   bool empty() const { return members_.empty(); }
   const Member& member(std::size_t i) const { return members_[i]; }
   const std::vector<Member>& members() const { return members_; }
+  /// Member links in view (id) order — the committee multicast list.
+  const std::vector<NodeIndex>& links() const { return links_; }
 
   /// Classical Byzantine tolerance for this view size.
   std::uint32_t max_tolerated() const {
@@ -55,10 +68,11 @@ class CommitteeView {
   /// Index of the member with this link, or npos.
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
   std::size_t index_of_link(NodeIndex link) const {
-    for (std::size_t i = 0; i < members_.size(); ++i) {
-      if (members_[i].link == link) return i;
-    }
-    return npos;
+    const auto it = std::lower_bound(
+        by_link_.begin(), by_link_.end(), link,
+        [](const auto& entry, NodeIndex l) { return entry.first < l; });
+    if (it == by_link_.end() || it->first != link) return npos;
+    return it->second;
   }
 
   bool contains_link(NodeIndex link) const {
@@ -67,6 +81,10 @@ class CommitteeView {
 
  private:
   std::vector<Member> members_;
+  /// (link, index into members_) sorted by link.
+  std::vector<std::pair<NodeIndex, std::uint32_t>> by_link_;
+  /// Member links in view order, for Outbox::multicast.
+  std::vector<NodeIndex> links_;
 };
 
 }  // namespace renaming::consensus

@@ -1,5 +1,6 @@
 #include "consensus/phase_king.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/check.h"
@@ -21,7 +22,8 @@ PhaseKing::PhaseKing(const CommitteeView& view, std::size_t my_index,
       kind_(kind),
       message_bits_(message_bits),
       tolerated_(view.max_tolerated()),
-      value_(input) {
+      value_(input),
+      heard_(view.size(), 0) {
   RENAMING_CHECK(my_index_ < view_.size(),
                  "phase-king participant must be a view member");
 }
@@ -65,15 +67,17 @@ bool PhaseKing::receive(std::uint32_t step,
   const std::size_t quorum = m - tolerated_;
 
   // Tally one message per view member (first wins) for the given subkind.
+  // The dedup scratch is a member: this runs once per member per committee
+  // round, so a per-call allocation would dominate the whole protocol.
   auto tally = [&](std::uint64_t subkind, std::size_t counts[3]) {
-    std::vector<bool> heard(m, false);
+    std::fill(heard_.begin(), heard_.end(), 0);
     counts[0] = counts[1] = counts[2] = 0;
     for (const sim::Message& msg : inbox) {
       if (msg.kind != kind_ || msg.nwords < 3) continue;
       if (msg.w[0] != session_ || msg.w[1] != subkind) continue;
       const std::size_t idx = view_.index_of_link(msg.sender);
-      if (idx == CommitteeView::npos || heard[idx]) continue;
-      heard[idx] = true;
+      if (idx == CommitteeView::npos || heard_[idx] != 0) continue;
+      heard_[idx] = 1;
       ++counts[msg.w[2] <= 1 ? msg.w[2] : kBottom];
     }
   };

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "consensus/committee.h"
 #include "consensus/subprotocol.h"
@@ -55,6 +56,7 @@ class PhaseKing final : public SubProtocol {
   bool value_;
   std::uint64_t proposal_ = 2;  // 2 = bottom ("no proposal")
   bool strong_ = false;         // value locked by >= m - t proposals
+  std::vector<char> heard_;     // per-tally scratch, sized to the view
 };
 
 }  // namespace renaming::consensus

@@ -34,10 +34,13 @@ class SubProtocol {
                        sim::InboxView inbox) = 0;
 };
 
-/// Broadcast helper: send `m` to every member of the view.
+/// Broadcast helper: send `m` to every member of the view (in view order).
+/// Compressed into one multicast entry — committee traffic is the inner
+/// loop of the whole protocol, and per-member Message copies would
+/// dominate it (docs/PERFORMANCE.md).
 inline void broadcast_to_committee(const CommitteeView& view,
                                    sim::Outbox& out, const sim::Message& m) {
-  for (const Member& member : view.members()) out.send(member.link, m);
+  out.multicast(view.links(), m);
 }
 
 }  // namespace renaming::consensus

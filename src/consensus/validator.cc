@@ -1,6 +1,6 @@
 #include "consensus/validator.h"
 
-#include <map>
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -20,7 +20,8 @@ Validator::Validator(const CommitteeView& view, std::size_t my_index,
       message_bits_(message_bits),
       tolerated_(view.max_tolerated()),
       in_(input),
-      out_(input) {
+      out_(input),
+      heard_(view.size(), 0) {
   RENAMING_CHECK(my_index_ < view_.size(),
                  "validator participant must be a view member");
 }
@@ -47,19 +48,34 @@ bool Validator::receive(std::uint32_t step,
   const std::size_t m = view_.size();
   const std::size_t quorum = m - tolerated_;
 
+  // Key-sorted tally insert: at most m distinct values, so a lower_bound
+  // into a reused vector beats a node-based map; iteration stays in key
+  // order, which the "first value reaching quorum" checks depend on.
+  auto bump = [&](ValueKey key) {
+    const auto it = std::lower_bound(
+        counts_.begin(), counts_.end(), key,
+        [](const auto& entry, const ValueKey& k) { return entry.first < k; });
+    if (it != counts_.end() && it->first == key) {
+      ++it->second;
+    } else {
+      counts_.insert(it, {key, 1});
+    }
+  };
+
+  std::fill(heard_.begin(), heard_.end(), 0);
+  counts_.clear();
+
   if (step == 0) {
-    std::vector<bool> heard(m, false);
-    std::map<ValueKey, std::size_t> counts;
     for (const sim::Message& msg : inbox) {
       if (msg.kind != kind_ || msg.nwords < 4) continue;
       if (msg.w[0] != session_ || msg.w[1] != kPropose) continue;
       const std::size_t idx = view_.index_of_link(msg.sender);
-      if (idx == CommitteeView::npos || heard[idx]) continue;
-      heard[idx] = true;
-      ++counts[{msg.w[2], msg.w[3]}];
+      if (idx == CommitteeView::npos || heard_[idx] != 0) continue;
+      heard_[idx] = 1;
+      bump({msg.w[2], msg.w[3]});
     }
     vote_.reset();
-    for (const auto& [key, count] : counts) {
+    for (const auto& [key, count] : counts_) {
       if (count >= quorum) {
         vote_ = ValidatorValue{key.first, key.second};
         break;  // at most one value can reach m - t support
@@ -69,36 +85,35 @@ bool Validator::receive(std::uint32_t step,
   }
 
   // Step 1: tally votes.
-  std::vector<bool> heard(m, false);
-  std::map<ValueKey, std::size_t> counts;
   for (const sim::Message& msg : inbox) {
     if (msg.kind != kind_ || msg.nwords < 5) continue;
     if (msg.w[0] != session_ || msg.w[1] != kVote) continue;
     if (msg.w[2] == 0) continue;  // bottom votes carry no value
     const std::size_t idx = view_.index_of_link(msg.sender);
-    if (idx == CommitteeView::npos || heard[idx]) continue;
-    heard[idx] = true;
-    ++counts[{msg.w[3], msg.w[4]}];
+    if (idx == CommitteeView::npos || heard_[idx] != 0) continue;
+    heard_[idx] = 1;
+    bump({msg.w[3], msg.w[4]});
   }
 
   same_ = false;
   out_ = in_;
-  // Prefer the strongest supported value.
-  const std::map<ValueKey, std::size_t>::const_iterator best = [&] {
-    auto it = counts.cbegin(), winner = counts.cend();
-    for (; it != counts.cend(); ++it) {
-      if (winner == counts.cend() || it->second > winner->second) winner = it;
+  // Prefer the strongest supported value (earliest key wins ties, exactly
+  // as the ordered-map scan did).
+  std::size_t best = counts_.size();
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (best == counts_.size() || counts_[i].second > counts_[best].second) {
+      best = i;
     }
-    return winner;
-  }();
-  if (best != counts.cend()) {
-    if (best->second >= quorum) {
+  }
+  if (best != counts_.size()) {
+    const auto& [key, count] = counts_[best];
+    if (count >= quorum) {
       same_ = true;
-      out_ = ValidatorValue{best->first.first, best->first.second};
-    } else if (best->second >= tolerated_ + 1) {
+      out_ = ValidatorValue{key.first, key.second};
+    } else if (count >= tolerated_ + 1) {
       // At least one correct member voted it; with m > 3t, at most one
       // value can have a correct voter, so this choice is consistent.
-      out_ = ValidatorValue{best->first.first, best->first.second};
+      out_ = ValidatorValue{key.first, key.second};
     }
   }
   return true;

@@ -19,6 +19,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "consensus/committee.h"
 #include "consensus/subprotocol.h"
@@ -59,6 +61,13 @@ class Validator final : public SubProtocol {
   std::optional<ValidatorValue> vote_;  // nullopt = bottom
   bool same_ = false;
   ValidatorValue out_;
+
+  // Per-receive scratch (member so the hot path never allocates): sender
+  // dedup flags and the key-sorted (value, count) tally. Keeping the tally
+  // sorted preserves the key-order iteration the quorum checks rely on.
+  std::vector<char> heard_;
+  std::vector<std::pair<std::pair<std::uint64_t, std::uint64_t>, std::size_t>>
+      counts_;
 };
 
 }  // namespace renaming::consensus

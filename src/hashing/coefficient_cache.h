@@ -1,0 +1,77 @@
+// Per-run memoized fingerprint coefficients (Fact 3.2).
+//
+// Every correct node evaluates the *same* random hash function: the
+// coefficients c_i are rejection-sampled from the shared beacon, so they
+// are a pure function of (seed, i). The rejection loop costs a few mixes
+// per draw and the protocol queries the same positions over and over —
+// once per node, per prefix rebuild, per query in the seed implementation.
+// A CoefficientCache memoizes each drawn position once *per run* and is
+// shared (via shared_ptr) by every simulated node of that run, which is
+// sound precisely because the beacon seed is common knowledge.
+//
+// The cache is deliberately sparse: only positions actually queried are
+// materialized, so memory is O(identities touched), never Theta(N).
+// Single-threaded by design (protocol lint R6 bans threading under src/).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "hashing/mersenne61.h"
+#include "hashing/shared_random.h"
+
+namespace renaming::hashing {
+
+/// Draws the coefficient for namespace position `i` (1-based identity)
+/// directly from the beacon: rejection sampling keeps the value uniform in
+/// [0, p). This is the single source of truth — SetFingerprint and the
+/// cache both call it, so cached and uncached draws cannot drift apart.
+inline std::uint64_t sample_coefficient(const SharedRandomness& beacon,
+                                        std::uint64_t i) {
+  std::uint64_t salt = 0;
+  for (;;) {
+    const std::uint64_t c =
+        beacon.value(SharedRandomness::Domain::kHashCoefficients,
+                     i + (salt << 48)) &
+        kMersenne61;
+    if (c != kMersenne61) return c;  // c == p would be out of field range
+    ++salt;
+  }
+}
+
+class CoefficientCache {
+ public:
+  /// The cache copies the beacon (it is just a seed), so it never dangles
+  /// even if the creating node dies first.
+  explicit CoefficientCache(const SharedRandomness& beacon)
+      : beacon_(beacon) {}
+  explicit CoefficientCache(std::uint64_t shared_seed)
+      : beacon_(shared_seed) {}
+
+  /// Coefficient for position `i`, memoized. The map is lookup-only (its
+  /// address-dependent order never escapes), which is exactly the use the
+  /// determinism lint permits for unordered containers.
+  std::uint64_t coefficient(std::uint64_t i) const {
+    const auto it = memo_.find(i);
+    if (it != memo_.end()) return it->second;
+    const std::uint64_t c = sample_coefficient(beacon_, i);
+    memo_.emplace(i, c);
+    return c;
+  }
+
+  const SharedRandomness& beacon() const { return beacon_; }
+  std::size_t materialized() const { return memo_.size(); }
+
+ private:
+  SharedRandomness beacon_;
+  mutable std::unordered_map<std::uint64_t, std::uint64_t> memo_;
+};
+
+/// One cache per run: convenience maker used by the protocol runners.
+inline std::shared_ptr<const CoefficientCache> make_coefficient_cache(
+    std::uint64_t shared_seed) {
+  return std::make_shared<const CoefficientCache>(shared_seed);
+}
+
+}  // namespace renaming::hashing

@@ -7,25 +7,34 @@
 //
 //  * SetFingerprint — H(L[l..r]) = sum over set positions i in [l,r] of
 //    c_i mod (2^61-1), with per-position coefficients c_i drawn lazily from
-//    the beacon. Position-sensitive within the fixed namespace, computable
-//    in O(ones) (or O(log) with a prefix structure), and homomorphic under
-//    single-bit flips, which makes incremental maintenance trivial. Two
-//    different segments (as subsets of [N]) collide with probability 1/p.
+//    the beacon (optionally through a per-run CoefficientCache, see
+//    hashing/coefficient_cache.h). Position-sensitive within the fixed
+//    namespace, computable in O(ones), and homomorphic under single-bit
+//    flips — m61 addition is an invertible group operation, which is what
+//    lets byzantine/identity_list.h maintain per-bucket aggregates
+//    incrementally. Two different segments (as subsets of [N]) collide
+//    with probability 1/p.
 //
 //  * RabinFingerprint — the classical polynomial fingerprint of the
 //    explicit bit string, sum b_j x^j mod p at a shared random point x.
 //    Content-based (two equal bit strings at different offsets hash equal),
-//    used as an independent cross-check in tests.
+//    used as an independent cross-check in tests. of_range skips runs of
+//    zeros via a precomputed x^(2^j) jump table, so its cost is
+//    O(words + ones * log(gap)) rather than O(hi - lo) multiplications.
 //
 // The paper only requires: identical segments hash identically (trivially
 // true), and distinct segments hash distinctly w.h.p. (Property 3.7,
 // item 2). Tests exercise both over adversarially similar inputs.
 #pragma once
 
+#include <bit>
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <utility>
 
 #include "common/bitvec.h"
+#include "hashing/coefficient_cache.h"
 #include "hashing/mersenne61.h"
 #include "hashing/shared_random.h"
 
@@ -35,23 +44,22 @@ class SetFingerprint {
  public:
   explicit SetFingerprint(const SharedRandomness& beacon) : beacon_(&beacon) {}
 
+  /// Cache-backed form: coefficients are memoized once per run in `cache`,
+  /// shared across every node holding the same beacon seed. The cache
+  /// already embeds a beacon copy, so no external beacon is needed.
+  explicit SetFingerprint(std::shared_ptr<const CoefficientCache> cache)
+      : cache_(std::move(cache)) {}
+
   /// Coefficient for namespace position `i` (1-based original identity).
   std::uint64_t coefficient(std::uint64_t i) const {
-    // Draw until below p: rejection keeps coefficients uniform in [0, p).
-    std::uint64_t salt = 0;
-    for (;;) {
-      const std::uint64_t c = beacon_->value(
-                                  SharedRandomness::Domain::kHashCoefficients,
-                                  i + (salt << 48)) &
-                              kMersenne61;
-      if (c != kMersenne61) return c;  // c == p would be out of field range
-      ++salt;
-    }
+    if (cache_ != nullptr) return cache_->coefficient(i);
+    return sample_coefficient(*beacon_, i);
   }
 
   /// Fingerprint of the set positions of `bits` restricted to [lo, hi]
   /// (inclusive, 0-based positions). O(hi-lo) scan; protocol code uses the
-  /// incremental prefix structure in byzantine/identity_list.h instead.
+  /// incremental bucket aggregates in byzantine/identity_list.h instead —
+  /// this is the reference the equivalence tests compare against.
   std::uint64_t of_range(const BitVec& bits, std::uint64_t lo,
                          std::uint64_t hi) const {
     std::uint64_t h = 0;
@@ -68,24 +76,52 @@ class SetFingerprint {
     return h;
   }
 
+  const CoefficientCache* cache() const { return cache_.get(); }
+
  private:
-  const SharedRandomness* beacon_;
+  const SharedRandomness* beacon_ = nullptr;
+  std::shared_ptr<const CoefficientCache> cache_;
 };
 
 class RabinFingerprint {
  public:
   explicit RabinFingerprint(const SharedRandomness& beacon)
       : x_(1 + beacon.value(SharedRandomness::Domain::kHashCoefficients, 0) %
-                   (kMersenne61 - 1)) {}
+                   (kMersenne61 - 1)) {
+    // Jump table: x2j_[j] = x^(2^j) mod p. x^d for any 64-bit gap d is the
+    // product of the entries at d's set bits, so advancing the running
+    // power over a zero run costs popcount(d) multiplications instead of d.
+    x2j_[0] = x_;
+    for (std::size_t j = 1; j < kJumpBits; ++j) {
+      x2j_[j] = m61_mul(x2j_[j - 1], x2j_[j - 1]);
+    }
+  }
+
+  /// x^d mod p in O(popcount(d)) multiplications via the jump table.
+  std::uint64_t power(std::uint64_t d) const {
+    std::uint64_t r = 1;
+    while (d != 0) {
+      const int j = std::countr_zero(d);
+      r = m61_mul(r, x2j_[static_cast<std::size_t>(j)]);
+      d &= d - 1;  // clear the lowest set bit
+    }
+    return r;
+  }
 
   /// Fingerprint of the bit string bits[lo..hi]: sum bits[lo+j] * x^j mod p.
+  /// Walks only the *set* positions (BitVec::next_set), jumping the running
+  /// power across zero runs — identical results to the per-position scan,
+  /// which the regression tests pin.
   std::uint64_t of_range(const BitVec& bits, std::uint64_t lo,
                          std::uint64_t hi) const {
     std::uint64_t h = 0;
-    std::uint64_t xj = 1;
-    for (std::uint64_t i = lo; i <= hi; ++i) {
-      if (bits.test(i)) h = m61_add(h, xj);
-      xj = m61_mul(xj, x_);
+    std::uint64_t cur = lo;  // position the running power refers to
+    std::uint64_t xj = 1;    // x^(cur - lo)
+    for (std::uint64_t i = bits.next_set(lo); i <= hi;
+         i = bits.next_set(i + 1)) {
+      xj = m61_mul(xj, power(i - cur));
+      cur = i;
+      h = m61_add(h, xj);
     }
     return h;
   }
@@ -93,7 +129,11 @@ class RabinFingerprint {
   std::uint64_t point() const { return x_; }
 
  private:
+  // 64 entries cover every possible std::uint64_t gap.
+  static constexpr std::size_t kJumpBits = 64;
+
   std::uint64_t x_;
+  std::uint64_t x2j_[kJumpBits];
 };
 
 }  // namespace renaming::hashing

@@ -53,13 +53,6 @@ void Engine::check_stats_consistent() const {
 RunStats Engine::run(Round max_rounds) {
   const NodeIndex n = size();
 
-  auto all_correct_done = [&] {
-    for (NodeIndex v = 0; v < n; ++v) {
-      if (alive_[v] && !byzantine_[v] && !nodes_[v]->done()) return false;
-    }
-    return true;
-  };
-
   // Persistent round buffers (docs/PERFORMANCE.md): one outbox per node and
   // one flat delivery arena, constructed once and clear()ed per round, so
   // the steady-state round has no per-message allocation at all.
@@ -67,13 +60,35 @@ RunStats Engine::run(Round max_rounds) {
   outboxes.reserve(n);
   for (NodeIndex v = 0; v < n; ++v) outboxes.emplace_back(v, n);
   InboxArena inbox;
+
+  // Idle fast path (docs/PERFORMANCE.md): a node's observable state only
+  // changes inside its own send()/receive() callbacks, so the engine
+  // tracks done/idle incrementally and re-queries exactly the nodes whose
+  // callbacks ran. Nodes honouring the Node::idle contract are skipped
+  // entirely while no traffic addresses them; a round where only a small
+  // committee is active then costs O(active + messages), not O(n).
+  std::vector<char> node_done(n, 0);
+  std::vector<char> active(n, 0);   // alive and not idle
+  std::uint64_t correct_remaining = 0;  // alive, non-Byzantine, not done
+  for (NodeIndex v = 0; v < n; ++v) {
+    node_done[v] = nodes_[v]->done() ? 1 : 0;
+    active[v] = (alive_[v] && !nodes_[v]->idle()) ? 1 : 0;
+    if (alive_[v] && !byzantine_[v] && node_done[v] == 0) ++correct_remaining;
+  }
+  bool active_dirty = true;
+  std::vector<NodeIndex> active_list;  // ascending; rebuilt when dirty
+  active_list.reserve(n);
+  std::vector<NodeIndex> senders;    // nodes whose send() ran this round
+  std::vector<NodeIndex> receivers;  // nodes whose receive() must run
+  std::vector<NodeIndex> victims;    // crashed this round
   std::vector<char> crashed_now(n, 0);
-  // Ascending list of alive destinations, rebuilt after each crash phase:
-  // the broadcast fast path iterates it instead of bit-testing alive_ per
+  // Ascending list of alive destinations, rebuilt only after crashes: the
+  // broadcast fast path iterates it instead of bit-testing alive_ per
   // recipient. Ascending order keeps delivery order identical to n
   // individual sends.
   std::vector<NodeIndex> alive_dests;
   alive_dests.reserve(n);
+  bool alive_dests_dirty = true;
   // Shared inbox for broadcast-only rounds: when every queued entry is a
   // broadcast (the steady state of all-to-all protocols) each alive node
   // receives exactly the same messages in the same order, so one slot list
@@ -81,18 +96,50 @@ RunStats Engine::run(Round max_rounds) {
   std::vector<const Message*> shared_slots;
   shared_slots.reserve(n);
 
+  // Re-query a node whose callback just ran; the only places done()/idle()
+  // may legally change.
+  auto refresh = [&](NodeIndex v) {
+    if (!alive_[v]) return;
+    const bool d = nodes_[v]->done();
+    if (d != (node_done[v] != 0)) {
+      node_done[v] = d ? 1 : 0;
+      if (!byzantine_[v]) {
+        if (d) {
+          --correct_remaining;
+        } else {
+          ++correct_remaining;
+        }
+      }
+    }
+    const bool a = !nodes_[v]->idle();
+    if (a != (active[v] != 0)) {
+      active[v] = a ? 1 : 0;
+      active_dirty = true;
+    }
+  };
+
   for (Round round = 1; round <= max_rounds; ++round) {
-    if (all_correct_done()) break;
+    if (correct_remaining == 0) break;
     stats_.rounds = round;
     stats_.per_round.push_back({});
-    std::fill(crashed_now.begin(), crashed_now.end(), 0);
+    for (NodeIndex v : victims) crashed_now[v] = 0;
+    victims.clear();
     if (trace_ != nullptr) trace_->on_round_begin(round);
 
-    // --- Send phase: every alive node queues its messages. -------------
-    for (NodeIndex v = 0; v < n; ++v) {
-      outboxes[v].clear();
-      if (alive_[v]) nodes_[v]->send(round, outboxes[v]);
+    if (active_dirty) {
+      active_list.clear();
+      for (NodeIndex v = 0; v < n; ++v) {
+        if (alive_[v] && active[v] != 0) active_list.push_back(v);
+      }
+      active_dirty = false;
     }
+
+    // --- Send phase: every active alive node queues its messages. -------
+    // Idle nodes are skipped under the Node::idle contract (their send()
+    // would queue nothing). Every outbox is empty at this point: the ones
+    // used last round were cleared at the end of it.
+    senders = active_list;
+    for (NodeIndex v : senders) nodes_[v]->send(round, outboxes[v]);
 
     // --- Adversary phase: Eve may crash nodes, possibly mid-send. ------
     AdversaryView view{round, n, &alive_, &outboxes, &nodes_};
@@ -104,6 +151,13 @@ RunStats Engine::run(Round max_rounds) {
                      "Byzantine nodes do not crash in this model");
       alive_[v] = false;
       crashed_now[v] = 1;
+      victims.push_back(v);
+      if (active[v] != 0) {
+        active[v] = 0;
+        active_dirty = true;
+      }
+      if (!byzantine_[v] && node_done[v] == 0) --correct_remaining;
+      alive_dests_dirty = true;
       ++stats_.crashes;
       ++stats_.per_round.back().crashes;
       // Keep-indices address the logical per-recipient sequence, so a
@@ -130,17 +184,21 @@ RunStats Engine::run(Round max_rounds) {
     // Pass 1 sizes each node's arena slice (an upper bound is enough);
     // pass 2 walks the same entries in order, so inbox order is exactly
     // sender-index-ascending, send order within a sender — identical to
-    // delivering every copy individually.
-    alive_dests.clear();
-    for (NodeIndex d = 0; d < n; ++d) {
-      if (alive_[d]) alive_dests.push_back(d);
+    // delivering every copy individually. Only the senders' outboxes can
+    // hold entries, so both passes iterate `senders` (ascending).
+    if (alive_dests_dirty) {
+      alive_dests.clear();
+      for (NodeIndex d = 0; d < n; ++d) {
+        if (alive_[d]) alive_dests.push_back(d);
+      }
+      alive_dests_dirty = false;
     }
 
     // Broadcast-only rounds use the shared inbox; the traced path falls
     // back to the general one so per-copy trace events keep their order.
     bool broadcast_only = trace_ == nullptr;
-    for (NodeIndex v = 0; v < n && broadcast_only; ++v) {
-      for (const auto& entry : outboxes[v].entries()) {
+    for (std::size_t i = 0; i < senders.size() && broadcast_only; ++i) {
+      for (const auto& entry : outboxes[senders[i]].entries()) {
         if (entry.first != Outbox::kBroadcast) {
           broadcast_only = false;
           break;
@@ -150,10 +208,15 @@ RunStats Engine::run(Round max_rounds) {
 
     if (!broadcast_only) {
       inbox.begin_round(n);
-      for (NodeIndex v = 0; v < n; ++v) {
+      for (NodeIndex v : senders) {
+        std::size_t mc = 0;
         for (const auto& entry : outboxes[v].entries()) {
           if (entry.first == Outbox::kBroadcast) {
             inbox.expect_broadcast();
+          } else if (entry.first == Outbox::kMulticast) {
+            for (NodeIndex d : outboxes[v].multicast_dests(mc++)) {
+              inbox.expect_unicast(d);
+            }
           } else {
             inbox.expect_unicast(entry.first);
           }
@@ -163,16 +226,33 @@ RunStats Engine::run(Round max_rounds) {
     }
     shared_slots.clear();
 
-    for (NodeIndex v = 0; v < n; ++v) {
-      // A node felled in an earlier round must not produce traffic; only
-      // this round's victims may still have (adversary-kept) entries.
-      RENAMING_CHECK(
-          alive_[v] || crashed_now[v] != 0 || outboxes[v].entries().empty(),
-          "crashed node sent messages after falling");
+    for (NodeIndex v : senders) {
+      // A node felled in an earlier round is never a sender; only this
+      // round's victims may still have (adversary-kept) entries.
+      RENAMING_CHECK(alive_[v] || crashed_now[v] != 0,
+                     "crashed node sent messages after falling");
+      std::size_t mc = 0;
       for (auto& [dest, msg] : outboxes[v].entries()) {
         RENAMING_CHECK(msg.sender == v, "engine stamps the true origin");
         RENAMING_CHECK(msg.bits > 0,
                        "every message must declare a wire size");
+        if (dest == Outbox::kMulticast) {
+          // Multicast fast path: one stored message, per-copy accounting
+          // and delivery in destination-list order — byte-equivalent to
+          // the expanded unicast sequence.
+          const bool spoofed = msg.spoofed();
+          for (NodeIndex d : outboxes[v].multicast_dests(mc++)) {
+            stats_.note_message(msg.bits);
+            const bool delivered = !spoofed && alive_[d];
+            if (trace_ != nullptr) trace_->on_message(round, msg, d, delivered);
+            if (spoofed) {
+              ++stats_.spoofs_rejected;
+            } else if (alive_[d]) {
+              inbox.deliver(d, msg);
+            }
+          }
+          continue;
+        }
         if (dest == Outbox::kBroadcast) {
           // Broadcast fast path: one stored message, per-recipient
           // accounting, zero copies. The sender paid for all n copies even
@@ -220,14 +300,46 @@ RunStats Engine::run(Round max_rounds) {
 
     // --- Receive phase. -------------------------------------------------
     // The arena slices point into the outboxes, which stay untouched until
-    // the next round's send phase clears them.
+    // the end-of-round clear below. receive() runs for every alive node
+    // whose send() ran (even with an empty inbox — stage machines may
+    // advance on silence) plus every idle node that was actually addressed;
+    // an idle node with an empty inbox is a no-op by contract and skipped.
     const InboxView shared_view(shared_slots.data(), shared_slots.size());
-    for (NodeIndex v = 0; v < n; ++v) {
-      if (alive_[v]) {
-        nodes_[v]->receive(round, broadcast_only ? shared_view
-                                                 : inbox.view(v));
+    if (broadcast_only) {
+      if (!shared_slots.empty()) {
+        for (NodeIndex v : alive_dests) {
+          nodes_[v]->receive(round, shared_view);
+          refresh(v);
+        }
+      } else {
+        for (NodeIndex v : senders) {
+          if (!alive_[v]) continue;
+          nodes_[v]->receive(round, shared_view);
+          refresh(v);
+        }
+      }
+    } else {
+      receivers.clear();
+      for (NodeIndex v : senders) {
+        if (alive_[v]) receivers.push_back(v);
+      }
+      for (NodeIndex v : inbox.touched()) {
+        // active[v] == 1 exactly for the alive senders collected above.
+        if (alive_[v] && active[v] == 0 && !inbox.view(v).empty()) {
+          receivers.push_back(v);
+        }
+      }
+      std::sort(receivers.begin(), receivers.end());
+      for (NodeIndex v : receivers) {
+        nodes_[v]->receive(round, inbox.view(v));
+        refresh(v);
       }
     }
+
+    // End-of-round clear: only senders (including this round's victims,
+    // whose kept entries were just delivered) can hold entries, so this
+    // restores the all-outboxes-empty invariant in O(senders).
+    for (NodeIndex v : senders) outboxes[v].clear();
     if (trace_ != nullptr) trace_->on_round_end(round, stats_.per_round.back());
   }
 

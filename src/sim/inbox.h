@@ -104,35 +104,72 @@ class InboxView {
 /// The expectation pass only has to be an upper bound per node (spoofed or
 /// crashed-destination traffic may end up undelivered); slices never
 /// overlap and view(v) reports the slots actually filled.
+///
+/// The reset is lazy (the idle fast path, docs/PERFORMANCE.md): a round
+/// stamp per node replaces the O(n) re-zeroing of the old implementation,
+/// so a unicast-only round costs O(touched destinations), not O(n). Nodes
+/// the round never addressed read an empty view through a stale stamp;
+/// rounds containing any broadcast slice every node as before.
 class InboxArena {
  public:
   void begin_round(NodeIndex n) {
-    n_ = n;
+    if (n != n_) {
+      n_ = n;
+      unicasts_.assign(n, 0);
+      begin_.assign(n, 0);
+      end_.assign(n, 0);
+      cursor_.assign(n, 0);
+      stamp_.assign(n, 0);
+      epoch_ = 0;
+    }
+    ++epoch_;
     broadcasts_ = 0;
-    unicasts_.assign(n, 0);
-    offset_.assign(static_cast<std::size_t>(n) + 1, 0);
-    cursor_.assign(n, 0);
+    touched_.clear();
   }
 
   void expect_unicast(NodeIndex dest) {
     RENAMING_CHECK(dest < n_, "message addressed outside the system");
+    if (stamp_[dest] != epoch_) {
+      stamp_[dest] = epoch_;
+      unicasts_[dest] = 0;
+      touched_.push_back(dest);
+    }
     ++unicasts_[dest];
   }
   void expect_broadcast() { ++broadcasts_; }
 
   void commit() {
     std::size_t total = 0;
-    for (NodeIndex v = 0; v < n_; ++v) {
-      offset_[v] = total;
-      cursor_[v] = total;
-      total += unicasts_[v] + broadcasts_;
+    if (broadcasts_ == 0) {
+      // Unicast-only round: only the touched destinations get slices (in
+      // expectation order; slices are disjoint, so their relative layout
+      // is unobservable).
+      for (NodeIndex v : touched_) {
+        begin_[v] = total;
+        cursor_[v] = total;
+        total += unicasts_[v];
+        end_[v] = total;
+      }
+    } else {
+      // A broadcast addresses everyone: every node gets a slice.
+      touched_.clear();
+      for (NodeIndex v = 0; v < n_; ++v) {
+        if (stamp_[v] != epoch_) {
+          stamp_[v] = epoch_;
+          unicasts_[v] = 0;
+        }
+        touched_.push_back(v);
+        begin_[v] = total;
+        cursor_[v] = total;
+        total += unicasts_[v] + broadcasts_;
+        end_[v] = total;
+      }
     }
-    offset_[n_] = total;
     if (slots_.size() < total) slots_.resize(total);
   }
 
   void deliver(NodeIndex dest, const Message& m) {
-    RENAMING_CHECK(cursor_[dest] < offset_[static_cast<std::size_t>(dest) + 1],
+    RENAMING_CHECK(stamp_[dest] == epoch_ && cursor_[dest] < end_[dest],
                    "delivery overflows the node's arena slice");
     slots_[cursor_[dest]++] = &m;
   }
@@ -144,23 +181,33 @@ class InboxArena {
     const Message** slots = slots_.data();
     std::size_t* cursor = cursor_.data();
     for (NodeIndex d : dests) {
-      RENAMING_CHECK(cursor[d] < offset_[static_cast<std::size_t>(d) + 1],
+      RENAMING_CHECK(stamp_[d] == epoch_ && cursor[d] < end_[d],
                      "delivery overflows the node's arena slice");
       slots[cursor[d]++] = &m;
     }
   }
 
   InboxView view(NodeIndex dest) const {
-    return InboxView(slots_.data() + offset_[dest],
-                     cursor_[dest] - offset_[dest]);
+    if (stamp_[dest] != epoch_) return InboxView();
+    return InboxView(slots_.data() + begin_[dest],
+                     cursor_[dest] - begin_[dest]);
   }
+
+  /// Destinations holding a slice this round (every node on broadcast
+  /// rounds). The engine unions this with the senders to know who must run
+  /// receive() without scanning all n nodes.
+  const std::vector<NodeIndex>& touched() const { return touched_; }
 
  private:
   NodeIndex n_ = 0;
+  std::uint64_t epoch_ = 0;
   std::size_t broadcasts_ = 0;
   std::vector<std::uint32_t> unicasts_;
-  std::vector<std::size_t> offset_;
+  std::vector<std::size_t> begin_;
+  std::vector<std::size_t> end_;
   std::vector<std::size_t> cursor_;
+  std::vector<std::uint64_t> stamp_;
+  std::vector<NodeIndex> touched_;
   std::vector<const Message*> slots_;
 };
 

@@ -12,6 +12,8 @@
 // through the inbox.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -24,19 +26,24 @@ namespace renaming::sim {
 
 /// Messages queued by one node during one round's send phase.
 ///
-/// Broadcast fast path (docs/PERFORMANCE.md): broadcast() records ONE
-/// compressed entry whose destination is the kBroadcast sentinel instead of
-/// n per-recipient copies; the engine delivers it by reference to every
-/// node. All *index-based* semantics (CrashOrder::keep, the Byzantine
-/// strategies' per-recipient tampering) are defined over the expanded
-/// per-recipient sequence — call expand() first to materialize it; the
-/// expansion is byte-equivalent to what n individual send() calls would
-/// have queued.
+/// Broadcast/multicast fast path (docs/PERFORMANCE.md): broadcast() records
+/// ONE compressed entry whose destination is the kBroadcast sentinel
+/// instead of n per-recipient copies, and multicast() records one entry
+/// plus a compact destination list (the committee sub-protocols address the
+/// same O(log N)-sized member set every round, so per-member Message copies
+/// would dominate their cost). The engine delivers both by reference. All
+/// *index-based* semantics (CrashOrder::keep, the Byzantine strategies'
+/// per-recipient tampering) are defined over the expanded per-recipient
+/// sequence — call expand() first to materialize it; the expansion is
+/// byte-equivalent to what the individual send() calls would have queued.
 class Outbox {
  public:
   /// Destination sentinel of a compressed broadcast entry: the message goes
   /// to every node in [0, n), including the sender.
   static constexpr NodeIndex kBroadcast = kNoNode;
+  /// Destination sentinel of a compressed multicast entry: the k-th such
+  /// entry (in send order) goes to multicast_dests(k), in list order.
+  static constexpr NodeIndex kMulticast = kNoNode - 1;
 
   explicit Outbox(NodeIndex self, NodeIndex n) : self_(self), n_(n) {}
 
@@ -50,6 +57,23 @@ class Outbox {
     queued_.emplace_back(dest, std::move(m));
   }
 
+  /// Send one copy of `m` to every destination in `dests`, in list order.
+  /// Byte-equivalent to the corresponding send() loop but stores the
+  /// message once; costs O(|dests|) NodeIndex copies instead of O(|dests|)
+  /// Message copies.
+  void multicast(std::span<const NodeIndex> dests, Message m) {
+    RENAMING_CHECK(m.bits > 0, "every message must declare a wire size");
+    if (m.claimed_sender == kNoNode) m.claimed_sender = self_;
+    m.sender = self_;
+    mspans_.emplace_back(static_cast<std::uint32_t>(mdests_.size()),
+                         static_cast<std::uint32_t>(dests.size()));
+    for (NodeIndex d : dests) {
+      RENAMING_CHECK(d < n_, "multicast to a link outside the system");
+      mdests_.push_back(d);
+    }
+    queued_.emplace_back(kMulticast, std::move(m));
+  }
+
   /// Broadcast to all n nodes (including self; the paper's algorithms
   /// explicitly use all n links, e.g. committee announcements). Costs O(1):
   /// one compressed entry, not n copies.
@@ -61,11 +85,19 @@ class Outbox {
   }
 
   /// Number of *logical* (per-recipient) messages queued: a broadcast entry
-  /// counts n. This is the index space of CrashOrder::keep.
+  /// counts n, a multicast entry its destination count. This is the index
+  /// space of CrashOrder::keep.
   std::size_t size() const {
     std::size_t total = 0;
+    std::size_t mc = 0;
     for (const auto& entry : queued_) {
-      total += entry.first == kBroadcast ? n_ : 1;
+      if (entry.first == kBroadcast) {
+        total += n_;
+      } else if (entry.first == kMulticast) {
+        total += mspans_[mc++].second;
+      } else {
+        ++total;
+      }
     }
     return total;
   }
@@ -73,30 +105,45 @@ class Outbox {
   NodeIndex self() const { return self_; }
   NodeIndex fanout() const { return n_; }
 
-  /// Replaces every compressed broadcast entry with its n per-recipient
-  /// copies (destinations 0..n-1, in order), preserving the logical send
+  /// Replaces every compressed broadcast/multicast entry with its
+  /// per-recipient copies (broadcast: destinations 0..n-1 in order;
+  /// multicast: its destination list in order), preserving the logical send
   /// order. After expand(), entries() indices coincide with the logical
   /// per-recipient indices. O(size()); only the crash and tampering paths
   /// need it.
   void expand() {
     bool compressed = false;
-    for (const auto& entry : queued_) compressed |= entry.first == kBroadcast;
+    for (const auto& entry : queued_) {
+      compressed |= entry.first == kBroadcast || entry.first == kMulticast;
+    }
     if (!compressed) return;
     std::vector<std::pair<NodeIndex, Message>> flat;
     flat.reserve(size());
+    std::size_t mc = 0;
     for (auto& [dest, msg] : queued_) {
       if (dest == kBroadcast) {
         for (NodeIndex d = 0; d < n_; ++d) flat.emplace_back(d, msg);
+      } else if (dest == kMulticast) {
+        const auto [off, len] = mspans_[mc++];
+        for (std::uint32_t i = 0; i < len; ++i) {
+          flat.emplace_back(mdests_[off + i], msg);
+        }
       } else {
         flat.emplace_back(dest, std::move(msg));
       }
     }
     queued_ = std::move(flat);
+    mdests_.clear();
+    mspans_.clear();
   }
 
   /// Drops all queued entries but keeps the allocation: the engine reuses
   /// one Outbox per node across all rounds.
-  void clear() { queued_.clear(); }
+  void clear() {
+    queued_.clear();
+    mdests_.clear();
+    mspans_.clear();
+  }
 
   /// Engine access: the queued (dest, message) entries, in send order. A
   /// dest of kBroadcast is a compressed broadcast (one entry, n logical
@@ -106,10 +153,21 @@ class Outbox {
     return queued_;
   }
 
+  /// Destinations of the k-th kMulticast entry, in delivery order.
+  std::span<const NodeIndex> multicast_dests(std::size_t k) const {
+    RENAMING_CHECK(k < mspans_.size(), "multicast entry index out of range");
+    const auto [off, len] = mspans_[k];
+    return {mdests_.data() + off, len};
+  }
+
  private:
   NodeIndex self_;
   NodeIndex n_;
   std::vector<std::pair<NodeIndex, Message>> queued_;
+  /// Flat destination-list storage for kMulticast entries: mspans_[k] is
+  /// the (offset, length) of the k-th multicast's slice of mdests_.
+  std::vector<NodeIndex> mdests_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> mspans_;
 };
 
 class Node {
@@ -127,6 +185,21 @@ class Node {
   /// stop early; fixed-round protocols may simply return false until their
   /// final round).
   virtual bool done() const = 0;
+
+  /// Quiescence hint for the engine's idle fast path (docs/PERFORMANCE.md).
+  /// A node returning true promises, until its next receive() of a
+  /// non-empty inbox:
+  ///   1. its send() would queue nothing, and
+  ///   2. a receive() with an *empty* inbox would leave every externally
+  ///      observable behaviour (future sends, done(), idle()) unchanged.
+  /// The engine may then skip both callbacks while no traffic is addressed
+  /// to the node, which turns a round where only a committee is active
+  /// from O(n) into O(active). The default is false (never skipped), which
+  /// is always safe; nodes whose protocol has a terminal wait state (e.g.
+  /// ByzNode waiting for NEW messages) override it. Violating the promise
+  /// does not corrupt the engine, but makes executions depend on the
+  /// optimization — the equivalence tests pin that they do not.
+  virtual bool idle() const { return false; }
 };
 
 }  // namespace renaming::sim

@@ -131,6 +131,47 @@ TEST(BitVec, RankIsPrefixCount) {
   EXPECT_EQ(b.rank(130), 4u);
 }
 
+TEST(BitVec, NextSetFindsEverySetBitInOrder) {
+  BitVec b(300);
+  const std::vector<std::uint64_t> set_bits = {0, 1, 63, 64, 65, 128, 299};
+  for (std::uint64_t i : set_bits) b.set(i);
+  // Walking via next_set enumerates exactly the set bits, in order.
+  std::vector<std::uint64_t> walked;
+  for (std::uint64_t i = b.next_set(0); i < 300; i = b.next_set(i + 1)) {
+    walked.push_back(i);
+  }
+  EXPECT_EQ(walked, set_bits);
+  // From-positions inside gaps land on the next set bit.
+  EXPECT_EQ(b.next_set(2), 63u);
+  EXPECT_EQ(b.next_set(66), 128u);
+  EXPECT_EQ(b.next_set(129), 299u);
+  // Past the last set bit (and past the end): size() sentinel.
+  EXPECT_EQ(b.next_set(300), 300u);
+  EXPECT_EQ(b.next_set(1000), 300u);
+  EXPECT_EQ(BitVec(128).next_set(0), 128u);  // all-zero vector
+}
+
+TEST(BitVec, NextSetMatchesNaiveScan) {
+  Xoshiro256 rng(100);
+  BitVec b(517);
+  std::vector<bool> ref(517, false);
+  for (int i = 0; i < 60; ++i) {
+    const std::uint64_t pos = rng.below(517);
+    b.set(pos);
+    ref[pos] = true;
+  }
+  for (std::uint64_t from = 0; from <= 517; ++from) {
+    std::uint64_t expect = 517;
+    for (std::uint64_t i = from; i < 517; ++i) {
+      if (ref[i]) {
+        expect = i;
+        break;
+      }
+    }
+    ASSERT_EQ(b.next_set(from), expect) << "from=" << from;
+  }
+}
+
 TEST(Interval, BotTopPartition) {
   const Interval i(1, 10);
   EXPECT_EQ(i.bot(), Interval(1, 5));

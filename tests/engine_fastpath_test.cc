@@ -337,6 +337,338 @@ TEST(BufferReuse, ClearedOutboxesNeverLeakEntriesAcrossRounds) {
   }
 }
 
+/// Sends one wave per round to a fixed subset of nodes (every third one),
+/// either as a compressed multicast entry or as the per-destination send()
+/// loop it compresses; unicast extras around it keep the outbox mixed.
+class SubsetCaster : public Node {
+ public:
+  SubsetCaster(NodeIndex self, NodeIndex n, Round rounds, bool use_multicast,
+               bool spoof = false)
+      : self_(self), n_(n), rounds_(rounds), use_multicast_(use_multicast),
+        spoof_(spoof) {
+    for (NodeIndex d = self_ % 3; d < n_; d += 3) subset_.push_back(d);
+  }
+
+  void send(Round round, Outbox& out) override {
+    out.send((self_ + 1) % n_,
+             make_message(kExtra, 16, static_cast<std::uint64_t>(round)));
+    Message wave = make_message(kWave, 32,
+                                static_cast<std::uint64_t>(self_), round);
+    if (spoof_) wave.claimed_sender = (self_ + 1) % n_;
+    if (use_multicast_) {
+      out.multicast(subset_, wave);
+    } else {
+      for (NodeIndex d : subset_) out.send(d, wave);
+    }
+    if (self_ % 2 == 0) {
+      out.send((self_ + 2) % n_,
+               make_message(kExtra, 24, static_cast<std::uint64_t>(round)));
+    }
+  }
+
+  void receive(Round round, InboxView inbox) override {
+    executed_ = round;
+    for (const Message& m : inbox) log_.emplace_back(round, m.sender, m.w[0]);
+  }
+
+  bool done() const override { return executed_ >= rounds_; }
+
+  const ReceiveLog& log() const { return log_; }
+
+ private:
+  NodeIndex self_;
+  NodeIndex n_;
+  Round rounds_;
+  bool use_multicast_;
+  bool spoof_;
+  std::vector<NodeIndex> subset_;
+  Round executed_ = 0;
+  ReceiveLog log_;
+};
+
+Observed run_subset_casts(bool use_multicast, NodeIndex n, Round rounds,
+                          std::unique_ptr<CrashAdversary> adversary,
+                          const std::vector<NodeIndex>& spoofers = {}) {
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (NodeIndex v = 0; v < n; ++v) {
+    const bool spoof =
+        std::find(spoofers.begin(), spoofers.end(), v) != spoofers.end();
+    nodes.push_back(
+        std::make_unique<SubsetCaster>(v, n, rounds, use_multicast, spoof));
+  }
+  Engine engine(std::move(nodes), std::move(adversary));
+  for (NodeIndex v : spoofers) engine.mark_byzantine(v);
+  std::ostringstream out;
+  JsonlTrace trace(out);
+  engine.set_trace(&trace);
+  Observed result;
+  result.stats = engine.run(rounds + 5);
+  result.jsonl = out.str();
+  for (NodeIndex v = 0; v < n; ++v) {
+    result.logs.push_back(
+        dynamic_cast<const SubsetCaster&>(engine.node(v)).log());
+  }
+  return result;
+}
+
+TEST(MulticastFastPath, MatchesSendLoopWithoutFailures) {
+  const Observed fast = run_subset_casts(true, 9, 3, nullptr);
+  const Observed seed = run_subset_casts(false, 9, 3, nullptr);
+  ASSERT_FALSE(fast.jsonl.empty());
+  expect_equivalent(fast, seed);
+}
+
+TEST(MulticastFastPath, MatchesSendLoopUnderChaosMidSendCrashes) {
+  // The chaos adversary's keep-indices address the expanded per-recipient
+  // sequence — they cut straight through compressed multicast entries.
+  const Observed fast = run_subset_casts(
+      true, 8, 4, std::make_unique<ChaosCrashAdversary>(5, 0.35, 131));
+  const Observed seed = run_subset_casts(
+      false, 8, 4, std::make_unique<ChaosCrashAdversary>(5, 0.35, 131));
+  EXPECT_GT(fast.stats.crashes, 0u);
+  expect_equivalent(fast, seed);
+}
+
+TEST(MulticastFastPath, MatchesSendLoopWithSpoofedMulticasts) {
+  const Observed fast = run_subset_casts(true, 7, 3, nullptr, {2});
+  const Observed seed = run_subset_casts(false, 7, 3, nullptr, {2});
+  EXPECT_GT(fast.stats.spoofs_rejected, 0u);
+  expect_equivalent(fast, seed);
+}
+
+TEST(MulticastFastPath, MulticastToAllNodesMatchesBroadcast) {
+  // A multicast whose destination list is 0..n-1 is logically a broadcast:
+  // same per-copy accounting, same delivery order, same trace bytes.
+  const NodeIndex n = 6;
+  auto run = [n](bool use_broadcast) {
+    std::vector<std::unique_ptr<Node>> nodes;
+    std::vector<NodeIndex> all;
+    for (NodeIndex d = 0; d < n; ++d) all.push_back(d);
+    struct AllCaster final : Node {
+      AllCaster(NodeIndex self, std::vector<NodeIndex> all, bool broadcast)
+          : self_(self), all_(std::move(all)), broadcast_(broadcast) {}
+      void send(Round, Outbox& out) override {
+        Message m = make_message(kWave, 32, static_cast<std::uint64_t>(self_));
+        if (broadcast_) {
+          out.broadcast(m);
+        } else {
+          out.multicast(all_, m);
+        }
+      }
+      void receive(Round round, InboxView inbox) override {
+        executed_ = round;
+        for (const Message& m : inbox) log_.emplace_back(round, m.sender, m.w[0]);
+      }
+      bool done() const override { return executed_ >= 2; }
+      NodeIndex self_;
+      std::vector<NodeIndex> all_;
+      bool broadcast_;
+      Round executed_ = 0;
+      ReceiveLog log_;
+    };
+    for (NodeIndex v = 0; v < n; ++v) {
+      nodes.push_back(std::make_unique<AllCaster>(v, all, use_broadcast));
+    }
+    Engine engine(std::move(nodes));
+    std::ostringstream out;
+    JsonlTrace trace(out);
+    engine.set_trace(&trace);
+    Observed result;
+    result.stats = engine.run(5);
+    result.jsonl = out.str();
+    for (NodeIndex v = 0; v < n; ++v) {
+      result.logs.push_back(
+          dynamic_cast<const AllCaster&>(engine.node(v)).log_);
+    }
+    return result;
+  };
+  expect_equivalent(run(false), run(true));
+}
+
+TEST(Outbox, MulticastExpandAndSizeMatchSendLoop) {
+  const std::vector<NodeIndex> dests = {3, 0, 2};
+  Outbox compressed(1, 4), loop(1, 4);
+  compressed.send(1, make_message(kExtra, 8, std::uint64_t{7}));
+  loop.send(1, make_message(kExtra, 8, std::uint64_t{7}));
+  compressed.multicast(dests, make_message(kWave, 32, std::uint64_t{5}));
+  for (NodeIndex d : dests) {
+    loop.send(d, make_message(kWave, 32, std::uint64_t{5}));
+  }
+  EXPECT_EQ(compressed.entries().size(), 2u);
+  EXPECT_EQ(compressed.size(), 4u);
+  EXPECT_EQ(compressed.multicast_dests(0).size(), 3u);
+  compressed.expand();
+  ASSERT_EQ(compressed.entries().size(), loop.entries().size());
+  for (std::size_t i = 0; i < loop.entries().size(); ++i) {
+    EXPECT_EQ(compressed.entries()[i].first, loop.entries()[i].first);
+    EXPECT_EQ(compressed.entries()[i].second.kind,
+              loop.entries()[i].second.kind);
+    EXPECT_EQ(compressed.entries()[i].second.sender, 1u);
+    EXPECT_EQ(compressed.entries()[i].second.claimed_sender, 1u);
+  }
+}
+
+/// A protocol with a genuine terminal wait state, exercising the idle
+/// fast path end to end: every node broadcasts for a few rounds, then
+/// naps (idle). A waker node stays active, and after a quiet stretch
+/// unicasts a ping to every napper; woken nappers send one ack and nap
+/// again. The engine must skip napping nodes during the quiet rounds yet
+/// wake them the moment traffic addresses them.
+constexpr MsgKind kPing = 13;
+constexpr MsgKind kAck = 14;
+
+class NapNode : public Node {
+ public:
+  NapNode(NodeIndex self, NodeIndex n, Round active_rounds, Round wake_round)
+      : self_(self), n_(n), active_rounds_(active_rounds),
+        wake_round_(wake_round) {}
+
+  void send(Round round, Outbox& out) override {
+    if (round <= active_rounds_) {
+      out.broadcast(make_message(kWave, 32,
+                                 static_cast<std::uint64_t>(self_), round));
+    }
+    if (self_ == 0 && round == wake_round_) {
+      for (NodeIndex d = 1; d < n_; ++d) {
+        out.send(d, make_message(kPing, 16, static_cast<std::uint64_t>(d)));
+      }
+    }
+    if (self_ != 0 && woke_ && !acked_) {
+      out.send(0, make_message(kAck, 16, static_cast<std::uint64_t>(self_)));
+      acked_ = true;
+    }
+  }
+
+  void receive(Round round, InboxView inbox) override {
+    executed_ = round;
+    for (const Message& m : inbox) {
+      log_.emplace_back(round, m.sender, m.kind);
+      if (m.kind == kPing) woke_ = true;
+      if (m.kind == kAck) ++acks_;
+    }
+  }
+
+  bool done() const override {
+    return self_ == 0 ? acks_ >= n_ - 1 : acked_;
+  }
+
+  bool idle() const override {
+    if (self_ == 0) return false;  // the waker is never skipped
+    return executed_ >= active_rounds_ && (!woke_ || acked_);
+  }
+
+  std::vector<std::tuple<Round, NodeIndex, MsgKind>> log_;
+
+ protected:
+  NodeIndex self_;
+  NodeIndex n_;
+  Round active_rounds_;
+  Round wake_round_;
+  Round executed_ = 0;
+  bool woke_ = false;
+  bool acked_ = false;
+  NodeIndex acks_ = 0;
+};
+
+/// Same protocol with the quiescence hint withheld: the engine runs every
+/// node every round, exactly like the pre-optimization engine did.
+class NeverIdleNapNode final : public NapNode {
+ public:
+  using NapNode::NapNode;
+  bool idle() const override { return false; }
+};
+
+TEST(IdleFastPath, SkippingIdleNodesIsObservationallyInvisible) {
+  const NodeIndex n = 11;
+  auto run = [n](bool honor_idle,
+                 std::unique_ptr<CrashAdversary> adversary) {
+    std::vector<std::unique_ptr<Node>> nodes;
+    for (NodeIndex v = 0; v < n; ++v) {
+      if (honor_idle) {
+        nodes.push_back(std::make_unique<NapNode>(v, n, 3, 8));
+      } else {
+        nodes.push_back(std::make_unique<NeverIdleNapNode>(v, n, 3, 8));
+      }
+    }
+    Engine engine(std::move(nodes), std::move(adversary));
+    std::ostringstream out;
+    JsonlTrace trace(out);
+    engine.set_trace(&trace);
+    Observed result;
+    result.stats = engine.run(20);
+    result.jsonl = out.str();
+    for (NodeIndex v = 0; v < n; ++v) {
+      const auto& log = dynamic_cast<const NapNode&>(engine.node(v)).log_;
+      ReceiveLog converted;
+      for (const auto& [r, s, k] : log) {
+        converted.emplace_back(r, s, static_cast<std::uint64_t>(k));
+      }
+      result.logs.push_back(std::move(converted));
+    }
+    return result;
+  };
+
+  {
+    const Observed fast = run(true, nullptr);
+    const Observed seed = run(false, nullptr);
+    // The run must actually exercise the nap: waves stop after round 3,
+    // pings fly in round 8, acks in round 9.
+    EXPECT_EQ(fast.stats.rounds, 9u);
+    EXPECT_EQ(fast.stats.per_round[4].messages, 0u);  // everyone napping
+    expect_equivalent(fast, seed);
+  }
+  {
+    // Crashes interleaved with naps: victims must leave the active set on
+    // both paths identically (same seed, same decisions).
+    const Observed fast =
+        run(true, std::make_unique<RandomCrashAdversary>(3, 0.08, 5));
+    const Observed seed =
+        run(false, std::make_unique<RandomCrashAdversary>(3, 0.08, 5));
+    EXPECT_EQ(fast.stats.crashes, seed.stats.crashes);
+    expect_equivalent(fast, seed);
+  }
+}
+
+TEST(InboxArena, LazyResetLeavesUntouchedNodesEmpty) {
+  // Unicast-only rounds slice only the touched destinations; nodes the
+  // round never addressed read an empty view through a stale stamp, with
+  // no O(n) re-zeroing between rounds.
+  const Message a = make_message(kWave, 16, std::uint64_t{1});
+  InboxArena arena;
+  arena.begin_round(64);
+  arena.expect_unicast(7);
+  arena.commit();
+  EXPECT_EQ(arena.touched().size(), 1u);
+  EXPECT_EQ(arena.touched()[0], 7u);
+  arena.deliver(7, a);
+  ASSERT_EQ(arena.view(7).size(), 1u);
+  EXPECT_TRUE(arena.view(8).empty());
+  EXPECT_TRUE(arena.view(0).empty());
+
+  // Next round touches a different node: node 7's old slice is invisible.
+  arena.begin_round(64);
+  arena.expect_unicast(9);
+  arena.commit();
+  arena.deliver(9, a);
+  EXPECT_TRUE(arena.view(7).empty());
+  ASSERT_EQ(arena.view(9).size(), 1u);
+
+  // A broadcast round slices every node again.
+  arena.begin_round(64);
+  arena.expect_broadcast();
+  arena.commit();
+  EXPECT_EQ(arena.touched().size(), 64u);
+  arena.deliver(3, a);
+  EXPECT_EQ(arena.view(3).size(), 1u);
+  EXPECT_TRUE(arena.view(4).empty());
+
+  // Changing n resets everything.
+  arena.begin_round(2);
+  arena.commit();
+  EXPECT_TRUE(arena.view(0).empty());
+  EXPECT_TRUE(arena.view(1).empty());
+}
+
 TEST(Outbox, ExpandPreservesLogicalOrderAndStamps) {
   Outbox out(1, 3);
   out.send(2, make_message(kExtra, 8, std::uint64_t{9}));

@@ -4,13 +4,37 @@
 // the test exists so that can never happen silently.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 #include "byzantine/byz_renaming.h"
 #include "byzantine/strategies.h"
 #include "crash/adversaries.h"
 #include "crash/crash_renaming.h"
+#include "sim/trace.h"
 
 namespace renaming {
 namespace {
+
+/// FNV-1a over the JSONL trace text: one 64-bit pin for millions of trace
+/// bytes. Any reordering, dropped copy, or changed field shows up here.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Order-sensitive chain over the decided new names, in node order.
+std::uint64_t idsum(const std::vector<NodeOutcome>& outcomes) {
+  std::uint64_t h = 0;
+  for (const auto& o : outcomes) {
+    if (o.new_id) h = h * 1000003 + *o.new_id;
+  }
+  return h;
+}
 
 TEST(Golden, CrashRunIsBitStable) {
   const auto cfg = SystemConfig::random(64, 64 * 64 * 5, 4242);
@@ -46,6 +70,53 @@ TEST(Golden, ByzantineRunIsBitStable) {
   for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
     EXPECT_EQ(a.outcomes[i].new_id, b.outcomes[i].new_id);
   }
+}
+
+// The two tests below pin full Byzantine executions down to the trace
+// BYTES, not just run-to-run determinism: the engine fast paths (broadcast,
+// multicast, idle-node skipping) and the incremental IdentityList are all
+// required to be observationally invisible, and these constants — captured
+// from the pre-optimization implementation — are the proof. If any of them
+// moves, an optimization changed an execution.
+
+TEST(Golden, ByzantineTraceBytesArePinned48) {
+  const auto cfg = SystemConfig::random(48, 48 * 48 * 5, 777);
+  byzantine::ByzParams params;
+  params.pool_constant = 4.0;
+  params.shared_seed = 4242;
+  const std::vector<NodeIndex> byz = {5, 23, 41};
+  std::ostringstream trace_out;
+  sim::JsonlTrace trace(trace_out);
+  const auto r = byzantine::run_byz_renaming(
+      cfg, params, byz, &byzantine::SplitReporter::make, 0, &trace);
+  ASSERT_TRUE(r.report.ok(true));
+  EXPECT_EQ(r.stats.total_messages, 646590u);
+  EXPECT_EQ(r.stats.total_bits, 22138340u);
+  EXPECT_EQ(r.stats.rounds, 2284u);
+  EXPECT_EQ(r.loop_iterations, 71u);
+  EXPECT_EQ(trace_out.str().size(), 56562211u);
+  EXPECT_EQ(fnv1a(trace_out.str()), 16269512166363842775ull);
+  EXPECT_EQ(idsum(r.outcomes), 5469758842561306130ull);
+}
+
+TEST(Golden, ByzantineTraceBytesArePinned96) {
+  const auto cfg = SystemConfig::random(96, 96u * 96u * 5u, 31415);
+  byzantine::ByzParams params;
+  params.pool_constant = 3.0;
+  params.shared_seed = 99;
+  const std::vector<NodeIndex> byz = {3, 17, 42, 77};
+  std::ostringstream trace_out;
+  sim::JsonlTrace trace(trace_out);
+  const auto r = byzantine::run_byz_renaming(
+      cfg, params, byz, &byzantine::DoubleDealer::make, 0, &trace);
+  ASSERT_TRUE(r.report.ok(true));
+  EXPECT_EQ(r.stats.total_messages, 1680144u);
+  EXPECT_EQ(r.stats.total_bits, 60015360u);
+  EXPECT_EQ(r.stats.rounds, 4150u);
+  EXPECT_EQ(r.loop_iterations, 113u);
+  EXPECT_EQ(trace_out.str().size(), 147687161u);
+  EXPECT_EQ(fnv1a(trace_out.str()), 7590467781292134760ull);
+  EXPECT_EQ(idsum(r.outcomes), 331529188109441609ull);
 }
 
 TEST(Golden, AdversarialCrashRunIsBitStable) {

@@ -157,6 +157,62 @@ TEST_F(FingerprintTest, DifferentBeaconsGiveDifferentFunctions) {
   EXPECT_EQ(equal, 0);
 }
 
+/// The pre-optimization Rabin evaluation: one multiplication per position,
+/// set or not. The jump-table version must match it bit for bit.
+std::uint64_t rabin_naive(const RabinFingerprint& rabin, const BitVec& bits,
+                          std::uint64_t lo, std::uint64_t hi) {
+  std::uint64_t h = 0;
+  std::uint64_t xj = 1;  // x^(i - lo)
+  for (std::uint64_t i = lo; i <= hi; ++i) {
+    if (bits.test(i)) h = m61_add(h, xj);
+    xj = m61_mul(xj, rabin.point());
+  }
+  return h;
+}
+
+TEST_F(FingerprintTest, RabinPowerMatchesSquareAndMultiply) {
+  Xoshiro256 rng(41);
+  EXPECT_EQ(rabin_.power(0), 1u);
+  EXPECT_EQ(rabin_.power(1), rabin_.point());
+  for (int trial = 0; trial < 200; ++trial) {
+    // Exercise every gap-width class, including >2^32 jumps.
+    const std::uint64_t d = rng() >> (rng.below(64));
+    EXPECT_EQ(rabin_.power(d), m61_pow(rabin_.point(), d)) << "d=" << d;
+  }
+}
+
+TEST_F(FingerprintTest, RabinSparseScanMatchesNaiveReference) {
+  // The of_range rewrite walks only set positions and jumps the running
+  // power across zero runs; this pins it against the per-position scan on
+  // the patterns that stress the jump logic: long zero runs (gaps crossing
+  // many word boundaries), dense clusters, bits hugging the range edges,
+  // and sub-ranges starting mid-word.
+  constexpr std::uint64_t kBits = 1u << 14;
+  BitVec sparse(kBits);
+  for (std::uint64_t i : std::vector<std::uint64_t>{
+           0, 1, 63, 64, 4000, 4001, 9999, kBits - 2, kBits - 1}) {
+    sparse.set(i);
+  }
+  BitVec empty(kBits);
+  BitVec dense(kBits);
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 6000; ++i) dense.set(rng.below(kBits));
+  for (const BitVec* v : {&sparse, &empty, &dense}) {
+    EXPECT_EQ(rabin_.of_range(*v, 0, kBits - 1),
+              rabin_naive(rabin_, *v, 0, kBits - 1));
+    for (int trial = 0; trial < 60; ++trial) {
+      std::uint64_t lo = rng.below(kBits);
+      std::uint64_t hi = rng.below(kBits);
+      if (lo > hi) std::swap(lo, hi);
+      ASSERT_EQ(rabin_.of_range(*v, lo, hi), rabin_naive(rabin_, *v, lo, hi))
+          << lo << ".." << hi;
+    }
+  }
+  // Singleton ranges: set and unset positions.
+  EXPECT_EQ(rabin_.of_range(sparse, 64, 64), 1u);
+  EXPECT_EQ(rabin_.of_range(sparse, 65, 65), 0u);
+}
+
 TEST_F(FingerprintTest, RandomPairsNeverCollide) {
   // 200 random distinct 128-bit-dense vectors; all pairwise fingerprints
   // distinct (collision probability ~ 200^2 / 2^61, i.e. never).

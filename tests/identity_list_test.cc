@@ -126,6 +126,100 @@ TEST_F(IdentityListTest, TwoListsSameContentSameFingerprints) {
   }
 }
 
+TEST_F(IdentityListTest, RandomInterleavingsMatchDenseAcrossBucketSplits) {
+  // The bucketed representation maintains per-leaf fingerprint aggregates
+  // incrementally (inserts add a coefficient, removals subtract it — m61
+  // addition is a group). A tiny bucket capacity forces constant leaf
+  // splits and leaf removals, and a long random interleaving of inserts
+  // and erases must track the dense BitVec + reference hash at every step.
+  constexpr std::uint64_t kSmallN = 700;
+  IdentityList list(kSmallN, beacon_, /*bucket_capacity=*/8);
+  BitVec dense(kSmallN);
+  Xoshiro256 rng(77);
+  std::vector<std::uint64_t> present;
+  for (int step = 0; step < 4000; ++step) {
+    if (present.empty() || rng.chance(0.6)) {
+      const std::uint64_t id = 1 + rng.below(kSmallN);
+      list.insert(id);
+      if (!dense.test(id - 1)) present.push_back(id);
+      dense.set(id - 1);
+    } else {
+      const std::size_t at = rng.below(present.size());
+      const std::uint64_t id = present[at];
+      list.set(id, false);
+      dense.set(id - 1, false);
+      present[at] = present.back();
+      present.pop_back();
+    }
+    if (step % 97 != 0) continue;
+    ASSERT_EQ(list.size(), dense.count()) << "step " << step;
+    std::uint64_t lo = 1 + rng.below(kSmallN);
+    std::uint64_t hi = 1 + rng.below(kSmallN);
+    if (lo > hi) std::swap(lo, hi);
+    const auto s = list.summarize(Interval(lo, hi));
+    ASSERT_EQ(s.count, dense.count_range(lo - 1, hi - 1)) << "step " << step;
+    ASSERT_EQ(s.fingerprint, reference_.of_range(dense, lo - 1, hi - 1))
+        << "step " << step;
+    ASSERT_EQ(list.rank(hi), dense.rank(hi - 1)) << "step " << step;
+    const auto window = list.ids_in(Interval(lo, hi));
+    ASSERT_EQ(window.size(), s.count) << "step " << step;
+    ASSERT_EQ(reference_.of_ids(window), s.fingerprint) << "step " << step;
+  }
+  EXPECT_GT(list.bucket_count(), 4u);  // capacity 8 must have forced splits
+}
+
+TEST_F(IdentityListTest, BucketCapacityIsObservationallyInvisible) {
+  // Same contents, radically different leaf layouts: every summary, rank
+  // and window must agree (the protocol never sees bucket boundaries).
+  Xoshiro256 rng(78);
+  IdentityList tiny(kN, beacon_, 2), small(kN, beacon_, 16),
+      wide(kN, beacon_, 4096);
+  for (int i = 0; i < 600; ++i) {
+    const std::uint64_t id = 1 + rng.below(kN);
+    tiny.insert(id);
+    small.insert(id);
+    wide.insert(id);
+  }
+  EXPECT_GT(tiny.bucket_count(), small.bucket_count());
+  EXPECT_EQ(wide.bucket_count(), 1u);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::uint64_t lo = 1 + rng.below(kN);
+    std::uint64_t hi = 1 + rng.below(kN);
+    if (lo > hi) std::swap(lo, hi);
+    const Interval j(lo, hi);
+    ASSERT_EQ(tiny.summarize(j), small.summarize(j));
+    ASSERT_EQ(tiny.summarize(j), wide.summarize(j));
+    ASSERT_EQ(tiny.ids_in(j), small.ids_in(j));
+    ASSERT_EQ(tiny.rank(hi), wide.rank(hi));
+  }
+}
+
+TEST_F(IdentityListTest, SharedCacheMatchesPrivateBeaconInstance) {
+  // One memoized coefficient cache shared across lists (the per-run cache
+  // of run_byz_renaming) must produce the same hashes as a private
+  // beacon-backed instance with the same seed.
+  const auto cache = hashing::make_coefficient_cache(4242);
+  hashing::SharedRandomness beacon(4242);
+  IdentityList cached(kN, cache), direct(kN, beacon);
+  IdentityList cached2(kN, cache);  // second list sharing the same cache
+  Xoshiro256 rng(79);
+  for (int i = 0; i < 400; ++i) {
+    const std::uint64_t id = 1 + rng.below(kN);
+    cached.insert(id);
+    direct.insert(id);
+    cached2.insert(id);
+  }
+  for (int trial = 0; trial < 100; ++trial) {
+    std::uint64_t lo = 1 + rng.below(kN);
+    std::uint64_t hi = 1 + rng.below(kN);
+    if (lo > hi) std::swap(lo, hi);
+    const Interval j(lo, hi);
+    ASSERT_EQ(cached.summarize(j), direct.summarize(j));
+    ASSERT_EQ(cached2.summarize(j), direct.summarize(j));
+  }
+  EXPECT_GT(cache->materialized(), 0u);
+}
+
 TEST_F(IdentityListTest, DiffersAtSingleIdDetected) {
   IdentityList a(kN, beacon_), b(kN, beacon_);
   for (std::uint64_t id = 5; id <= kN; id += 13) {
