@@ -4,8 +4,10 @@
 // msgs/n ~ n and bits/n ~ n^2.
 //
 // `--json [--out PATH]` writes BENCH_byz_scaling.json (bench_util.h Json
-// shape, one row per (n, f) cell including wall_ms) so CI can track the
-// protocol-side hot path; `--smoke` shrinks the sweep for CI.
+// shape, one row per (n, f) cell including wall_ms and a per-phase
+// {messages, bits, wall_us} breakdown whose ledgers sum to the run totals);
+// `--smoke` shrinks the sweep for CI; `--audit` additionally checks every
+// cell against the Theorem 1.3 budget and exits non-zero on a violation.
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -16,6 +18,9 @@
 #include "byzantine/byz_renaming.h"
 #include "byzantine/strategies.h"
 #include "common/math.h"
+#include "obs/budget.h"
+#include "obs/phase.h"
+#include "obs/telemetry.h"
 
 namespace renaming {
 namespace {
@@ -31,9 +36,30 @@ std::vector<NodeIndex> spread_byz(NodeIndex n, NodeIndex f) {
   return byz;
 }
 
+// One {phase, messages, bits, wall_us} object per phase that saw traffic
+// or wall time; the message/bit ledgers sum exactly to the run totals
+// (the telemetry double-entry property, pinned in obs_telemetry_test.cc).
+Json phase_breakdown(const obs::Telemetry& telemetry) {
+  Json phases = Json::array();
+  for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+    const auto& t = telemetry.phase(static_cast<obs::PhaseId>(p));
+    if (t.messages == 0 && t.bits == 0 && t.wall_ns == 0) continue;
+    phases.push(
+        Json::object()
+            .set("phase", Json::str(obs::phase_name(
+                              static_cast<obs::PhaseId>(p))))
+            .set("messages", Json::integer(t.messages))
+            .set("bits", Json::integer(t.bits))
+            .set("wall_us", Json::num(static_cast<double>(t.wall_ns) / 1e3,
+                                      1)));
+  }
+  return phases;
+}
+
 int sweep(int argc, char** argv) {
   const bool smoke = bench::has_flag(argc, argv, "--smoke");
   const bool json = bench::has_flag(argc, argv, "--json");
+  const bool audit = bench::has_flag(argc, argv, "--audit");
   const std::string out_path =
       bench::flag_value(argc, argv, "--out", "BENCH_byz_scaling.json");
 
@@ -46,6 +72,7 @@ int sweep(int argc, char** argv) {
                "ours/obg bits"});
   Json rows = Json::array();
 
+  int audit_failures = 0;
   const std::vector<NodeIndex> sizes =
       smoke ? std::vector<NodeIndex>{128u, 256u}
             : std::vector<NodeIndex>{128u, 256u, 512u, 1024u, 2048u};
@@ -55,13 +82,29 @@ int sweep(int argc, char** argv) {
       const std::uint64_t N = static_cast<std::uint64_t>(n) * n * 5;
       const auto cfg = SystemConfig::random(n, N, 2200 + n + mode);
       const auto byz = spread_byz(n, f);
+      obs::Telemetry telemetry;
       const auto start = std::chrono::steady_clock::now();
       const auto ours = byzantine::run_byz_renaming(
-          cfg, params, byz, &byzantine::SplitReporter::make);
+          cfg, params, byz, &byzantine::SplitReporter::make, 0, nullptr,
+          &telemetry);
       const auto stop = std::chrono::steady_clock::now();
       const double wall_ms =
           std::chrono::duration<double, std::milli>(stop - start).count();
       if (!ours.report.ok(true)) std::printf("OURS FAILED at n=%u f=%u\n", n, f);
+      if (audit) {
+        obs::BudgetParams bp;
+        bp.algorithm = "byz";
+        bp.n = cfg.n;
+        bp.f = byz.size();
+        bp.namespace_size = cfg.namespace_size;
+        bp.committee_constant = params.pool_constant;
+        const auto report = obs::audit_run(bp, ours.stats, &telemetry);
+        if (!report.ok()) {
+          ++audit_failures;
+          std::printf("BUDGET VIOLATION at n=%u f=%u\n%s", n, f,
+                      report.summary().c_str());
+        }
+      }
       // Simulating the all-to-all baseline is itself Theta(n^3) work per
       // receiver-round (that is the point of the comparison); above n = 512
       // we use its exact closed form: msgs = n^2 (3 + ceil(log2 n)), and
@@ -104,7 +147,8 @@ int sweep(int argc, char** argv) {
                     .set("wall_ms", Json::num(wall_ms, 1))
                     .set("obg_msgs", Json::integer(obg_msgs))
                     .set("obg_bits", Json::integer(obg_bits))
-                    .set("obg_extrapolated", Json::boolean(extrapolated)));
+                    .set("obg_extrapolated", Json::boolean(extrapolated))
+                    .set("phases", phase_breakdown(telemetry)));
     }
   }
   std::printf("== E5: Byzantine algorithm scaling (pool constant 2.0; * = closed form) ==\n");
@@ -129,6 +173,10 @@ int sweep(int argc, char** argv) {
     }
     out << doc.dump();
     std::printf("wrote %s\n", out_path.c_str());
+  }
+  if (audit_failures > 0) {
+    std::printf("budget audit: %d cell(s) over budget\n", audit_failures);
+    return 1;
   }
   return 0;
 }

@@ -9,6 +9,10 @@
 //                  broadcast fast path existed;
 //   * cht-crash  — same under a random crash adversary, exercising the
 //                  mid-send crash (outbox expansion) slow path;
+//   * cht-tel    — cht with a live obs::Telemetry attached: measures the
+//                  telemetry hot-path overhead against the matching plain
+//                  cht cell (recorded as telemetry_overhead in the JSON;
+//                  budget: < 2%, see docs/PERFORMANCE.md);
 //   * byz        — the full Byzantine renaming protocol (committee
 //                  multicast, identity-list summaries, fingerprint
 //                  consensus): the protocol-side hot path end to end.
@@ -28,6 +32,7 @@
 #include "byzantine/byz_renaming.h"
 #include "byzantine/strategies.h"
 #include "common/math.h"
+#include "obs/telemetry.h"
 #include "sim/adversary.h"
 #include "sim/engine.h"
 
@@ -93,14 +98,17 @@ sim::RunStats run_ping(NodeIndex n, std::uint64_t /*seed*/) {
   return engine.run(kRounds);
 }
 
-sim::RunStats run_cht(NodeIndex n, std::uint64_t seed, bool with_crashes) {
+sim::RunStats run_cht(NodeIndex n, std::uint64_t seed, bool with_crashes,
+                      bool with_telemetry = false) {
   const auto cfg =
       SystemConfig::random(n, static_cast<std::uint64_t>(n) * n * 5, seed);
   auto adversary =
       with_crashes ? std::make_unique<sim::RandomCrashAdversary>(
                          ceil_log2(n), 0.3, seed)
                    : nullptr;
-  auto result = baselines::run_cht_renaming(cfg, std::move(adversary));
+  obs::Telemetry telemetry;
+  auto result = baselines::run_cht_renaming(
+      cfg, std::move(adversary), with_telemetry ? &telemetry : nullptr);
   if (!result.report.ok()) {
     std::printf("WARNING: cht verifier failed at n=%u seed=%llu\n", n,
                 static_cast<unsigned long long>(seed));
@@ -139,7 +147,8 @@ Cell measure(const std::string& workload, NodeIndex n, std::uint64_t seeds,
         } else if (workload == "byz") {
           stats[i] = run_byz(n, seed);
         } else {
-          stats[i] = run_cht(n, seed, workload == "cht-crash");
+          stats[i] = run_cht(n, seed, workload == "cht-crash",
+                             workload == "cht-tel");
         }
       },
       threads);
@@ -171,11 +180,13 @@ int run(int argc, char** argv) {
   if (smoke) {
     workloads = {{"ping", {256, 512}, 2},
                  {"cht", {256, 512}, 2},
+                 {"cht-tel", {512}, 2},
                  {"cht-crash", {256}, 2},
                  {"byz", {96}, 2}};
   } else {
     workloads = {{"ping", {256, 1024, 2048, 4096}, 4},
                  {"cht", {256, 512, 1024, 2048, 4096}, 4},
+                 {"cht-tel", {2048}, 4},
                  {"cht-crash", {1024, 2048}, 4},
                  {"byz", {96, 192, 384}, 4}};
   }
@@ -183,9 +194,11 @@ int run(int argc, char** argv) {
   Table table({"workload", "n", "seeds", "rounds", "events", "wall ms",
                "events/s", "peak rss"});
   Json rows = Json::array();
+  std::vector<Cell> cells;
   for (const Workload& w : workloads) {
     for (NodeIndex n : w.sizes) {
       const Cell cell = measure(w.name, n, w.seeds, threads);
+      cells.push_back(cell);
       table.row({cell.workload, std::to_string(cell.n),
                  std::to_string(cell.seeds), std::to_string(cell.rounds),
                  human(cell.events), fixed(cell.wall_ms, 1),
@@ -208,6 +221,33 @@ int run(int argc, char** argv) {
               "seeds run in parallel) ==\n");
   table.print();
 
+  // Telemetry overhead: each cht-tel cell against the plain cht cell at
+  // the same n (same seeds, same workload, telemetry attached vs not).
+  // With RENAMING_NO_TELEMETRY the instrumentation is compiled out and the
+  // two cells are the same code, so the overhead reads as noise around 0.
+  Json overhead = Json::array();
+  for (const Cell& tel : cells) {
+    if (tel.workload != "cht-tel") continue;
+    for (const Cell& base : cells) {
+      if (base.workload != "cht" || base.n != tel.n) continue;
+      const double pct =
+          base.events_per_sec > 0.0
+              ? 100.0 * (base.events_per_sec - tel.events_per_sec) /
+                    base.events_per_sec
+              : 0.0;
+      std::printf("telemetry overhead at cht n=%u: %.2f%% "
+                  "(%.0f -> %.0f events/s; budget < 2%%)\n",
+                  tel.n, pct, base.events_per_sec, tel.events_per_sec);
+      overhead.push(Json::object()
+                        .set("n", Json::integer(tel.n))
+                        .set("baseline_events_per_sec",
+                             Json::num(base.events_per_sec, 0))
+                        .set("telemetry_events_per_sec",
+                             Json::num(tel.events_per_sec, 0))
+                        .set("overhead_pct", Json::num(pct, 2)));
+    }
+  }
+
   if (json) {
     Json doc = Json::object();
     doc.set("bench", Json::str("engine"))
@@ -219,7 +259,10 @@ int run(int argc, char** argv) {
              Json::boolean(false)
 #endif
                  )
-        .set("rows", std::move(rows));
+        .set("telemetry_compiled_out",
+             Json::boolean(!obs::kTelemetryEnabled))
+        .set("rows", std::move(rows))
+        .set("telemetry_overhead", std::move(overhead));
     std::ofstream out(out_path);
     if (!out) {
       std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());

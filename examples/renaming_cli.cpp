@@ -13,7 +13,14 @@
 //   renaming_cli lowerbound --n 256 --budget 128 --trials 2000
 //
 // Common flags: --seed S, --csv, --trace FILE (JSONL event trace, crash/byz
-// only). Exit code 0 iff the verifier accepted the outcome.
+// only). Observability flags (all algorithms except lowerbound):
+//   --metrics-out FILE   phase-attributed metrics JSON (renaming-metrics-v1)
+//   --perfetto-out FILE  Chrome trace-event JSON; open at ui.perfetto.dev
+//   --audit [--slack X]  check the run against its theory budget
+//                        (Theorem 1.2/1.3 or Table 1); non-zero exit on a
+//                        violation, envelopes scaled by X (default 1)
+// Exit code 0 iff the verifier accepted the outcome (and, with --audit,
+// the budget auditor did too).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -31,6 +38,9 @@
 #include "crash/adversaries.h"
 #include "crash/crash_renaming.h"
 #include "lowerbound/anonymous.h"
+#include "obs/budget.h"
+#include "obs/export.h"
+#include "obs/telemetry.h"
 #include "sim/trace.h"
 
 namespace {
@@ -109,6 +119,43 @@ void report(const Args& args, const std::string& algo,
   }
 }
 
+// Handles --metrics-out / --perfetto-out / --audit for one finished run.
+// Returns 0, or 1 when --audit was requested and the run blew its budget.
+int finish_observability(const Args& args, const obs::Telemetry* telemetry,
+                         const sim::RunStats& stats, const std::string& algo,
+                         const SystemConfig& cfg, std::uint64_t f,
+                         double committee_constant = 0.0,
+                         std::uint32_t phase_multiplier = 3) {
+  if (telemetry == nullptr) return 0;
+  obs::BudgetReport audit;
+  bool audited = false;
+  if (args.has("audit")) {
+    obs::BudgetParams p;
+    p.algorithm = algo;
+    p.n = cfg.n;
+    p.f = f;
+    p.namespace_size = cfg.namespace_size;
+    p.committee_constant = committee_constant;
+    p.phase_multiplier = phase_multiplier;
+    p.slack = args.real("slack", 1.0);
+    audit = obs::audit_run(p, stats, telemetry);
+    audited = true;
+    if (!args.has("csv") || !audit.ok()) {
+      std::printf("%s", audit.summary().c_str());
+    }
+  }
+  if (args.has("metrics-out")) {
+    std::ofstream out(args.str("metrics-out", "metrics.json"));
+    obs::write_metrics_json(out, *telemetry, stats,
+                            audited ? &audit : nullptr);
+  }
+  if (args.has("perfetto-out")) {
+    std::ofstream out(args.str("perfetto-out", "trace.perfetto.json"));
+    obs::write_perfetto_trace(out, *telemetry, stats);
+  }
+  return audited && !audit.ok() ? 1 : 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: renaming_cli crash|byz|cht|early|claiming|obg|naive|lowerbound "
@@ -132,6 +179,12 @@ int main(int argc, char** argv) {
     trace_file.open(args.str("trace", "trace.jsonl"));
     trace = std::make_unique<sim::JsonlTrace>(trace_file,
                                               args.num("trace-sample", 1));
+  }
+
+  std::unique_ptr<obs::Telemetry> telemetry;
+  if (args.has("metrics-out") || args.has("perfetto-out") ||
+      args.has("audit")) {
+    telemetry = std::make_unique<obs::Telemetry>();
   }
 
   if (args.command == "crash") {
@@ -161,9 +214,12 @@ int main(int argc, char** argv) {
     }
     const auto r = crash::run_crash_renaming(cfg, params,
                                              std::move(adversary),
-                                             trace.get());
+                                             trace.get(), telemetry.get());
     report(args, "crash", r.stats, r.report, n, r.stats.crashes);
-    return r.report.ok() ? 0 : 1;
+    const int audit_rc = finish_observability(
+        args, telemetry.get(), r.stats, "crash", cfg, budget,
+        params.election_constant, params.phase_multiplier);
+    return r.report.ok() ? audit_rc : 1;
   }
 
   if (args.command == "byz") {
@@ -193,12 +249,16 @@ int main(int argc, char** argv) {
       return usage();
     }
     const auto r = byzantine::run_byz_renaming(cfg, params, byz, factory, 0,
-                                               trace.get());
+                                               trace.get(), telemetry.get());
     report(args, "byz", r.stats, r.report, n, byz.size());
     if (!args.has("csv")) {
       std::printf("  loop iters    %u\n", r.loop_iterations);
     }
-    return r.report.ok(true) ? 0 : 1;
+    const int audit_rc = finish_observability(
+        args, telemetry.get(), r.stats,
+        params.use_fingerprints ? "byz" : "byz-full", cfg, byz.size(),
+        params.pool_constant);
+    return r.report.ok(true) ? audit_rc : 1;
   }
 
   if (args.command == "cht" || args.command == "early" ||
@@ -210,28 +270,38 @@ int main(int argc, char** argv) {
           std::make_unique<sim::ChaosCrashAdversary>(budget, 0.15, seed * 7);
     }
     if (args.command == "cht") {
-      const auto r = baselines::run_cht_renaming(cfg, std::move(adversary));
+      const auto r = baselines::run_cht_renaming(cfg, std::move(adversary),
+                                                 telemetry.get());
       report(args, "cht", r.stats, r.report, n, r.stats.crashes);
-      return r.report.ok() ? 0 : 1;
+      const int audit_rc = finish_observability(args, telemetry.get(),
+                                                r.stats, "cht", cfg, budget);
+      return r.report.ok() ? audit_rc : 1;
     }
     if (args.command == "claiming") {
-      const auto r =
-          baselines::run_claiming_renaming(cfg, std::move(adversary));
+      const auto r = baselines::run_claiming_renaming(
+          cfg, std::move(adversary), telemetry.get());
       report(args, "claiming", r.stats, r.report, n, r.stats.crashes);
-      return r.report.ok() ? 0 : 1;
+      const int audit_rc = finish_observability(
+          args, telemetry.get(), r.stats, "claiming", cfg, budget);
+      return r.report.ok() ? audit_rc : 1;
     }
     if (args.command == "early") {
-      const auto r =
-          baselines::run_early_deciding_renaming(cfg, std::move(adversary));
+      const auto r = baselines::run_early_deciding_renaming(
+          cfg, std::move(adversary), telemetry.get());
       report(args, "early", r.stats, r.report, n, r.stats.crashes);
       if (!args.has("csv")) {
         std::printf("  decided by    round %u\n", r.max_decision_round);
       }
-      return r.report.ok() ? 0 : 1;
+      const int audit_rc = finish_observability(
+          args, telemetry.get(), r.stats, "early", cfg, budget);
+      return r.report.ok() ? audit_rc : 1;
     }
-    const auto r = baselines::run_naive_renaming(cfg, std::move(adversary));
+    const auto r = baselines::run_naive_renaming(cfg, std::move(adversary),
+                                                 telemetry.get());
     report(args, "naive", r.stats, r.report, n, r.stats.crashes);
-    return r.report.ok() ? 0 : 1;
+    const int audit_rc = finish_observability(args, telemetry.get(), r.stats,
+                                              "naive", cfg, budget);
+    return r.report.ok() ? audit_rc : 1;
   }
 
   if (args.command == "obg") {
@@ -241,9 +311,12 @@ int main(int argc, char** argv) {
       byz.push_back((i * n) / (f + 1) + 1);
     }
     const auto r = baselines::run_obg_renaming(
-        cfg, byz, baselines::ObgByzBehaviour::kSplitAnnounce);
+        cfg, byz, baselines::ObgByzBehaviour::kSplitAnnounce,
+        telemetry.get());
     report(args, "obg", r.stats, r.report, n, f);
-    return r.report.ok() ? 0 : 1;
+    const int audit_rc =
+        finish_observability(args, telemetry.get(), r.stats, "obg", cfg, f);
+    return r.report.ok() ? audit_rc : 1;
   }
 
   if (args.command == "lowerbound") {

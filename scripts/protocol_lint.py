@@ -43,10 +43,19 @@ conventions. This script enforces them mechanically:
                      bucketed IdentityList's incremental summaries exist to
                      avoid (docs/PERFORMANCE.md "Protocol hot path").
                      of_range belongs in tests and cross-checks only.
+  R8 raw-output      No raw std::cout/std::cerr/std::clog or stdio output
+                     (printf/fprintf/puts/fputs/putchar/fputc) under src/:
+                     library code reports through its sanctioned sinks —
+                     TraceSink, RunStats, obs::Telemetry and the caller-
+                     supplied std::ostream exporters (docs/OBSERVABILITY.md)
+                     — so CLIs, benches and examples (which live outside
+                     src/) own every byte that reaches a terminal. The
+                     RENAMING_CHECK abort path in common/check.h carries an
+                     explicit allow marker.
 
 Findings can be suppressed per line with `// lint:allow(<rule>)` where
 <rule> is one of: nondeterminism, bits-width, unordered-iteration,
-threading, dense-of-range.
+threading, dense-of-range, raw-output.
 
 Exit status: 0 if clean, 1 if any violation, 2 on usage error.
 """
@@ -373,6 +382,47 @@ def check_dense_of_range(src: Path) -> list[Violation]:
 
 
 # ---------------------------------------------------------------------------
+# R8: no raw terminal output in library code
+
+RAW_OUTPUT_PATTERNS = [
+    (
+        re.compile(r"std\s*::\s*(cout|cerr|clog)\b"),
+        "raw std::cout/cerr/clog stream",
+    ),
+    (
+        # \b keeps snprintf/vsnprintf (format-into-buffer, no output) legal.
+        re.compile(r"\b(?:std\s*::\s*)?(printf|fprintf|vprintf|vfprintf|"
+                   r"puts|fputs|putchar|fputc)\s*\("),
+        "stdio output call",
+    ),
+]
+
+
+def check_raw_output(src: Path) -> list[Violation]:
+    violations = []
+    for path in source_files(src):
+        for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+            if allowed(raw, "raw-output"):
+                continue
+            code = strip_comments_and_strings(raw)
+            for pattern, why in RAW_OUTPUT_PATTERNS:
+                if pattern.search(code):
+                    violations.append(
+                        Violation(
+                            "raw-output",
+                            path,
+                            lineno,
+                            f"{why} in library code; report through "
+                            "TraceSink/RunStats/obs::Telemetry or a "
+                            "caller-supplied std::ostream instead "
+                            "(docs/OBSERVABILITY.md) — terminal output "
+                            "belongs to the CLIs and benches outside src/",
+                        )
+                    )
+    return violations
+
+
+# ---------------------------------------------------------------------------
 # R4: no iteration over unordered containers
 
 UNORDERED_DECL_RE = re.compile(r"std\s*::\s*unordered_\w+\s*<[^;()]*>\s+(\w+)\s*[;{=]")
@@ -462,6 +512,7 @@ RULES = {
     "header-hygiene": lambda src, args: check_header_hygiene(src, args.compiler),
     "threading": lambda src, args: check_threading(src),
     "dense-of-range": lambda src, args: check_dense_of_range(src),
+    "raw-output": lambda src, args: check_raw_output(src),
 }
 
 

@@ -4,6 +4,7 @@
 
 #include "common/math.h"
 #include "core/interval.h"
+#include "obs/telemetry.h"
 #include "sim/engine.h"
 
 namespace renaming::baselines {
@@ -60,13 +61,20 @@ class ChtNode final : public sim::Node {
 }  // namespace
 
 ChtRunResult run_cht_renaming(const SystemConfig& cfg,
-                              std::unique_ptr<sim::CrashAdversary> adversary) {
+                              std::unique_ptr<sim::CrashAdversary> adversary,
+                              obs::Telemetry* telemetry) {
+  if (telemetry != nullptr) {
+    telemetry->map_kind(kStatus, obs::PhaseId::kBaselineExchange);
+    telemetry->set_run_info("cht", cfg.n,
+                            adversary != nullptr ? adversary->budget() : 0);
+  }
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
   for (NodeIndex v = 0; v < cfg.n; ++v) {
     nodes.push_back(std::make_unique<ChtNode>(v, cfg));
   }
   sim::Engine engine(std::move(nodes), std::move(adversary));
+  engine.set_telemetry(telemetry);
 
   ChtRunResult result;
   result.stats = engine.run(ceil_log2(cfg.n) == 0 ? 1 : ceil_log2(cfg.n));

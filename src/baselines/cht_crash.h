@@ -22,6 +22,10 @@
 #include "sim/node.h"
 #include "sim/stats.h"
 
+namespace renaming::obs {
+class Telemetry;  // obs/telemetry.h; optional, observational only
+}
+
 namespace renaming::baselines {
 
 struct ChtRunResult {
@@ -30,8 +34,11 @@ struct ChtRunResult {
   VerifyReport report;
 };
 
+/// `telemetry` (optional) attributes all traffic to the baseline-exchange
+/// phase (baselines have no sub-phase structure worth spans).
 ChtRunResult run_cht_renaming(
     const SystemConfig& cfg,
-    std::unique_ptr<sim::CrashAdversary> adversary = nullptr);
+    std::unique_ptr<sim::CrashAdversary> adversary = nullptr,
+    obs::Telemetry* telemetry = nullptr);
 
 }  // namespace renaming::baselines

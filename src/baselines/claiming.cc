@@ -4,6 +4,7 @@
 
 #include "common/math.h"
 #include "common/prng.h"
+#include "obs/telemetry.h"
 #include "sim/engine.h"
 
 namespace renaming::baselines {
@@ -88,13 +89,21 @@ class ClaimingNode final : public sim::Node {
 }  // namespace
 
 ClaimingRunResult run_claiming_renaming(
-    const SystemConfig& cfg, std::unique_ptr<sim::CrashAdversary> adversary) {
+    const SystemConfig& cfg, std::unique_ptr<sim::CrashAdversary> adversary,
+    obs::Telemetry* telemetry) {
+  if (telemetry != nullptr) {
+    telemetry->map_kind(kClaim, obs::PhaseId::kBaselineExchange);
+    telemetry->map_kind(kOwned, obs::PhaseId::kBaselineExchange);
+    telemetry->set_run_info("claiming", cfg.n,
+                            adversary != nullptr ? adversary->budget() : 0);
+  }
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
   for (NodeIndex v = 0; v < cfg.n; ++v) {
     nodes.push_back(std::make_unique<ClaimingNode>(v, cfg));
   }
   sim::Engine engine(std::move(nodes), std::move(adversary));
+  engine.set_telemetry(telemetry);
 
   ClaimingRunResult result;
   // Whp O(log n) rounds; crashes can only free slots. Generous cap.

@@ -26,6 +26,10 @@
 #include "sim/node.h"
 #include "sim/stats.h"
 
+namespace renaming::obs {
+class Telemetry;  // obs/telemetry.h; optional, observational only
+}
+
 namespace renaming::baselines {
 
 struct ClaimingRunResult {
@@ -34,8 +38,11 @@ struct ClaimingRunResult {
   VerifyReport report;
 };
 
+/// `telemetry` (optional) attributes all traffic to the baseline-exchange
+/// phase.
 ClaimingRunResult run_claiming_renaming(
     const SystemConfig& cfg,
-    std::unique_ptr<sim::CrashAdversary> adversary = nullptr);
+    std::unique_ptr<sim::CrashAdversary> adversary = nullptr,
+    obs::Telemetry* telemetry = nullptr);
 
 }  // namespace renaming::baselines

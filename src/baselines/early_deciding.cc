@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/math.h"
+#include "obs/telemetry.h"
 #include "sim/engine.h"
 
 namespace renaming::baselines {
@@ -81,13 +82,20 @@ class EarlyDecidingNode final : public sim::Node {
 }  // namespace
 
 EarlyDecidingRunResult run_early_deciding_renaming(
-    const SystemConfig& cfg, std::unique_ptr<sim::CrashAdversary> adversary) {
+    const SystemConfig& cfg, std::unique_ptr<sim::CrashAdversary> adversary,
+    obs::Telemetry* telemetry) {
+  if (telemetry != nullptr) {
+    telemetry->map_kind(kSet, obs::PhaseId::kBaselineExchange);
+    telemetry->set_run_info("early", cfg.n,
+                            adversary != nullptr ? adversary->budget() : 0);
+  }
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
   for (NodeIndex v = 0; v < cfg.n; ++v) {
     nodes.push_back(std::make_unique<EarlyDecidingNode>(v, cfg));
   }
   sim::Engine engine(std::move(nodes), std::move(adversary));
+  engine.set_telemetry(telemetry);
 
   EarlyDecidingRunResult result;
   // Every dirty round consumes a crash; 2n + 4 is a safe deterministic cap.

@@ -29,6 +29,10 @@
 #include "sim/node.h"
 #include "sim/stats.h"
 
+namespace renaming::obs {
+class Telemetry;  // obs/telemetry.h; optional, observational only
+}
+
 namespace renaming::baselines {
 
 struct EarlyDecidingRunResult {
@@ -38,8 +42,11 @@ struct EarlyDecidingRunResult {
   Round max_decision_round = 0;  ///< latest round at which a node decided
 };
 
+/// `telemetry` (optional) attributes all traffic to the baseline-exchange
+/// phase.
 EarlyDecidingRunResult run_early_deciding_renaming(
     const SystemConfig& cfg,
-    std::unique_ptr<sim::CrashAdversary> adversary = nullptr);
+    std::unique_ptr<sim::CrashAdversary> adversary = nullptr,
+    obs::Telemetry* telemetry = nullptr);
 
 }  // namespace renaming::baselines

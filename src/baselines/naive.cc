@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/math.h"
+#include "obs/telemetry.h"
 #include "sim/engine.h"
 
 namespace renaming::baselines {
@@ -47,14 +48,21 @@ class NaiveNode final : public sim::Node {
 
 }  // namespace
 
-NaiveRunResult run_naive_renaming(
-    const SystemConfig& cfg, std::unique_ptr<sim::CrashAdversary> adversary) {
+NaiveRunResult run_naive_renaming(const SystemConfig& cfg,
+                                  std::unique_ptr<sim::CrashAdversary> adversary,
+                                  obs::Telemetry* telemetry) {
+  if (telemetry != nullptr) {
+    telemetry->map_kind(kId, obs::PhaseId::kBaselineExchange);
+    telemetry->set_run_info("naive", cfg.n,
+                            adversary != nullptr ? adversary->budget() : 0);
+  }
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
   for (NodeIndex v = 0; v < cfg.n; ++v) {
     nodes.push_back(std::make_unique<NaiveNode>(v, cfg));
   }
   sim::Engine engine(std::move(nodes), std::move(adversary));
+  engine.set_telemetry(telemetry);
 
   NaiveRunResult result;
   result.stats = engine.run(1);

@@ -14,6 +14,10 @@
 #include "sim/node.h"
 #include "sim/stats.h"
 
+namespace renaming::obs {
+class Telemetry;  // obs/telemetry.h; optional, observational only
+}
+
 namespace renaming::baselines {
 
 struct NaiveRunResult {
@@ -22,8 +26,11 @@ struct NaiveRunResult {
   VerifyReport report;
 };
 
+/// `telemetry` (optional) attributes all traffic to the baseline-exchange
+/// phase.
 NaiveRunResult run_naive_renaming(
     const SystemConfig& cfg,
-    std::unique_ptr<sim::CrashAdversary> adversary = nullptr);
+    std::unique_ptr<sim::CrashAdversary> adversary = nullptr,
+    obs::Telemetry* telemetry = nullptr);
 
 }  // namespace renaming::baselines

@@ -8,6 +8,7 @@
 #include "common/prng.h"
 #include "core/directory.h"
 #include "core/interval.h"
+#include "obs/telemetry.h"
 #include "sim/engine.h"
 
 namespace renaming::baselines {
@@ -184,7 +185,14 @@ class ObgByzNode final : public ObgNode {
 
 ObgRunResult run_obg_renaming(const SystemConfig& cfg,
                               const std::vector<NodeIndex>& byzantine,
-                              ObgByzBehaviour behaviour) {
+                              ObgByzBehaviour behaviour,
+                              obs::Telemetry* telemetry) {
+  if (telemetry != nullptr) {
+    telemetry->map_kind(kAnnounce, obs::PhaseId::kBaselineExchange);
+    telemetry->map_kind(kVector, obs::PhaseId::kBaselineExchange);
+    telemetry->map_kind(kHalving, obs::PhaseId::kBaselineExchange);
+    telemetry->set_run_info("obg", cfg.n, byzantine.size());
+  }
   const Directory directory(cfg);
   std::vector<bool> is_byz(cfg.n, false);
   for (NodeIndex b : byzantine) is_byz[b] = true;
@@ -200,6 +208,7 @@ ObgRunResult run_obg_renaming(const SystemConfig& cfg,
     }
   }
   sim::Engine engine(std::move(nodes));
+  engine.set_telemetry(telemetry);
   for (NodeIndex b : byzantine) engine.mark_byzantine(b);
 
   ObgRunResult result;

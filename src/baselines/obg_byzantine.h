@@ -32,6 +32,10 @@
 #include "sim/node.h"
 #include "sim/stats.h"
 
+namespace renaming::obs {
+class Telemetry;  // obs/telemetry.h; optional, observational only
+}
+
 namespace renaming::baselines {
 
 struct ObgRunResult {
@@ -47,9 +51,12 @@ enum class ObgByzBehaviour {
   kForgeIds,      ///< pad vectors with phantom identities
 };
 
+/// `telemetry` (optional) attributes all traffic to the baseline-exchange
+/// phase.
 ObgRunResult run_obg_renaming(const SystemConfig& cfg,
                               const std::vector<NodeIndex>& byzantine = {},
                               ObgByzBehaviour behaviour =
-                                  ObgByzBehaviour::kSplitAnnounce);
+                                  ObgByzBehaviour::kSplitAnnounce,
+                              obs::Telemetry* telemetry = nullptr);
 
 }  // namespace renaming::baselines

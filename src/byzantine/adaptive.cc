@@ -1,5 +1,6 @@
 #include "byzantine/adaptive.h"
 
+#include "obs/telemetry.h"
 #include "sim/engine.h"
 
 namespace renaming::byzantine {
@@ -7,18 +8,25 @@ namespace renaming::byzantine {
 AdaptiveRunResult run_adaptive_experiment(const SystemConfig& cfg,
                                           const ByzParams& params,
                                           std::uint64_t budget,
-                                          Round max_rounds) {
+                                          Round max_rounds,
+                                          obs::Telemetry* telemetry) {
   const Directory directory(cfg);
   AdaptiveController controller(budget);
   const auto coeff_cache = hashing::make_coefficient_cache(params.shared_seed);
 
+  if (telemetry != nullptr) {
+    register_byz_phases(*telemetry);
+    telemetry->set_run_info("byz-adaptive", cfg.n, budget);
+  }
+
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
   for (NodeIndex v = 0; v < cfg.n; ++v) {
-    nodes.push_back(std::make_unique<TurncoatNode>(v, cfg, directory, params,
-                                                   controller, coeff_cache));
+    nodes.push_back(std::make_unique<TurncoatNode>(
+        v, cfg, directory, params, controller, coeff_cache, telemetry));
   }
   sim::Engine engine(std::move(nodes));
+  engine.set_telemetry(telemetry);
 
   if (max_rounds == 0) {
     // A wrecked run never terminates on its own; keep the cap modest so

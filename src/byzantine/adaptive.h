@@ -62,8 +62,10 @@ class TurncoatNode final : public sim::Node {
   TurncoatNode(NodeIndex self, const SystemConfig& cfg,
                const Directory& directory, const ByzParams& params,
                AdaptiveController& controller,
-               std::shared_ptr<const hashing::CoefficientCache> cache = nullptr)
-      : self_(self), honest_(self, cfg, directory, params, std::move(cache)),
+               std::shared_ptr<const hashing::CoefficientCache> cache = nullptr,
+               obs::Telemetry* telemetry = nullptr)
+      : self_(self),
+        honest_(self, cfg, directory, params, std::move(cache), telemetry),
         controller_(&controller) {}
 
   void send(Round round, sim::Outbox& out) override {
@@ -107,10 +109,12 @@ struct AdaptiveRunResult {
 
 /// Runs the Byzantine renaming where EVERY node is a potential turncoat
 /// and the adaptive adversary corrupts up to `budget` committee members
-/// the instant they are elected.
+/// the instant they are elected. `telemetry` (optional) is wired exactly
+/// as in run_byz_renaming; turned nodes simply stop producing spans.
 AdaptiveRunResult run_adaptive_experiment(const SystemConfig& cfg,
                                           const ByzParams& params,
                                           std::uint64_t budget,
-                                          Round max_rounds = 0);
+                                          Round max_rounds = 0,
+                                          obs::Telemetry* telemetry = nullptr);
 
 }  // namespace renaming::byzantine

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/check.h"
+#include "obs/telemetry.h"
 #include "sim/engine.h"
 
 namespace renaming::byzantine {
@@ -17,7 +18,8 @@ constexpr sim::MsgKind kind_of(Tag t) { return static_cast<sim::MsgKind>(t); }
 
 ByzNode::ByzNode(NodeIndex self, const SystemConfig& cfg,
                  const Directory& directory, ByzParams params,
-                 std::shared_ptr<const hashing::CoefficientCache> cache)
+                 std::shared_ptr<const hashing::CoefficientCache> cache,
+                 obs::Telemetry* telemetry)
     : self_(self),
       n_(cfg.n),
       namespace_size_(cfg.namespace_size),
@@ -27,7 +29,35 @@ ByzNode::ByzNode(NodeIndex self, const SystemConfig& cfg,
       beacon_(params.shared_seed),
       coeff_cache_(cache != nullptr
                        ? std::move(cache)
-                       : hashing::make_coefficient_cache(params.shared_seed)) {}
+                       : hashing::make_coefficient_cache(params.shared_seed)),
+      telemetry_(telemetry) {}
+
+obs::PhaseId ByzNode::phase_of(Stage stage) {
+  switch (stage) {
+    case Stage::kElect:         return obs::PhaseId::kCommitteeElection;
+    case Stage::kIdReport:      return obs::PhaseId::kIdentityAggregation;
+    case Stage::kValidator:     return consensus::Validator::kPhase;
+    case Stage::kSameConsensus:
+    case Stage::kDiffConsensus:
+    case Stage::kBitConsensus:  return consensus::PhaseKing::kPhase;
+    case Stage::kDiffExchange:  return obs::PhaseId::kDiffExchange;
+    case Stage::kFullExchange:  return obs::PhaseId::kFullVectorExchange;
+    case Stage::kDistribute:    return obs::PhaseId::kDistribution;
+    case Stage::kDone:          return obs::PhaseId::kAwaitName;
+  }
+  return obs::PhaseId::kUnattributed;
+}
+
+void register_byz_phases(obs::Telemetry& telemetry) {
+  telemetry.map_kind(kind_of(Tag::kElect), obs::PhaseId::kCommitteeElection);
+  telemetry.map_kind(kind_of(Tag::kIdReport),
+                     obs::PhaseId::kIdentityAggregation);
+  telemetry.map_kind(kind_of(Tag::kValidator), consensus::Validator::kPhase);
+  telemetry.map_kind(kind_of(Tag::kConsensus), consensus::PhaseKing::kPhase);
+  telemetry.map_kind(kind_of(Tag::kDiff), obs::PhaseId::kDiffExchange);
+  telemetry.map_kind(kind_of(Tag::kNew), obs::PhaseId::kDistribution);
+  telemetry.map_kind(kind_of(Tag::kVector), obs::PhaseId::kFullVectorExchange);
+}
 
 std::uint32_t ByzNode::fingerprint_bits() const {
   // <fingerprint (61), count (log n), control>: O(log N) since N >= n.
@@ -43,6 +73,7 @@ bool ByzNode::done() const {
 }
 
 void ByzNode::send(Round round, sim::Outbox& out) {
+  const obs::PhaseScope scope(telemetry_, self_, phase_of(stage_), round);
   switch (stage_) {
     case Stage::kElect: {
       RENAMING_CHECK(round == 1, "election happens in the first round");
@@ -101,7 +132,9 @@ void ByzNode::send(Round round, sim::Outbox& out) {
 }
 
 void ByzNode::receive(Round round, sim::InboxView inbox) {
-  (void)round;
+  // The scope attributes this callback to the stage being processed; the
+  // stage it may transition *to* takes over at the next callback.
+  const obs::PhaseScope scope(telemetry_, self_, phase_of(stage_), round);
   // NEW messages can arrive in any round once Byzantine members exist;
   // the view-majority threshold makes early fakes harmless.
   consider_new_messages(inbox);
@@ -350,11 +383,18 @@ void ByzNode::consider_new_messages(sim::InboxView inbox) {
 ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
                               const std::vector<NodeIndex>& byzantine,
                               ByzStrategyFactory factory, Round max_rounds,
-                              sim::TraceSink* trace) {
+                              sim::TraceSink* trace,
+                              obs::Telemetry* telemetry) {
   const Directory directory(cfg);
 
   std::vector<bool> is_byz(cfg.n, false);
   for (NodeIndex b : byzantine) is_byz[b] = true;
+
+  if (telemetry != nullptr) {
+    register_byz_phases(*telemetry);
+    telemetry->set_run_info(params.use_fingerprints ? "byz" : "byz-full",
+                            cfg.n, byzantine.size());
+  }
 
   // One coefficient cache for the whole run: every correct node holds the
   // same beacon seed, so the memo is shared knowledge, not a shortcut.
@@ -366,12 +406,13 @@ ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
     if (is_byz[v] && factory != nullptr) {
       nodes.push_back(factory(v, cfg, directory, params));
     } else {
-      nodes.push_back(
-          std::make_unique<ByzNode>(v, cfg, directory, params, coeff_cache));
+      nodes.push_back(std::make_unique<ByzNode>(v, cfg, directory, params,
+                                                coeff_cache, telemetry));
     }
   }
   sim::Engine engine(std::move(nodes));
   engine.set_trace(trace);
+  engine.set_telemetry(telemetry);
   for (NodeIndex b : byzantine) engine.mark_byzantine(b);
 
   if (max_rounds == 0) {
@@ -398,6 +439,9 @@ ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
       if (o.correct && node->elected()) {
         result.loop_iterations =
             std::max(result.loop_iterations, node->loop_iterations());
+      }
+      if (telemetry != nullptr && node->elected()) {
+        telemetry->label_node(v, "committee");
       }
     }
     result.outcomes.push_back(o);

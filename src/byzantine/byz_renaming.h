@@ -53,9 +53,14 @@
 #include "hashing/coefficient_cache.h"
 #include "hashing/shared_random.h"
 #include "byzantine/identity_list.h"
+#include "obs/phase.h"
 #include "sim/node.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
+
+namespace renaming::obs {
+class Telemetry;  // obs/telemetry.h; nodes hold a non-owning pointer
+}
 
 namespace renaming::byzantine {
 
@@ -102,9 +107,12 @@ class ByzNode : public sim::Node {
   /// `cache` is the run-wide fingerprint-coefficient cache; when null the
   /// node builds a private one from params.shared_seed (same values, just
   /// not shared — used by strategy wrappers constructed via the factory).
+  /// `telemetry` (optional) receives PhaseScope spans and per-phase wall
+  /// time; it never influences behaviour.
   ByzNode(NodeIndex self, const SystemConfig& cfg, const Directory& directory,
           ByzParams params,
-          std::shared_ptr<const hashing::CoefficientCache> cache = nullptr);
+          std::shared_ptr<const hashing::CoefficientCache> cache = nullptr,
+          obs::Telemetry* telemetry = nullptr);
 
   void send(Round round, sim::Outbox& out) override;
   void receive(Round round, sim::InboxView inbox) override;
@@ -141,6 +149,9 @@ class ByzNode : public sim::Node {
 
   Stage stage() const { return stage_; }
 
+  /// Central phase-id table entry for a protocol stage (obs/phase.h).
+  static obs::PhaseId phase_of(Stage stage);
+
  private:
   struct Processed {
     Interval segment;
@@ -169,6 +180,7 @@ class ByzNode : public sim::Node {
   // (hashing/coefficient_cache.h): every node of a run shares one cache,
   // sound because the beacon seed is common knowledge (Fact 3.2).
   std::shared_ptr<const hashing::CoefficientCache> coeff_cache_;
+  obs::Telemetry* telemetry_;  // non-owning, may be null
 
   // --- common state ---
   Stage stage_ = Stage::kElect;
@@ -218,11 +230,19 @@ using ByzStrategyFactory = std::unique_ptr<sim::Node> (*)(
 
 /// Runs the protocol with `byzantine[i]` nodes replaced by `factory`
 /// products. `max_rounds` of 0 derives a generous cap from the Lemma 3.10
-/// iteration bound.
+/// iteration bound. `telemetry` (optional) is attached to the engine and
+/// to every honest node, its kind -> phase table registered, and after the
+/// run committee members get a "committee" track label.
 ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
                               const std::vector<NodeIndex>& byzantine = {},
                               ByzStrategyFactory factory = nullptr,
                               Round max_rounds = 0,
-                              sim::TraceSink* trace = nullptr);
+                              sim::TraceSink* trace = nullptr,
+                              obs::Telemetry* telemetry = nullptr);
+
+/// Registers the Byzantine protocol's MsgKind -> PhaseId mapping with
+/// `telemetry` (the central phase-id table of obs/phase.h). Exposed so
+/// harnesses running nodes on a bare engine attribute identically.
+void register_byz_phases(obs::Telemetry& telemetry);
 
 }  // namespace renaming::byzantine

@@ -24,11 +24,16 @@
 
 #include "consensus/committee.h"
 #include "consensus/subprotocol.h"
+#include "obs/phase.h"
 
 namespace renaming::consensus {
 
 class PhaseKing final : public SubProtocol {
  public:
+  /// Central phase-id table entry (obs/phase.h): every PhaseKing instance
+  /// of the host protocol's loop is attributed to the consensus phase.
+  static constexpr obs::PhaseId kPhase = obs::PhaseId::kConsensus;
+
   /// `session` disambiguates instances; `kind` is the host protocol's
   /// message tag for consensus traffic; `message_bits` is the declared
   /// wire size (the host knows its O(log N) budget).

@@ -24,6 +24,7 @@
 
 #include "consensus/committee.h"
 #include "consensus/subprotocol.h"
+#include "obs/phase.h"
 
 namespace renaming::consensus {
 
@@ -35,6 +36,10 @@ struct ValidatorValue {
 
 class Validator final : public SubProtocol {
  public:
+  /// Central phase-id table entry (obs/phase.h): Validator traffic is the
+  /// fingerprint-validation phase of the host protocol's loop.
+  static constexpr obs::PhaseId kPhase = obs::PhaseId::kFingerprintValidation;
+
   Validator(const CommitteeView& view, std::size_t my_index,
             std::uint64_t session, sim::MsgKind kind,
             std::uint32_t message_bits, ValidatorValue input);

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 
+#include "obs/telemetry.h"
 #include "sim/engine.h"
 
 namespace renaming::crash {
@@ -16,10 +17,20 @@ constexpr std::uint32_t kSubrounds = 3;
 
 std::uint32_t subround(Round round) { return (round - 1) % kSubrounds + 1; }
 
+// Central phase-id table (obs/phase.h): one phase per subround.
+obs::PhaseId phase_of_subround(std::uint32_t sub) {
+  switch (sub) {
+    case 1: return obs::PhaseId::kCommitteeAnnounce;
+    case 2: return obs::PhaseId::kStatusReport;
+    case 3: return obs::PhaseId::kCommitteeResponse;
+    default: return obs::PhaseId::kUnattributed;
+  }
+}
+
 }  // namespace
 
 CrashNode::CrashNode(NodeIndex self, const SystemConfig& cfg,
-                     CrashParams params)
+                     CrashParams params, obs::Telemetry* telemetry)
     : self_(self),
       n_(cfg.n),
       namespace_size_(cfg.namespace_size),
@@ -27,6 +38,7 @@ CrashNode::CrashNode(NodeIndex self, const SystemConfig& cfg,
       params_(params),
       total_phases_(params.phase_multiplier * ceil_log2(cfg.n)),
       rng_(SplitMix64(cfg.seed).next() ^ (0x6e6f646500ULL + self)),
+      telemetry_(telemetry),
       interval_(1, cfg.n) {
   // Figure 1 line 2: initial self-election with probability c*log(n)/n.
   try_elect();
@@ -57,6 +69,8 @@ bool CrashNode::done() const {
 
 void CrashNode::send(Round round, sim::Outbox& out) {
   if (done()) return;
+  const obs::PhaseScope scope(telemetry_, self_, phase_of_subround(subround(round)),
+                              round);
   switch (subround(round)) {
     case 1:
       // Committee announcement on all n links (Figure 1 line 5).
@@ -130,6 +144,8 @@ void CrashNode::committee_action(sim::Outbox& out) {
 
 void CrashNode::receive(Round round, sim::InboxView inbox) {
   ++rounds_executed_;
+  const obs::PhaseScope scope(telemetry_, self_, phase_of_subround(subround(round)),
+                              round);
   switch (subround(round)) {
     case 1:
       announced_committee_.clear();
@@ -209,16 +225,32 @@ void CrashNode::node_action(sim::InboxView inbox) {
   }
 }
 
+void register_crash_phases(obs::Telemetry& telemetry) {
+  telemetry.map_kind(static_cast<sim::MsgKind>(Tag::kCommittee),
+                     obs::PhaseId::kCommitteeAnnounce);
+  telemetry.map_kind(static_cast<sim::MsgKind>(Tag::kStatus),
+                     obs::PhaseId::kStatusReport);
+  telemetry.map_kind(static_cast<sim::MsgKind>(Tag::kResponse),
+                     obs::PhaseId::kCommitteeResponse);
+}
+
 CrashRunResult run_crash_renaming(
     const SystemConfig& cfg, const CrashParams& params,
-    std::unique_ptr<sim::CrashAdversary> adversary, sim::TraceSink* trace) {
+    std::unique_ptr<sim::CrashAdversary> adversary, sim::TraceSink* trace,
+    obs::Telemetry* telemetry) {
+  if (telemetry != nullptr) {
+    register_crash_phases(*telemetry);
+    const std::uint64_t budget = adversary != nullptr ? adversary->budget() : 0;
+    telemetry->set_run_info("crash", cfg.n, budget);
+  }
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
   for (NodeIndex v = 0; v < cfg.n; ++v) {
-    nodes.push_back(std::make_unique<CrashNode>(v, cfg, params));
+    nodes.push_back(std::make_unique<CrashNode>(v, cfg, params, telemetry));
   }
   sim::Engine engine(std::move(nodes), std::move(adversary));
   engine.set_trace(trace);
+  engine.set_telemetry(telemetry);
 
   const Round max_rounds =
       params.phase_multiplier * ceil_log2(cfg.n) * kSubrounds;

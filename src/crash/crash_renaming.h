@@ -42,10 +42,15 @@
 #include "core/interval.h"
 #include "core/system.h"
 #include "core/verifier.h"
+#include "obs/phase.h"
 #include "sim/adversary.h"
 #include "sim/node.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
+
+namespace renaming::obs {
+class Telemetry;  // obs/telemetry.h; nodes hold a non-owning pointer
+}
 
 namespace renaming::crash {
 
@@ -78,7 +83,10 @@ enum class Tag : sim::MsgKind {
 
 class CrashNode final : public sim::Node {
  public:
-  CrashNode(NodeIndex self, const SystemConfig& cfg, CrashParams params);
+  /// `telemetry` (optional) receives PhaseScope spans — one phase per
+  /// subround (obs/phase.h) — and never influences behaviour.
+  CrashNode(NodeIndex self, const SystemConfig& cfg, CrashParams params,
+            obs::Telemetry* telemetry = nullptr);
 
   void send(Round round, sim::Outbox& out) override;
   void receive(Round round, sim::InboxView inbox) override;
@@ -115,6 +123,7 @@ class CrashNode final : public sim::Node {
   CrashParams params_;
   std::uint32_t total_phases_;
   Xoshiro256 rng_;
+  obs::Telemetry* telemetry_;  // non-owning, may be null
 
   // --- protocol state (Figure 1 initialisation) ---
   Interval interval_;
@@ -138,10 +147,16 @@ struct CrashRunResult {
 };
 
 /// Builds the system, runs it against `adversary` (nullptr = failure-free),
-/// verifies the outcome and returns stats + report.
+/// verifies the outcome and returns stats + report. `telemetry` (optional)
+/// is attached to the engine and every node; its kind -> phase table is
+/// registered before the run.
 CrashRunResult run_crash_renaming(
     const SystemConfig& cfg, const CrashParams& params,
     std::unique_ptr<sim::CrashAdversary> adversary = nullptr,
-    sim::TraceSink* trace = nullptr);
+    sim::TraceSink* trace = nullptr, obs::Telemetry* telemetry = nullptr);
+
+/// Registers the crash protocol's MsgKind -> PhaseId mapping with
+/// `telemetry` (the central phase-id table of obs/phase.h).
+void register_crash_phases(obs::Telemetry& telemetry);
 
 }  // namespace renaming::crash

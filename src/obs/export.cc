@@ -1,0 +1,216 @@
+#include "obs/export.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/message_names.h"
+
+namespace renaming::obs {
+
+namespace {
+
+// Minimal JSON string escaping; every string we emit is controlled ASCII,
+// this just keeps a stray quote from corrupting the document.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out += ' ';
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void write_histogram(std::ostream& out, const LogHistogram& h) {
+  out << "{\"count\":" << h.count() << ",\"sum\":" << h.sum()
+      << ",\"buckets\":[";
+  bool first = true;
+  for (std::size_t b = 0; b < LogHistogram::kBuckets; ++b) {
+    if (h.bucket(b) == 0) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "[" << LogHistogram::bucket_lo(b) << "," << h.bucket(b) << "]";
+  }
+  out << "]}";
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& out, const Telemetry& telemetry,
+                        const sim::RunStats& stats,
+                        const BudgetReport* audit) {
+  out << "{\"schema\":\"renaming-metrics-v1\"";
+  out << ",\"algorithm\":\"" << json_escape(telemetry.algorithm()) << "\"";
+  out << ",\"n\":" << telemetry.n() << ",\"f\":" << telemetry.f();
+
+  out << ",\"totals\":{\"messages\":" << stats.total_messages
+      << ",\"bits\":" << stats.total_bits << ",\"rounds\":" << stats.rounds
+      << ",\"crashes\":" << stats.crashes
+      << ",\"byzantine\":" << stats.byzantine
+      << ",\"spoofs_rejected\":" << stats.spoofs_rejected
+      << ",\"max_message_bits\":" << stats.max_message_bits
+      << ",\"wall_us\":" << telemetry.run_wall_ns() / 1000 << "}";
+
+  // Per-phase double-entry ledgers: messages/bits sum exactly to the run
+  // totals (tests pin this); wall_us sums to the time spent inside
+  // PhaseScope-instrumented callbacks.
+  out << ",\"phases\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const PhaseId id = static_cast<PhaseId>(i);
+    const PhaseTotals& t = telemetry.phase(id);
+    if (t.messages == 0 && t.bits == 0 && t.wall_ns == 0) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "{\"phase\":\"" << phase_name(id) << "\",\"messages\":" << t.messages
+        << ",\"bits\":" << t.bits << ",\"wall_us\":" << t.wall_ns / 1000
+        << "}";
+  }
+  out << "]";
+
+  // Per-kind counts with canonical names (sim/message_names.h).
+  out << ",\"kinds\":[";
+  first = true;
+  for (std::uint32_t k = 0; k < 65536; ++k) {
+    const sim::MsgKind kind = static_cast<sim::MsgKind>(k);
+    if (telemetry.kind_messages(kind) == 0) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "{\"kind\":" << k << ",\"name\":\""
+        << json_escape(sim::message_name(kind)) << "\",\"phase\":\""
+        << phase_name(telemetry.phase_of_kind(kind))
+        << "\",\"messages\":" << telemetry.kind_messages(kind) << "}";
+  }
+  out << "]";
+
+  const MetricsRegistry& reg = telemetry.registry();
+  out << ",\"counters\":{";
+  first = true;
+  for (const auto& [name, c] : reg.counters()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":" << c->value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : reg.gauges()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":{\"value\":" << g->value()
+        << ",\"max\":" << g->max() << "}";
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : reg.histograms()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":";
+    write_histogram(out, *h);
+  }
+  out << "}";
+
+  if (audit != nullptr) {
+    out << ",\"audit\":{\"ok\":" << (audit->ok() ? "true" : "false")
+        << ",\"lines\":[";
+    first = true;
+    for (const BudgetLine& l : audit->lines) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"quantity\":\"" << json_escape(l.quantity)
+          << "\",\"measured\":" << l.measured << ",\"budget\":" << l.budget
+          << ",\"ok\":" << (l.ok ? "true" : "false") << "}";
+    }
+    out << "]}";
+  }
+  out << "}\n";
+}
+
+void write_perfetto_trace(std::ostream& out, const Telemetry& telemetry,
+                          const sim::RunStats& stats) {
+  // Deterministic timeline: 1 round = 1000 trace microseconds. Perfetto
+  // renders pid/tid tracks; we use pid 1 for nodes and pid 2 for the
+  // per-round counter tracks.
+  constexpr std::int64_t kRoundUs = 1000;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"renaming "
+      << json_escape(telemetry.algorithm()) << " n=" << telemetry.n()
+      << " f=" << telemetry.f() << "\"}}";
+  out << ",{\"ph\":\"M\",\"pid\":2,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"per-round counters\"}}";
+
+  // Track names: every node that appears in a span, instant or label gets
+  // a thread_name record ("node 7" / "node 7 [committee]").
+  std::map<NodeIndex, std::string> tracks;
+  for (const PhaseSpan& s : telemetry.spans()) tracks.emplace(s.node, "");
+  for (const Instant& i : telemetry.instants()) tracks.emplace(i.node, "");
+  for (const auto& [node, label] : telemetry.node_labels()) {
+    tracks[node] = label;
+  }
+  for (const auto& [node, label] : tracks) {
+    out << ",{\"ph\":\"M\",\"pid\":1,\"tid\":" << node + 1
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"node " << node;
+    if (!label.empty()) out << " [" << json_escape(label) << "]";
+    out << "\"}}";
+  }
+
+  // Phase spans as duration events, one per node per contiguous stretch.
+  for (const PhaseSpan& s : telemetry.spans()) {
+    const std::int64_t ts = static_cast<std::int64_t>(s.begin_round) * kRoundUs;
+    const std::int64_t end = static_cast<std::int64_t>(s.end_round) * kRoundUs;
+    out << ",{\"ph\":\"X\",\"pid\":1,\"tid\":" << s.node + 1 << ",\"cat\":\""
+        << "phase\",\"name\":\"" << phase_name(s.phase) << "\",\"ts\":" << ts
+        << ",\"dur\":" << (end > ts ? end - ts : kRoundUs) << "}";
+  }
+
+  // Crashes and spoof rejections as instant events mid-round.
+  for (const Instant& i : telemetry.instants()) {
+    const std::int64_t ts =
+        static_cast<std::int64_t>(i.round) * kRoundUs + kRoundUs / 2;
+    if (i.kind == Instant::Kind::kCrash) {
+      out << ",{\"ph\":\"i\",\"pid\":1,\"tid\":" << i.node + 1
+          << ",\"cat\":\"fault\",\"name\":\"crash\",\"ts\":" << ts
+          << ",\"s\":\"g\"}";
+    } else {
+      out << ",{\"ph\":\"i\",\"pid\":1,\"tid\":" << i.node + 1
+          << ",\"cat\":\"fault\",\"name\":\"spoof-rejected "
+          << json_escape(sim::message_name(i.msg_kind)) << "\",\"ts\":" << ts
+          << ",\"s\":\"t\"}";
+    }
+  }
+
+  // Per-round counter tracks from the deterministic RunStats ledger.
+  // Long executions are strided to keep the trace loadable.
+  const std::size_t rounds = stats.per_round.size();
+  const std::size_t stride = rounds > 20000 ? (rounds + 19999) / 20000 : 1;
+  for (std::size_t r = 0; r < rounds; r += stride) {
+    const std::int64_t ts = static_cast<std::int64_t>(r + 1) * kRoundUs;
+    out << ",{\"ph\":\"C\",\"pid\":2,\"tid\":0,\"name\":\"messages\",\"ts\":"
+        << ts << ",\"args\":{\"messages\":" << stats.per_round[r].messages
+        << "}}";
+    out << ",{\"ph\":\"C\",\"pid\":2,\"tid\":0,\"name\":\"bits\",\"ts\":" << ts
+        << ",\"args\":{\"bits\":" << stats.per_round[r].bits << "}}";
+  }
+  // Wall time per round (the one nondeterministic track), same stride.
+  const auto& wall = telemetry.per_round_wall_ns();
+  for (std::size_t r = 0; r < wall.size(); r += stride) {
+    const std::int64_t ts = static_cast<std::int64_t>(r + 1) * kRoundUs;
+    out << ",{\"ph\":\"C\",\"pid\":2,\"tid\":0,\"name\":\"round_wall_ns\","
+           "\"ts\":"
+        << ts << ",\"args\":{\"ns\":" << wall[r] << "}}";
+  }
+  out << "]}\n";
+}
+
+}  // namespace renaming::obs

@@ -1,0 +1,37 @@
+// Telemetry exporters (docs/OBSERVABILITY.md):
+//
+//   write_metrics_json    one machine-readable JSON object per run —
+//                         totals, per-phase ledgers, per-kind counts,
+//                         instrument dump, optional audit report. Emitted
+//                         by bench_* --json runs and renaming_cli
+//                         --metrics-out.
+//   write_perfetto_trace  Chrome trace-event / Perfetto JSON: protocol
+//                         phases as duration events on per-node tracks,
+//                         crashes and spoof rejections as instant events,
+//                         per-round message/bit counter tracks. The
+//                         timeline is deterministic — 1 round = 1 ms of
+//                         trace time — so two runs of the same seed
+//                         produce the same trace shape; only the separate
+//                         wall-time counter track is nondeterministic.
+//                         Open the file at ui.perfetto.dev.
+//
+// Writing to a caller-supplied std::ostream keeps src/ free of raw stdout
+// (protocol_lint R8): the CLI and benches own the file handles.
+#pragma once
+
+#include <ostream>
+
+#include "obs/budget.h"
+#include "obs/telemetry.h"
+#include "sim/stats.h"
+
+namespace renaming::obs {
+
+void write_metrics_json(std::ostream& out, const Telemetry& telemetry,
+                        const sim::RunStats& stats,
+                        const BudgetReport* audit = nullptr);
+
+void write_perfetto_trace(std::ostream& out, const Telemetry& telemetry,
+                          const sim::RunStats& stats);
+
+}  // namespace renaming::obs

@@ -1,0 +1,41 @@
+#include "obs/telemetry.h"
+
+#include <chrono>
+
+namespace renaming::obs {
+
+std::int64_t now_ns() {
+  // Sole sanctioned clock read in src/ (see the header's determinism
+  // contract): durations feed telemetry output only, never protocol state,
+  // traces or RunStats.
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now()  // lint:allow(nondeterminism)
+                 .time_since_epoch())
+      .count();
+}
+
+Telemetry::Telemetry()
+    : messages_(&registry_.counter("messages")),
+      bits_(&registry_.counter("bits")),
+      rounds_(&registry_.counter("rounds")),
+      crashes_(&registry_.counter("crashes")),
+      spoof_attempts_(&registry_.counter("spoof_attempts")),
+      active_senders_(&registry_.gauge("active_senders")),
+      message_bits_(&registry_.histogram("message_bits")),
+      inbox_occupancy_(&registry_.histogram("inbox_occupancy")),
+      round_wall_ns_(&registry_.histogram("round_wall_ns")) {}
+
+void Telemetry::end_run(Round last_round) {
+  run_wall_ns_ = now_ns() - run_begin_ns_;
+  // Close every open span at the round after the last executed one, so a
+  // span's [begin, end) interval covers its final round.
+  for (NodeIndex v = 0; v < node_phase_.size(); ++v) {
+    const OpenPhase& open = node_phase_[v];
+    if (open.phase != PhaseId::kUnattributed) {
+      spans_.push_back({v, open.phase, open.since, last_round + 1});
+    }
+  }
+  node_phase_.clear();
+}
+
+}  // namespace renaming::obs

@@ -1,0 +1,270 @@
+// Per-run telemetry: phase-attributed counters, log-scale histograms, and
+// span/instant records for the Perfetto export (docs/OBSERVABILITY.md).
+//
+// One Telemetry object per run, explicitly wired (engine + protocol nodes
+// hold non-owning pointers) — never a global or a thread_local, because the
+// bench drivers run independent simulations concurrently and src/ is
+// single-threaded by the R6 lint invariant.
+//
+// Determinism contract: telemetry is observational. It never feeds back
+// into protocol or engine behaviour, so stats, traces and outcomes are
+// byte-identical with and without it (pinned by the golden and determinism
+// tests). The only nondeterministic quantities it records are wall-clock
+// durations, which appear exclusively in telemetry output (metrics JSON,
+// Perfetto), never in traces or RunStats.
+//
+// Compile-out: configuring with -DRENAMING_NO_TELEMETRY=ON defines
+// RENAMING_NO_TELEMETRY, turning kTelemetryEnabled into false. Every hot
+// call site (engine delivery loops, PhaseScope) guards with it via
+// `if constexpr` / constant-folded pointers, so the instrumented code is
+// dead-stripped and the overhead is exactly zero.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "obs/metrics.h"
+#include "obs/phase.h"
+#include "sim/message.h"
+
+namespace renaming::obs {
+
+#if defined(RENAMING_NO_TELEMETRY)
+inline constexpr bool kTelemetryEnabled = false;
+#else
+inline constexpr bool kTelemetryEnabled = true;
+#endif
+
+/// Monotonic wall clock in nanoseconds. The ONLY clock read in src/ —
+/// telemetry output is the one sanctioned nondeterministic surface (see
+/// the determinism contract above); protocol and engine code must never
+/// call this.
+std::int64_t now_ns();
+
+/// Double-entry ledger cell: everything charged to one phase.
+struct PhaseTotals {
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+  std::int64_t wall_ns = 0;
+};
+
+/// One contiguous stretch of a node inside a phase, in round units.
+/// `end_round` is exclusive: [begin_round, end_round).
+struct PhaseSpan {
+  NodeIndex node = 0;
+  PhaseId phase = PhaseId::kUnattributed;
+  Round begin_round = 0;
+  Round end_round = 0;
+};
+
+/// Point events for the Perfetto export.
+struct Instant {
+  enum class Kind : std::uint8_t { kCrash, kSpoofRejected };
+  Kind kind = Kind::kCrash;
+  Round round = 0;
+  NodeIndex node = 0;          ///< victim (crash) or forging sender (spoof)
+  sim::MsgKind msg_kind = 0;   ///< spoof only: kind of the forged message
+};
+
+class Telemetry {
+ public:
+  Telemetry();
+
+  // --- setup (cold path; called by run_* entry points) -------------------
+  /// Registers a message kind as belonging to `phase`; unregistered kinds
+  /// are charged to kUnattributed so the double-entry property holds for
+  /// arbitrary (including adversarial) traffic.
+  void map_kind(sim::MsgKind kind, PhaseId phase) {
+    kind_phase_[kind] = static_cast<std::uint8_t>(phase);
+  }
+  void set_run_info(std::string algorithm, std::uint64_t n, std::uint64_t f) {
+    algorithm_ = std::move(algorithm);
+    n_ = n;
+    f_ = f;
+  }
+  /// Attaches a human-readable label to a node's Perfetto track (e.g.
+  /// "committee"). May be called after the run.
+  void label_node(NodeIndex node, std::string label) {
+    node_labels_[node] = std::move(label);
+  }
+
+  // --- engine hooks (hot path: pointer bumps and array indexing only) ----
+  void begin_run(NodeIndex n) {
+    node_phase_.assign(n, OpenPhase{});
+    run_begin_ns_ = now_ns();
+  }
+
+  void on_round_begin(Round round) {
+    (void)round;
+    round_begin_ns_ = now_ns();
+  }
+
+  void on_round_end(Round round) {
+    (void)round;
+    const std::int64_t dt = now_ns() - round_begin_ns_;
+    round_wall_ns_->add(dt < 0 ? 0 : static_cast<std::uint64_t>(dt));
+    per_round_wall_ns_.push_back(dt < 0 ? 0 : dt);
+    rounds_->add(1);
+  }
+
+  /// Charges `count` messages of `bits` each, attributed by kind. Bulk on
+  /// purpose: the broadcast fast path calls this once per logical entry.
+  void note_messages(sim::MsgKind kind, std::uint64_t count,
+                     std::uint32_t bits) {
+    PhaseTotals& t = phases_[kind_phase_[kind]];
+    const std::uint64_t total = static_cast<std::uint64_t>(bits) * count;
+    t.messages += count;
+    t.bits += total;
+    kind_messages_[kind] += count;
+    messages_->add(count);
+    bits_->add(total);
+    message_bits_->add_weighted_sum(bits, count);
+  }
+
+  /// Records the inbox occupancy seen by `receivers` nodes this round
+  /// (bulk: the shared-inbox path hands every receiver the same view).
+  void note_inbox(std::uint64_t receivers, std::uint64_t occupancy) {
+    inbox_occupancy_->add(occupancy, receivers);
+  }
+
+  void note_active_senders(std::uint64_t count) {
+    active_senders_->set(static_cast<std::int64_t>(count));
+  }
+
+  void note_crash(Round round, NodeIndex victim) {
+    crashes_->add(1);
+    instants_.push_back({Instant::Kind::kCrash, round, victim, 0});
+  }
+
+  /// One instant per forged *logical* outbox entry (the stats count every
+  /// rejected copy; the instant marks the attempt).
+  void note_spoof(Round round, NodeIndex sender, sim::MsgKind kind) {
+    spoof_attempts_->add(1);
+    instants_.push_back({Instant::Kind::kSpoofRejected, round, sender, kind});
+  }
+
+  // --- protocol hooks (via PhaseScope) -----------------------------------
+  /// Marks `node` as being in `phase` from `round` on; consecutive calls
+  /// with the same phase are a single compare. Phase changes close the
+  /// previous span.
+  void enter_phase(NodeIndex node, PhaseId phase, Round round) {
+    RENAMING_CHECK(node < node_phase_.size(),
+                   "enter_phase before begin_run or node out of range");
+    OpenPhase& open = node_phase_[node];
+    if (open.phase == phase) return;
+    if (open.phase != PhaseId::kUnattributed) {
+      spans_.push_back({node, open.phase, open.since, round});
+    }
+    open.phase = phase;
+    open.since = round;
+  }
+
+  void add_phase_wall(PhaseId phase, std::int64_t ns) {
+    phases_[static_cast<std::size_t>(phase)].wall_ns += ns;
+  }
+
+  /// Closes every open span; `last_round` is the final executed round.
+  void end_run(Round last_round);
+
+  // --- introspection / export --------------------------------------------
+  const PhaseTotals& phase(PhaseId p) const {
+    return phases_[static_cast<std::size_t>(p)];
+  }
+  PhaseId phase_of_kind(sim::MsgKind kind) const {
+    return static_cast<PhaseId>(kind_phase_[kind]);
+  }
+  std::uint64_t kind_messages(sim::MsgKind kind) const {
+    return kind_messages_[kind];
+  }
+  const std::vector<PhaseSpan>& spans() const { return spans_; }
+  const std::vector<Instant>& instants() const { return instants_; }
+  const std::vector<std::int64_t>& per_round_wall_ns() const {
+    return per_round_wall_ns_;
+  }
+  const std::map<NodeIndex, std::string>& node_labels() const {
+    return node_labels_;
+  }
+  const std::string& algorithm() const { return algorithm_; }
+  std::uint64_t n() const { return n_; }
+  std::uint64_t f() const { return f_; }
+  std::int64_t run_wall_ns() const { return run_wall_ns_; }
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
+
+ private:
+  struct OpenPhase {
+    PhaseId phase = PhaseId::kUnattributed;
+    Round since = 0;
+  };
+
+  MetricsRegistry registry_;
+  // Standard instruments, resolved once in the constructor (hot-path
+  // recording is a pointer bump; the registry map is never touched again).
+  Counter* messages_;
+  Counter* bits_;
+  Counter* rounds_;
+  Counter* crashes_;
+  Counter* spoof_attempts_;
+  Gauge* active_senders_;
+  LogHistogram* message_bits_;
+  LogHistogram* inbox_occupancy_;
+  LogHistogram* round_wall_ns_;
+
+  std::array<std::uint8_t, 65536> kind_phase_{};   // MsgKind -> PhaseId
+  std::array<std::uint64_t, 65536> kind_messages_{};
+  std::array<PhaseTotals, kPhaseCount> phases_{};
+  std::vector<OpenPhase> node_phase_;
+  std::vector<PhaseSpan> spans_;
+  std::vector<Instant> instants_;
+  std::vector<std::int64_t> per_round_wall_ns_;
+  std::map<NodeIndex, std::string> node_labels_;
+  std::string algorithm_;
+  std::uint64_t n_ = 0;
+  std::uint64_t f_ = 0;
+  std::int64_t run_begin_ns_ = 0;
+  std::int64_t round_begin_ns_ = 0;
+  std::int64_t run_wall_ns_ = 0;
+};
+
+/// RAII span: protocols open one around their per-callback stage logic.
+/// Records the node's phase transition (for spans) and attributes the
+/// callback's wall time to the phase. Compiled out entirely under
+/// RENAMING_NO_TELEMETRY; a null telemetry pointer makes it a no-op.
+class PhaseScope {
+ public:
+  PhaseScope(Telemetry* telemetry, NodeIndex node, PhaseId phase, Round round)
+      : telemetry_(nullptr), phase_(phase) {
+    if constexpr (kTelemetryEnabled) {
+      if (telemetry == nullptr) return;
+      telemetry_ = telemetry;
+      telemetry_->enter_phase(node, phase, round);
+      start_ns_ = now_ns();
+    } else {
+      (void)telemetry;
+      (void)node;
+      (void)round;
+    }
+  }
+
+  ~PhaseScope() {
+    if constexpr (kTelemetryEnabled) {
+      if (telemetry_ == nullptr) return;
+      telemetry_->add_phase_wall(phase_, now_ns() - start_ns_);
+    }
+  }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Telemetry* telemetry_;
+  PhaseId phase_;
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace renaming::obs

@@ -53,6 +53,13 @@ void Engine::check_stats_consistent() const {
 RunStats Engine::run(Round max_rounds) {
   const NodeIndex n = size();
 
+  // Telemetry is observational: every hook below mirrors an accounting
+  // site (stats/trace) without influencing behaviour. The constant fold
+  // makes `tel` a compile-time nullptr under RENAMING_NO_TELEMETRY, so
+  // the instrumentation is dead-stripped entirely.
+  obs::Telemetry* const tel = obs::kTelemetryEnabled ? telemetry_ : nullptr;
+  if (tel != nullptr) tel->begin_run(n);
+
   // Persistent round buffers (docs/PERFORMANCE.md): one outbox per node and
   // one flat delivery arena, constructed once and clear()ed per round, so
   // the steady-state round has no per-message allocation at all.
@@ -125,6 +132,7 @@ RunStats Engine::run(Round max_rounds) {
     for (NodeIndex v : victims) crashed_now[v] = 0;
     victims.clear();
     if (trace_ != nullptr) trace_->on_round_begin(round);
+    if (tel != nullptr) tel->on_round_begin(round);
 
     if (active_dirty) {
       active_list.clear();
@@ -139,6 +147,7 @@ RunStats Engine::run(Round max_rounds) {
     // would queue nothing). Every outbox is empty at this point: the ones
     // used last round were cleared at the end of it.
     senders = active_list;
+    if (tel != nullptr) tel->note_active_senders(senders.size());
     for (NodeIndex v : senders) nodes_[v]->send(round, outboxes[v]);
 
     // --- Adversary phase: Eve may crash nodes, possibly mid-send. ------
@@ -168,6 +177,7 @@ RunStats Engine::run(Round max_rounds) {
       if (trace_ != nullptr) {
         trace_->on_crash(round, v, order.keep.size(), entries.size());
       }
+      if (tel != nullptr) tel->note_crash(round, v);
       // Retain only the messages the adversary lets escape.
       std::vector<std::pair<NodeIndex, Message>> kept;
       kept.reserve(order.keep.size());
@@ -241,7 +251,12 @@ RunStats Engine::run(Round max_rounds) {
           // and delivery in destination-list order — byte-equivalent to
           // the expanded unicast sequence.
           const bool spoofed = msg.spoofed();
-          for (NodeIndex d : outboxes[v].multicast_dests(mc++)) {
+          const auto mdests = outboxes[v].multicast_dests(mc++);
+          if (tel != nullptr) {
+            tel->note_messages(msg.kind, mdests.size(), msg.bits);
+            if (spoofed) tel->note_spoof(round, v, msg.kind);
+          }
+          for (NodeIndex d : mdests) {
             stats_.note_message(msg.bits);
             const bool delivered = !spoofed && alive_[d];
             if (trace_ != nullptr) trace_->on_message(round, msg, d, delivered);
@@ -258,6 +273,10 @@ RunStats Engine::run(Round max_rounds) {
           // accounting, zero copies. The sender paid for all n copies even
           // if some destinations have crashed.
           const bool spoofed = msg.spoofed();
+          if (tel != nullptr) {
+            tel->note_messages(msg.kind, n, msg.bits);
+            if (spoofed) tel->note_spoof(round, v, msg.kind);
+          }
           if (trace_ == nullptr) {
             stats_.note_messages(n, msg.bits);
             if (spoofed) {
@@ -288,6 +307,10 @@ RunStats Engine::run(Round max_rounds) {
         // The message left the sender: it counts toward complexity even if
         // the destination has crashed (the sender still paid for it).
         stats_.note_message(msg.bits);
+        if (tel != nullptr) {
+          tel->note_messages(msg.kind, 1, msg.bits);
+          if (msg.spoofed()) tel->note_spoof(round, v, msg.kind);
+        }
         const bool delivered = !msg.spoofed() && alive_[dest];
         if (trace_ != nullptr) trace_->on_message(round, msg, dest, delivered);
         if (msg.spoofed()) {
@@ -307,6 +330,9 @@ RunStats Engine::run(Round max_rounds) {
     const InboxView shared_view(shared_slots.data(), shared_slots.size());
     if (broadcast_only) {
       if (!shared_slots.empty()) {
+        if (tel != nullptr) {
+          tel->note_inbox(alive_dests.size(), shared_view.size());
+        }
         for (NodeIndex v : alive_dests) {
           nodes_[v]->receive(round, shared_view);
           refresh(v);
@@ -314,6 +340,7 @@ RunStats Engine::run(Round max_rounds) {
       } else {
         for (NodeIndex v : senders) {
           if (!alive_[v]) continue;
+          if (tel != nullptr) tel->note_inbox(1, 0);
           nodes_[v]->receive(round, shared_view);
           refresh(v);
         }
@@ -331,6 +358,7 @@ RunStats Engine::run(Round max_rounds) {
       }
       std::sort(receivers.begin(), receivers.end());
       for (NodeIndex v : receivers) {
+        if (tel != nullptr) tel->note_inbox(1, inbox.view(v).size());
         nodes_[v]->receive(round, inbox.view(v));
         refresh(v);
       }
@@ -341,8 +369,10 @@ RunStats Engine::run(Round max_rounds) {
     // restores the all-outboxes-empty invariant in O(senders).
     for (NodeIndex v : senders) outboxes[v].clear();
     if (trace_ != nullptr) trace_->on_round_end(round, stats_.per_round.back());
+    if (tel != nullptr) tel->on_round_end(round);
   }
 
+  if (tel != nullptr) tel->end_run(stats_.rounds);
   check_stats_consistent();
   return stats_;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/telemetry.h"
 #include "sim/adversary.h"
 #include "sim/node.h"
 #include "sim/stats.h"
@@ -30,6 +31,13 @@ class Engine {
   /// Attaches a non-owning trace sink receiving structured events during
   /// run(); pass nullptr to detach.
   void set_trace(TraceSink* sink) { trace_ = sink; }
+
+  /// Attaches a non-owning telemetry object (obs/telemetry.h): every
+  /// message the engine accounts is also charged to the telemetry's
+  /// phase ledgers, and crashes/spoofs/rounds are recorded. Purely
+  /// observational — stats, traces and outcomes are byte-identical with
+  /// and without it. Ignored when built with RENAMING_NO_TELEMETRY.
+  void set_telemetry(obs::Telemetry* telemetry) { telemetry_ = telemetry; }
 
   /// Marks node `v` as Byzantine for accounting purposes (its Node
   /// implementation is expected to be an adversarial strategy). Byzantine
@@ -58,6 +66,7 @@ class Engine {
   std::vector<bool> byzantine_;
   RunStats stats_;
   TraceSink* trace_ = nullptr;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace renaming::sim

@@ -1,0 +1,59 @@
+// Canonical MsgKind -> human-readable-name table.
+//
+// Message kinds only need to be unique per protocol, but in practice every
+// protocol in this repo draws from disjoint ranges (crash 1-3, byzantine
+// 10-16, baselines 30+), so one flat table serves JsonlTrace, the
+// CountingTrace report and the obs/ exporters. A kind outside the table
+// renders as "?<kind>" rather than failing — bench-local or test-local
+// kinds (e.g. bench_engine's ping) are deliberately not listed.
+//
+// tests/trace_test.cc pins this table against the protocol Tag enums and
+// file-local constants, so a renumbering there fails loudly here.
+#pragma once
+
+#include "sim/message.h"
+
+namespace renaming::sim {
+
+/// Stable wire-protocol name for `kind`, or nullptr if unknown. The switch
+/// uses the literal values on purpose: this header must not drag every
+/// protocol header into every trace consumer, and the consistency test
+/// keeps the literals honest.
+constexpr const char* message_name_or_null(MsgKind kind) {
+  switch (kind) {
+    // crash/crash_renaming.h (Tag)
+    case 1:  return "COMMITTEE";
+    case 2:  return "STATUS";
+    case 3:  return "RESPONSE";
+    // byzantine/byz_renaming.h (Tag)
+    case 10: return "ELECT";
+    case 11: return "ID_REPORT";
+    case 12: return "VALIDATOR";
+    case 13: return "CONSENSUS";
+    case 14: return "DIFF";
+    case 15: return "NEW";
+    case 16: return "VECTOR";
+    // baselines/naive.cc
+    case 30: return "NAIVE_ID";
+    // baselines/cht_crash.cc
+    case 31: return "CHT_STATUS";
+    // baselines/obg_byzantine.cc
+    case 40: return "OBG_ANNOUNCE";
+    case 41: return "OBG_VECTOR";
+    case 42: return "OBG_HALVING";
+    // baselines/early_deciding.cc
+    case 45: return "EARLY_SET";
+    // baselines/claiming.cc
+    case 50: return "CLAIM";
+    case 51: return "OWNED";
+    default: return nullptr;
+  }
+}
+
+/// Like message_name_or_null but never null: unknown kinds render as "?".
+constexpr const char* message_name(MsgKind kind) {
+  const char* name = message_name_or_null(kind);
+  return name != nullptr ? name : "?";
+}
+
+}  // namespace renaming::sim

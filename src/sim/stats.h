@@ -50,13 +50,17 @@ struct RunStats {
   /// Charges `count` equal-sized messages in one step — the broadcast fast
   /// path's bulk accounting. Exactly equivalent to `count` note_message
   /// calls (tests pin this), so every ledger downstream is unchanged.
+  /// In particular count == 0 is a true no-op: zero note_message calls
+  /// touch nothing — not max_message_bits, and not the precondition
+  /// checks, which only guard actual charges.
   void note_messages(std::uint64_t count, std::uint32_t bits) {
+    if (count == 0) return;
     RENAMING_CHECK(!per_round.empty(),
                    "note_message before any round began");
     RENAMING_CHECK(bits > 0, "every message must declare a wire size");
     total_messages += count;
     total_bits += static_cast<std::uint64_t>(bits) * count;
-    if (count > 0 && bits > max_message_bits) max_message_bits = bits;
+    if (bits > max_message_bits) max_message_bits = bits;
     per_round.back().messages += count;
     per_round.back().bits += static_cast<std::uint64_t>(bits) * count;
   }

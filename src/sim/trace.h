@@ -10,6 +10,7 @@
 
 #include "common/types.h"
 #include "sim/message.h"
+#include "sim/message_names.h"
 #include "sim/stats.h"
 
 namespace renaming::sim {
@@ -53,6 +54,15 @@ class CountingTrace final : public TraceSink {
   std::uint64_t crashes() const { return crashes_; }
   const std::map<MsgKind, std::uint64_t>& by_kind() const { return sent_; }
 
+  /// One line per kind with its canonical name (sim/message_names.h):
+  ///   STATUS(2): 1234 msgs, 56789 bits, 7 undelivered
+  void report(std::ostream& out) const {
+    for (const auto& [kind, count] : sent_) {
+      out << message_name(kind) << "(" << kind << "): " << count << " msgs, "
+          << bits(kind) << " bits, " << undelivered(kind) << " undelivered\n";
+    }
+  }
+
  private:
   static std::uint64_t value_or_zero(const std::map<MsgKind, std::uint64_t>& m,
                                      MsgKind k) {
@@ -83,7 +93,8 @@ class JsonlTrace final : public TraceSink {
     if (++seen_ % sample_ != 0) return;
     *out_ << "{\"event\":\"message\",\"round\":" << round
           << ",\"from\":" << m.sender << ",\"to\":" << dest
-          << ",\"kind\":" << m.kind << ",\"bits\":" << m.bits
+          << ",\"kind\":" << m.kind << ",\"kind_name\":\""
+          << message_name(m.kind) << "\",\"bits\":" << m.bits
           << ",\"delivered\":" << (delivered ? "true" : "false") << "}\n";
   }
 

@@ -17,6 +17,7 @@
 #include "byzantine/strategies.h"
 #include "crash/adversaries.h"
 #include "crash/crash_renaming.h"
+#include "obs/telemetry.h"
 #include "sim/trace.h"
 
 namespace renaming {
@@ -27,7 +28,11 @@ struct Traced {
   sim::RunStats stats;
 };
 
-Traced run_crash_once(std::uint64_t seed) {
+// Both helpers attach live telemetry on the FIRST run only: the byte
+// comparisons below therefore also pin that telemetry (whose wall-clock
+// reads differ every run by construction) never leaks into traces/stats.
+
+Traced run_crash_once(std::uint64_t seed, obs::Telemetry* telemetry) {
   const NodeIndex n = 48;
   const auto cfg = SystemConfig::random(n, 5ull * n * n, seed);
   crash::CrashParams params;
@@ -36,12 +41,12 @@ Traced run_crash_once(std::uint64_t seed) {
       12, crash::CommitteeHunter::Mode::kMidResponse, seed, 0.5);
   std::ostringstream out;
   sim::JsonlTrace trace(out);
-  const auto result =
-      crash::run_crash_renaming(cfg, params, std::move(adversary), &trace);
+  const auto result = crash::run_crash_renaming(
+      cfg, params, std::move(adversary), &trace, telemetry);
   return Traced{out.str(), result.stats};
 }
 
-Traced run_byz_once(std::uint64_t seed) {
+Traced run_byz_once(std::uint64_t seed, obs::Telemetry* telemetry) {
   const NodeIndex n = 40;
   const auto cfg = SystemConfig::random(n, 5ull * n * n, seed);
   byzantine::ByzParams params;
@@ -50,13 +55,15 @@ Traced run_byz_once(std::uint64_t seed) {
   std::ostringstream out;
   sim::JsonlTrace trace(out);
   const auto result = byzantine::run_byz_renaming(
-      cfg, params, {1, 7, 23}, &byzantine::LyingMember::make, 0, &trace);
+      cfg, params, {1, 7, 23}, &byzantine::LyingMember::make, 0, &trace,
+      telemetry);
   return Traced{out.str(), result.stats};
 }
 
 TEST(Determinism, CrashExecutionIsAPureFunctionOfTheSeed) {
-  const Traced a = run_crash_once(41);
-  const Traced b = run_crash_once(41);
+  obs::Telemetry telemetry;
+  const Traced a = run_crash_once(41, &telemetry);
+  const Traced b = run_crash_once(41, nullptr);
   ASSERT_FALSE(a.jsonl.empty());
   EXPECT_EQ(a.jsonl, b.jsonl) << "JSONL traces diverged for the same seed";
   EXPECT_EQ(a.stats, b.stats);
@@ -65,14 +72,15 @@ TEST(Determinism, CrashExecutionIsAPureFunctionOfTheSeed) {
 TEST(Determinism, CrashExecutionsWithDifferentSeedsDiverge) {
   // Sanity check that the comparison above has teeth: different seeds must
   // produce different executions (w.h.p.; these two seeds are known-good).
-  const Traced a = run_crash_once(41);
-  const Traced b = run_crash_once(42);
+  const Traced a = run_crash_once(41, nullptr);
+  const Traced b = run_crash_once(42, nullptr);
   EXPECT_NE(a.jsonl, b.jsonl);
 }
 
 TEST(Determinism, ByzantineExecutionIsAPureFunctionOfTheSeed) {
-  const Traced a = run_byz_once(9);
-  const Traced b = run_byz_once(9);
+  obs::Telemetry telemetry;
+  const Traced a = run_byz_once(9, &telemetry);
+  const Traced b = run_byz_once(9, nullptr);
   ASSERT_FALSE(a.jsonl.empty());
   EXPECT_EQ(a.jsonl, b.jsonl) << "JSONL traces diverged for the same seed";
   EXPECT_EQ(a.stats, b.stats);

@@ -11,6 +11,7 @@
 #include "byzantine/strategies.h"
 #include "crash/adversaries.h"
 #include "crash/crash_renaming.h"
+#include "obs/telemetry.h"
 #include "sim/trace.h"
 
 namespace renaming {
@@ -40,7 +41,12 @@ TEST(Golden, CrashRunIsBitStable) {
   const auto cfg = SystemConfig::random(64, 64 * 64 * 5, 4242);
   crash::CrashParams params;
   params.election_constant = 2.0;
-  const auto a = crash::run_crash_renaming(cfg, params);
+  // Run `a` carries live telemetry, run `b` none: equality of every stat
+  // and outcome below is the observational-invisibility contract of
+  // obs/telemetry.h, pinned.
+  obs::Telemetry telemetry;
+  const auto a =
+      crash::run_crash_renaming(cfg, params, nullptr, nullptr, &telemetry);
   const auto b = crash::run_crash_renaming(cfg, params);
   ASSERT_TRUE(a.report.ok());
   EXPECT_EQ(a.stats.total_messages, b.stats.total_messages);
@@ -60,8 +66,10 @@ TEST(Golden, ByzantineRunIsBitStable) {
   params.pool_constant = 4.0;
   params.shared_seed = 4242;
   const std::vector<NodeIndex> byz = {5, 23, 41};
-  const auto a = byzantine::run_byz_renaming(cfg, params, byz,
-                                             &byzantine::SplitReporter::make);
+  obs::Telemetry telemetry;  // live on `a` only; see CrashRunIsBitStable
+  const auto a = byzantine::run_byz_renaming(
+      cfg, params, byz, &byzantine::SplitReporter::make, 0, nullptr,
+      &telemetry);
   const auto b = byzantine::run_byz_renaming(cfg, params, byz,
                                              &byzantine::SplitReporter::make);
   ASSERT_TRUE(a.report.ok(true));
@@ -74,10 +82,13 @@ TEST(Golden, ByzantineRunIsBitStable) {
 
 // The two tests below pin full Byzantine executions down to the trace
 // BYTES, not just run-to-run determinism: the engine fast paths (broadcast,
-// multicast, idle-node skipping) and the incremental IdentityList are all
-// required to be observationally invisible, and these constants — captured
-// from the pre-optimization implementation — are the proof. If any of them
-// moves, an optimization changed an execution.
+// multicast, idle-node skipping), the incremental IdentityList AND the
+// telemetry subsystem (attached live here) are all required to be
+// observationally invisible; these constants are the proof. The stats and
+// idsum pins predate telemetry — if any of them moves, an optimization (or
+// an instrumentation hook) changed an execution. The trace size/fnv pins
+// were recaptured once when JsonlTrace gained the kind_name field; the
+// stats pins were unchanged by that, which is exactly the point.
 
 TEST(Golden, ByzantineTraceBytesArePinned48) {
   const auto cfg = SystemConfig::random(48, 48 * 48 * 5, 777);
@@ -87,15 +98,17 @@ TEST(Golden, ByzantineTraceBytesArePinned48) {
   const std::vector<NodeIndex> byz = {5, 23, 41};
   std::ostringstream trace_out;
   sim::JsonlTrace trace(trace_out);
+  obs::Telemetry telemetry;
   const auto r = byzantine::run_byz_renaming(
-      cfg, params, byz, &byzantine::SplitReporter::make, 0, &trace);
+      cfg, params, byz, &byzantine::SplitReporter::make, 0, &trace,
+      &telemetry);
   ASSERT_TRUE(r.report.ok(true));
   EXPECT_EQ(r.stats.total_messages, 646590u);
   EXPECT_EQ(r.stats.total_bits, 22138340u);
   EXPECT_EQ(r.stats.rounds, 2284u);
   EXPECT_EQ(r.loop_iterations, 71u);
-  EXPECT_EQ(trace_out.str().size(), 56562211u);
-  EXPECT_EQ(fnv1a(trace_out.str()), 16269512166363842775ull);
+  EXPECT_EQ(trace_out.str().size(), 72010771u);
+  EXPECT_EQ(fnv1a(trace_out.str()), 15566803809388888443ull);
   EXPECT_EQ(idsum(r.outcomes), 5469758842561306130ull);
 }
 
@@ -107,15 +120,17 @@ TEST(Golden, ByzantineTraceBytesArePinned96) {
   const std::vector<NodeIndex> byz = {3, 17, 42, 77};
   std::ostringstream trace_out;
   sim::JsonlTrace trace(trace_out);
+  obs::Telemetry telemetry;
   const auto r = byzantine::run_byz_renaming(
-      cfg, params, byz, &byzantine::DoubleDealer::make, 0, &trace);
+      cfg, params, byz, &byzantine::DoubleDealer::make, 0, &trace,
+      &telemetry);
   ASSERT_TRUE(r.report.ok(true));
   EXPECT_EQ(r.stats.total_messages, 1680144u);
   EXPECT_EQ(r.stats.total_bits, 60015360u);
   EXPECT_EQ(r.stats.rounds, 4150u);
   EXPECT_EQ(r.loop_iterations, 113u);
-  EXPECT_EQ(trace_out.str().size(), 147687161u);
-  EXPECT_EQ(fnv1a(trace_out.str()), 7590467781292134760ull);
+  EXPECT_EQ(trace_out.str().size(), 187846457u);
+  EXPECT_EQ(fnv1a(trace_out.str()), 2975628053447774016ull);
   EXPECT_EQ(idsum(r.outcomes), 331529188109441609ull);
 }
 

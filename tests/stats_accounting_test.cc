@@ -67,6 +67,44 @@ TEST(StatsAccounting, BitTotalsUse64BitAccumulators) {
   EXPECT_EQ(stats.per_round[0].bits, 8ull << 30);
 }
 
+TEST(StatsAccounting, BulkNoteMessagesEqualsRepeatedNoteMessage) {
+  // note_messages(count, bits) is documented as exactly equivalent to
+  // `count` note_message(bits) calls; pin it ledger-by-ledger, including
+  // the per-round vectors and the high-water mark.
+  sim::RunStats bulk, repeated;
+  const std::uint64_t counts[] = {3, 1, 0, 7};
+  const std::uint32_t sizes[] = {16, 1u << 20, 8, 48};
+  for (int r = 0; r < 2; ++r) {
+    bulk.per_round.push_back({});
+    repeated.per_round.push_back({});
+    for (std::size_t i = 0; i < 4; ++i) {
+      bulk.note_messages(counts[i], sizes[i]);
+      for (std::uint64_t k = 0; k < counts[i]; ++k) {
+        repeated.note_message(sizes[i]);
+      }
+    }
+  }
+  EXPECT_EQ(bulk, repeated);
+  EXPECT_EQ(bulk.max_message_bits, 1u << 20);
+}
+
+TEST(StatsAccounting, BulkNoteMessagesWithZeroCountIsANoOp) {
+  // Zero note_message calls touch nothing: not the totals, not the
+  // high-water mark — and not the preconditions, so a zero-count charge is
+  // legal even before any round began and even with bits == 0 (the engine's
+  // broadcast fast path may face an empty recipient set).
+  sim::RunStats stats;
+  stats.note_messages(0, 64);  // empty per_round: must not abort
+  stats.note_messages(0, 0);   // bits unchecked when nothing is charged
+  EXPECT_EQ(stats, sim::RunStats{});
+  stats.per_round.push_back({});
+  stats.note_messages(0, 1u << 30);
+  EXPECT_EQ(stats.total_messages, 0u);
+  EXPECT_EQ(stats.total_bits, 0u);
+  EXPECT_EQ(stats.max_message_bits, 0u);
+  EXPECT_EQ(stats.per_round[0], sim::RoundStats{});
+}
+
 TEST(StatsAccounting, CountingTraceReconcilesWithRunStatsUnderSpoofing) {
   // A spoofer charges traffic that is never delivered; the independent
   // CountingTrace observer and the engine's RunStats must still agree on
