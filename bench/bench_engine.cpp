@@ -13,6 +13,11 @@
 //                  telemetry hot-path overhead against the matching plain
 //                  cht cell (recorded as telemetry_overhead in the JSON;
 //                  budget: < 2%, see docs/PERFORMANCE.md);
+//   * cht-jrn    — cht with a flight-recorder obs::Journal attached: the
+//                  per-delivery fingerprint + count overhead, against the
+//                  same plain cht cell (journal_overhead in the JSON;
+//                  budget: < 2%, and the journal is NOT compiled out by
+//                  RENAMING_NO_TELEMETRY);
 //   * byz        — the full Byzantine renaming protocol (committee
 //                  multicast, identity-list summaries, fingerprint
 //                  consensus): the protocol-side hot path end to end.
@@ -20,6 +25,7 @@
 // Independent seeds run in parallel (bench_util.h pool); each simulation is
 // single-threaded and deterministic. `--json` writes BENCH_engine.json so
 // CI can accrue per-PR numbers; `--smoke` shrinks the sweep for CI.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -32,6 +38,7 @@
 #include "byzantine/byz_renaming.h"
 #include "byzantine/strategies.h"
 #include "common/math.h"
+#include "obs/journal.h"
 #include "obs/telemetry.h"
 #include "sim/adversary.h"
 #include "sim/engine.h"
@@ -99,7 +106,8 @@ sim::RunStats run_ping(NodeIndex n, std::uint64_t /*seed*/) {
 }
 
 sim::RunStats run_cht(NodeIndex n, std::uint64_t seed, bool with_crashes,
-                      bool with_telemetry = false) {
+                      bool with_telemetry = false,
+                      bool with_journal = false) {
   const auto cfg =
       SystemConfig::random(n, static_cast<std::uint64_t>(n) * n * 5, seed);
   auto adversary =
@@ -107,8 +115,10 @@ sim::RunStats run_cht(NodeIndex n, std::uint64_t seed, bool with_crashes,
                          ceil_log2(n), 0.3, seed)
                    : nullptr;
   obs::Telemetry telemetry;
+  obs::Journal journal;
   auto result = baselines::run_cht_renaming(
-      cfg, std::move(adversary), with_telemetry ? &telemetry : nullptr);
+      cfg, std::move(adversary), with_telemetry ? &telemetry : nullptr,
+      with_journal ? &journal : nullptr);
   if (!result.report.ok()) {
     std::printf("WARNING: cht verifier failed at n=%u seed=%llu\n", n,
                 static_cast<unsigned long long>(seed));
@@ -148,7 +158,7 @@ Cell measure(const std::string& workload, NodeIndex n, std::uint64_t seeds,
           stats[i] = run_byz(n, seed);
         } else {
           stats[i] = run_cht(n, seed, workload == "cht-crash",
-                             workload == "cht-tel");
+                             workload == "cht-tel", workload == "cht-jrn");
         }
       },
       threads);
@@ -181,12 +191,14 @@ int run(int argc, char** argv) {
     workloads = {{"ping", {256, 512}, 2},
                  {"cht", {256, 512}, 2},
                  {"cht-tel", {512}, 2},
+                 {"cht-jrn", {512}, 2},
                  {"cht-crash", {256}, 2},
                  {"byz", {96}, 2}};
   } else {
     workloads = {{"ping", {256, 1024, 2048, 4096}, 4},
                  {"cht", {256, 512, 1024, 2048, 4096}, 4},
                  {"cht-tel", {2048}, 4},
+                 {"cht-jrn", {2048}, 4},
                  {"cht-crash", {1024, 2048}, 4},
                  {"byz", {96, 192, 384}, 4}};
   }
@@ -221,32 +233,58 @@ int run(int argc, char** argv) {
               "seeds run in parallel) ==\n");
   table.print();
 
-  // Telemetry overhead: each cht-tel cell against the plain cht cell at
-  // the same n (same seeds, same workload, telemetry attached vs not).
-  // With RENAMING_NO_TELEMETRY the instrumentation is compiled out and the
-  // two cells are the same code, so the overhead reads as noise around 0.
-  Json overhead = Json::array();
-  for (const Cell& tel : cells) {
-    if (tel.workload != "cht-tel") continue;
-    for (const Cell& base : cells) {
-      if (base.workload != "cht" || base.n != tel.n) continue;
-      const double pct =
-          base.events_per_sec > 0.0
-              ? 100.0 * (base.events_per_sec - tel.events_per_sec) /
-                    base.events_per_sec
-              : 0.0;
-      std::printf("telemetry overhead at cht n=%u: %.2f%% "
-                  "(%.0f -> %.0f events/s; budget < 2%%)\n",
-                  tel.n, pct, base.events_per_sec, tel.events_per_sec);
-      overhead.push(Json::object()
-                        .set("n", Json::integer(tel.n))
-                        .set("baseline_events_per_sec",
-                             Json::num(base.events_per_sec, 0))
-                        .set("telemetry_events_per_sec",
-                             Json::num(tel.events_per_sec, 0))
-                        .set("overhead_pct", Json::num(pct, 2)));
+  // Instrumentation overhead: plain cht vs the same cell with a recorder
+  // attached. Two sweep cells are measured many seconds apart, so on a
+  // shared host their ratio is dominated by machine drift, not by the
+  // instrumentation; instead each repetition here times base and
+  // instrumented BACK-TO-BACK (drift cancels within a pair) and the
+  // reported overhead is the median pair ratio (spikes drop out). The
+  // sweep's cht-tel / cht-jrn rows above still pin the deterministic
+  // events/rounds. With RENAMING_NO_TELEMETRY the telemetry pair runs
+  // identical code and reads as noise around 0; the journal is never
+  // compiled out, so cht-jrn measures its real cost in both configs.
+  const auto paired_overhead = [threads](const std::string& workload,
+                                         const char* label, NodeIndex n,
+                                         std::uint64_t seeds) {
+    constexpr int kPairs = 5;
+    std::vector<double> ratios;
+    std::vector<double> base_rates;
+    std::vector<double> inst_rates;
+    for (int p = 0; p < kPairs; ++p) {
+      const Cell base = measure("cht", n, seeds, threads);
+      const Cell inst = measure(workload, n, seeds, threads);
+      if (base.wall_ms <= 0.0 || inst.wall_ms <= 0.0) continue;
+      ratios.push_back(inst.wall_ms / base.wall_ms);
+      base_rates.push_back(base.events_per_sec);
+      inst_rates.push_back(inst.events_per_sec);
     }
-  }
+    const auto median = [](std::vector<double> v) {
+      std::sort(v.begin(), v.end());
+      return v.empty() ? 0.0 : v[v.size() / 2];
+    };
+    const double pct = ratios.empty() ? 0.0 : 100.0 * (median(ratios) - 1.0);
+    std::printf("%s overhead at cht n=%u: %.2f%% "
+                "(median of %d back-to-back pairs, %.0f -> %.0f events/s; "
+                "budget < 2%%)\n",
+                label, n, pct, kPairs, median(base_rates),
+                median(inst_rates));
+    Json overhead = Json::array();
+    overhead.push(Json::object()
+                      .set("n", Json::integer(n))
+                      .set("pairs", Json::integer(kPairs))
+                      .set("baseline_events_per_sec",
+                           Json::num(median(base_rates), 0))
+                      .set(std::string(label) + "_events_per_sec",
+                           Json::num(median(inst_rates), 0))
+                      .set("overhead_pct", Json::num(pct, 2)));
+    return overhead;
+  };
+  const NodeIndex overhead_n = smoke ? 512 : 2048;
+  const std::uint64_t overhead_seeds = smoke ? 2 : 4;
+  Json overhead =
+      paired_overhead("cht-tel", "telemetry", overhead_n, overhead_seeds);
+  Json journal_overhead =
+      paired_overhead("cht-jrn", "journal", overhead_n, overhead_seeds);
 
   if (json) {
     Json doc = Json::object();
@@ -262,7 +300,8 @@ int run(int argc, char** argv) {
         .set("telemetry_compiled_out",
              Json::boolean(!obs::kTelemetryEnabled))
         .set("rows", std::move(rows))
-        .set("telemetry_overhead", std::move(overhead));
+        .set("telemetry_overhead", std::move(overhead))
+        .set("journal_overhead", std::move(journal_overhead));
     std::ofstream out(out_path);
     if (!out) {
       std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());

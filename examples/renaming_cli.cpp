@@ -16,6 +16,9 @@
 // only). Observability flags (all algorithms except lowerbound):
 //   --metrics-out FILE   phase-attributed metrics JSON (renaming-metrics-v1)
 //   --perfetto-out FILE  Chrome trace-event JSON; open at ui.perfetto.dev
+//   --journal-out FILE   deterministic flight-recorder journal (binary,
+//                        renaming-journal-v1); feed to renaming_doctor
+//   --journal-jsonl FILE same journal as line-delimited JSON
 //   --audit [--slack X]  check the run against its theory budget
 //                        (Theorem 1.2/1.3 or Table 1); non-zero exit on a
 //                        violation, envelopes scaled by X (default 1)
@@ -40,6 +43,7 @@
 #include "lowerbound/anonymous.h"
 #include "obs/budget.h"
 #include "obs/export.h"
+#include "obs/journal.h"
 #include "obs/telemetry.h"
 #include "sim/trace.h"
 
@@ -119,13 +123,26 @@ void report(const Args& args, const std::string& algo,
   }
 }
 
-// Handles --metrics-out / --perfetto-out / --audit for one finished run.
-// Returns 0, or 1 when --audit was requested and the run blew its budget.
+// Handles --journal-out / --journal-jsonl / --metrics-out / --perfetto-out /
+// --audit for one finished run. Returns 0, or 1 when --audit was requested
+// and the run blew its budget.
 int finish_observability(const Args& args, const obs::Telemetry* telemetry,
+                         const obs::Journal* journal,
                          const sim::RunStats& stats, const std::string& algo,
                          const SystemConfig& cfg, std::uint64_t f,
                          double committee_constant = 0.0,
                          std::uint32_t phase_multiplier = 3) {
+  if (journal != nullptr) {
+    if (args.has("journal-out")) {
+      std::ofstream out(args.str("journal-out", "journal.bin"),
+                        std::ios::binary);
+      obs::write_journal_binary(out, journal->data());
+    }
+    if (args.has("journal-jsonl")) {
+      std::ofstream out(args.str("journal-jsonl", "journal.jsonl"));
+      obs::write_journal_jsonl(out, journal->data());
+    }
+  }
   if (telemetry == nullptr) return 0;
   obs::BudgetReport audit;
   bool audited = false;
@@ -186,6 +203,10 @@ int main(int argc, char** argv) {
       args.has("audit")) {
     telemetry = std::make_unique<obs::Telemetry>();
   }
+  std::unique_ptr<obs::Journal> journal;
+  if (args.has("journal-out") || args.has("journal-jsonl")) {
+    journal = std::make_unique<obs::Journal>();
+  }
 
   if (args.command == "crash") {
     crash::CrashParams params;
@@ -212,12 +233,12 @@ int main(int argc, char** argv) {
         return usage();
       }
     }
-    const auto r = crash::run_crash_renaming(cfg, params,
-                                             std::move(adversary),
-                                             trace.get(), telemetry.get());
+    const auto r = crash::run_crash_renaming(
+        cfg, params, std::move(adversary), trace.get(), telemetry.get(),
+        journal.get());
     report(args, "crash", r.stats, r.report, n, r.stats.crashes);
     const int audit_rc = finish_observability(
-        args, telemetry.get(), r.stats, "crash", cfg, budget,
+        args, telemetry.get(), journal.get(), r.stats, "crash", cfg, budget,
         params.election_constant, params.phase_multiplier);
     return r.report.ok() ? audit_rc : 1;
   }
@@ -249,13 +270,14 @@ int main(int argc, char** argv) {
       return usage();
     }
     const auto r = byzantine::run_byz_renaming(cfg, params, byz, factory, 0,
-                                               trace.get(), telemetry.get());
+                                               trace.get(), telemetry.get(),
+                                               journal.get());
     report(args, "byz", r.stats, r.report, n, byz.size());
     if (!args.has("csv")) {
       std::printf("  loop iters    %u\n", r.loop_iterations);
     }
     const int audit_rc = finish_observability(
-        args, telemetry.get(), r.stats,
+        args, telemetry.get(), journal.get(), r.stats,
         params.use_fingerprints ? "byz" : "byz-full", cfg, byz.size(),
         params.pool_constant);
     return r.report.ok(true) ? audit_rc : 1;
@@ -270,37 +292,40 @@ int main(int argc, char** argv) {
           std::make_unique<sim::ChaosCrashAdversary>(budget, 0.15, seed * 7);
     }
     if (args.command == "cht") {
-      const auto r = baselines::run_cht_renaming(cfg, std::move(adversary),
-                                                 telemetry.get());
+      const auto r = baselines::run_cht_renaming(
+          cfg, std::move(adversary), telemetry.get(), journal.get());
       report(args, "cht", r.stats, r.report, n, r.stats.crashes);
-      const int audit_rc = finish_observability(args, telemetry.get(),
-                                                r.stats, "cht", cfg, budget);
+      const int audit_rc =
+          finish_observability(args, telemetry.get(), journal.get(), r.stats,
+                               "cht", cfg, budget);
       return r.report.ok() ? audit_rc : 1;
     }
     if (args.command == "claiming") {
       const auto r = baselines::run_claiming_renaming(
-          cfg, std::move(adversary), telemetry.get());
+          cfg, std::move(adversary), telemetry.get(), journal.get());
       report(args, "claiming", r.stats, r.report, n, r.stats.crashes);
       const int audit_rc = finish_observability(
-          args, telemetry.get(), r.stats, "claiming", cfg, budget);
+          args, telemetry.get(), journal.get(), r.stats, "claiming", cfg,
+          budget);
       return r.report.ok() ? audit_rc : 1;
     }
     if (args.command == "early") {
       const auto r = baselines::run_early_deciding_renaming(
-          cfg, std::move(adversary), telemetry.get());
+          cfg, std::move(adversary), telemetry.get(), journal.get());
       report(args, "early", r.stats, r.report, n, r.stats.crashes);
       if (!args.has("csv")) {
         std::printf("  decided by    round %u\n", r.max_decision_round);
       }
       const int audit_rc = finish_observability(
-          args, telemetry.get(), r.stats, "early", cfg, budget);
+          args, telemetry.get(), journal.get(), r.stats, "early", cfg,
+          budget);
       return r.report.ok() ? audit_rc : 1;
     }
-    const auto r = baselines::run_naive_renaming(cfg, std::move(adversary),
-                                                 telemetry.get());
+    const auto r = baselines::run_naive_renaming(
+        cfg, std::move(adversary), telemetry.get(), journal.get());
     report(args, "naive", r.stats, r.report, n, r.stats.crashes);
-    const int audit_rc = finish_observability(args, telemetry.get(), r.stats,
-                                              "naive", cfg, budget);
+    const int audit_rc = finish_observability(
+        args, telemetry.get(), journal.get(), r.stats, "naive", cfg, budget);
     return r.report.ok() ? audit_rc : 1;
   }
 
@@ -311,11 +336,11 @@ int main(int argc, char** argv) {
       byz.push_back((i * n) / (f + 1) + 1);
     }
     const auto r = baselines::run_obg_renaming(
-        cfg, byz, baselines::ObgByzBehaviour::kSplitAnnounce,
-        telemetry.get());
+        cfg, byz, baselines::ObgByzBehaviour::kSplitAnnounce, telemetry.get(),
+        journal.get());
     report(args, "obg", r.stats, r.report, n, f);
-    const int audit_rc =
-        finish_observability(args, telemetry.get(), r.stats, "obg", cfg, f);
+    const int audit_rc = finish_observability(
+        args, telemetry.get(), journal.get(), r.stats, "obg", cfg, f);
     return r.report.ok() ? audit_rc : 1;
   }
 

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench JSON against the committed baseline.
+
+Usage:
+    scripts/bench_compare.py FRESH.json BASELINE.json [--ratio-threshold R]
+                             [--strict]
+
+Knows the two benches CI pins (the "bench" key selects the rules):
+
+* engine (BENCH_engine.json) — cells match on (workload, n). `rounds` is
+  deterministic and must be EQUAL; `events` must be equal when the seed
+  batches match (`seeds`); `events_per_sec` is hardware-dependent and only
+  warns when it moved by more than --ratio-threshold (default 0.30 — CI
+  machines are noisy; tighten locally).
+* byz_scaling (BENCH_byz_scaling.json) — rows match on (n, f). The seed is
+  a function of n alone, so `msgs`, `bits`, `rounds` and the per-phase
+  message/bit ledgers are deterministic and must be EQUAL; `wall_ms` /
+  `wall_us` only warn past the ratio threshold.
+
+Cells present on one side only are skipped (smoke sweeps are subsets of
+the committed full sweeps). Exit codes: 0 = clean or warnings only,
+1 = a deterministic quantity moved (or any drift with --strict),
+2 = usage / unreadable input.
+
+CI runs this as a SOFT gate (continue-on-error) so a hardware blip never
+blocks a merge; promote it to a hard gate by deleting that line — see
+docs/PERFORMANCE.md ("Benchmark regression gate").
+"""
+
+import argparse
+import json
+import sys
+
+failures = []
+warnings = []
+
+
+def fail(msg):
+    failures.append(msg)
+    print(f"FAIL  {msg}")
+
+
+def warn(msg):
+    warnings.append(msg)
+    print(f"warn  {msg}")
+
+
+def check_equal(cell, field, fresh, base):
+    if fresh.get(field) != base.get(field):
+        fail(f"{cell}: {field} {base.get(field)} -> {fresh.get(field)} "
+             "(deterministic quantity moved)")
+
+
+def check_ratio(cell, field, fresh, base, threshold):
+    a, b = fresh.get(field), base.get(field)
+    if not a or not b:
+        return
+    drift = abs(a - b) / b
+    if drift > threshold:
+        warn(f"{cell}: {field} {b:.0f} -> {a:.0f} "
+             f"({100 * drift:.1f}% drift, threshold {100 * threshold:.0f}%)")
+
+
+def compare_engine(fresh, base, threshold):
+    baseline = {(r["workload"], r["n"]): r for r in base["rows"]}
+    compared = 0
+    for row in fresh["rows"]:
+        key = (row["workload"], row["n"])
+        if key not in baseline:
+            continue
+        compared += 1
+        cell = f"engine {key[0]} n={key[1]}"
+        ref = baseline[key]
+        check_equal(cell, "rounds", row, ref)
+        if row.get("seeds") == ref.get("seeds"):
+            check_equal(cell, "events", row, ref)
+        check_ratio(cell, "events_per_sec", row, ref, threshold)
+    return compared
+
+
+def compare_byz_scaling(fresh, base, threshold):
+    baseline = {(r["n"], r["f"]): r for r in base["rows"]}
+    compared = 0
+    for row in fresh["rows"]:
+        key = (row["n"], row["f"])
+        if key not in baseline:
+            continue
+        compared += 1
+        cell = f"byz_scaling n={key[0]} f={key[1]}"
+        ref = baseline[key]
+        for field in ("msgs", "bits", "rounds"):
+            check_equal(cell, field, row, ref)
+        check_ratio(cell, "wall_ms", row, ref, threshold)
+        ref_phases = {p["phase"]: p for p in ref.get("phases", [])}
+        for phase in row.get("phases", []):
+            if phase["phase"] not in ref_phases:
+                continue
+            pcell = f"{cell} phase={phase['phase']}"
+            pref = ref_phases[phase["phase"]]
+            check_equal(pcell, "messages", phase, pref)
+            check_equal(pcell, "bits", phase, pref)
+            check_ratio(pcell, "wall_us", phase, pref, threshold)
+    return compared
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff a fresh bench JSON against the committed baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("baseline")
+    parser.add_argument("--ratio-threshold", type=float, default=0.30,
+                        help="relative drift that turns a wall-clock "
+                             "quantity into a warning (default 0.30)")
+    parser.add_argument("--strict", action="store_true",
+                        help="treat warnings as failures")
+    args = parser.parse_args()
+
+    try:
+        with open(args.fresh) as f:
+            fresh = json.load(f)
+        with open(args.baseline) as f:
+            base = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 2
+
+    if fresh.get("bench") != base.get("bench"):
+        print(f"bench_compare: mismatched bench kinds "
+              f"{fresh.get('bench')!r} vs {base.get('bench')!r}",
+              file=sys.stderr)
+        return 2
+    if fresh.get("unchecked") != base.get("unchecked"):
+        warn("fresh and baseline were built with different "
+             "RENAMING_UNCHECKED settings; wall-clock drift is expected")
+
+    kind = fresh.get("bench")
+    if kind == "engine":
+        compared = compare_engine(fresh, base, args.ratio_threshold)
+    elif kind == "byz_scaling":
+        compared = compare_byz_scaling(fresh, base, args.ratio_threshold)
+    else:
+        print(f"bench_compare: unknown bench kind {kind!r}", file=sys.stderr)
+        return 2
+
+    print(f"bench_compare [{kind}]: {compared} overlapping cells, "
+          f"{len(failures)} failures, {len(warnings)} warnings")
+    if failures or (args.strict and warnings):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,10 +46,13 @@ conventions. This script enforces them mechanically:
   R8 raw-output      No raw std::cout/std::cerr/std::clog or stdio output
                      (printf/fprintf/puts/fputs/putchar/fputc) under src/:
                      library code reports through its sanctioned sinks —
-                     TraceSink, RunStats, obs::Telemetry and the caller-
-                     supplied std::ostream exporters (docs/OBSERVABILITY.md)
-                     — so CLIs, benches and examples (which live outside
-                     src/) own every byte that reaches a terminal. The
+                     TraceSink, RunStats, obs::Telemetry, the caller-
+                     supplied std::ostream exporters and the doctor's
+                     pre-rendered explanation strings (obs/doctor.h,
+                     docs/OBSERVABILITY.md) — so the sanctioned output
+                     owners outside src/ (CLIs under examples/, the
+                     renaming_doctor CLI under tools/, and the benches)
+                     own every byte that reaches a terminal. The
                      RENAMING_CHECK abort path in common/check.h carries an
                      explicit allow marker.
 
@@ -413,10 +416,12 @@ def check_raw_output(src: Path) -> list[Violation]:
                             path,
                             lineno,
                             f"{why} in library code; report through "
-                            "TraceSink/RunStats/obs::Telemetry or a "
-                            "caller-supplied std::ostream instead "
+                            "TraceSink/RunStats/obs::Telemetry, a "
+                            "caller-supplied std::ostream, or a returned "
+                            "explanation string like obs/doctor.h "
                             "(docs/OBSERVABILITY.md) — terminal output "
-                            "belongs to the CLIs and benches outside src/",
+                            "belongs to examples/, tools/ and bench/ "
+                            "outside src/",
                         )
                     )
     return violations

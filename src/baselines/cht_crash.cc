@@ -4,6 +4,7 @@
 
 #include "common/math.h"
 #include "core/interval.h"
+#include "obs/journal.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
 
@@ -62,12 +63,14 @@ class ChtNode final : public sim::Node {
 
 ChtRunResult run_cht_renaming(const SystemConfig& cfg,
                               std::unique_ptr<sim::CrashAdversary> adversary,
-                              obs::Telemetry* telemetry) {
+                              obs::Telemetry* telemetry, obs::Journal* journal) {
+  const std::uint64_t budget =
+      adversary != nullptr ? adversary->budget() : 0;
   if (telemetry != nullptr) {
     telemetry->map_kind(kStatus, obs::PhaseId::kBaselineExchange);
-    telemetry->set_run_info("cht", cfg.n,
-                            adversary != nullptr ? adversary->budget() : 0);
+    telemetry->set_run_info("cht", cfg.n, budget);
   }
+  if (journal != nullptr) journal->set_run_info("cht", cfg.n, budget);
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
   for (NodeIndex v = 0; v < cfg.n; ++v) {
@@ -75,6 +78,7 @@ ChtRunResult run_cht_renaming(const SystemConfig& cfg,
   }
   sim::Engine engine(std::move(nodes), std::move(adversary));
   engine.set_telemetry(telemetry);
+  engine.set_journal(journal);
 
   ChtRunResult result;
   result.stats = engine.run(ceil_log2(cfg.n) == 0 ? 1 : ceil_log2(cfg.n));

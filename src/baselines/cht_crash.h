@@ -24,6 +24,7 @@
 
 namespace renaming::obs {
 class Telemetry;  // obs/telemetry.h; optional, observational only
+class Journal;    // obs/journal.h; deterministic flight recorder
 }
 
 namespace renaming::baselines {
@@ -39,6 +40,7 @@ struct ChtRunResult {
 ChtRunResult run_cht_renaming(
     const SystemConfig& cfg,
     std::unique_ptr<sim::CrashAdversary> adversary = nullptr,
-    obs::Telemetry* telemetry = nullptr);
+    obs::Telemetry* telemetry = nullptr,
+    obs::Journal* journal = nullptr);
 
 }  // namespace renaming::baselines

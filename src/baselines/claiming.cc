@@ -4,6 +4,7 @@
 
 #include "common/math.h"
 #include "common/prng.h"
+#include "obs/journal.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
 
@@ -90,13 +91,15 @@ class ClaimingNode final : public sim::Node {
 
 ClaimingRunResult run_claiming_renaming(
     const SystemConfig& cfg, std::unique_ptr<sim::CrashAdversary> adversary,
-    obs::Telemetry* telemetry) {
+    obs::Telemetry* telemetry, obs::Journal* journal) {
+  const std::uint64_t budget =
+      adversary != nullptr ? adversary->budget() : 0;
   if (telemetry != nullptr) {
     telemetry->map_kind(kClaim, obs::PhaseId::kBaselineExchange);
     telemetry->map_kind(kOwned, obs::PhaseId::kBaselineExchange);
-    telemetry->set_run_info("claiming", cfg.n,
-                            adversary != nullptr ? adversary->budget() : 0);
+    telemetry->set_run_info("claiming", cfg.n, budget);
   }
+  if (journal != nullptr) journal->set_run_info("claiming", cfg.n, budget);
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
   for (NodeIndex v = 0; v < cfg.n; ++v) {
@@ -104,6 +107,7 @@ ClaimingRunResult run_claiming_renaming(
   }
   sim::Engine engine(std::move(nodes), std::move(adversary));
   engine.set_telemetry(telemetry);
+  engine.set_journal(journal);
 
   ClaimingRunResult result;
   // Whp O(log n) rounds; crashes can only free slots. Generous cap.

@@ -28,6 +28,7 @@
 
 namespace renaming::obs {
 class Telemetry;  // obs/telemetry.h; optional, observational only
+class Journal;    // obs/journal.h; deterministic flight recorder
 }
 
 namespace renaming::baselines {
@@ -43,6 +44,7 @@ struct ClaimingRunResult {
 ClaimingRunResult run_claiming_renaming(
     const SystemConfig& cfg,
     std::unique_ptr<sim::CrashAdversary> adversary = nullptr,
-    obs::Telemetry* telemetry = nullptr);
+    obs::Telemetry* telemetry = nullptr,
+    obs::Journal* journal = nullptr);
 
 }  // namespace renaming::baselines

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/math.h"
+#include "obs/journal.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
 
@@ -83,12 +84,14 @@ class EarlyDecidingNode final : public sim::Node {
 
 EarlyDecidingRunResult run_early_deciding_renaming(
     const SystemConfig& cfg, std::unique_ptr<sim::CrashAdversary> adversary,
-    obs::Telemetry* telemetry) {
+    obs::Telemetry* telemetry, obs::Journal* journal) {
+  const std::uint64_t budget =
+      adversary != nullptr ? adversary->budget() : 0;
   if (telemetry != nullptr) {
     telemetry->map_kind(kSet, obs::PhaseId::kBaselineExchange);
-    telemetry->set_run_info("early", cfg.n,
-                            adversary != nullptr ? adversary->budget() : 0);
+    telemetry->set_run_info("early", cfg.n, budget);
   }
+  if (journal != nullptr) journal->set_run_info("early", cfg.n, budget);
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
   for (NodeIndex v = 0; v < cfg.n; ++v) {
@@ -96,6 +99,7 @@ EarlyDecidingRunResult run_early_deciding_renaming(
   }
   sim::Engine engine(std::move(nodes), std::move(adversary));
   engine.set_telemetry(telemetry);
+  engine.set_journal(journal);
 
   EarlyDecidingRunResult result;
   // Every dirty round consumes a crash; 2n + 4 is a safe deterministic cap.

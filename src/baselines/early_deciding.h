@@ -31,6 +31,7 @@
 
 namespace renaming::obs {
 class Telemetry;  // obs/telemetry.h; optional, observational only
+class Journal;    // obs/journal.h; deterministic flight recorder
 }
 
 namespace renaming::baselines {
@@ -47,6 +48,7 @@ struct EarlyDecidingRunResult {
 EarlyDecidingRunResult run_early_deciding_renaming(
     const SystemConfig& cfg,
     std::unique_ptr<sim::CrashAdversary> adversary = nullptr,
-    obs::Telemetry* telemetry = nullptr);
+    obs::Telemetry* telemetry = nullptr,
+    obs::Journal* journal = nullptr);
 
 }  // namespace renaming::baselines

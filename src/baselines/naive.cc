@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/math.h"
+#include "obs/journal.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
 
@@ -50,12 +51,14 @@ class NaiveNode final : public sim::Node {
 
 NaiveRunResult run_naive_renaming(const SystemConfig& cfg,
                                   std::unique_ptr<sim::CrashAdversary> adversary,
-                                  obs::Telemetry* telemetry) {
+                                  obs::Telemetry* telemetry, obs::Journal* journal) {
+  const std::uint64_t budget =
+      adversary != nullptr ? adversary->budget() : 0;
   if (telemetry != nullptr) {
     telemetry->map_kind(kId, obs::PhaseId::kBaselineExchange);
-    telemetry->set_run_info("naive", cfg.n,
-                            adversary != nullptr ? adversary->budget() : 0);
+    telemetry->set_run_info("naive", cfg.n, budget);
   }
+  if (journal != nullptr) journal->set_run_info("naive", cfg.n, budget);
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
   for (NodeIndex v = 0; v < cfg.n; ++v) {
@@ -63,6 +66,7 @@ NaiveRunResult run_naive_renaming(const SystemConfig& cfg,
   }
   sim::Engine engine(std::move(nodes), std::move(adversary));
   engine.set_telemetry(telemetry);
+  engine.set_journal(journal);
 
   NaiveRunResult result;
   result.stats = engine.run(1);

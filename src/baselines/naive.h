@@ -16,6 +16,7 @@
 
 namespace renaming::obs {
 class Telemetry;  // obs/telemetry.h; optional, observational only
+class Journal;    // obs/journal.h; deterministic flight recorder
 }
 
 namespace renaming::baselines {
@@ -31,6 +32,7 @@ struct NaiveRunResult {
 NaiveRunResult run_naive_renaming(
     const SystemConfig& cfg,
     std::unique_ptr<sim::CrashAdversary> adversary = nullptr,
-    obs::Telemetry* telemetry = nullptr);
+    obs::Telemetry* telemetry = nullptr,
+    obs::Journal* journal = nullptr);
 
 }  // namespace renaming::baselines

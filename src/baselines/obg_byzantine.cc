@@ -8,6 +8,7 @@
 #include "common/prng.h"
 #include "core/directory.h"
 #include "core/interval.h"
+#include "obs/journal.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
 
@@ -186,12 +187,15 @@ class ObgByzNode final : public ObgNode {
 ObgRunResult run_obg_renaming(const SystemConfig& cfg,
                               const std::vector<NodeIndex>& byzantine,
                               ObgByzBehaviour behaviour,
-                              obs::Telemetry* telemetry) {
+                              obs::Telemetry* telemetry, obs::Journal* journal) {
   if (telemetry != nullptr) {
     telemetry->map_kind(kAnnounce, obs::PhaseId::kBaselineExchange);
     telemetry->map_kind(kVector, obs::PhaseId::kBaselineExchange);
     telemetry->map_kind(kHalving, obs::PhaseId::kBaselineExchange);
     telemetry->set_run_info("obg", cfg.n, byzantine.size());
+  }
+  if (journal != nullptr) {
+    journal->set_run_info("obg", cfg.n, byzantine.size());
   }
   const Directory directory(cfg);
   std::vector<bool> is_byz(cfg.n, false);
@@ -209,6 +213,7 @@ ObgRunResult run_obg_renaming(const SystemConfig& cfg,
   }
   sim::Engine engine(std::move(nodes));
   engine.set_telemetry(telemetry);
+  engine.set_journal(journal);
   for (NodeIndex b : byzantine) engine.mark_byzantine(b);
 
   ObgRunResult result;

@@ -34,6 +34,7 @@
 
 namespace renaming::obs {
 class Telemetry;  // obs/telemetry.h; optional, observational only
+class Journal;    // obs/journal.h; deterministic flight recorder
 }
 
 namespace renaming::baselines {
@@ -57,6 +58,7 @@ ObgRunResult run_obg_renaming(const SystemConfig& cfg,
                               const std::vector<NodeIndex>& byzantine = {},
                               ObgByzBehaviour behaviour =
                                   ObgByzBehaviour::kSplitAnnounce,
-                              obs::Telemetry* telemetry = nullptr);
+                              obs::Telemetry* telemetry = nullptr,
+                              obs::Journal* journal = nullptr);
 
 }  // namespace renaming::baselines

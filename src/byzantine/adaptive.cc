@@ -1,5 +1,6 @@
 #include "byzantine/adaptive.h"
 
+#include "obs/journal.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
 
@@ -9,7 +10,8 @@ AdaptiveRunResult run_adaptive_experiment(const SystemConfig& cfg,
                                           const ByzParams& params,
                                           std::uint64_t budget,
                                           Round max_rounds,
-                                          obs::Telemetry* telemetry) {
+                                          obs::Telemetry* telemetry,
+                                          obs::Journal* journal) {
   const Directory directory(cfg);
   AdaptiveController controller(budget);
   const auto coeff_cache = hashing::make_coefficient_cache(params.shared_seed);
@@ -18,6 +20,7 @@ AdaptiveRunResult run_adaptive_experiment(const SystemConfig& cfg,
     register_byz_phases(*telemetry);
     telemetry->set_run_info("byz-adaptive", cfg.n, budget);
   }
+  if (journal != nullptr) journal->set_run_info("byz-adaptive", cfg.n, budget);
 
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
@@ -27,6 +30,7 @@ AdaptiveRunResult run_adaptive_experiment(const SystemConfig& cfg,
   }
   sim::Engine engine(std::move(nodes));
   engine.set_telemetry(telemetry);
+  engine.set_journal(journal);
 
   if (max_rounds == 0) {
     // A wrecked run never terminates on its own; keep the cap modest so

@@ -115,6 +115,7 @@ AdaptiveRunResult run_adaptive_experiment(const SystemConfig& cfg,
                                           const ByzParams& params,
                                           std::uint64_t budget,
                                           Round max_rounds = 0,
-                                          obs::Telemetry* telemetry = nullptr);
+                                          obs::Telemetry* telemetry = nullptr,
+                                          obs::Journal* journal = nullptr);
 
 }  // namespace renaming::byzantine

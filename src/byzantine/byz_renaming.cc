@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/check.h"
+#include "obs/journal.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
 
@@ -384,7 +385,8 @@ ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
                               const std::vector<NodeIndex>& byzantine,
                               ByzStrategyFactory factory, Round max_rounds,
                               sim::TraceSink* trace,
-                              obs::Telemetry* telemetry) {
+                              obs::Telemetry* telemetry,
+                              obs::Journal* journal) {
   const Directory directory(cfg);
 
   std::vector<bool> is_byz(cfg.n, false);
@@ -394,6 +396,10 @@ ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
     register_byz_phases(*telemetry);
     telemetry->set_run_info(params.use_fingerprints ? "byz" : "byz-full",
                             cfg.n, byzantine.size());
+  }
+  if (journal != nullptr) {
+    journal->set_run_info(params.use_fingerprints ? "byz" : "byz-full", cfg.n,
+                          byzantine.size());
   }
 
   // One coefficient cache for the whole run: every correct node holds the
@@ -413,6 +419,7 @@ ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
   sim::Engine engine(std::move(nodes));
   engine.set_trace(trace);
   engine.set_telemetry(telemetry);
+  engine.set_journal(journal);
   for (NodeIndex b : byzantine) engine.mark_byzantine(b);
 
   if (max_rounds == 0) {

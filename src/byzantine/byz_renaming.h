@@ -60,6 +60,7 @@
 
 namespace renaming::obs {
 class Telemetry;  // obs/telemetry.h; nodes hold a non-owning pointer
+class Journal;    // obs/journal.h; deterministic flight recorder
 }
 
 namespace renaming::byzantine {
@@ -238,7 +239,8 @@ ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
                               ByzStrategyFactory factory = nullptr,
                               Round max_rounds = 0,
                               sim::TraceSink* trace = nullptr,
-                              obs::Telemetry* telemetry = nullptr);
+                              obs::Telemetry* telemetry = nullptr,
+                              obs::Journal* journal = nullptr);
 
 /// Registers the Byzantine protocol's MsgKind -> PhaseId mapping with
 /// `telemetry` (the central phase-id table of obs/phase.h). Exposed so

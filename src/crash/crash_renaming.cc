@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 
+#include "obs/journal.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
 
@@ -237,12 +238,13 @@ void register_crash_phases(obs::Telemetry& telemetry) {
 CrashRunResult run_crash_renaming(
     const SystemConfig& cfg, const CrashParams& params,
     std::unique_ptr<sim::CrashAdversary> adversary, sim::TraceSink* trace,
-    obs::Telemetry* telemetry) {
+    obs::Telemetry* telemetry, obs::Journal* journal) {
+  const std::uint64_t budget = adversary != nullptr ? adversary->budget() : 0;
   if (telemetry != nullptr) {
     register_crash_phases(*telemetry);
-    const std::uint64_t budget = adversary != nullptr ? adversary->budget() : 0;
     telemetry->set_run_info("crash", cfg.n, budget);
   }
+  if (journal != nullptr) journal->set_run_info("crash", cfg.n, budget);
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
   for (NodeIndex v = 0; v < cfg.n; ++v) {
@@ -251,6 +253,7 @@ CrashRunResult run_crash_renaming(
   sim::Engine engine(std::move(nodes), std::move(adversary));
   engine.set_trace(trace);
   engine.set_telemetry(telemetry);
+  engine.set_journal(journal);
 
   const Round max_rounds =
       params.phase_multiplier * ceil_log2(cfg.n) * kSubrounds;

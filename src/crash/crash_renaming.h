@@ -50,6 +50,7 @@
 
 namespace renaming::obs {
 class Telemetry;  // obs/telemetry.h; nodes hold a non-owning pointer
+class Journal;    // obs/journal.h; deterministic flight recorder
 }
 
 namespace renaming::crash {
@@ -153,7 +154,8 @@ struct CrashRunResult {
 CrashRunResult run_crash_renaming(
     const SystemConfig& cfg, const CrashParams& params,
     std::unique_ptr<sim::CrashAdversary> adversary = nullptr,
-    sim::TraceSink* trace = nullptr, obs::Telemetry* telemetry = nullptr);
+    sim::TraceSink* trace = nullptr, obs::Telemetry* telemetry = nullptr,
+    obs::Journal* journal = nullptr);
 
 /// Registers the crash protocol's MsgKind -> PhaseId mapping with
 /// `telemetry` (the central phase-id table of obs/phase.h).

@@ -1,0 +1,75 @@
+// Order-sensitive rolling digest over the Mersenne-61 field.
+//
+// The flight-recorder journal (obs/journal.h) needs a deterministic,
+// cheap-to-update fingerprint of "everything delivered this round" so two
+// runs can be compared round-by-round without storing the traffic itself.
+// A polynomial rolling hash over GF(2^61 - 1) gives exactly that: the
+// digest of a word sequence w_1..w_k is sum w_i * beta^(k-i) mod p, so two
+// sequences that differ anywhere — value, order, or length — collide with
+// probability <= k/p per comparison (Fact 3.2's collision regime, the same
+// argument the protocol fingerprints rely on).
+//
+// Words are folded injectively: a 64-bit input is split into its two
+// 32-bit halves and both are absorbed (each half is < p), so no two
+// distinct words reduce to the same absorption sequence.
+#pragma once
+
+#include <cstdint>
+
+#include "hashing/mersenne61.h"
+
+namespace renaming::hashing {
+
+class RollingDigest {
+ public:
+  /// Fixed odd base; any non-trivial field element works, the value is part
+  /// of the journal's versioned format and must not change silently.
+  static constexpr std::uint64_t kBeta = 0x1d8dfb8f2fd0f9dbULL % kMersenne61;
+
+  /// Absorbs one 64-bit word (order-sensitive, injective per word).
+  void mix(std::uint64_t word) {
+    absorb(word & 0xffffffffULL);
+    absorb(word >> 32);
+  }
+
+  /// Absorbs another digest's value as a single field element.
+  void mix_digest(std::uint64_t value) { absorb(value % kMersenne61); }
+
+  std::uint64_t value() const { return state_; }
+
+  void reset() { state_ = kSeed; }
+
+ private:
+  /// Non-zero seed so leading zero words still advance the state.
+  static constexpr std::uint64_t kSeed = 1;
+
+  void absorb(std::uint64_t v) {  // v < 2^61
+    state_ = m61_add(m61_mul(state_, kBeta), v);
+  }
+
+  std::uint64_t state_ = kSeed;
+};
+
+/// Cheap order-sensitive pre-mixer for hot paths that cannot afford one
+/// field multiplication per absorbed word: fold a small group of words
+/// (one 64-bit multiply each), then chain the result into a RollingDigest
+/// via mix_digest(). Unlike the polynomial digest this is not a universal
+/// hash — collisions are constructible — but the journal fingerprints
+/// deterministic simulations, where "different executions, same digest"
+/// needs an accidental collision, not a resistant one.
+class WordFold {
+ public:
+  void mix(std::uint64_t word) {
+    state_ = (state_ ^ word) * kMult;
+    state_ ^= state_ >> 29;
+  }
+
+  std::uint64_t value() const { return state_; }
+
+ private:
+  static constexpr std::uint64_t kMult = 0x9e3779b97f4a7c15ULL;  // odd
+  /// Non-zero seed (pi fractional bits) so leading zeros advance the state.
+  std::uint64_t state_ = 0x243f6a8885a308d3ULL;
+};
+
+}  // namespace renaming::hashing

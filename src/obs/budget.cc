@@ -11,10 +11,66 @@ namespace renaming::obs {
 
 namespace {
 
+/// Shared scale quantities every envelope is phrased in.
+struct Scales {
+  double n, f, logn, logN;
+  explicit Scales(const BudgetParams& p)
+      : n(static_cast<double>(p.n)),
+        f(static_cast<double>(p.f)),
+        logn(static_cast<double>(protocol_log(p.n))),
+        logN(static_cast<double>(
+            ceil_log2(std::max<std::uint64_t>(2, p.namespace_size)))) {}
+};
+
+/// Theorem 1.2's message envelope: O((f + log n) n log n) with the
+/// EXPERIMENTS.md-calibrated constant (band 2.4-7.8, >= 3x headroom).
+double crash_msgs_envelope(const BudgetParams& p) {
+  const Scales s(p);
+  return 24.0 * (s.f + s.logn) * s.n * s.logn;
+}
+
+/// The Byzantine envelope's named pieces (Theorem 1.3 + the structural
+/// committee-loop bound); the audited budget is max(theorem, structural()).
+struct ByzEnvelope {
+  double m_cap = 0, iter_cap = 0;
+  double theorem_msgs = 0;
+  double elect_msgs = 0, aggregate_msgs = 0, distribute_msgs = 0,
+         loop_msgs = 0;
+  double structural() const {
+    return elect_msgs + aggregate_msgs + distribute_msgs + loop_msgs;
+  }
+  double msgs() const { return std::max(theorem_msgs, structural()); }
+};
+
+ByzEnvelope byz_envelope(const BudgetParams& p) {
+  const Scales s(p);
+  // Committee size: expectation p0 * n; cap at 4x + 16 (Chernoff w.h.p.).
+  double c = p.committee_constant;
+  if (c <= 0.0) {
+    const double eps0 = 1.0 / 12.0;  // ByzParams default epsilon0
+    c = 8.0 / ((1.0 - 3.0 * eps0) * eps0 * eps0);
+  }
+  const double p0 = std::min(1.0, c * s.logn / s.n);
+  ByzEnvelope e;
+  e.m_cap = std::min(s.n, 4.0 * p0 * s.n + 16.0);
+  // Lemma 3.10: <= 4 f log N loop iterations; mirror the run cap's
+  // generosity (f + 2 covers the f = 0 baseline traffic).
+  e.iter_cap = 8.0 + 8.0 * (s.f + 2.0) * s.logN;
+  // Theorem shape O(f logN log^3 n + n logn): E4 measures a ratio of ~93
+  // against f logN log^3 n; constant 256 keeps ~3x headroom.
+  e.theorem_msgs = 256.0 * (s.f + 1.0) * s.logN * s.logn * s.logn * s.logn +
+                   16.0 * s.n * s.logn;
+  e.elect_msgs = e.m_cap * s.n;
+  e.aggregate_msgs = s.n * e.m_cap;
+  e.distribute_msgs = 2.0 * e.m_cap * s.n;
+  e.loop_msgs = e.iter_cap * e.m_cap * e.m_cap * (e.m_cap + 9.0);
+  return e;
+}
+
 struct Auditor {
   const BudgetParams& p;
   const sim::RunStats& stats;
-  const Telemetry* tel;
+  const std::array<PhaseTotals, kPhaseCount>* phases;
   BudgetReport report;
 
   double slack() const { return p.slack > 0.0 ? p.slack : 1.0; }
@@ -39,8 +95,8 @@ struct Auditor {
   }
 
   void phase_line(PhaseId phase, double msg_budget) {
-    if (tel == nullptr) return;
-    const PhaseTotals& t = tel->phase(phase);
+    if (phases == nullptr) return;
+    const PhaseTotals& t = (*phases)[static_cast<std::size_t>(phase)];
     line(std::string("phase:") + phase_name(phase) + " messages",
          static_cast<double>(t.messages), msg_budget);
   }
@@ -49,11 +105,10 @@ struct Auditor {
   /// message the engine accounts carries a kind, and every kind maps to
   /// exactly one phase (kUnattributed included).
   void double_entry() {
-    if (tel == nullptr) return;
+    if (phases == nullptr) return;
     std::uint64_t messages = 0;
     std::uint64_t bits = 0;
-    for (std::size_t i = 0; i < kPhaseCount; ++i) {
-      const PhaseTotals& t = tel->phase(static_cast<PhaseId>(i));
+    for (const PhaseTotals& t : *phases) {
       messages += t.messages;
       bits += t.bits;
     }
@@ -77,19 +132,15 @@ struct Auditor {
   // --- crash algorithm (Theorem 1.2) --------------------------------------
 
   void crash() {
-    const double n = static_cast<double>(p.n);
-    const double f = static_cast<double>(p.f);
-    const double logn = static_cast<double>(protocol_log(p.n));
-    const double logN =
-        static_cast<double>(ceil_log2(std::max<std::uint64_t>(2, p.namespace_size)));
+    const Scales s(p);
+    const double logN = s.logN;
     // Rounds: exactly phase_multiplier * ceil(log2 n) phases of 3 subrounds
     // — the run_crash_renaming cap, an identity rather than an envelope.
     const double rounds =
         static_cast<double>(p.phase_multiplier) * ceil_log2(p.n) * 3.0;
-    // Messages: Theorem 1.2's O((f + log n) n log n) w.h.p. EXPERIMENTS.md
-    // E1/E2 measure msgs / ((f + log n) n log n) in the band 2.4-7.8
-    // across adversaries and scales; constant 24 keeps >= 3x headroom.
-    const double msgs = 24.0 * (f + logn) * n * logn;
+    // Messages: Theorem 1.2's O((f + log n) n log n) w.h.p. (calibration
+    // in crash_msgs_envelope).
+    const double msgs = crash_msgs_envelope(p);
     // Wire format is exact: <ID, I.lo, I.hi, d, p> = status_bits().
     const double maxbits = logN + 2.0 * ceil_log2(p.n) + 16.0;
     totals(msgs, rounds, maxbits, msgs * maxbits);
@@ -103,37 +154,18 @@ struct Auditor {
   // --- Byzantine algorithm (Theorem 1.3) -----------------------------------
 
   void byz(bool full_vector_ablation) {
-    const double n = static_cast<double>(p.n);
-    const double f = static_cast<double>(p.f);
-    const double logn = static_cast<double>(protocol_log(p.n));
-    const double logN =
-        static_cast<double>(ceil_log2(std::max<std::uint64_t>(2, p.namespace_size)));
-    // Committee size: expectation p0 * n; cap at 4x + 16 (Chernoff w.h.p.).
-    double c = p.committee_constant;
-    if (c <= 0.0) {
-      const double eps0 = 1.0 / 12.0;  // ByzParams default epsilon0
-      c = 8.0 / ((1.0 - 3.0 * eps0) * eps0 * eps0);
-    }
-    const double p0 = std::min(1.0, c * logn / n);
-    const double m_cap = std::min(n, 4.0 * p0 * n + 16.0);
-    // Lemma 3.10: <= 4 f log N loop iterations; mirror the run cap's
-    // generosity (f + 2 covers the f = 0 baseline traffic).
-    const double iter_cap = 8.0 + 8.0 * (f + 2.0) * logN;
-    const double per_iter_rounds = 8.0 + 4.0 * (m_cap / 3.0 + 2.0);
-    const double rounds = 4.0 + iter_cap * per_iter_rounds + 4.0;
-    // Messages: the larger of the theorem shape O(f logN log^3 n + n logn)
-    // (E4 measures a ratio of ~93 against f logN log^3 n; constant 256
-    // keeps ~3x headroom) and the structural committee-loop bound (which
-    // dominates when the pool constant makes the committee large).
-    const double theorem_msgs = 256.0 * (f + 1.0) * logN * logn * logn * logn +
-                                16.0 * n * logn;
-    const double elect_msgs = m_cap * n;
-    const double aggregate_msgs = n * m_cap;
-    const double distribute_msgs = 2.0 * m_cap * n;
-    const double loop_msgs = iter_cap * m_cap * m_cap * (m_cap + 9.0);
-    const double structural_msgs =
-        elect_msgs + aggregate_msgs + distribute_msgs + loop_msgs;
-    const double msgs = std::max(theorem_msgs, structural_msgs);
+    const Scales s(p);
+    const double logN = s.logN;
+    const double n = s.n;
+    // Envelope pieces (committee cap, iteration cap, theorem vs structural
+    // message shapes) are shared with message_envelope_terms.
+    const ByzEnvelope e = byz_envelope(p);
+    const double per_iter_rounds = 8.0 + 4.0 * (e.m_cap / 3.0 + 2.0);
+    const double rounds = 4.0 + e.iter_cap * per_iter_rounds + 4.0;
+    // Messages: the larger of the theorem shape and the structural
+    // committee-loop bound (which dominates when the pool constant makes
+    // the committee large).
+    const double msgs = e.msgs();
     // O(log N)-bit messages: fingerprint messages are the widest,
     // 61 + ceil_log2(n + 1) + 16 bits; control messages are logN + 16.
     double maxbits = std::max(61.0 + ceil_log2(p.n + 1) + 16.0, logN + 16.0) + 8.0;
@@ -144,16 +176,16 @@ struct Auditor {
       bits = msgs * maxbits;
     }
     totals(msgs, rounds, maxbits, bits);
-    phase_line(PhaseId::kCommitteeElection, elect_msgs);
-    phase_line(PhaseId::kIdentityAggregation, aggregate_msgs);
+    phase_line(PhaseId::kCommitteeElection, e.elect_msgs);
+    phase_line(PhaseId::kIdentityAggregation, e.aggregate_msgs);
     if (full_vector_ablation) {
-      phase_line(PhaseId::kFullVectorExchange, m_cap * m_cap + m_cap * n);
+      phase_line(PhaseId::kFullVectorExchange, e.m_cap * e.m_cap + e.m_cap * n);
     } else {
-      phase_line(PhaseId::kFingerprintValidation, loop_msgs);
-      phase_line(PhaseId::kConsensus, loop_msgs);
-      phase_line(PhaseId::kDiffExchange, loop_msgs);
+      phase_line(PhaseId::kFingerprintValidation, e.loop_msgs);
+      phase_line(PhaseId::kConsensus, e.loop_msgs);
+      phase_line(PhaseId::kDiffExchange, e.loop_msgs);
     }
-    phase_line(PhaseId::kDistribution, distribute_msgs);
+    phase_line(PhaseId::kDistribution, e.distribute_msgs);
   }
 
   // --- Table 1 baselines (quadratic envelopes) -----------------------------
@@ -201,10 +233,13 @@ struct Auditor {
 
 }  // namespace
 
-BudgetReport audit_run(const BudgetParams& params, const sim::RunStats& stats,
-                       const Telemetry* telemetry) {
+namespace {
+
+BudgetReport audit_with_phases(
+    const BudgetParams& params, const sim::RunStats& stats,
+    const std::array<PhaseTotals, kPhaseCount>* phases) {
   RENAMING_CHECK(params.n >= 1, "audit_run needs the system size");
-  Auditor a{params, stats, telemetry, {}};
+  Auditor a{params, stats, phases, {}};
   a.report.algorithm = params.algorithm;
   if (params.algorithm == "crash") {
     a.crash();
@@ -217,6 +252,61 @@ BudgetReport audit_run(const BudgetParams& params, const sim::RunStats& stats,
   }
   a.double_entry();
   return a.report;
+}
+
+}  // namespace
+
+BudgetReport audit_run(const BudgetParams& params, const sim::RunStats& stats,
+                       const Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    return audit_with_phases(params, stats, nullptr);
+  }
+  std::array<PhaseTotals, kPhaseCount> phases{};
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    phases[i] = telemetry->phase(static_cast<PhaseId>(i));
+  }
+  return audit_with_phases(params, stats, &phases);
+}
+
+BudgetReport audit_run(const BudgetParams& params, const sim::RunStats& stats,
+                       const std::array<PhaseTotals, kPhaseCount>& phases) {
+  return audit_with_phases(params, stats, &phases);
+}
+
+std::vector<EnvelopeTerm> message_envelope_terms(const BudgetParams& p) {
+  RENAMING_CHECK(p.n >= 1, "message_envelope_terms needs the system size");
+  const Scales s(p);
+  std::vector<EnvelopeTerm> terms;
+  if (p.algorithm == "crash") {
+    terms.push_back({"24*(f + log n)*n*log n  [Thm 1.2]",
+                     crash_msgs_envelope(p)});
+  } else if (p.algorithm == "byz" || p.algorithm == "byz-full") {
+    const ByzEnvelope e = byz_envelope(p);
+    terms.push_back(
+        {"256*(f+1)*logN*log^3 n + 16*n*log n  [Thm 1.3 shape]",
+         e.theorem_msgs});
+    terms.push_back({"m*n  [committee election]", e.elect_msgs});
+    terms.push_back({"n*m  [identity aggregation]", e.aggregate_msgs});
+    terms.push_back({"2*m*n  [distribution]", e.distribute_msgs});
+    terms.push_back({"iters*m^2*(m+9)  [consensus loop]", e.loop_msgs});
+  } else if (p.algorithm == "naive") {
+    terms.push_back({"2*n^2  [Table 1: naive]", 2.0 * s.n * s.n});
+  } else if (p.algorithm == "cht") {
+    terms.push_back({"n^2*(ceil(log2 n)+2)  [Table 1: CHT halving]",
+                     s.n * s.n * (ceil_log2(p.n) + 2.0)});
+  } else if (p.algorithm == "obg") {
+    terms.push_back({"2*n^2*(log n+4)  [Table 1: OBG]",
+                     2.0 * s.n * s.n * (s.logn + 4.0)});
+  } else if (p.algorithm == "early") {
+    terms.push_back({"2*(f+2)*n^2  [Table 1: early-deciding]",
+                     2.0 * (s.f + 2.0) * s.n * s.n});
+  } else if (p.algorithm == "claiming") {
+    terms.push_back({"2*n^2*(log n+4)  [Table 1: claiming]",
+                     2.0 * s.n * s.n * (s.logn + 4.0)});
+  } else {
+    RENAMING_CHECK(false, "message_envelope_terms: unknown algorithm");
+  }
+  return terms;
 }
 
 std::string BudgetReport::summary() const {

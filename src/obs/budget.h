@@ -17,6 +17,7 @@
 // scales every envelope; CI runs with slack = 1.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -74,5 +75,25 @@ struct BudgetReport {
 /// (per-phase ledgers must sum exactly to the RunStats totals).
 BudgetReport audit_run(const BudgetParams& params, const sim::RunStats& stats,
                        const Telemetry* telemetry = nullptr);
+
+/// Same audit, but with the per-phase ledgers supplied directly. The doctor
+/// uses this to audit a deserialized journal (whose phase ledgers are
+/// re-derived via obs/kind_registry.h) with no Telemetry object in sight.
+BudgetReport audit_run(const BudgetParams& params, const sim::RunStats& stats,
+                       const std::array<PhaseTotals, kPhaseCount>& phases);
+
+/// One named additive piece of an algorithm's message envelope, with slack
+/// NOT applied (these are the raw theorem terms).
+struct EnvelopeTerm {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Decomposes the algorithm's message envelope into its named theorem
+/// terms so a diagnosis can say WHICH term dominates the budget. For
+/// "byz"/"byz-full" the envelope is max(theorem shape, sum of the four
+/// structural terms); for everything else it is the sum of the returned
+/// terms. The largest value is the dominating term.
+std::vector<EnvelopeTerm> message_envelope_terms(const BudgetParams& params);
 
 }  // namespace renaming::obs

@@ -1,0 +1,100 @@
+// Diagnosis on flight-recorder journals (docs/OBSERVABILITY.md §7).
+//
+// Pure library logic — the doctor returns structured verdicts plus
+// pre-rendered explanation strings and never touches a stream itself, so
+// src/ keeps the R8 "no terminal bytes" invariant; the renaming_doctor CLI
+// (tools/) owns all printing.
+//
+// Two diagnoses:
+//   * diagnose_divergence(a, b): bisects the chained per-round digests to
+//     the FIRST divergent round, then drills into that round's kind/count/
+//     event deltas and explains what changed (or that only the payload
+//     fingerprint moved — same volume, different contents/order).
+//   * diagnose_audit(params, journal): re-runs the BudgetAuditor on stats
+//     and per-phase ledgers reconstructed from the journal (via the
+//     canonical kind registry), ranks phases by envelope overshoot with a
+//     per-round traffic breakdown, and names the dominating theorem term.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/budget.h"
+#include "obs/journal.h"
+#include "sim/stats.h"
+
+namespace renaming::obs {
+
+/// Per-kind traffic difference at the first divergent round.
+struct KindDelta {
+  sim::MsgKind kind = 0;
+  std::uint64_t a_messages = 0, b_messages = 0;
+  std::uint64_t a_bits = 0, b_bits = 0;
+};
+
+struct DivergenceReport {
+  enum class Verdict : std::uint8_t {
+    kIdentical = 0,
+    kDiverged = 1,
+    kIncomparable = 2,  ///< different system / no overlapping rounds
+  };
+  Verdict verdict = Verdict::kIdentical;
+  Round first_divergent_round = 0;
+  /// Chain-digest comparisons the bisection spent (log2 of the overlap).
+  std::size_t probes = 0;
+  /// True when every count at the divergent round matches and only the
+  /// delivery fingerprint differs: same traffic volume, different payload,
+  /// ordering or destination contents.
+  bool counts_match = false;
+  std::vector<KindDelta> kind_deltas;  ///< kinds whose counts differ
+  std::string explanation;             ///< human-readable, multi-line
+
+  bool diverged() const { return verdict == Verdict::kDiverged; }
+};
+
+/// Compares two journals (live or deserialized). Journals with different
+/// algorithm/n or without a common round range are kIncomparable.
+DivergenceReport diagnose_divergence(const JournalData& a,
+                                     const JournalData& b);
+
+/// One phase's standing against its envelope, with the round-level shape
+/// of its traffic.
+struct PhaseBreakdown {
+  PhaseId phase = PhaseId::kUnattributed;
+  double measured = 0.0;
+  double budget = 0.0;
+  double overshoot = 0.0;  ///< measured / budget (> 1 = violated)
+  bool violated = false;
+  Round peak_round = 0;
+  std::uint64_t peak_messages = 0;
+  /// Minimal contiguous round window carrying >= 90% of the phase traffic.
+  Round window_begin = 0, window_end = 0;
+  std::uint64_t window_messages = 0;
+};
+
+struct AuditDiagnosis {
+  bool ok = true;
+  BudgetReport report;                 ///< the underlying audit
+  std::vector<PhaseBreakdown> phases;  ///< violated first, by overshoot
+  std::string dominant_term;           ///< largest message-envelope term
+  double dominant_term_value = 0.0;
+  std::string explanation;             ///< human-readable, multi-line
+};
+
+/// Audits the journalled run against `params` (journal must be complete,
+/// i.e. recorded with an unbounded ring) and explains the verdict.
+AuditDiagnosis diagnose_audit(const BudgetParams& params,
+                              const JournalData& journal);
+
+/// Engine-equivalent RunStats reconstructed from a complete journal
+/// (byzantine count is not journalled and stays 0; the auditor ignores it).
+sim::RunStats stats_from_journal(const JournalData& data);
+
+/// Per-phase ledgers re-derived through obs/kind_registry.h — identical to
+/// what a live Telemetry would have accumulated on the same run.
+std::array<PhaseTotals, kPhaseCount> phases_from_journal(
+    const JournalData& data);
+
+}  // namespace renaming::obs

@@ -32,9 +32,31 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+// Log-bucket percentile: the lower bound of the bucket where the
+// cumulative count crosses q — exact when the bucket holds one distinct
+// value, otherwise an under-estimate by at most the bucket width (2x).
+std::uint64_t histogram_percentile(const LogHistogram& h, double q) {
+  const std::uint64_t target =
+      static_cast<std::uint64_t>(q * static_cast<double>(h.count() - 1)) + 1;
+  std::uint64_t seen = 0;
+  std::uint64_t last = 0;
+  for (std::size_t b = 0; b < LogHistogram::kBuckets; ++b) {
+    if (h.bucket(b) == 0) continue;
+    last = LogHistogram::bucket_lo(b);
+    seen += h.bucket(b);
+    if (seen >= target) return last;
+  }
+  return last;
+}
+
 void write_histogram(std::ostream& out, const LogHistogram& h) {
-  out << "{\"count\":" << h.count() << ",\"sum\":" << h.sum()
-      << ",\"buckets\":[";
+  out << "{\"count\":" << h.count() << ",\"sum\":" << h.sum();
+  if (h.count() > 0) {
+    out << ",\"p50\":" << histogram_percentile(h, 0.50)
+        << ",\"p90\":" << histogram_percentile(h, 0.90)
+        << ",\"p99\":" << histogram_percentile(h, 0.99);
+  }
+  out << ",\"buckets\":[";
   bool first = true;
   for (std::size_t b = 0; b < LogHistogram::kBuckets; ++b) {
     if (h.bucket(b) == 0) continue;
@@ -201,6 +223,18 @@ void write_perfetto_trace(std::ostream& out, const Telemetry& telemetry,
         << "}}";
     out << ",{\"ph\":\"C\",\"pid\":2,\"tid\":0,\"name\":\"bits\",\"ts\":" << ts
         << ",\"args\":{\"bits\":" << stats.per_round[r].bits << "}}";
+    out << ",{\"ph\":\"C\",\"pid\":2,\"tid\":0,\"name\":\"crashes\",\"ts\":"
+        << ts << ",\"args\":{\"crashes\":" << stats.per_round[r].crashes
+        << "}}";
+  }
+  // Active sender-set size per round (deterministic; tracks protocol
+  // progress and crash attrition), same stride.
+  const auto& active = telemetry.per_round_active_senders();
+  for (std::size_t r = 0; r < active.size(); r += stride) {
+    const std::int64_t ts = static_cast<std::int64_t>(r + 1) * kRoundUs;
+    out << ",{\"ph\":\"C\",\"pid\":2,\"tid\":0,"
+           "\"name\":\"active_senders\",\"ts\":"
+        << ts << ",\"args\":{\"nodes\":" << active[r] << "}}";
   }
   // Wall time per round (the one nondeterministic track), same stride.
   const auto& wall = telemetry.per_round_wall_ns();

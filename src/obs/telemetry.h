@@ -134,6 +134,7 @@ class Telemetry {
 
   void note_active_senders(std::uint64_t count) {
     active_senders_->set(static_cast<std::int64_t>(count));
+    per_round_active_.push_back(static_cast<std::uint32_t>(count));
   }
 
   void note_crash(Round round, NodeIndex victim) {
@@ -186,6 +187,10 @@ class Telemetry {
   const std::vector<std::int64_t>& per_round_wall_ns() const {
     return per_round_wall_ns_;
   }
+  /// One entry per round (deterministic; feeds a Perfetto counter track).
+  const std::vector<std::uint32_t>& per_round_active_senders() const {
+    return per_round_active_;
+  }
   const std::map<NodeIndex, std::string>& node_labels() const {
     return node_labels_;
   }
@@ -222,6 +227,7 @@ class Telemetry {
   std::vector<PhaseSpan> spans_;
   std::vector<Instant> instants_;
   std::vector<std::int64_t> per_round_wall_ns_;
+  std::vector<std::uint32_t> per_round_active_;
   std::map<NodeIndex, std::string> node_labels_;
   std::string algorithm_;
   std::uint64_t n_ = 0;

@@ -60,6 +60,14 @@ RunStats Engine::run(Round max_rounds) {
   obs::Telemetry* const tel = obs::kTelemetryEnabled ? telemetry_ : nullptr;
   if (tel != nullptr) tel->begin_run(n);
 
+  // The journal is the deterministic counterpart: same observational
+  // guarantee, but its bytes must be identical across telemetry configs,
+  // so it deliberately does NOT fold with kTelemetryEnabled. Hooks fire
+  // once per *logical* outbox entry (never per broadcast copy), keeping
+  // the attached cost within the hot-path budget.
+  obs::Journal* const jrn = journal_;
+  if (jrn != nullptr) jrn->begin_run(n);
+
   // Persistent round buffers (docs/PERFORMANCE.md): one outbox per node and
   // one flat delivery arena, constructed once and clear()ed per round, so
   // the steady-state round has no per-message allocation at all.
@@ -133,6 +141,7 @@ RunStats Engine::run(Round max_rounds) {
     victims.clear();
     if (trace_ != nullptr) trace_->on_round_begin(round);
     if (tel != nullptr) tel->on_round_begin(round);
+    if (jrn != nullptr) jrn->on_round_begin(round);
 
     if (active_dirty) {
       active_list.clear();
@@ -148,6 +157,7 @@ RunStats Engine::run(Round max_rounds) {
     // used last round were cleared at the end of it.
     senders = active_list;
     if (tel != nullptr) tel->note_active_senders(senders.size());
+    if (jrn != nullptr) jrn->note_active_senders(senders.size());
     for (NodeIndex v : senders) nodes_[v]->send(round, outboxes[v]);
 
     // --- Adversary phase: Eve may crash nodes, possibly mid-send. ------
@@ -178,6 +188,7 @@ RunStats Engine::run(Round max_rounds) {
         trace_->on_crash(round, v, order.keep.size(), entries.size());
       }
       if (tel != nullptr) tel->note_crash(round, v);
+      if (jrn != nullptr) jrn->note_crash(round, v);
       // Retain only the messages the adversary lets escape.
       std::vector<std::pair<NodeIndex, Message>> kept;
       kept.reserve(order.keep.size());
@@ -256,6 +267,7 @@ RunStats Engine::run(Round max_rounds) {
             tel->note_messages(msg.kind, mdests.size(), msg.bits);
             if (spoofed) tel->note_spoof(round, v, msg.kind);
           }
+          if (jrn != nullptr) jrn->note_multicast(msg, mdests);
           for (NodeIndex d : mdests) {
             stats_.note_message(msg.bits);
             const bool delivered = !spoofed && alive_[d];
@@ -277,6 +289,10 @@ RunStats Engine::run(Round max_rounds) {
             tel->note_messages(msg.kind, n, msg.bits);
             if (spoofed) tel->note_spoof(round, v, msg.kind);
           }
+          // One digest update per logical entry, shared by the traced and
+          // untraced paths so the journal bytes do not depend on which
+          // delivery path ran.
+          if (jrn != nullptr) jrn->note_broadcast(msg, n);
           if (trace_ == nullptr) {
             stats_.note_messages(n, msg.bits);
             if (spoofed) {
@@ -311,6 +327,7 @@ RunStats Engine::run(Round max_rounds) {
           tel->note_messages(msg.kind, 1, msg.bits);
           if (msg.spoofed()) tel->note_spoof(round, v, msg.kind);
         }
+        if (jrn != nullptr) jrn->note_unicast(msg, dest);
         const bool delivered = !msg.spoofed() && alive_[dest];
         if (trace_ != nullptr) trace_->on_message(round, msg, dest, delivered);
         if (msg.spoofed()) {
@@ -370,9 +387,11 @@ RunStats Engine::run(Round max_rounds) {
     for (NodeIndex v : senders) outboxes[v].clear();
     if (trace_ != nullptr) trace_->on_round_end(round, stats_.per_round.back());
     if (tel != nullptr) tel->on_round_end(round);
+    if (jrn != nullptr) jrn->on_round_end(round);
   }
 
   if (tel != nullptr) tel->end_run(stats_.rounds);
+  if (jrn != nullptr) jrn->end_run(stats_.rounds);
   check_stats_consistent();
   return stats_;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/journal.h"
 #include "obs/telemetry.h"
 #include "sim/adversary.h"
 #include "sim/node.h"
@@ -38,6 +39,15 @@ class Engine {
   /// observational — stats, traces and outcomes are byte-identical with
   /// and without it. Ignored when built with RENAMING_NO_TELEMETRY.
   void set_telemetry(obs::Telemetry* telemetry) { telemetry_ = telemetry; }
+
+  /// Attaches a non-owning flight-recorder journal (obs/journal.h): per
+  /// round the engine feeds it a rolling fingerprint of every logical
+  /// delivery plus per-kind counts, the active-sender count and the
+  /// adversary's crash/spoof events. Purely observational and fully
+  /// deterministic; unlike telemetry it is NOT compiled out under
+  /// RENAMING_NO_TELEMETRY, because journal bytes are pinned identical
+  /// across telemetry configs.
+  void set_journal(obs::Journal* journal) { journal_ = journal; }
 
   /// Marks node `v` as Byzantine for accounting purposes (its Node
   /// implementation is expected to be an adversarial strategy). Byzantine
@@ -67,6 +77,7 @@ class Engine {
   RunStats stats_;
   TraceSink* trace_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;
+  obs::Journal* journal_ = nullptr;
 };
 
 }  // namespace renaming::sim

@@ -17,6 +17,7 @@
 #include "byzantine/strategies.h"
 #include "crash/adversaries.h"
 #include "crash/crash_renaming.h"
+#include "obs/journal.h"
 #include "obs/telemetry.h"
 #include "sim/trace.h"
 
@@ -28,9 +29,10 @@ struct Traced {
   sim::RunStats stats;
 };
 
-// Both helpers attach live telemetry on the FIRST run only: the byte
-// comparisons below therefore also pin that telemetry (whose wall-clock
-// reads differ every run by construction) never leaks into traces/stats.
+// Both helpers attach live telemetry — and a live flight-recorder journal
+// — on the FIRST run only: the byte comparisons below therefore also pin
+// that neither observer (telemetry's wall-clock reads differ every run by
+// construction) ever leaks into traces/stats.
 
 Traced run_crash_once(std::uint64_t seed, obs::Telemetry* telemetry) {
   const NodeIndex n = 48;
@@ -41,8 +43,10 @@ Traced run_crash_once(std::uint64_t seed, obs::Telemetry* telemetry) {
       12, crash::CommitteeHunter::Mode::kMidResponse, seed, 0.5);
   std::ostringstream out;
   sim::JsonlTrace trace(out);
+  obs::Journal journal;
   const auto result = crash::run_crash_renaming(
-      cfg, params, std::move(adversary), &trace, telemetry);
+      cfg, params, std::move(adversary), &trace, telemetry,
+      telemetry != nullptr ? &journal : nullptr);
   return Traced{out.str(), result.stats};
 }
 
@@ -54,9 +58,10 @@ Traced run_byz_once(std::uint64_t seed, obs::Telemetry* telemetry) {
   params.shared_seed = seed;
   std::ostringstream out;
   sim::JsonlTrace trace(out);
+  obs::Journal journal;
   const auto result = byzantine::run_byz_renaming(
       cfg, params, {1, 7, 23}, &byzantine::LyingMember::make, 0, &trace,
-      telemetry);
+      telemetry, telemetry != nullptr ? &journal : nullptr);
   return Traced{out.str(), result.stats};
 }
 

@@ -11,6 +11,7 @@
 #include "byzantine/strategies.h"
 #include "crash/adversaries.h"
 #include "crash/crash_renaming.h"
+#include "obs/journal.h"
 #include "obs/telemetry.h"
 #include "sim/trace.h"
 
@@ -99,10 +100,14 @@ TEST(Golden, ByzantineTraceBytesArePinned48) {
   std::ostringstream trace_out;
   sim::JsonlTrace trace(trace_out);
   obs::Telemetry telemetry;
+  // The flight recorder rides along live: every byte pin below doubles as
+  // proof that the journal is observationally invisible too.
+  obs::Journal journal;
   const auto r = byzantine::run_byz_renaming(
       cfg, params, byz, &byzantine::SplitReporter::make, 0, &trace,
-      &telemetry);
+      &telemetry, &journal);
   ASSERT_TRUE(r.report.ok(true));
+  EXPECT_EQ(journal.data().total_messages, r.stats.total_messages);
   EXPECT_EQ(r.stats.total_messages, 646590u);
   EXPECT_EQ(r.stats.total_bits, 22138340u);
   EXPECT_EQ(r.stats.rounds, 2284u);

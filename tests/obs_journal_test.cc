@@ -1,0 +1,334 @@
+// Flight-recorder journal tests (obs/journal.h, obs/doctor.h).
+//
+// The journal's contract is stricter than telemetry's: its bytes must be
+// identical whatever other observers are attached (telemetry, traces) and
+// whatever the build config (RENAMING_NO_TELEMETRY) — this file runs
+// unchanged in both CI configs and pins one golden journal digest so the
+// two configs cross-check each other. On top sit the doctor tests: a
+// seeded single-bit perturbation must be localized to its exact round, and
+// a forced budget failure must be explained with the guilty phase and its
+// round window.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "byzantine/byz_renaming.h"
+#include "byzantine/strategies.h"
+#include "crash/adversaries.h"
+#include "crash/crash_renaming.h"
+#include "obs/doctor.h"
+#include "obs/journal.h"
+#include "obs/kind_registry.h"
+#include "obs/telemetry.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+
+namespace renaming {
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string to_bytes(const obs::JournalData& data) {
+  std::ostringstream out;
+  obs::write_journal_binary(out, data);
+  return out.str();
+}
+
+/// One seeded crash run with a journal attached; telemetry and trace are
+/// optional so tests can vary the *other* observers.
+obs::JournalData crash_journal(std::uint64_t seed, bool with_telemetry,
+                               bool with_trace, std::size_t capacity = 0,
+                               sim::RunStats* stats_out = nullptr) {
+  const NodeIndex n = 48;
+  const auto cfg = SystemConfig::random(n, 5ull * n * n, seed);
+  crash::CrashParams params;
+  params.election_constant = 3.0;
+  auto adversary = std::make_unique<crash::CommitteeHunter>(
+      12, crash::CommitteeHunter::Mode::kMidResponse, seed, 0.5);
+  obs::Telemetry telemetry;
+  std::ostringstream trace_out;
+  sim::JsonlTrace trace(trace_out);
+  obs::Journal journal(capacity);
+  const auto result = crash::run_crash_renaming(
+      cfg, params, std::move(adversary), with_trace ? &trace : nullptr,
+      with_telemetry ? &telemetry : nullptr, &journal);
+  if (stats_out != nullptr) *stats_out = result.stats;
+  return journal.data();
+}
+
+obs::JournalData byz_journal(std::uint64_t seed, bool with_telemetry,
+                             bool with_trace) {
+  const NodeIndex n = 40;
+  const auto cfg = SystemConfig::random(n, 5ull * n * n, seed);
+  byzantine::ByzParams params;
+  params.pool_constant = 4.0;
+  params.shared_seed = seed;
+  obs::Telemetry telemetry;
+  std::ostringstream trace_out;
+  sim::JsonlTrace trace(trace_out);
+  obs::Journal journal;
+  byzantine::run_byz_renaming(cfg, params, {1, 7, 23},
+                              &byzantine::Spoofer::make, 0,
+                              with_trace ? &trace : nullptr,
+                              with_telemetry ? &telemetry : nullptr, &journal);
+  return journal.data();
+}
+
+// --- determinism / observability contract ----------------------------------
+
+TEST(Journal, BytesIdenticalWhateverOtherObserversAttach) {
+  // Telemetry + trace on one side, bare engine on the other: the trace
+  // sink switches the engine between the shared-inbox fast path and the
+  // per-copy slow path, so this also pins that the fingerprint is
+  // delivery-path-independent.
+  const auto instrumented = crash_journal(41, true, true);
+  const auto bare = crash_journal(41, false, false);
+  EXPECT_EQ(instrumented, bare);
+  EXPECT_EQ(to_bytes(instrumented), to_bytes(bare));
+}
+
+TEST(Journal, ByzantineBytesIdenticalWhateverOtherObserversAttach) {
+  // The Byzantine run exercises the multicast and spoof-rejection hooks.
+  const auto instrumented = byz_journal(17, true, true);
+  const auto bare = byz_journal(17, false, false);
+  EXPECT_EQ(instrumented, bare);
+  EXPECT_EQ(to_bytes(instrumented), to_bytes(bare));
+  EXPECT_GT(instrumented.spoofs_rejected, 0u);
+}
+
+TEST(Journal, GoldenJournalIsPinnedAcrossBuildConfigs) {
+  // This constant must hold in BOTH CI configs (default and
+  // RENAMING_NO_TELEMETRY): the journal is deliberately not compiled out,
+  // and its bytes may not depend on the telemetry build flag. If a change
+  // to the journal format or the protocol moves it intentionally, update
+  // the pin in the same commit.
+  const auto data = crash_journal(48, false, false);
+  EXPECT_EQ(fnv1a(to_bytes(data)), 3075384459333091917ull);
+}
+
+TEST(Journal, DifferentSeedsProduceDifferentFingerprints) {
+  const auto a = crash_journal(41, false, false);
+  const auto b = crash_journal(42, false, false);
+  EXPECT_NE(to_bytes(a), to_bytes(b));
+}
+
+TEST(Journal, RingKeepsLastRecordsButFullTotals) {
+  sim::RunStats stats;
+  const auto full = crash_journal(41, false, false, 0, &stats);
+  const auto ring = crash_journal(41, false, false, 5);
+  ASSERT_GT(full.records.size(), 5u);
+  EXPECT_EQ(ring.records.size(), 5u);
+  EXPECT_EQ(ring.dropped_rounds, full.records.size() - 5);
+  EXPECT_FALSE(ring.complete());
+  // The ring holds exactly the last five records of the full journal...
+  const std::vector<obs::JournalRound> tail(full.records.end() - 5,
+                                            full.records.end());
+  EXPECT_EQ(ring.records, tail);
+  // ...while the run totals still cover the whole execution.
+  EXPECT_EQ(ring.total_messages, stats.total_messages);
+  EXPECT_EQ(ring.total_bits, stats.total_bits);
+  EXPECT_EQ(ring.crashes, stats.crashes);
+}
+
+TEST(Journal, TotalsMatchEngineStats) {
+  sim::RunStats stats;
+  const auto data = crash_journal(41, false, false, 0, &stats);
+  EXPECT_EQ(data.total_messages, stats.total_messages);
+  EXPECT_EQ(data.total_bits, stats.total_bits);
+  EXPECT_EQ(data.rounds, stats.rounds);
+  EXPECT_EQ(data.crashes, stats.crashes);
+  EXPECT_EQ(data.max_message_bits, stats.max_message_bits);
+  ASSERT_EQ(data.records.size(), stats.per_round.size());
+  for (std::size_t r = 0; r < data.records.size(); ++r) {
+    EXPECT_EQ(data.records[r].messages, stats.per_round[r].messages);
+    EXPECT_EQ(data.records[r].bits, stats.per_round[r].bits);
+  }
+}
+
+// --- serialization ----------------------------------------------------------
+
+TEST(Journal, BinaryRoundTripIsLossless) {
+  const auto data = crash_journal(41, false, false);
+  std::istringstream in(to_bytes(data));
+  obs::JournalData back;
+  std::string error;
+  ASSERT_TRUE(obs::read_journal_binary(in, &back, &error)) << error;
+  EXPECT_EQ(back, data);
+}
+
+TEST(Journal, TruncatedAndCorruptInputsFailCleanly) {
+  const std::string bytes = to_bytes(crash_journal(41, false, false));
+  obs::JournalData out;
+  std::string error;
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, std::size_t{9},
+                          bytes.size() / 2, bytes.size() - 1}) {
+    std::istringstream in(bytes.substr(0, cut));
+    EXPECT_FALSE(obs::read_journal_binary(in, &out, &error)) << cut;
+    EXPECT_FALSE(error.empty());
+  }
+  std::string wrong_magic = bytes;
+  wrong_magic[0] = 'X';
+  std::istringstream in(wrong_magic);
+  EXPECT_FALSE(obs::read_journal_binary(in, &out, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST(Journal, JsonlCarriesHeaderKindNamesAndEvents) {
+  const auto data = crash_journal(41, false, false);
+  std::ostringstream out;
+  obs::write_journal_jsonl(out, data);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"schema\":\"renaming-journal-v1\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"algorithm\":\"crash\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"COMMITTEE\""), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"crash\""), std::string::npos);
+}
+
+// --- kind registry agreement (satellite of the exhaustiveness guard) --------
+
+TEST(Journal, CanonicalRegistryMatchesLiveTelemetryLedgers) {
+  const NodeIndex n = 48;
+  const auto cfg = SystemConfig::random(n, 5ull * n * n, 41);
+  crash::CrashParams params;
+  params.election_constant = 3.0;
+  obs::Telemetry telemetry;
+  obs::Journal journal;
+  const auto result = crash::run_crash_renaming(cfg, params, nullptr, nullptr,
+                                                &telemetry, &journal);
+  // The telemetry cross-check needs live ledgers; under
+  // -DRENAMING_NO_TELEMETRY they are dead-stripped, but the journal-vs-
+  // RunStats reconciliation below must hold in both configs.
+  if constexpr (obs::kTelemetryEnabled) {
+    const auto phases = obs::phases_from_journal(journal.data());
+    for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+      const auto id = static_cast<obs::PhaseId>(i);
+      EXPECT_EQ(phases[i].messages, telemetry.phase(id).messages)
+          << obs::phase_name(id);
+      EXPECT_EQ(phases[i].bits, telemetry.phase(id).bits)
+          << obs::phase_name(id);
+    }
+  }
+  const auto stats = obs::stats_from_journal(journal.data());
+  EXPECT_EQ(stats.total_messages, result.stats.total_messages);
+  EXPECT_EQ(stats.total_bits, result.stats.total_bits);
+  EXPECT_EQ(stats.rounds, result.stats.rounds);
+  EXPECT_EQ(stats.per_round, result.stats.per_round);
+}
+
+// --- the doctor -------------------------------------------------------------
+
+constexpr sim::MsgKind kProbe = 41;
+
+/// Broadcasts one deterministic word per round; one instance can be told
+/// to flip a single payload bit in a single round (the planted fault).
+class ProbeNode final : public sim::Node {
+ public:
+  ProbeNode(NodeIndex self, Round rounds, Round flip_round = 0)
+      : self_(self), rounds_(rounds), flip_round_(flip_round) {}
+
+  void send(Round round, sim::Outbox& out) override {
+    std::uint64_t word = (static_cast<std::uint64_t>(self_) << 20) | round;
+    if (round == flip_round_) word ^= 1ull << 17;
+    out.broadcast(sim::make_message(kProbe, 32, word));
+  }
+
+  void receive(Round round, sim::InboxView) override { executed_ = round; }
+  bool done() const override { return executed_ >= rounds_; }
+
+ private:
+  NodeIndex self_;
+  Round rounds_;
+  Round flip_round_;
+  Round executed_ = 0;
+};
+
+obs::JournalData probe_run(NodeIndex n, Round rounds, Round flip_round) {
+  std::vector<std::unique_ptr<sim::Node>> nodes;
+  for (NodeIndex v = 0; v < n; ++v) {
+    nodes.push_back(std::make_unique<ProbeNode>(
+        v, rounds, v == 3 ? flip_round : Round{0}));
+  }
+  sim::Engine engine(std::move(nodes));
+  obs::Journal journal;
+  journal.set_run_info("probe", n, 0);
+  engine.set_journal(&journal);
+  engine.run(rounds);
+  return journal.data();
+}
+
+TEST(Doctor, BisectsASingleFlippedPayloadBitToItsRound) {
+  const auto clean = probe_run(16, 12, 0);
+  const auto faulty = probe_run(16, 12, 7);
+  const auto report = obs::diagnose_divergence(clean, faulty);
+  ASSERT_TRUE(report.diverged()) << report.explanation;
+  EXPECT_EQ(report.first_divergent_round, 7u);
+  // Same kind, same counts, same events — only the payload fingerprint
+  // moved, and the explanation says so.
+  EXPECT_TRUE(report.counts_match) << report.explanation;
+  EXPECT_TRUE(report.kind_deltas.empty());
+  EXPECT_GT(report.probes, 0u);
+  EXPECT_NE(report.explanation.find("first divergent round"),
+            std::string::npos);
+  // Identical inputs stay identical (the bisection has a fixed point).
+  const auto same = obs::diagnose_divergence(clean, clean);
+  EXPECT_EQ(same.verdict, obs::DivergenceReport::Verdict::kIdentical);
+}
+
+TEST(Doctor, DivergentCrashScheduleIsExplainedWithKindAndEventDeltas) {
+  const auto a = crash_journal(41, false, false);
+  const auto b = crash_journal(42, false, false);
+  const auto report = obs::diagnose_divergence(a, b);
+  ASSERT_TRUE(report.diverged());
+  EXPECT_NE(report.explanation.find("round"), std::string::npos);
+}
+
+TEST(Doctor, IncompatibleJournalsAreIncomparable) {
+  auto a = crash_journal(41, false, false);
+  auto b = a;
+  b.algorithm = "byz";
+  EXPECT_EQ(obs::diagnose_divergence(a, b).verdict,
+            obs::DivergenceReport::Verdict::kIncomparable);
+}
+
+TEST(Doctor, ExplainsAForcedAuditFailureWithPhaseAndWindow) {
+  sim::RunStats stats;
+  const auto data = crash_journal(41, false, false, 0, &stats);
+  obs::BudgetParams params;
+  params.algorithm = "crash";
+  params.n = data.n;
+  params.f = data.f;
+  params.namespace_size = 5ull * data.n * data.n;
+  // Squeeze every envelope to a fraction of the measured run: the audit
+  // must fail, rank the phases by overshoot, and name the worst one with
+  // its round window.
+  params.slack = 1e-6;
+  const auto diagnosis = obs::diagnose_audit(params, data);
+  EXPECT_FALSE(diagnosis.ok);
+  ASSERT_FALSE(diagnosis.phases.empty());
+  EXPECT_TRUE(diagnosis.phases.front().violated);
+  EXPECT_GT(diagnosis.phases.front().overshoot, 1.0);
+  EXPECT_GE(diagnosis.phases.front().window_end,
+            diagnosis.phases.front().window_begin);
+  EXPECT_FALSE(diagnosis.dominant_term.empty());
+  EXPECT_NE(diagnosis.explanation.find("FAIL"), std::string::npos);
+  EXPECT_NE(diagnosis.explanation.find("rounds"), std::string::npos);
+  // And the same journal passes at slack 1 (the run is within budget).
+  params.slack = 1.0;
+  const auto ok = obs::diagnose_audit(params, data);
+  EXPECT_TRUE(ok.ok) << ok.explanation;
+  EXPECT_NE(ok.explanation.find("PASS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace renaming

@@ -1,0 +1,160 @@
+// renaming_doctor: diagnose flight-recorder journals (docs/OBSERVABILITY.md
+// §7). The doctor CLI is the terminal-output owner for journal diagnosis;
+// all logic lives in src/obs/doctor.{h,cc}, which never prints.
+//
+//   renaming_doctor diff A.bin B.bin
+//       Bisect two journals to the first divergent round and explain the
+//       per-kind / per-node delta at that round.
+//   renaming_doctor explain J.bin [--slack X] [--constant C]
+//                                 [--phase-multiplier M] [--namespace N]
+//       Audit the journalled run against its theory budget (algorithm, n
+//       and f are read from the journal header) and, on failure, rank
+//       phases by envelope overshoot and name the dominating theorem term.
+//   renaming_doctor show J.bin [--rounds]
+//       Print the journal header (and per-round records with --rounds).
+//
+// Exit codes: 0 = identical / audit pass, 1 = diverged / budget violation,
+// 2 = usage or I/O error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "obs/doctor.h"
+#include "obs/journal.h"
+#include "sim/message_names.h"
+
+namespace {
+
+using namespace renaming;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: renaming_doctor diff A.bin B.bin\n"
+               "       renaming_doctor explain J.bin [--slack X] "
+               "[--constant C] [--phase-multiplier M] [--namespace N]\n"
+               "       renaming_doctor show J.bin [--rounds]\n");
+  return 2;
+}
+
+bool load(const char* path, obs::JournalData* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "renaming_doctor: cannot open %s\n", path);
+    return false;
+  }
+  std::string error;
+  if (!obs::read_journal_binary(in, out, &error)) {
+    std::fprintf(stderr, "renaming_doctor: %s: %s\n", path, error.c_str());
+    return false;
+  }
+  return true;
+}
+
+double flag_real(int argc, char** argv, const char* name, double fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::stod(argv[i + 1]);
+  }
+  return fallback;
+}
+
+bool flag_set(int argc, char** argv, const char* name) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+int cmd_diff(int argc, char** argv) {
+  if (argc < 2) return usage();
+  obs::JournalData a, b;
+  if (!load(argv[0], &a) || !load(argv[1], &b)) return 2;
+  const obs::DivergenceReport report = obs::diagnose_divergence(a, b);
+  std::printf("%s", report.explanation.c_str());
+  switch (report.verdict) {
+    case obs::DivergenceReport::Verdict::kIdentical:
+      return 0;
+    case obs::DivergenceReport::Verdict::kDiverged:
+      return 1;
+    case obs::DivergenceReport::Verdict::kIncomparable:
+      return 2;
+  }
+  return 2;
+}
+
+int cmd_explain(int argc, char** argv) {
+  if (argc < 1) return usage();
+  obs::JournalData data;
+  if (!load(argv[0], &data)) return 2;
+  if (!data.complete()) {
+    std::fprintf(stderr,
+                 "renaming_doctor: %s was recorded with a bounded ring "
+                 "(%llu rounds dropped); an audit needs the full run\n",
+                 argv[0],
+                 static_cast<unsigned long long>(data.dropped_rounds));
+    return 2;
+  }
+  obs::BudgetParams params;
+  params.algorithm = data.algorithm;
+  params.n = data.n;
+  params.f = data.f;
+  // The namespace size is not journalled; 5n^2 matches every shipped
+  // entry point's default and only the lower-bound term depends on it.
+  params.namespace_size = static_cast<std::uint64_t>(
+      flag_real(argc, argv, "--namespace", 5.0 * data.n * data.n));
+  params.committee_constant = flag_real(argc, argv, "--constant", 0.0);
+  params.phase_multiplier = static_cast<std::uint32_t>(
+      flag_real(argc, argv, "--phase-multiplier", 3));
+  params.slack = flag_real(argc, argv, "--slack", 1.0);
+  const obs::AuditDiagnosis diagnosis = obs::diagnose_audit(params, data);
+  std::printf("%s", diagnosis.explanation.c_str());
+  return diagnosis.ok ? 0 : 1;
+}
+
+int cmd_show(int argc, char** argv) {
+  if (argc < 1) return usage();
+  obs::JournalData data;
+  if (!load(argv[0], &data)) return 2;
+  std::printf("journal %s  algorithm=%s n=%llu f=%llu\n", argv[0],
+              data.algorithm.c_str(),
+              static_cast<unsigned long long>(data.n),
+              static_cast<unsigned long long>(data.f));
+  std::printf("  rounds        %llu (%zu recorded, %llu dropped)\n",
+              static_cast<unsigned long long>(data.rounds),
+              data.records.size(),
+              static_cast<unsigned long long>(data.dropped_rounds));
+  std::printf("  messages      %llu\n",
+              static_cast<unsigned long long>(data.total_messages));
+  std::printf("  bits          %llu (max %u bits/message)\n",
+              static_cast<unsigned long long>(data.total_bits),
+              data.max_message_bits);
+  std::printf("  crashes       %llu\n",
+              static_cast<unsigned long long>(data.crashes));
+  std::printf("  spoofs        %llu rejected\n",
+              static_cast<unsigned long long>(data.spoofs_rejected));
+  if (!flag_set(argc, argv, "--rounds")) return 0;
+  for (const obs::JournalRound& r : data.records) {
+    std::printf("  round %-5u fp=%016llx msgs=%-8llu bits=%-10llu active=%u\n",
+                r.round, static_cast<unsigned long long>(r.fingerprint),
+                static_cast<unsigned long long>(r.messages),
+                static_cast<unsigned long long>(r.bits), r.active_senders);
+    for (const obs::JournalKindCount& k : r.kinds) {
+      std::printf("    kind %-18s msgs=%-8llu bits=%llu\n",
+                  sim::message_name(k.kind),
+                  static_cast<unsigned long long>(k.messages),
+                  static_cast<unsigned long long>(k.bits));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  if (command == "diff") return cmd_diff(argc - 2, argv + 2);
+  if (command == "explain") return cmd_explain(argc - 2, argv + 2);
+  if (command == "show") return cmd_show(argc - 2, argv + 2);
+  return usage();
+}
