@@ -16,8 +16,9 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 MODE="${1:-all}"
 
 run_protocol() {
+  # Extra args pass through (CI adds --report for the artifact upload).
   echo "== protocol lint =="
-  python3 "${ROOT}/scripts/protocol_lint.py" --root "${ROOT}"
+  python3 "${ROOT}/scripts/protocol_lint.py" --root "${ROOT}" "$@"
 }
 
 run_tidy() {
@@ -46,7 +47,7 @@ case "${MODE}" in
     run_tidy
     run_format
     ;;
-  protocol) run_protocol ;;
+  protocol) run_protocol "${@:2}" ;;
   tidy) run_tidy ;;
   format) run_format ;;
   *)

@@ -3,62 +3,88 @@
 
 The simulator's claims (EXPERIMENTS.md, the theorem checks in tests/) are
 only meaningful if the codebase upholds a handful of protocol-level
-conventions. This script enforces them mechanically:
+conventions. This engine tokenizes every file under src/ with a small C++
+lexer (comments, strings, raw strings, char literals and preprocessor
+lines are isolated as single tokens) and runs per-rule passes over the
+token streams, so string contents and comments can never produce findings
+and suppression markers are tracked precisely per (line, rule).
 
-  R1 nondeterminism  Executions must be pure functions of the seed. All
-                     randomness flows through the seeded PRNGs in
-                     common/prng.h / hashing/shared_random.h; wall-clock
-                     time, rand(), std::random_device, pid/env lookups and
-                     address-based hashing are banned in src/.
-  R2 msgkind         Every message tag (enum class Tag : sim::MsgKind
-                     enumerator, or file-local `constexpr sim::MsgKind`)
-                     must be referenced at least once outside its
-                     definition. A tag that is declared but never handled
-                     means a dispatch switch silently drops a message kind.
-  R3 bits-width      Wire-size ("bits") accumulation must use 64-bit
-                     types: a quadratic baseline at n = 1e5 with
-                     Omega(n)-bit messages overflows 32-bit counters and
-                     the overflow is exactly the kind of bug that fakes a
-                     subquadratic result.
-  R4 unordered-iter  Iterating an unordered container feeds its
-                     address-dependent order into message emission, traces
-                     or stats. Unordered containers are allowed for
-                     lookup/membership only; iteration requires an ordered
-                     container (or an explicit allow marker).
-  R5 header-hygiene  Every header under src/ must compile standalone
-                     (include-what-you-use smoke test with
-                     `g++ -fsyntax-only`).
-  R6 threading       The simulator is single-threaded and deterministic by
-                     design (ROADMAP invariant; docs/PERFORMANCE.md):
-                     <thread>, <mutex>, <shared_mutex>, <condition_variable>,
-                     <future>, <stop_token> and the std::thread/std::jthread/
-                     std::mutex/std::async/std::atomic families are banned
-                     under src/. Parallelism lives in the bench drivers
-                     (bench/bench_util.h runs independent seeds on a pool),
-                     which this script does not scan.
-  R7 dense-of-range  Protocol code (src/byzantine/, src/crash/) must not
-                     call SetFingerprint/RabinFingerprint::of_range: those
-                     evaluate a fingerprint by walking a dense BitVec over
-                     the identity space — an O(N)-shaped scan that the
-                     bucketed IdentityList's incremental summaries exist to
-                     avoid (docs/PERFORMANCE.md "Protocol hot path").
-                     of_range belongs in tests and cross-checks only.
-  R8 raw-output      No raw std::cout/std::cerr/std::clog or stdio output
-                     (printf/fprintf/puts/fputs/putchar/fputc) under src/:
-                     library code reports through its sanctioned sinks —
-                     TraceSink, RunStats, obs::Telemetry, the caller-
-                     supplied std::ostream exporters and the doctor's
-                     pre-rendered explanation strings (obs/doctor.h,
-                     docs/OBSERVABILITY.md) — so the sanctioned output
-                     owners outside src/ (CLIs under examples/, the
-                     renaming_doctor CLI under tools/, and the benches)
-                     own every byte that reaches a terminal. The
-                     RENAMING_CHECK abort path in common/check.h carries an
-                     explicit allow marker.
+  R1  nondeterminism  Executions must be pure functions of the seed. All
+                      randomness flows through the seeded PRNGs in
+                      common/prng.h / hashing/shared_random.h; wall-clock
+                      time, rand(), std::random_device, pid/env lookups and
+                      address-based hashing are banned in src/.
+  R2  msgkind         Every message tag (enum class Tag : sim::MsgKind
+                      enumerator, or file-local `constexpr sim::MsgKind`)
+                      must be referenced at least once outside its
+                      definition. A tag that is declared but never handled
+                      means a dispatch switch silently drops a message kind.
+  R3  bits-width      Wire-size ("bits") accumulation must use 64-bit
+                      types: a quadratic baseline at n = 1e5 with
+                      Omega(n)-bit messages overflows 32-bit counters and
+                      the overflow is exactly the kind of bug that fakes a
+                      subquadratic result.
+  R4  unordered-iter  Iterating an unordered container feeds its
+                      address-dependent order into message emission, traces
+                      or stats. Unordered containers are allowed for
+                      lookup/membership only; iteration requires an ordered
+                      container (or an explicit allow marker).
+  R5  header-hygiene  Every header under src/ must compile standalone
+                      (include-what-you-use smoke test with
+                      `g++ -fsyntax-only`). Results are memoized in a
+                      content-hash cache keyed on the header's transitive
+                      repo includes, so incremental runs stay fast.
+  R6  threading       The simulator is single-threaded and deterministic by
+                      design (ROADMAP invariant; docs/PERFORMANCE.md):
+                      <thread>, <mutex>, <shared_mutex>, <condition_variable>,
+                      <future>, <stop_token> and the std::thread/std::jthread/
+                      std::mutex/std::async/std::atomic families are banned
+                      under src/. Parallelism lives in the bench drivers
+                      (bench/bench_util.h runs independent seeds on a pool),
+                      which this script does not scan.
+  R7  dense-of-range  Protocol code (src/byzantine/, src/crash/) must not
+                      call SetFingerprint/RabinFingerprint::of_range: those
+                      evaluate a fingerprint by walking a dense BitVec over
+                      the identity space — an O(N)-shaped scan that the
+                      bucketed IdentityList's incremental summaries exist to
+                      avoid (docs/PERFORMANCE.md "Protocol hot path").
+                      of_range belongs in tests and cross-checks only.
+  R8  raw-output      No raw std::cout/std::cerr/std::clog or stdio output
+                      (printf/fprintf/puts/fputs/putchar/fputc) under src/:
+                      library code reports through its sanctioned sinks —
+                      TraceSink, RunStats, obs::Telemetry, the caller-
+                      supplied std::ostream exporters and the doctor's
+                      pre-rendered explanation strings (obs/doctor.h,
+                      docs/OBSERVABILITY.md) — so the sanctioned output
+                      owners outside src/ (CLIs under examples/, the
+                      renaming_doctor CLI under tools/, and the benches)
+                      own every byte that reaches a terminal. The
+                      RENAMING_CHECK abort path in common/check.h carries an
+                      explicit allow marker.
+  R9  wire-schema     Declared message widths must flow from
+                      sim/wire_schema.h. At every sim::make_message /
+                      note_messages call site the bits argument must not
+                      contain a numeric literal, and any width-named
+                      identifier it references must (when initialized in
+                      the same file) derive from wire_bits()/
+                      wire::make_message or the named adversarial probe
+                      constants — a stale hand-written width silently
+                      falsifies every budget gate and BENCH_* cell.
+  R10 stale-allow     A // lint:allow(<rule>) marker that suppresses
+                      nothing is itself an error: stale markers hide the
+                      next real finding on that line. Markers naming an
+                      unknown rule are reported too (typo protection).
+  R11 kind-coverage   Every kind in sim::kRegisteredKinds must have a
+                      wire-schema entry in sim/wire_schema.h AND a protocol
+                      dispatch declaration (an `enum class ... :
+                      sim::MsgKind` enumerator or a file-local `constexpr
+                      sim::MsgKind`) somewhere under src/ — and the schema
+                      table must not describe unregistered kinds.
 
 Findings can be suppressed per line with `// lint:allow(<rule>)` where
 <rule> is one of: nondeterminism, bits-width, unordered-iteration,
-threading, dense-of-range, raw-output.
+threading, dense-of-range, raw-output, wire-schema. Suppressions are
+tracked: a marker that matches no finding fails R10.
 
 Exit status: 0 if clean, 1 if any violation, 2 on usage error.
 """
@@ -66,6 +92,8 @@ Exit status: 0 if clean, 1 if any violation, 2 on usage error.
 from __future__ import annotations
 
 import argparse
+import hashlib
+import json
 import re
 import shutil
 import subprocess
@@ -77,8 +105,187 @@ SOURCE_SUFFIXES = {".h", ".cc"}
 
 ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z0-9-]+)\)")
 
+# Rules whose findings are per-line and therefore suppressible via markers.
+SUPPRESSIBLE = {
+    "nondeterminism",
+    "msgkind",
+    "bits-width",
+    "unordered-iteration",
+    "threading",
+    "dense-of-range",
+    "raw-output",
+    "wire-schema",
+}
+
 # ---------------------------------------------------------------------------
-# Shared helpers
+# Lexer: a minimal C++ tokenizer.
+#
+# Token kinds:
+#   id       identifier / keyword
+#   num      pp-number (integer or floating literal, any base/suffix)
+#   str      string literal (ordinary or raw), content dropped
+#   char     character literal, content dropped
+#   punct    operator / punctuator (maximal munch for the ones we match on)
+#   comment  // or /* */ comment, full text kept (allow markers live here)
+#   pp       whole preprocessor line (including continuations)
+
+
+class Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:  # debugging aid
+        return f"Token({self.kind}, {self.text!r}, L{self.line})"
+
+
+_PUNCT3 = ("<<=", ">>=", "->*", "...", "<=>")
+_PUNCT2 = (
+    "::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "##",
+)
+_ID_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_ID_CONT = _ID_START | set("0123456789")
+_RAW_PREFIXES = {"R", "u8R", "uR", "LR"}
+
+
+def lex(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    i, line = 0, 1
+    n = len(text)
+    at_line_start = True
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c == "/" and text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            tokens.append(Token("comment", text[i:j], line))
+            i = j
+            continue
+        if c == "/" and text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            seg = text[i:j]
+            tokens.append(Token("comment", seg, line))
+            line += seg.count("\n")
+            i = j
+            continue
+        if c == "#" and at_line_start:
+            # Whole preprocessor line, honoring backslash continuations.
+            j = i
+            while True:
+                k = text.find("\n", j)
+                if k == -1:
+                    k = n
+                    break
+                if text[k - 1] == "\\":
+                    j = k + 1
+                    continue
+                break
+            seg = text[i:k]
+            tokens.append(Token("pp", seg, line))
+            line += seg.count("\n")
+            i = k
+            continue
+        at_line_start = False
+        if c == '"':
+            start = i
+            i += 1
+            while i < n and text[i] not in '"\n':
+                i += 2 if text[i] == "\\" else 1
+            if i < n and text[i] == '"':
+                i += 1
+            tokens.append(Token("str", text[start:i], line))
+            continue
+        if c == "'":
+            start = i
+            i += 1
+            while i < n and text[i] not in "'\n":
+                i += 2 if text[i] == "\\" else 1
+            if i < n and text[i] == "'":
+                i += 1
+            tokens.append(Token("char", text[start:i], line))
+            continue
+        if c in _ID_START:
+            start = i
+            while i < n and text[i] in _ID_CONT:
+                i += 1
+            word = text[start:i]
+            if word in _RAW_PREFIXES and i < n and text[i] == '"':
+                # Raw string literal: R"delim( ... )delim".
+                m = re.match(r'"([^\s()\\]{0,16})\(', text[i:])
+                if m:
+                    close = ")" + m.group(1) + '"'
+                    j = text.find(close, i + m.end())
+                    j = n if j == -1 else j + len(close)
+                    seg = text[start:j]
+                    tokens.append(Token("str", seg, line))
+                    line += seg.count("\n")
+                    i = j
+                    continue
+            tokens.append(Token("id", word, line))
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            # pp-number: digits, letters, dots, digit separators, exponents.
+            start = i
+            i += 1
+            while i < n:
+                ch = text[i]
+                if ch in _ID_CONT or ch in ".'":
+                    i += 1
+                elif ch in "+-" and text[i - 1] in "eEpP":
+                    i += 1
+                else:
+                    break
+            tokens.append(Token("num", text[start:i], line))
+            continue
+        for p in _PUNCT3:
+            if text.startswith(p, i):
+                tokens.append(Token("punct", p, line))
+                i += len(p)
+                break
+        else:
+            for p in _PUNCT2:
+                if text.startswith(p, i):
+                    tokens.append(Token("punct", p, line))
+                    i += len(p)
+                    break
+            else:
+                tokens.append(Token("punct", c, line))
+                i += 1
+    return tokens
+
+
+class SourceFile:
+    """One lexed file plus its allow markers and significant-token view."""
+
+    def __init__(self, path: Path, root: Path):
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        self.text = path.read_text()
+        self.tokens = lex(self.text)
+        # Significant tokens: what the rule passes scan. Preprocessor lines
+        # are kept out (R6 inspects them separately via pp_tokens).
+        self.sig = [t for t in self.tokens if t.kind not in ("comment", "pp")]
+        self.pp_tokens = [t for t in self.tokens if t.kind == "pp"]
+        # line -> set of rule names allowed on that line.
+        self.allows: dict[int, set[str]] = {}
+        for t in self.tokens:
+            if t.kind != "comment":
+                continue
+            for m in ALLOW_RE.finditer(t.text):
+                self.allows.setdefault(t.line, set()).add(m.group(1))
 
 
 class Violation:
@@ -92,126 +299,200 @@ class Violation:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
-def source_files(src: Path) -> list[Path]:
-    return sorted(
-        p for p in src.rglob("*") if p.suffix in SOURCE_SUFFIXES and p.is_file()
-    )
+# ---------------------------------------------------------------------------
+# Token-stream helpers
 
 
-def strip_comments_and_strings(line: str) -> str:
-    """Best-effort removal of // comments and string literals from one line."""
-    out = []
-    i = 0
-    n = len(line)
-    while i < n:
-        c = line[i]
-        if c == "/" and i + 1 < n and line[i + 1] == "/":
-            break
-        if c == '"' or c == "'":
-            quote = c
-            i += 1
-            while i < n:
-                if line[i] == "\\":
-                    i += 2
-                    continue
-                if line[i] == quote:
-                    i += 1
-                    break
-                i += 1
-            out.append(quote + quote)  # keep token structure, drop content
+def seq_at(sig: list[Token], i: int, *texts: str) -> bool:
+    """True when sig[i:] starts with exactly `texts`."""
+    if i + len(texts) > len(sig):
+        return False
+    return all(sig[i + k].text == t for k, t in enumerate(texts))
+
+
+def skip_std(sig: list[Token], i: int) -> int:
+    """Returns the index past an optional `std ::` prefix at i."""
+    if seq_at(sig, i, "std", "::"):
+        return i + 2
+    return i
+
+
+def balanced_end(sig: list[Token], i: int, open_: str, close: str) -> int:
+    """Index just past the token closing the group opened at sig[i]."""
+    depth = 0
+    j = i
+    while j < len(sig):
+        if sig[j].text == open_:
+            depth += 1
+        elif sig[j].text == close:
+            depth -= 1
+            if depth == 0:
+                return j + 1
+        j += 1
+    return len(sig)
+
+
+def split_args(sig: list[Token], i: int) -> tuple[list[list[Token]], int]:
+    """Splits the parenthesized argument list opening at sig[i] == '(' into
+    top-level comma-separated token slices. Returns (args, index past ')')."""
+    assert sig[i].text == "("
+    end = balanced_end(sig, i, "(", ")")
+    args: list[list[Token]] = []
+    cur: list[Token] = []
+    depth = 0
+    for t in sig[i + 1 : end - 1]:
+        if t.text in "([{":
+            depth += 1
+        elif t.text in ")]}":
+            depth -= 1
+        elif t.text == "," and depth == 0:
+            args.append(cur)
+            cur = []
             continue
-        out.append(c)
-        i += 1
-    return "".join(out)
-
-
-def allowed(line: str, rule: str) -> bool:
-    m = ALLOW_RE.search(line)
-    return bool(m and m.group(1) == rule)
+        cur.append(t)
+    if cur or args:
+        args.append(cur)
+    return args, end
 
 
 # ---------------------------------------------------------------------------
 # R1: nondeterminism sources
 
-NONDETERMINISM_PATTERNS = [
-    (re.compile(r"\brand\s*\("), "rand() (unseeded global PRNG)"),
-    (re.compile(r"\bsrand\s*\("), "srand() (global PRNG state)"),
-    (re.compile(r"std\s*::\s*random_device"), "std::random_device (entropy source)"),
-    (re.compile(r"\btime\s*\("), "time() (wall clock)"),
-    (re.compile(r"\bclock\s*\(\s*\)"), "clock() (wall clock)"),
-    (re.compile(r"\bgettimeofday\b"), "gettimeofday (wall clock)"),
-    (
-        re.compile(r"(system_clock|steady_clock|high_resolution_clock)\s*::\s*now"),
-        "chrono clock (wall clock)",
-    ),
-    (re.compile(r"\bgetpid\s*\("), "getpid() (process-dependent value)"),
-    (re.compile(r"\bgetenv\s*\("), "getenv() (environment-dependent value)"),
-    (
-        re.compile(r"std\s*::\s*hash\s*<[^<>]*\*\s*>"),
-        "std::hash over a pointer type (address-based hashing)",
-    ),
-]
+_CHRONO_CLOCKS = {"system_clock", "steady_clock", "high_resolution_clock"}
 
 
-def check_nondeterminism(src: Path) -> list[Violation]:
-    violations = []
-    for path in source_files(src):
-        for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
-            if allowed(raw, "nondeterminism"):
+def check_nondeterminism(files: list[SourceFile]) -> list[Violation]:
+    out = []
+
+    def hit(f: SourceFile, t: Token, why: str) -> None:
+        out.append(
+            Violation(
+                "nondeterminism",
+                f.path,
+                t.line,
+                f"{why}; all randomness must flow through the seeded PRNGs "
+                "in common/prng.h",
+            )
+        )
+
+    for f in files:
+        sig = f.sig
+        for i, t in enumerate(sig):
+            if t.kind != "id":
                 continue
-            code = strip_comments_and_strings(raw)
-            for pattern, why in NONDETERMINISM_PATTERNS:
-                if pattern.search(code):
-                    violations.append(
-                        Violation(
-                            "nondeterminism",
-                            path,
-                            lineno,
-                            f"{why}; all randomness must flow through the "
-                            "seeded PRNGs in common/prng.h",
-                        )
-                    )
-    return violations
+            prev = sig[i - 1].text if i > 0 else ""
+            member = prev in (".", "->")
+            if member:
+                continue  # x.time(), outbox->rand(): member calls are theirs
+            if t.text in ("rand", "srand") and seq_at(sig, i + 1, "("):
+                hit(f, t, f"{t.text}() (unseeded global PRNG)")
+            elif t.text == "random_device":
+                hit(f, t, "std::random_device (entropy source)")
+            elif t.text == "time" and seq_at(sig, i + 1, "("):
+                hit(f, t, "time() (wall clock)")
+            elif t.text == "clock" and seq_at(sig, i + 1, "(", ")"):
+                hit(f, t, "clock() (wall clock)")
+            elif t.text == "gettimeofday":
+                hit(f, t, "gettimeofday (wall clock)")
+            elif t.text in _CHRONO_CLOCKS and seq_at(sig, i + 1, "::", "now"):
+                hit(f, t, "chrono clock (wall clock)")
+            elif t.text == "getpid" and seq_at(sig, i + 1, "("):
+                hit(f, t, "getpid() (process-dependent value)")
+            elif t.text == "getenv" and seq_at(sig, i + 1, "("):
+                hit(f, t, "getenv() (environment-dependent value)")
+            elif (
+                t.text == "hash"
+                and prev == "::"
+                and i >= 2
+                and sig[i - 2].text == "std"
+                and seq_at(sig, i + 1, "<")
+            ):
+                end = balanced_end(sig, i + 1, "<", ">")
+                if any(x.text == "*" for x in sig[i + 1 : end]):
+                    hit(f, t, "std::hash over a pointer type (address-based "
+                              "hashing)")
+    return out
 
 
 # ---------------------------------------------------------------------------
 # R2: every message kind is handled somewhere
 
-TAG_ENUM_RE = re.compile(r"enum\s+class\s+(\w+)\s*:\s*(?:sim\s*::\s*)?MsgKind\s*\{")
-ENUMERATOR_RE = re.compile(r"^\s*(k\w+)\s*=?")
-CONSTEXPR_KIND_RE = re.compile(
-    r"constexpr\s+(?:sim\s*::\s*)?MsgKind\s+(k\w+)\s*="
-)
+
+def _tag_enums(f: SourceFile):
+    """Yields (enum_name, [(enumerator, line)], body_range) for every
+    `enum class X : [sim::]MsgKind { ... }` in f."""
+    sig = f.sig
+    for i, t in enumerate(sig):
+        if t.text != "enum" or not seq_at(sig, i, "enum", "class"):
+            continue
+        if i + 3 >= len(sig) or sig[i + 2].kind != "id":
+            continue
+        name = sig[i + 2].text
+        j = i + 3
+        if sig[j].text != ":":
+            continue
+        j = skip_std(sig, j + 1)
+        if seq_at(sig, j, "sim", "::"):
+            j += 2
+        if j >= len(sig) or sig[j].text != "MsgKind":
+            continue
+        j += 1
+        if j >= len(sig) or sig[j].text != "{":
+            continue
+        end = balanced_end(sig, j, "{", "}")
+        enumerators = []
+        expect = True  # next id at depth 1 is an enumerator name
+        depth = 0
+        for k in range(j, end):
+            tk = sig[k]
+            if tk.text == "{":
+                depth += 1
+            elif tk.text == "}":
+                depth -= 1
+            elif depth == 1:
+                if expect and tk.kind == "id":
+                    enumerators.append((tk.text, tk.line, k))
+                    expect = False
+                elif tk.text == ",":
+                    expect = True
+        yield name, enumerators, (j, end)
 
 
-def check_msgkind_exhaustive(src: Path) -> list[Violation]:
-    files = source_files(src)
-    texts = {p: p.read_text() for p in files}
+def _constexpr_kinds(f: SourceFile):
+    """Yields (name, line, value_index) for `constexpr [sim::]MsgKind k = v`."""
+    sig = f.sig
+    for i, t in enumerate(sig):
+        if t.text != "constexpr":
+            continue
+        j = i + 1
+        if seq_at(sig, j, "sim", "::"):
+            j += 2
+        if not seq_at(sig, j, "MsgKind"):
+            continue
+        j += 1
+        if j + 1 < len(sig) and sig[j].kind == "id" and sig[j + 1].text == "=":
+            yield sig[j].text, sig[j].line, j + 2
 
-    violations = []
-    for path, text in texts.items():
-        lines = text.splitlines()
+
+def check_msgkind_exhaustive(files: list[SourceFile]) -> list[Violation]:
+    out = []
+    for f in files:
+        sig = f.sig
 
         # File-local constexpr MsgKind constants: must be referenced in the
         # same translation unit outside their definition line.
-        for lineno, raw in enumerate(lines, start=1):
-            m = CONSTEXPR_KIND_RE.search(strip_comments_and_strings(raw))
-            if not m:
-                continue
-            name = m.group(1)
-            refs = 0
-            for other_no, other in enumerate(lines, start=1):
-                if other_no == lineno:
-                    continue
-                if re.search(rf"\b{re.escape(name)}\b",
-                             strip_comments_and_strings(other)):
-                    refs += 1
+        for name, line, _ in _constexpr_kinds(f):
+            refs = sum(
+                1
+                for t in sig
+                if t.kind == "id" and t.text == name and t.line != line
+            )
             if refs == 0:
-                violations.append(
+                out.append(
                     Violation(
                         "msgkind",
-                        path,
-                        lineno,
+                        f.path,
+                        line,
                         f"message kind {name} is declared but never handled "
                         "at any dispatch site in this file",
                     )
@@ -220,160 +501,217 @@ def check_msgkind_exhaustive(src: Path) -> list[Violation]:
         # enum class Tag : sim::MsgKind enumerators: must be referenced as
         # Enum::kName somewhere in the same protocol directory (outside the
         # enum body itself).
-        for m in TAG_ENUM_RE.finditer(text):
-            enum_name = m.group(1)
-            body_start = text.index("{", m.start())
-            body_end = text.index("}", body_start)
-            body = text[body_start + 1 : body_end]
-            body_first_line = text[:body_start].count("\n") + 1
-            enumerators = []
-            for offset, raw in enumerate(body.splitlines()):
-                em = ENUMERATOR_RE.match(strip_comments_and_strings(raw))
-                if em:
-                    enumerators.append((em.group(1), body_first_line + offset))
-            proto_dir = path.parent
-            for name, lineno in enumerators:
-                ref_re = re.compile(
-                    rf"\b{re.escape(enum_name)}\s*::\s*{re.escape(name)}\b"
-                )
+        for enum_name, enumerators, (body_lo, body_hi) in _tag_enums(f):
+            proto_dir = f.path.parent
+            body_ids = set(range(body_lo, body_hi))
+            for name, line, decl_idx in enumerators:
                 refs = 0
                 for other in files:
-                    if other.parent != proto_dir:
+                    if other.path.parent != proto_dir:
                         continue
-                    other_lines = texts[other].splitlines()
-                    for other_no, other_raw in enumerate(other_lines, start=1):
-                        if other == path and other_no == lineno:
+                    osig = other.sig
+                    for k, tk in enumerate(osig):
+                        if tk.text != name or tk.kind != "id":
                             continue
-                        if ref_re.search(strip_comments_and_strings(other_raw)):
+                        if other is f and k in body_ids:
+                            continue
+                        if k >= 2 and osig[k - 1].text == "::" and \
+                                osig[k - 2].text == enum_name:
                             refs += 1
                 if refs == 0:
-                    violations.append(
+                    out.append(
                         Violation(
                             "msgkind",
-                            path,
-                            lineno,
+                            f.path,
+                            line,
                             f"{enum_name}::{name} is declared but never "
                             f"handled at any dispatch site under "
                             f"{proto_dir.name}/ — a switch over {enum_name} "
                             "is silently dropping this message kind",
                         )
                     )
-    return violations
+    return out
 
 
 # ---------------------------------------------------------------------------
 # R3: wire-size accounting uses 64-bit types
 
-NARROW_INT_TYPES = (
-    r"(?:std\s*::\s*)?u?int(?:8|16|32)_t",
-    r"unsigned\s+(?:short|int)",
-    r"(?:unsigned|int|short)",
-)
-NARROW_BITS_DECL_RE = re.compile(
-    r"\b(?:" + "|".join(NARROW_INT_TYPES) + r")\s+(\w*[Bb]its\w*)\s*(?:=|;|\{)"
-)
+_NARROW_TYPES = {
+    "uint8_t", "uint16_t", "uint32_t", "int8_t", "int16_t", "int32_t",
+    "unsigned", "int", "short",
+}
+_BITSY = re.compile(r"[Bb]its")
 
 
-def check_bits_width(src: Path) -> list[Violation]:
-    violations = []
-    for path in source_files(src):
-        lines = path.read_text().splitlines()
+def check_bits_width(files: list[SourceFile]) -> list[Violation]:
+    out = []
+    for f in files:
+        sig = f.sig
         narrow: dict[str, int] = {}
-        for lineno, raw in enumerate(lines, start=1):
-            code = strip_comments_and_strings(raw)
-            m = NARROW_BITS_DECL_RE.search(code)
-            if m and "64" not in code.split(m.group(1))[0]:
-                narrow[m.group(1)] = lineno
+        for i, t in enumerate(sig):
+            if t.kind != "id" or t.text not in _NARROW_TYPES:
+                continue
+            j = i + 1
+            if t.text == "unsigned" and j < len(sig) and \
+                    sig[j].text in ("short", "int"):
+                j += 1
+            if j >= len(sig) or sig[j].kind != "id":
+                continue
+            name = sig[j].text
+            if not _BITSY.search(name):
+                continue
+            if j + 1 < len(sig) and sig[j + 1].text in ("=", ";", "{"):
+                narrow[name] = t.line
         if not narrow:
             continue
-        for lineno, raw in enumerate(lines, start=1):
-            if allowed(raw, "bits-width"):
+        for i, t in enumerate(sig):
+            if t.kind != "id" or t.text not in narrow:
                 continue
-            code = strip_comments_and_strings(raw)
-            for name, decl_line in narrow.items():
-                if re.search(rf"\b{re.escape(name)}\s*[+\-]=", code):
-                    violations.append(
-                        Violation(
-                            "bits-width",
-                            path,
-                            lineno,
-                            f"accumulating into '{name}' declared with a "
-                            f"<64-bit type at line {decl_line}; wire-size "
-                            "totals must use std::uint64_t (a quadratic "
-                            "baseline overflows 32 bits)",
-                        )
+            if seq_at(sig, i + 1, "+=") or seq_at(sig, i + 1, "-="):
+                out.append(
+                    Violation(
+                        "bits-width",
+                        f.path,
+                        t.line,
+                        f"accumulating into '{t.text}' declared with a "
+                        f"<64-bit type at line {narrow[t.text]}; wire-size "
+                        "totals must use std::uint64_t (a quadratic "
+                        "baseline overflows 32 bits)",
                     )
-    return violations
+                )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# R4: no iteration over unordered containers
+
+
+def check_unordered_iteration(files: list[SourceFile]) -> list[Violation]:
+    out = []
+    for f in files:
+        sig = f.sig
+        names: set[str] = set()
+        for i, t in enumerate(sig):
+            if t.kind != "id" or not t.text.startswith("unordered_"):
+                continue
+            if i < 2 or sig[i - 1].text != "::" or sig[i - 2].text != "std":
+                continue
+            if not seq_at(sig, i + 1, "<"):
+                continue
+            end = balanced_end(sig, i + 1, "<", ">")
+            if end < len(sig) and sig[end].kind == "id" and \
+                    end + 1 < len(sig) and sig[end + 1].text in (";", "{", "="):
+                names.add(sig[end].text)
+        if not names:
+            continue
+        for i, t in enumerate(sig):
+            if t.kind != "id" or t.text not in names:
+                continue
+            hit = False
+            # Explicit iterators: name.begin( / name.cbegin(.
+            if seq_at(sig, i + 1, ".", "begin", "(") or \
+                    seq_at(sig, i + 1, ".", "cbegin", "("):
+                hit = True
+            # Range-for: `for ( ... : name )` with name right after the ':'.
+            if i >= 1 and sig[i - 1].text == ":":
+                j = i - 2
+                depth = 0
+                while j >= 0:
+                    if sig[j].text == ")":
+                        depth += 1
+                    elif sig[j].text == "(":
+                        if depth == 0:
+                            break
+                        depth -= 1
+                    elif sig[j].text == ";" and depth == 0:
+                        j = -1  # classic for loop, not a range-for
+                        break
+                    j -= 1
+                if j >= 1 and sig[j - 1].text == "for":
+                    hit = True
+            if hit:
+                out.append(
+                    Violation(
+                        "unordered-iteration",
+                        f.path,
+                        t.line,
+                        f"iterating unordered container '{t.text}': its "
+                        "order is address-dependent and would leak "
+                        "nondeterminism into traces/messages; use an "
+                        "ordered container or add "
+                        "// lint:allow(unordered-iteration) with a "
+                        "justification",
+                    )
+                )
+    return out
 
 
 # ---------------------------------------------------------------------------
 # R6: no threading primitives in the simulator
 
-THREADING_PATTERNS = [
-    (
-        re.compile(
-            r"#\s*include\s*<(thread|mutex|shared_mutex|condition_variable|"
-            r"future|stop_token|semaphore|barrier|latch|atomic)>"
-        ),
-        "threading/atomics header",
-    ),
-    (
-        re.compile(
-            r"std\s*::\s*(thread|jthread|mutex|recursive_mutex|shared_mutex|"
-            r"timed_mutex|condition_variable|future|promise|async|atomic\b|"
-            r"atomic_|lock_guard|unique_lock|scoped_lock|shared_lock|"
-            r"counting_semaphore|binary_semaphore|barrier|latch|call_once|"
-            r"once_flag)"
-        ),
-        "threading/atomics primitive",
-    ),
-]
+_THREAD_HEADER_RE = re.compile(
+    r"#\s*include\s*<(thread|mutex|shared_mutex|condition_variable|"
+    r"future|stop_token|semaphore|barrier|latch|atomic)>"
+)
+_THREAD_PRIMS = {
+    "thread", "jthread", "mutex", "recursive_mutex", "shared_mutex",
+    "timed_mutex", "condition_variable", "future", "promise", "async",
+    "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+    "counting_semaphore", "binary_semaphore", "barrier", "latch",
+    "call_once", "once_flag",
+}
 
 
-def check_threading(src: Path) -> list[Violation]:
-    violations = []
-    for path in source_files(src):
-        for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
-            if allowed(raw, "threading"):
+def check_threading(files: list[SourceFile]) -> list[Violation]:
+    out = []
+
+    def hit(f: SourceFile, line: int, why: str) -> None:
+        out.append(
+            Violation(
+                "threading",
+                f.path,
+                line,
+                f"{why} in simulator code; src/ is single-threaded and "
+                "deterministic — parallelism belongs in the bench drivers "
+                "(bench/)",
+            )
+        )
+
+    for f in files:
+        for t in f.pp_tokens:
+            if _THREAD_HEADER_RE.search(t.text):
+                hit(f, t.line, "threading/atomics header")
+        sig = f.sig
+        for i, t in enumerate(sig):
+            if t.kind != "id":
                 continue
-            code = strip_comments_and_strings(raw)
-            for pattern, why in THREADING_PATTERNS:
-                if pattern.search(code):
-                    violations.append(
-                        Violation(
-                            "threading",
-                            path,
-                            lineno,
-                            f"{why} in simulator code; src/ is "
-                            "single-threaded and deterministic — parallelism "
-                            "belongs in the bench drivers (bench/)",
-                        )
-                    )
-    return violations
+            if i < 2 or sig[i - 1].text != "::" or sig[i - 2].text != "std":
+                continue
+            if t.text in _THREAD_PRIMS or t.text.startswith("atomic"):
+                hit(f, t.line, "threading/atomics primitive")
+    return out
 
 
 # ---------------------------------------------------------------------------
 # R7: protocol code must not evaluate fingerprints over the dense id space
 
-OF_RANGE_CALL_RE = re.compile(r"\.\s*of_range\s*\(")
 DENSE_SCAN_DIRS = {"byzantine", "crash"}
 
 
-def check_dense_of_range(src: Path) -> list[Violation]:
-    violations = []
-    for path in source_files(src):
-        if path.parent.name not in DENSE_SCAN_DIRS:
+def check_dense_of_range(files: list[SourceFile]) -> list[Violation]:
+    out = []
+    for f in files:
+        if f.path.parent.name not in DENSE_SCAN_DIRS:
             continue
-        for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
-            if allowed(raw, "dense-of-range"):
-                continue
-            code = strip_comments_and_strings(raw)
-            if OF_RANGE_CALL_RE.search(code):
-                violations.append(
+        sig = f.sig
+        for i, t in enumerate(sig):
+            if t.text == "of_range" and i >= 1 and sig[i - 1].text == "." \
+                    and seq_at(sig, i + 1, "("):
+                out.append(
                     Violation(
                         "dense-of-range",
-                        path,
-                        lineno,
+                        f.path,
+                        t.line,
                         "of_range scans a dense BitVec over the identity "
                         "space; protocol code must use IdentityList's "
                         "incremental summaries (summarize/rank/ids_in) "
@@ -381,98 +719,356 @@ def check_dense_of_range(src: Path) -> list[Violation]:
                         "only",
                     )
                 )
-    return violations
+    return out
 
 
 # ---------------------------------------------------------------------------
 # R8: no raw terminal output in library code
 
-RAW_OUTPUT_PATTERNS = [
-    (
-        re.compile(r"std\s*::\s*(cout|cerr|clog)\b"),
-        "raw std::cout/cerr/clog stream",
-    ),
-    (
-        # \b keeps snprintf/vsnprintf (format-into-buffer, no output) legal.
-        re.compile(r"\b(?:std\s*::\s*)?(printf|fprintf|vprintf|vfprintf|"
-                   r"puts|fputs|putchar|fputc)\s*\("),
-        "stdio output call",
-    ),
-]
+_STREAMS = {"cout", "cerr", "clog"}
+# Exact-token matching keeps snprintf/vsnprintf (format-into-buffer) legal.
+_STDIO_CALLS = {
+    "printf", "fprintf", "vprintf", "vfprintf", "puts", "fputs", "putchar",
+    "fputc",
+}
 
 
-def check_raw_output(src: Path) -> list[Violation]:
-    violations = []
-    for path in source_files(src):
-        for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
-            if allowed(raw, "raw-output"):
+def check_raw_output(files: list[SourceFile]) -> list[Violation]:
+    out = []
+
+    def hit(f: SourceFile, line: int, why: str) -> None:
+        out.append(
+            Violation(
+                "raw-output",
+                f.path,
+                line,
+                f"{why} in library code; report through "
+                "TraceSink/RunStats/obs::Telemetry, a caller-supplied "
+                "std::ostream, or a returned explanation string like "
+                "obs/doctor.h (docs/OBSERVABILITY.md) — terminal output "
+                "belongs to examples/, tools/ and bench/ outside src/",
+            )
+        )
+
+    for f in files:
+        sig = f.sig
+        for i, t in enumerate(sig):
+            if t.kind != "id":
                 continue
-            code = strip_comments_and_strings(raw)
-            for pattern, why in RAW_OUTPUT_PATTERNS:
-                if pattern.search(code):
-                    violations.append(
-                        Violation(
-                            "raw-output",
-                            path,
-                            lineno,
-                            f"{why} in library code; report through "
-                            "TraceSink/RunStats/obs::Telemetry, a "
-                            "caller-supplied std::ostream, or a returned "
-                            "explanation string like obs/doctor.h "
-                            "(docs/OBSERVABILITY.md) — terminal output "
-                            "belongs to examples/, tools/ and bench/ "
-                            "outside src/",
-                        )
-                    )
-    return violations
+            if t.text in _STREAMS and i >= 2 and sig[i - 1].text == "::" \
+                    and sig[i - 2].text == "std":
+                hit(f, t.line, "raw std::cout/cerr/clog stream")
+            elif t.text in _STDIO_CALLS and seq_at(sig, i + 1, "(") and \
+                    (i == 0 or sig[i - 1].text not in (".", "->")):
+                hit(f, t.line, "stdio output call")
+    return out
 
 
 # ---------------------------------------------------------------------------
-# R4: no iteration over unordered containers
+# R9: declared message widths flow from sim/wire_schema.h
 
-UNORDERED_DECL_RE = re.compile(r"std\s*::\s*unordered_\w+\s*<[^;()]*>\s+(\w+)\s*[;{=]")
+# Identifiers that prove a width expression derives from the schema.
+_SCHEMA_SOURCES = {
+    "wire_bits", "make_blob_message",
+    "kForgedNewProbeBits", "kSpoofProbeBits",
+}
+# Files that ARE the schema layer: the table itself and the raw Message
+# builder it wraps. Their internals define the widths everyone else derives.
+_SCHEMA_LAYER = {"sim/wire_schema.h", "sim/message.h"}
 
 
-def check_unordered_iteration(src: Path) -> list[Violation]:
-    violations = []
-    for path in source_files(src):
-        lines = path.read_text().splitlines()
-        names: set[str] = set()
-        for raw in lines:
-            m = UNORDERED_DECL_RE.search(strip_comments_and_strings(raw))
-            if m:
-                names.add(m.group(1))
-        if not names:
+def _width_initializers(f: SourceFile, name: str):
+    """Yields (line, tokens) for every in-file initializer of `name`:
+    `name = expr;`, `name(expr)` / `name{expr}` (ctor-init or brace init),
+    and `name() [const] { body }` (width helper function definitions)."""
+    sig = f.sig
+    for i, t in enumerate(sig):
+        if t.kind != "id" or t.text != name or i + 1 >= len(sig):
             continue
-        for lineno, raw in enumerate(lines, start=1):
-            if allowed(raw, "unordered-iteration"):
+        nxt = sig[i + 1].text
+        if nxt == "=" and not seq_at(sig, i + 1, "=="):
+            j = i + 2
+            depth = 0
+            start = j
+            while j < len(sig):
+                if sig[j].text in "([{":
+                    depth += 1
+                elif sig[j].text in ")]}":
+                    depth -= 1
+                elif sig[j].text in (";", ",") and depth <= 0:
+                    break
+                j += 1
+            yield t.line, sig[start:j]
+        elif nxt in ("(", "{"):
+            close = ")" if nxt == "(" else "}"
+            end = balanced_end(sig, i + 1, nxt, close)
+            inner = sig[i + 2 : end - 1]
+            if inner:
+                yield t.line, inner
+            elif nxt == "(":
+                # Possible width-helper definition: name() [const] { body }.
+                j = end
+                if j < len(sig) and sig[j].text == "const":
+                    j += 1
+                if j < len(sig) and sig[j].text == "{":
+                    yield t.line, sig[j : balanced_end(sig, j, "{", "}")]
+
+
+def _check_width_expr(f: SourceFile, arg: list[Token], call_line: int,
+                      out: list[Violation], seen: set[str]) -> None:
+    """Flags numeric literals in a bits-argument expression, then traces any
+    width-named identifiers it references to their in-file initializers."""
+    for t in arg:
+        if t.kind == "num":
+            out.append(
+                Violation(
+                    "wire-schema",
+                    f.path,
+                    t.line,
+                    f"raw bit-width literal '{t.text}' in a message-width "
+                    "argument; widths must flow from sim/wire_schema.h "
+                    "(wire_bits(), wire::make_message, or a named probe "
+                    "constant)",
+                )
+            )
+    texts = {t.text for t in arg if t.kind == "id"}
+    if texts & _SCHEMA_SOURCES:
+        return  # directly schema-derived
+    for i, t in enumerate(arg):
+        if t.kind != "id" or not _BITSY.search(t.text):
+            continue
+        if i >= 1 and arg[i - 1].text in (".", "->", "::"):
+            continue  # member of another object; checked where it is set
+        if t.text in seen:
+            continue
+        seen.add(t.text)
+        for line, init in _width_initializers(f, t.text):
+            if {x.text for x in init if x.kind == "id"} & _SCHEMA_SOURCES:
                 continue
-            code = strip_comments_and_strings(raw)
-            for name in names:
-                range_for = re.search(rf"for\s*\([^;)]*:\s*{re.escape(name)}\b", code)
-                explicit = re.search(rf"\b{re.escape(name)}\s*\.\s*(begin|cbegin)\s*\(", code)
-                if range_for or explicit:
-                    violations.append(
+            for x in init:
+                if x.kind == "num":
+                    out.append(
                         Violation(
-                            "unordered-iteration",
-                            path,
-                            lineno,
-                            f"iterating unordered container '{name}': its "
-                            "order is address-dependent and would leak "
-                            "nondeterminism into traces/messages; use an "
-                            "ordered container or add "
-                            "// lint:allow(unordered-iteration) with a "
-                            "justification",
+                            "wire-schema",
+                            f.path,
+                            line,
+                            f"width '{t.text}' (used as a message-width "
+                            f"argument at line {call_line}) is initialized "
+                            f"from a raw literal '{x.text}' instead of "
+                            "sim/wire_schema.h",
                         )
                     )
-    return violations
+
+
+def check_wire_schema(files: list[SourceFile]) -> list[Violation]:
+    out: list[Violation] = []
+    for f in files:
+        if f.rel in _SCHEMA_LAYER:
+            continue
+        sig = f.sig
+        seen: set[str] = set()
+        for i, t in enumerate(sig):
+            if t.kind != "id" or not seq_at(sig, i + 1, "("):
+                continue
+            # A call site is never directly preceded by a plain identifier
+            # or '>' — that shape is a declaration (`void note_messages(`,
+            # `Message make_message(`) or a template one.
+            if i >= 1 and (sig[i - 1].kind == "id" or sig[i - 1].text == ">"):
+                continue
+            if t.text == "make_message":
+                # wire::make_message derives its width from the schema.
+                if i >= 2 and sig[i - 1].text == "::" and \
+                        sig[i - 2].text == "wire":
+                    continue
+                args, _ = split_args(sig, i + 1)
+                if len(args) >= 2:
+                    _check_width_expr(f, args[1], t.line, out, seen)
+            elif t.text == "note_messages":
+                # RunStats(count, bits) / Telemetry(kind, count, bits):
+                # the width is the last argument either way.
+                args, _ = split_args(sig, i + 1)
+                if len(args) >= 2:
+                    _check_width_expr(f, args[-1], t.line, out, seen)
+    return out
 
 
 # ---------------------------------------------------------------------------
-# R5: headers are self-contained
+# R11: every registered kind has a schema entry and a dispatch declaration
+
+_REGISTRY_FILE = "sim/message_names.h"
+_SCHEMA_FILE = "sim/wire_schema.h"
 
 
-def check_header_hygiene(src: Path, compiler: str) -> list[Violation]:
+def _int_literal(text: str) -> int | None:
+    try:
+        return int(text.rstrip("uUlL"), 0)
+    except ValueError:
+        return None
+
+
+def _registered_kinds(f: SourceFile) -> tuple[dict[int, int], int]:
+    """Parses `kRegisteredKinds[] = { ... }`; returns ({kind: line}, line)."""
+    sig = f.sig
+    for i, t in enumerate(sig):
+        if t.text != "kRegisteredKinds":
+            continue
+        j = i + 1
+        while j < len(sig) and sig[j].text != "{":
+            if sig[j].text == ";":
+                break
+            j += 1
+        if j >= len(sig) or sig[j].text != "{":
+            continue
+        end = balanced_end(sig, j, "{", "}")
+        kinds = {}
+        for tk in sig[j + 1 : end - 1]:
+            if tk.kind == "num":
+                v = _int_literal(tk.text)
+                if v is not None:
+                    kinds[v] = tk.line
+        return kinds, t.line
+    return {}, 0
+
+
+def _schema_kinds(f: SourceFile) -> dict[int, int]:
+    """Parses kWireSchemas: the first number of each top-level {...} entry."""
+    sig = f.sig
+    for i, t in enumerate(sig):
+        if t.text != "kWireSchemas":
+            continue
+        j = i + 1
+        while j < len(sig) and sig[j].text != "{":
+            if sig[j].text == ";":
+                break
+            j += 1
+        if j >= len(sig) or sig[j].text != "{":
+            continue
+        end = balanced_end(sig, j, "{", "}")
+        kinds = {}
+        k = j + 1
+        while k < end - 1:
+            if sig[k].text == "{":
+                entry_end = balanced_end(sig, k, "{", "}")
+                for tk in sig[k + 1 : entry_end]:
+                    if tk.kind == "num":
+                        v = _int_literal(tk.text)
+                        if v is not None:
+                            kinds[v] = tk.line
+                        break
+                k = entry_end
+            else:
+                k += 1
+        return kinds
+    return {}
+
+
+def _declared_kinds(files: list[SourceFile]) -> dict[int, str]:
+    """All kind values declared by a Tag enumerator or constexpr MsgKind."""
+    declared: dict[int, str] = {}
+    for f in files:
+        sig = f.sig
+        for _, enumerators, (lo, hi) in _tag_enums(f):
+            for name, _, decl_idx in enumerators:
+                if decl_idx + 2 < len(sig) and \
+                        sig[decl_idx + 1].text == "=" and \
+                        sig[decl_idx + 2].kind == "num":
+                    v = _int_literal(sig[decl_idx + 2].text)
+                    if v is not None:
+                        declared.setdefault(v, f"{f.rel} ({name})")
+        for name, _, val_idx in _constexpr_kinds(f):
+            if val_idx < len(sig) and sig[val_idx].kind == "num":
+                v = _int_literal(sig[val_idx].text)
+                if v is not None:
+                    declared.setdefault(v, f"{f.rel} ({name})")
+    return declared
+
+
+def check_kind_coverage(files: list[SourceFile]) -> list[Violation]:
+    registry_file = next((f for f in files if f.rel == _REGISTRY_FILE), None)
+    schema_file = next((f for f in files if f.rel == _SCHEMA_FILE), None)
+    if registry_file is None:
+        return []  # nothing to pin against (fixture trees without a registry)
+    registered, registry_line = _registered_kinds(registry_file)
+    if not registered:
+        return []
+    out = []
+    schema = _schema_kinds(schema_file) if schema_file is not None else {}
+    declared = _declared_kinds(files)
+    for kind, line in sorted(registered.items()):
+        if kind not in schema:
+            out.append(
+                Violation(
+                    "kind-coverage",
+                    registry_file.path,
+                    line,
+                    f"registered kind {kind} has no wire-schema entry in "
+                    f"{_SCHEMA_FILE} (kWireSchemas)",
+                )
+            )
+        if kind not in declared:
+            out.append(
+                Violation(
+                    "kind-coverage",
+                    registry_file.path,
+                    line,
+                    f"registered kind {kind} has no dispatch declaration "
+                    "anywhere under src/ (expected an `enum class ... : "
+                    "sim::MsgKind` enumerator or a `constexpr sim::MsgKind`)",
+                )
+            )
+    for kind, line in sorted(schema.items()):
+        if kind not in registered:
+            out.append(
+                Violation(
+                    "kind-coverage",
+                    schema_file.path,
+                    line,
+                    f"wire-schema entry for kind {kind} which is not in "
+                    f"sim::kRegisteredKinds ({_REGISTRY_FILE} line "
+                    f"{registry_line})",
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# R5: headers are self-contained (with a content-hash cache)
+
+_INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+
+def _include_closure(files_by_rel: dict[str, SourceFile], rel: str,
+                     seen: set[str]) -> None:
+    if rel in seen:
+        return
+    seen.add(rel)
+    f = files_by_rel.get(rel)
+    if f is None:
+        return
+    for t in f.pp_tokens:
+        m = _INCLUDE_RE.search(t.text)
+        if m:
+            _include_closure(files_by_rel, m.group(1), seen)
+
+
+def _header_fingerprint(files_by_rel: dict[str, SourceFile], rel: str,
+                        compiler: str) -> str:
+    """Content hash over the header and its transitive repo includes, plus
+    the compiler identity — any change re-triggers the syntax-only check."""
+    closure: set[str] = set()
+    _include_closure(files_by_rel, rel, closure)
+    h = hashlib.sha256()
+    h.update(compiler.encode())
+    for dep in sorted(closure):
+        f = files_by_rel.get(dep)
+        if f is not None:
+            h.update(dep.encode())
+            h.update(f.text.encode())
+    return h.hexdigest()
+
+
+def check_header_hygiene(files: list[SourceFile], src: Path, compiler: str,
+                         cache_path: Path | None) -> list[Violation]:
     if shutil.which(compiler) is None:
         print(
             f"protocol_lint: warning: '{compiler}' not found; "
@@ -480,13 +1076,29 @@ def check_header_hygiene(src: Path, compiler: str) -> list[Violation]:
             file=sys.stderr,
         )
         return []
+    files_by_rel = {f.rel: f for f in files}
+    headers = sorted(
+        (f for f in files if f.path.suffix == ".h"), key=lambda f: f.rel
+    )
+
+    cache: dict[str, str] = {}
+    if cache_path is not None and cache_path.is_file():
+        try:
+            cache = json.loads(cache_path.read_text())
+        except (json.JSONDecodeError, OSError):
+            cache = {}
+
     violations = []
-    headers = sorted(p for p in src.rglob("*.h") if p.is_file())
+    fresh: dict[str, str] = {}
     with tempfile.TemporaryDirectory(prefix="protocol_lint_") as tmp:
         tu = Path(tmp) / "tu.cc"
         for header in headers:
-            rel = header.relative_to(src).as_posix()
-            tu.write_text(f'#include "{rel}"\nint main() {{ return 0; }}\n')
+            fp = _header_fingerprint(files_by_rel, header.rel, compiler)
+            if cache.get(header.rel) == fp:
+                fresh[header.rel] = fp  # clean last time, unchanged since
+                continue
+            tu.write_text(f'#include "{header.rel}"\nint main() '
+                          "{ return 0; }\n")
             proc = subprocess.run(
                 [compiler, "-std=c++20", "-fsyntax-only", "-Wall", "-Wextra",
                  f"-I{src}", str(tu)],
@@ -499,26 +1111,110 @@ def check_header_hygiene(src: Path, compiler: str) -> list[Violation]:
                 violations.append(
                     Violation(
                         "header-hygiene",
-                        header,
+                        header.path,
                         1,
                         f"header is not self-contained: {detail}",
                     )
                 )
+            else:
+                fresh[header.rel] = fp  # only clean results are memoized
+    if cache_path is not None:
+        try:
+            cache_path.parent.mkdir(parents=True, exist_ok=True)
+            cache_path.write_text(json.dumps(fresh, indent=1, sort_keys=True))
+        except OSError as e:
+            print(f"protocol_lint: warning: cannot write cache: {e}",
+                  file=sys.stderr)
     return violations
 
 
 # ---------------------------------------------------------------------------
+# Engine: run rule passes, apply suppressions, report stale markers (R10)
 
-RULES = {
-    "nondeterminism": lambda src, args: check_nondeterminism(src),
-    "msgkind": lambda src, args: check_msgkind_exhaustive(src),
-    "bits-width": lambda src, args: check_bits_width(src),
-    "unordered-iteration": lambda src, args: check_unordered_iteration(src),
-    "header-hygiene": lambda src, args: check_header_hygiene(src, args.compiler),
-    "threading": lambda src, args: check_threading(src),
-    "dense-of-range": lambda src, args: check_dense_of_range(src),
-    "raw-output": lambda src, args: check_raw_output(src),
-}
+RULES = (
+    "nondeterminism",
+    "msgkind",
+    "bits-width",
+    "unordered-iteration",
+    "header-hygiene",
+    "threading",
+    "dense-of-range",
+    "raw-output",
+    "wire-schema",
+    "stale-allow",
+    "kind-coverage",
+)
+
+
+def run_rules(files: list[SourceFile], src: Path, selected: list[str],
+              compiler: str, cache_path: Path | None):
+    """Returns (violations, suppressed) after marker filtering + R10."""
+    raw: list[Violation] = []
+    if "nondeterminism" in selected:
+        raw += check_nondeterminism(files)
+    if "msgkind" in selected:
+        raw += check_msgkind_exhaustive(files)
+    if "bits-width" in selected:
+        raw += check_bits_width(files)
+    if "unordered-iteration" in selected:
+        raw += check_unordered_iteration(files)
+    if "threading" in selected:
+        raw += check_threading(files)
+    if "dense-of-range" in selected:
+        raw += check_dense_of_range(files)
+    if "raw-output" in selected:
+        raw += check_raw_output(files)
+    if "wire-schema" in selected:
+        raw += check_wire_schema(files)
+    if "kind-coverage" in selected:
+        raw += check_kind_coverage(files)
+    if "header-hygiene" in selected:
+        raw += check_header_hygiene(files, src, compiler, cache_path)
+
+    files_by_path = {f.path: f for f in files}
+    violations: list[Violation] = []
+    suppressed: list[Violation] = []
+    used: set[tuple[Path, int, str]] = set()
+    for v in raw:
+        f = files_by_path.get(v.path)
+        if f is not None and v.rule in f.allows.get(v.line, ()):
+            used.add((v.path, v.line, v.rule))
+            suppressed.append(v)
+        else:
+            violations.append(v)
+
+    # R10: a marker that suppressed nothing is itself a finding. Markers for
+    # rules outside the selected set are skipped (a partial run cannot judge
+    # them); markers naming no known rule are always errors.
+    if "stale-allow" in selected:
+        for f in files:
+            for line, rules in sorted(f.allows.items()):
+                for rule in sorted(rules):
+                    if rule not in SUPPRESSIBLE:
+                        violations.append(
+                            Violation(
+                                "stale-allow",
+                                f.path,
+                                line,
+                                f"lint:allow({rule}) names an unknown or "
+                                "non-suppressible rule",
+                            )
+                        )
+                    elif rule in selected and \
+                            (f.path, line, rule) not in used:
+                        violations.append(
+                            Violation(
+                                "stale-allow",
+                                f.path,
+                                line,
+                                f"lint:allow({rule}) suppresses nothing — "
+                                "stale markers hide the next real finding "
+                                "on this line; remove it",
+                            )
+                        )
+
+    violations.sort(key=lambda v: (str(v.path), v.line, v.rule))
+    return violations, suppressed
 
 
 def main() -> int:
@@ -532,8 +1228,7 @@ def main() -> int:
     parser.add_argument(
         "--rules",
         default="all",
-        help="comma-separated rule subset: "
-        + ",".join(RULES)
+        help="comma-separated rule subset: " + ",".join(RULES)
         + " (default: all)",
     )
     parser.add_argument(
@@ -541,11 +1236,30 @@ def main() -> int:
         default="g++",
         help="compiler used for the header self-containment smoke test",
     )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        help="write a JSON report (violations + suppressions) to this path",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the header-hygiene content-hash cache",
+    )
+    parser.add_argument(
+        "--cache",
+        type=Path,
+        default=None,
+        help="header-hygiene cache file "
+        "(default: <root>/build/.protocol_lint_cache.json)",
+    )
     args = parser.parse_args()
 
     src = args.root / "src"
     if not src.is_dir():
-        print(f"protocol_lint: error: {src} is not a directory", file=sys.stderr)
+        print(f"protocol_lint: error: {src} is not a directory",
+              file=sys.stderr)
         return 2
 
     if args.rules == "all":
@@ -560,14 +1274,43 @@ def main() -> int:
             )
             return 2
 
-    violations: list[Violation] = []
-    for rule in selected:
-        violations.extend(RULES[rule](src, args))
+    cache_path = None
+    if not args.no_cache:
+        cache_path = args.cache or (
+            args.root / "build" / ".protocol_lint_cache.json"
+        )
+
+    files = [SourceFile(p, src) for p in sorted(src.rglob("*"))
+             if p.suffix in SOURCE_SUFFIXES and p.is_file()]
+
+    violations, suppressed = run_rules(files, src, selected, args.compiler,
+                                       cache_path)
 
     for v in violations:
         print(v)
+
+    if args.report is not None:
+        def as_dict(v: Violation) -> dict:
+            return {
+                "rule": v.rule,
+                "path": str(v.path),
+                "line": v.line,
+                "message": v.message,
+            }
+
+        report = {
+            "ok": not violations,
+            "rules": selected,
+            "files_scanned": len(files),
+            "violations": [as_dict(v) for v in violations],
+            "suppressed": [as_dict(v) for v in suppressed],
+        }
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(json.dumps(report, indent=1) + "\n")
+
     if violations:
-        print(f"protocol_lint: {len(violations)} violation(s)", file=sys.stderr)
+        print(f"protocol_lint: {len(violations)} violation(s)",
+              file=sys.stderr)
         return 1
     print(f"protocol_lint: OK ({', '.join(selected)})")
     return 0

@@ -4,6 +4,7 @@
 
 #include "common/math.h"
 #include "core/interval.h"
+#include "sim/wire_schema.h"
 #include "obs/journal.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
@@ -19,7 +20,7 @@ class ChtNode final : public sim::Node {
   ChtNode(NodeIndex self, const SystemConfig& cfg)
       : id_(cfg.ids[self]),
         n_(cfg.n),
-        bits_(ceil_log2(cfg.namespace_size) + 2 * ceil_log2(cfg.n)),
+        bits_(sim::wire::wire_bits(kStatus, {cfg.n, cfg.namespace_size})),
         total_phases_(ceil_log2(cfg.n)),
         interval_(1, cfg.n) {}
 

@@ -4,6 +4,7 @@
 
 #include "common/math.h"
 #include "common/prng.h"
+#include "sim/wire_schema.h"
 #include "obs/journal.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
@@ -20,7 +21,8 @@ class ClaimingNode final : public sim::Node {
   ClaimingNode(NodeIndex self, const SystemConfig& cfg)
       : id_(cfg.ids[self]),
         n_(cfg.n),
-        bits_(ceil_log2(cfg.namespace_size) + ceil_log2(cfg.n)),
+        // CLAIM and OWNED share one layout; one cached width serves both.
+        bits_(sim::wire::wire_bits(kClaim, {cfg.n, cfg.namespace_size})),
         rng_(SplitMix64(cfg.seed ^ 0xC1A141ULL).next() + self) {}
 
   void send(Round, sim::Outbox& out) override {

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <memory>
 
-#include "common/math.h"
 #include "obs/journal.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
+#include "sim/wire_schema.h"
 
 namespace renaming::baselines {
 
@@ -19,15 +19,15 @@ class EarlyDecidingNode final : public sim::Node {
   EarlyDecidingNode(NodeIndex self, const SystemConfig& cfg)
       : id_(cfg.ids[self]),
         n_(cfg.n),
-        id_bits_(ceil_log2(cfg.namespace_size)),
+        wire_{cfg.n, cfg.namespace_size},
         known_{cfg.ids[self]} {}
 
   void send(Round, sim::Outbox& out) override {
     // Decided nodes keep broadcasting: stragglers that missed a partial
     // broadcast converge to the decided set through these echoes.
-    sim::Message m = sim::make_message(kSet, set_bits());
-    m.blob = std::make_shared<const std::vector<std::uint64_t>>(known_);
-    out.broadcast(m);
+    out.broadcast(sim::wire::make_blob_message(
+        kSet, wire_,
+        std::make_shared<const std::vector<std::uint64_t>>(known_)));
   }
 
   void receive(Round round, sim::InboxView inbox) override {
@@ -65,15 +65,9 @@ class EarlyDecidingNode final : public sim::Node {
   Round decision_round() const { return decision_round_; }
 
  private:
-  std::uint32_t set_bits() const {
-    const std::uint64_t bits =
-        std::max<std::uint64_t>(1, known_.size()) * id_bits_;
-    return static_cast<std::uint32_t>(std::min<std::uint64_t>(bits, 1u << 30));
-  }
-
   OriginalId id_;
   NodeIndex n_;
-  std::uint32_t id_bits_;
+  sim::wire::WireContext wire_;  ///< message widths (sim/wire_schema.h)
   std::vector<std::uint64_t> known_;  // sorted cumulative identity set
   std::vector<NodeIndex> heard_prev_;
   bool decided_ = false;

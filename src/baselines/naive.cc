@@ -2,10 +2,10 @@
 
 #include <algorithm>
 
-#include "common/math.h"
 #include "obs/journal.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
+#include "sim/wire_schema.h"
 
 namespace renaming::baselines {
 
@@ -16,7 +16,8 @@ constexpr sim::MsgKind kId = 30;
 class NaiveNode final : public sim::Node {
  public:
   NaiveNode(NodeIndex self, const SystemConfig& cfg)
-      : id_(cfg.ids[self]), bits_(ceil_log2(cfg.namespace_size)) {}
+      : id_(cfg.ids[self]),
+        bits_(sim::wire::wire_bits(kId, {cfg.n, cfg.namespace_size})) {}
 
   void send(Round, sim::Outbox& out) override {
     out.broadcast(sim::make_message(kId, bits_, id_));

@@ -11,6 +11,7 @@
 #include "obs/journal.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
+#include "sim/wire_schema.h"
 
 namespace renaming::baselines {
 
@@ -33,23 +34,21 @@ class ObgNode : public sim::Node {
         id_(cfg.ids[self]),
         n_(cfg.n),
         t_((cfg.n - 1) / 3),
-        id_bits_(ceil_log2(cfg.namespace_size)),
+        wire_{cfg.n, cfg.namespace_size},
         halving_phases_(ceil_log2(cfg.n)),
         directory_(&directory) {}
 
   void send(Round round, sim::Outbox& out) override {
     if (round == 1) {
-      out.broadcast(sim::make_message(kAnnounce, id_bits_, id_));
+      out.broadcast(sim::wire::make_message(kAnnounce, wire_, id_));
     } else if (round == 2 || round == 3) {
       // Full candidate vector: the Omega(n log N)-bit message of [34].
-      sim::Message m = sim::make_message(kVector, vector_bits(candidates_));
-      m.blob = to_blob(candidates_);
-      out.broadcast(m);
+      out.broadcast(sim::wire::make_blob_message(kVector, wire_,
+                                                 to_blob(candidates_)));
     } else {
-      sim::Message m = sim::make_message(kHalving, vector_bits(candidates_),
-                                         id_, interval_.lo, interval_.hi);
-      m.blob = to_blob(candidates_);
-      out.broadcast(m);
+      out.broadcast(sim::wire::make_blob_message(kHalving, wire_,
+                                                 to_blob(candidates_), id_,
+                                                 interval_.lo, interval_.hi));
     }
   }
 
@@ -92,13 +91,6 @@ class ObgNode : public sim::Node {
     v.erase(std::unique(v.begin(), v.end()), v.end());
   }
 
-  std::uint32_t vector_bits(const std::vector<OriginalId>& v) const {
-    const std::uint64_t bits =
-        std::max<std::uint64_t>(1, v.size()) * id_bits_;
-    return static_cast<std::uint32_t>(
-        std::min<std::uint64_t>(bits, 1u << 30));
-  }
-
   std::vector<OriginalId> filter_by_count(sim::InboxView inbox,
                                           std::size_t threshold) const {
     // Ordered map: iteration below builds the kept vector in id order.
@@ -136,7 +128,7 @@ class ObgNode : public sim::Node {
   OriginalId id_;
   NodeIndex n_;
   std::uint32_t t_;
-  std::uint32_t id_bits_;
+  sim::wire::WireContext wire_;  ///< message widths (sim/wire_schema.h)
   Round halving_phases_;
   Round last_round_ = 0;
   const Directory* directory_;
@@ -159,7 +151,7 @@ class ObgByzNode final : public ObgNode {
     if (behaviour_ == ObgByzBehaviour::kSplitAnnounce && round == 1) {
       // Announce to the even half only: the view-splitting attack.
       for (NodeIndex d = 0; d < n_; d += 2) {
-        out.send(d, sim::make_message(kAnnounce, id_bits_, id_));
+        out.send(d, sim::wire::make_message(kAnnounce, wire_, id_));
       }
       return;
     }
@@ -169,9 +161,8 @@ class ObgByzNode final : public ObgNode {
       std::vector<OriginalId> padded = candidates_;
       for (int k = 0; k < 8; ++k) padded.push_back(1 + rng_.below(1u << 20));
       normalize(padded);
-      sim::Message m = sim::make_message(kVector, vector_bits(padded));
-      m.blob = to_blob(padded);
-      out.broadcast(m);
+      out.broadcast(sim::wire::make_blob_message(kVector, wire_,
+                                                 to_blob(padded)));
       return;
     }
     ObgNode::send(round, out);

@@ -24,6 +24,7 @@ ByzNode::ByzNode(NodeIndex self, const SystemConfig& cfg,
     : self_(self),
       n_(cfg.n),
       namespace_size_(cfg.namespace_size),
+      wire_{cfg.n, cfg.namespace_size},
       id_(cfg.ids[self]),
       directory_(&directory),
       params_(params),
@@ -62,11 +63,13 @@ void register_byz_phases(obs::Telemetry& telemetry) {
 
 std::uint32_t ByzNode::fingerprint_bits() const {
   // <fingerprint (61), count (log n), control>: O(log N) since N >= n.
-  return 61 + ceil_log2(n_ + 1) + 16;
+  return sim::wire::wire_bits(kind_of(Tag::kValidator), wire_);
 }
 
 std::uint32_t ByzNode::control_bits() const {
-  return ceil_log2(namespace_size_) + 16;
+  // One width for the whole control family — wire_schema.h static_asserts
+  // that ELECT/ID_REPORT/CONSENSUS/DIFF share a layout.
+  return sim::wire::wire_bits(kind_of(Tag::kElect), wire_);
 }
 
 bool ByzNode::done() const {
@@ -84,14 +87,14 @@ void ByzNode::send(Round round, sim::Outbox& out) {
                        id_, params_.pool_probability(n_))) {
         elected_ = true;
         out.broadcast(
-            sim::make_message(kind_of(Tag::kElect), control_bits(), id_));
+            sim::wire::make_message(kind_of(Tag::kElect), wire_, id_));
       }
       break;
     }
     case Stage::kIdReport:
       for (const consensus::Member& m : view_.members()) {
-        out.send(m.link, sim::make_message(kind_of(Tag::kIdReport),
-                                           control_bits(), id_));
+        out.send(m.link, sim::wire::make_message(kind_of(Tag::kIdReport),
+                                                 wire_, id_));
       }
       break;
     case Stage::kValidator:
@@ -105,23 +108,19 @@ void ByzNode::send(Round round, sim::Outbox& out) {
     case Stage::kFullExchange: {
       // Ablation A2: ship the entire identity vector to the committee —
       // the Omega(n log N)-bit pattern the fingerprint loop replaces.
-      sim::Message m;
-      m.kind = kind_of(Tag::kVector);
-      m.blob = std::make_shared<const std::vector<std::uint64_t>>(
-          list_->to_vector());
-      const std::uint64_t blob_bits =
-          std::max<std::uint64_t>(1, list_->size()) *
-          ceil_log2(namespace_size_);
-      m.bits = static_cast<std::uint32_t>(
-          std::min<std::uint64_t>(blob_bits, 1u << 30));
-      consensus::broadcast_to_committee(view_, out, m);
+      consensus::broadcast_to_committee(
+          view_, out,
+          sim::wire::make_blob_message(
+              kind_of(Tag::kVector), wire_,
+              std::make_shared<const std::vector<std::uint64_t>>(
+                  list_->to_vector())));
       break;
     }
     case Stage::kDiffExchange:
       consensus::broadcast_to_committee(
           view_, out,
-          sim::make_message(kind_of(Tag::kDiff), control_bits(), session_,
-                            static_cast<std::uint64_t>(diff_)));
+          sim::wire::make_message(kind_of(Tag::kDiff), wire_, session_,
+                                  static_cast<std::uint64_t>(diff_)));
       break;
     case Stage::kDistribute:
       distribute(out);
@@ -338,17 +337,15 @@ void ByzNode::distribute(sim::Outbox& out) {
         const NodeIndex link = directory_->link_of(id);
         ++offset;
         if (link == kNoNode) continue;  // identity never joined: skip
-        out.send(link,
-                 sim::make_message(kind_of(Tag::kNew),
-                                   ceil_log2(n_ + 1) + 8, before + offset));
+        out.send(link, sim::wire::make_message(kind_of(Tag::kNew), wire_,
+                                               before + offset));
       }
     } else {
       // NEW(null) to every reporter inside the dirty segment.
       for (const auto& [id, link] : reporters_) {
         if (proc.segment.contains(id)) {
-          out.send(link, sim::make_message(kind_of(Tag::kNew),
-                                           ceil_log2(n_ + 1) + 8,
-                                           std::uint64_t{0}));
+          out.send(link, sim::wire::make_message(kind_of(Tag::kNew), wire_,
+                                                 std::uint64_t{0}));
         }
       }
     }

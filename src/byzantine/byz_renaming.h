@@ -57,6 +57,7 @@
 #include "sim/node.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
+#include "sim/wire_schema.h"
 
 namespace renaming::obs {
 class Telemetry;  // obs/telemetry.h; nodes hold a non-owning pointer
@@ -173,6 +174,7 @@ class ByzNode : public sim::Node {
   NodeIndex self_;
   NodeIndex n_;
   std::uint64_t namespace_size_;
+  sim::wire::WireContext wire_;  ///< message widths (sim/wire_schema.h)
   OriginalId id_;
   const Directory* directory_;
   ByzParams params_;

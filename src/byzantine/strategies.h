@@ -29,6 +29,7 @@
 #include "common/prng.h"
 #include "core/directory.h"
 #include "sim/node.h"
+#include "sim/wire_schema.h"
 
 namespace renaming::byzantine {
 
@@ -140,10 +141,13 @@ class LyingMember final : public CorruptedNode {
       out.send(dest, std::move(msg));
     }
     // Premature fake NEW volley: tries to trick nodes into deciding early.
+    // The declared width is the named adversarial probe constant, not the
+    // honest NEW schema — the attacker pays for what it actually sends.
     if (round == 3) {
       for (NodeIndex d = 0; d < n_; ++d) {
         out.send(d, sim::make_message(static_cast<sim::MsgKind>(Tag::kNew),
-                                      16, 1 + rng_.below(n_)));
+                                      sim::wire::kForgedNewProbeBits,
+                                      1 + rng_.below(n_)));
       }
     }
   }
@@ -170,7 +174,7 @@ class Spoofer final : public CorruptedNode {
       for (NodeIndex d = 0; d < n_; ++d) {
         sim::Message forged = sim::make_message(
             static_cast<sim::MsgKind>(round == 1 ? Tag::kElect : Tag::kIdReport),
-            32, rng_.below(1u << 30) + 1);
+            sim::wire::kSpoofProbeBits, rng_.below(1u << 30) + 1);
         forged.claimed_sender = static_cast<NodeIndex>((self_ + 1) % n_);
         out.send(d, forged);
       }

@@ -8,14 +8,19 @@
 
 namespace renaming {
 
+// All four helpers are constexpr: the wire-schema evaluator
+// (sim/wire_schema.h) computes closed-form message widths at compile time,
+// and RENAMING_CHECK is constexpr-usable (a failing check during constant
+// evaluation is a compile error; see common/check.h).
+
 /// ceil(log2(x)) for x >= 1; returns 0 for x == 1.
-inline std::uint32_t ceil_log2(std::uint64_t x) {
+constexpr std::uint32_t ceil_log2(std::uint64_t x) {
   RENAMING_CHECK(x >= 1);
   return static_cast<std::uint32_t>(std::bit_width(x - 1));
 }
 
 /// floor(log2(x)) for x >= 1.
-inline std::uint32_t floor_log2(std::uint64_t x) {
+constexpr std::uint32_t floor_log2(std::uint64_t x) {
   RENAMING_CHECK(x >= 1);
   return static_cast<std::uint32_t>(std::bit_width(x)) - 1;
 }
@@ -23,13 +28,13 @@ inline std::uint32_t floor_log2(std::uint64_t x) {
 /// Natural-log-ish integer log used for "log n" in the paper's probability
 /// expressions: max(1, ceil(log2(n))) so that probabilities never vanish
 /// for tiny n.
-inline std::uint32_t protocol_log(std::uint64_t n) {
+constexpr std::uint32_t protocol_log(std::uint64_t n) {
   const std::uint32_t l = ceil_log2(n < 2 ? 2 : n);
   return l == 0 ? 1 : l;
 }
 
 /// Integer ceiling division.
-inline std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
   RENAMING_CHECK(b != 0);
   return (a + b - 1) / b;
 }

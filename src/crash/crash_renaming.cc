@@ -34,7 +34,7 @@ CrashNode::CrashNode(NodeIndex self, const SystemConfig& cfg,
                      CrashParams params, obs::Telemetry* telemetry)
     : self_(self),
       n_(cfg.n),
-      namespace_size_(cfg.namespace_size),
+      wire_{cfg.n, cfg.namespace_size},
       id_(cfg.ids[self]),
       params_(params),
       total_phases_(params.phase_multiplier * ceil_log2(cfg.n)),
@@ -43,11 +43,6 @@ CrashNode::CrashNode(NodeIndex self, const SystemConfig& cfg,
       interval_(1, cfg.n) {
   // Figure 1 line 2: initial self-election with probability c*log(n)/n.
   try_elect();
-}
-
-std::uint32_t CrashNode::status_bits() const {
-  // <ID, I.lo, I.hi, d, p>: O(log N) bits as required by the model.
-  return ceil_log2(namespace_size_) + 2 * ceil_log2(n_) + 16;
 }
 
 void CrashNode::try_elect() {
@@ -76,18 +71,17 @@ void CrashNode::send(Round round, sim::Outbox& out) {
     case 1:
       // Committee announcement on all n links (Figure 1 line 5).
       if (elected_) {
-        out.broadcast(sim::make_message(static_cast<sim::MsgKind>(Tag::kCommittee),
-                                        ceil_log2(namespace_size_), id_));
+        out.broadcast(sim::wire::make_message(
+            static_cast<sim::MsgKind>(Tag::kCommittee), wire_, id_));
       }
       break;
     case 2:
       // Report status to every link that announced committee membership
       // (Figure 1 lines 6-7). Note this includes ourselves if elected.
       for (NodeIndex link : announced_committee_) {
-        out.send(link,
-                 sim::make_message(static_cast<sim::MsgKind>(Tag::kStatus),
-                                   status_bits(), id_, interval_.lo,
-                                   interval_.hi, d_, p_));
+        out.send(link, sim::wire::make_message(
+                           static_cast<sim::MsgKind>(Tag::kStatus), wire_,
+                           id_, interval_.lo, interval_.hi, d_, p_));
       }
       break;
     case 3:
@@ -135,10 +129,9 @@ void CrashNode::committee_action(sim::Outbox& out) {
       }
       reply_d = w.d + 1;
     }
-    out.send(w.link, sim::make_message(
-                         static_cast<sim::MsgKind>(Tag::kResponse),
-                         status_bits(), w.id, reply_interval.lo,
-                         reply_interval.hi, reply_d,
+    out.send(w.link, sim::wire::make_message(
+                         static_cast<sim::MsgKind>(Tag::kResponse), wire_,
+                         w.id, reply_interval.lo, reply_interval.hi, reply_d,
                          p_ | (done_flag << 32)));
   }
 }

@@ -47,6 +47,7 @@
 #include "sim/node.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
+#include "sim/wire_schema.h"
 
 namespace renaming::obs {
 class Telemetry;  // obs/telemetry.h; nodes hold a non-owning pointer
@@ -114,12 +115,11 @@ class CrashNode final : public sim::Node {
   void committee_action(sim::Outbox& out);
   void node_action(sim::InboxView responses);
   void try_elect();
-  std::uint32_t status_bits() const;
 
   // --- immutable context ---
   NodeIndex self_;
   NodeIndex n_;
-  std::uint64_t namespace_size_;
+  sim::wire::WireContext wire_;  ///< message widths (sim/wire_schema.h)
   OriginalId id_;
   CrashParams params_;
   std::uint32_t total_phases_;

@@ -6,10 +6,29 @@
 
 #include "common/check.h"
 #include "common/math.h"
+#include "sim/message_names.h"
+#include "sim/wire_schema.h"
 
 namespace renaming::obs {
 
 namespace {
+
+/// Wire context for schema lookups; namespace clamped like Scales so a
+/// degenerate params struct (negative-fixture tests) stays well-defined.
+sim::wire::WireContext wire_ctx(const BudgetParams& p) {
+  return {p.n, std::max<std::uint64_t>(2, p.namespace_size)};
+}
+
+/// True when every accounted message carries its honest schema width.
+/// Crash-model adversaries drop and crash but never forge, so those runs
+/// are always honest-wire; the Byzantine-model family (byz, byz-full, obg)
+/// ships self-declared adversarial widths whenever f > 0 (strategies.h
+/// probes, padded vectors), which would poison an exact per-kind check.
+bool honest_wire(const BudgetParams& p) {
+  const bool byz_model = p.algorithm == "byz" || p.algorithm == "byz-full" ||
+                         p.algorithm == "obg";
+  return !byz_model || p.f == 0;
+}
 
 /// Shared scale quantities every envelope is phrased in.
 struct Scales {
@@ -71,6 +90,7 @@ struct Auditor {
   const BudgetParams& p;
   const sim::RunStats& stats;
   const std::array<PhaseTotals, kPhaseCount>* phases;
+  const std::vector<KindTotals>* kinds;
   BudgetReport report;
 
   double slack() const { return p.slack > 0.0 ? p.slack : 1.0; }
@@ -99,6 +119,26 @@ struct Auditor {
     const PhaseTotals& t = (*phases)[static_cast<std::size_t>(phase)];
     line(std::string("phase:") + phase_name(phase) + " messages",
          static_cast<double>(t.messages), msg_budget);
+  }
+
+  /// Wire-schema cross-check (honest-wire runs only): each fixed-layout
+  /// kind's accumulated bits must equal messages * wire_bits(kind) — the
+  /// runtime half of the schema contract, catching any call site that
+  /// bypasses sim/wire_schema.h with a stale hand-written width. Variable
+  /// kinds are skipped (their width rides the per-message payload count);
+  /// unregistered kinds are skipped (bench-/test-local probes).
+  void schema_check() {
+    if (kinds == nullptr || !honest_wire(p)) return;
+    const sim::wire::WireContext ctx = wire_ctx(p);
+    for (const KindTotals& k : *kinds) {
+      if (k.messages == 0) continue;
+      const sim::wire::WireSchema* s = sim::wire::schema_of_or_null(k.kind);
+      if (s == nullptr || s->variable) continue;
+      exact(std::string("wire-schema:") + s->name + " bits",
+            static_cast<double>(k.bits),
+            static_cast<double>(k.messages) *
+                static_cast<double>(sim::wire::wire_bits(k.kind, ctx)));
+    }
   }
 
   /// Per-phase ledgers must reconcile exactly with the run totals: every
@@ -141,8 +181,10 @@ struct Auditor {
     // Messages: Theorem 1.2's O((f + log n) n log n) w.h.p. (calibration
     // in crash_msgs_envelope).
     const double msgs = crash_msgs_envelope(p);
-    // Wire format is exact: <ID, I.lo, I.hi, d, p> = status_bits().
-    const double maxbits = logN + 2.0 * ceil_log2(p.n) + 16.0;
+    // Wire format is exact: STATUS/RESPONSE are the widest crash kinds
+    // (sim/wire_schema.h pins <id, lo, hi, depth, phase>).
+    (void)logN;
+    const double maxbits = sim::wire::wire_bits(2, wire_ctx(p));
     totals(msgs, rounds, maxbits, msgs * maxbits);
     // Per-phase headroom against the run envelope (the split across
     // subrounds is an attack-dependent quantity the theorem does not pin).
@@ -166,9 +208,13 @@ struct Auditor {
     // committee-loop bound (which dominates when the pool constant makes
     // the committee large).
     const double msgs = e.msgs();
-    // O(log N)-bit messages: fingerprint messages are the widest,
-    // 61 + ceil_log2(n + 1) + 16 bits; control messages are logN + 16.
-    double maxbits = std::max(61.0 + ceil_log2(p.n + 1) + 16.0, logN + 16.0) + 8.0;
+    // O(log N)-bit messages: the VALIDATOR fingerprint layout is the
+    // widest schema kind, with the ELECT control layout taking over at
+    // astronomically large N; +8 keeps the historical envelope headroom.
+    const sim::wire::WireContext wctx = wire_ctx(p);
+    double maxbits =
+        std::max<double>(sim::wire::wire_bits(12, wctx),
+                         sim::wire::wire_bits(10, wctx)) + 8.0;
     double bits = msgs * maxbits;
     if (full_vector_ablation) {
       // Ablation A2 ships Omega(n log N)-bit vectors on purpose.
@@ -197,16 +243,17 @@ struct Auditor {
     const double logN =
         static_cast<double>(ceil_log2(std::max<std::uint64_t>(2, p.namespace_size)));
     double msgs = 0, rounds = 0, maxbits = 0, bits = 0;
+    const sim::wire::WireContext wctx = wire_ctx(p);
     if (p.algorithm == "naive") {
       msgs = 2.0 * n * n;
       rounds = 3.0;
-      maxbits = logN + 16.0;
+      maxbits = sim::wire::wire_bits(30, wctx) + 16.0;
       bits = msgs * maxbits;
     } else if (p.algorithm == "cht") {
       // One all-to-all broadcast per halving phase, ceil(log2 n) + 2 phases.
       msgs = n * n * (ceil_log2(p.n) + 2.0);
       rounds = ceil_log2(p.n) + 2.0;
-      maxbits = logN + 2.0 * ceil_log2(p.n) + 16.0;
+      maxbits = sim::wire::wire_bits(31, wctx) + 16.0;
       bits = msgs * maxbits;
     } else if (p.algorithm == "obg") {
       msgs = 2.0 * n * n * (logn + 4.0);
@@ -221,7 +268,7 @@ struct Auditor {
     } else if (p.algorithm == "claiming") {
       msgs = 2.0 * n * n * (logn + 4.0);
       rounds = 4.0 * logn + 8.0;
-      maxbits = logN + ceil_log2(p.n) + 16.0;
+      maxbits = sim::wire::wire_bits(50, wctx) + 16.0;
       bits = msgs * maxbits;
     } else {
       RENAMING_CHECK(false, "audit_run: unknown baseline algorithm");
@@ -237,9 +284,10 @@ namespace {
 
 BudgetReport audit_with_phases(
     const BudgetParams& params, const sim::RunStats& stats,
-    const std::array<PhaseTotals, kPhaseCount>* phases) {
+    const std::array<PhaseTotals, kPhaseCount>* phases,
+    const std::vector<KindTotals>* kinds) {
   RENAMING_CHECK(params.n >= 1, "audit_run needs the system size");
-  Auditor a{params, stats, phases, {}};
+  Auditor a{params, stats, phases, kinds, {}};
   a.report.algorithm = params.algorithm;
   if (params.algorithm == "crash") {
     a.crash();
@@ -251,6 +299,7 @@ BudgetReport audit_with_phases(
     a.baseline();
   }
   a.double_entry();
+  a.schema_check();
   return a.report;
 }
 
@@ -259,18 +308,24 @@ BudgetReport audit_with_phases(
 BudgetReport audit_run(const BudgetParams& params, const sim::RunStats& stats,
                        const Telemetry* telemetry) {
   if (telemetry == nullptr) {
-    return audit_with_phases(params, stats, nullptr);
+    return audit_with_phases(params, stats, nullptr, nullptr);
   }
   std::array<PhaseTotals, kPhaseCount> phases{};
   for (std::size_t i = 0; i < kPhaseCount; ++i) {
     phases[i] = telemetry->phase(static_cast<PhaseId>(i));
   }
-  return audit_with_phases(params, stats, &phases);
+  std::vector<KindTotals> kinds;
+  for (sim::MsgKind k : sim::kRegisteredKinds) {
+    if (telemetry->kind_messages(k) == 0) continue;
+    kinds.push_back({k, telemetry->kind_messages(k), telemetry->kind_bits(k)});
+  }
+  return audit_with_phases(params, stats, &phases, &kinds);
 }
 
 BudgetReport audit_run(const BudgetParams& params, const sim::RunStats& stats,
-                       const std::array<PhaseTotals, kPhaseCount>& phases) {
-  return audit_with_phases(params, stats, &phases);
+                       const std::array<PhaseTotals, kPhaseCount>& phases,
+                       const std::vector<KindTotals>* kinds) {
+  return audit_with_phases(params, stats, &phases, kinds);
 }
 
 std::vector<EnvelopeTerm> message_envelope_terms(const BudgetParams& p) {

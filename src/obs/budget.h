@@ -44,6 +44,15 @@ struct BudgetParams {
   double slack = 1.0;
 };
 
+/// Per-kind ledger cell: total traffic charged to one message kind. The
+/// auditor cross-checks these against the sim/wire_schema.h closed forms
+/// (see audit_run below); Telemetry and the journal both produce them.
+struct KindTotals {
+  sim::MsgKind kind = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+};
+
 /// One audited quantity: measured value vs. its envelope.
 struct BudgetLine {
   std::string quantity;
@@ -71,16 +80,26 @@ struct BudgetReport {
 };
 
 /// Audits one finished run. With a Telemetry object the report also gains
-/// per-phase message/bit budgets and the double-entry attribution check
-/// (per-phase ledgers must sum exactly to the RunStats totals).
+/// per-phase message/bit budgets, the double-entry attribution check
+/// (per-phase ledgers must sum exactly to the RunStats totals), and — on
+/// honest-wire runs (crash-model algorithms always; the Byzantine family
+/// only at f = 0, since adversarial strategies put self-declared widths on
+/// the wire) — exact per-kind wire-schema lines: every fixed-layout kind's
+/// accumulated bits must equal messages * wire_bits(kind) from
+/// sim/wire_schema.h. Variable-width (bulk identity-set) kinds are bounded
+/// by tests/wire_schema_test.cc instead, since their width depends on
+/// per-message payload counts the ledgers do not retain.
 BudgetReport audit_run(const BudgetParams& params, const sim::RunStats& stats,
                        const Telemetry* telemetry = nullptr);
 
-/// Same audit, but with the per-phase ledgers supplied directly. The doctor
-/// uses this to audit a deserialized journal (whose phase ledgers are
-/// re-derived via obs/kind_registry.h) with no Telemetry object in sight.
+/// Same audit, but with the per-phase and per-kind ledgers supplied
+/// directly. The doctor uses this to audit a deserialized journal (whose
+/// ledgers are re-derived via obs/kind_registry.h and
+/// doctor.h:kinds_from_journal) with no Telemetry object in sight. A null
+/// `kinds` skips the wire-schema lines.
 BudgetReport audit_run(const BudgetParams& params, const sim::RunStats& stats,
-                       const std::array<PhaseTotals, kPhaseCount>& phases);
+                       const std::array<PhaseTotals, kPhaseCount>& phases,
+                       const std::vector<KindTotals>* kinds = nullptr);
 
 /// One named additive piece of an algorithm's message envelope, with slack
 /// NOT applied (these are the raw theorem terms).

@@ -1,6 +1,7 @@
 #include "obs/doctor.h"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 
 #include "common/check.h"
@@ -254,13 +255,32 @@ std::array<PhaseTotals, kPhaseCount> phases_from_journal(
   return phases;
 }
 
+std::vector<KindTotals> kinds_from_journal(const JournalData& data) {
+  // Journals keep per-round kind rows in ascending kind order; fold them
+  // into one run-total ledger, preserving the ordering.
+  std::map<sim::MsgKind, KindTotals> fold;
+  for (const JournalRound& r : data.records) {
+    for (const JournalKindCount& k : r.kinds) {
+      KindTotals& t = fold[k.kind];
+      t.kind = k.kind;
+      t.messages += k.messages;
+      t.bits += k.bits;
+    }
+  }
+  std::vector<KindTotals> kinds;
+  kinds.reserve(fold.size());
+  for (const auto& [kind, t] : fold) kinds.push_back(t);
+  return kinds;
+}
+
 AuditDiagnosis diagnose_audit(const BudgetParams& params,
                               const JournalData& journal) {
   AuditDiagnosis diag;
   const sim::RunStats stats = stats_from_journal(journal);
   const std::array<PhaseTotals, kPhaseCount> phases =
       phases_from_journal(journal);
-  diag.report = audit_run(params, stats, phases);
+  const std::vector<KindTotals> kinds = kinds_from_journal(journal);
+  diag.report = audit_run(params, stats, phases, &kinds);
   diag.ok = diag.report.ok();
 
   // Per-phase round-level traffic shape, for every phase the audit priced.

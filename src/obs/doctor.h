@@ -97,4 +97,8 @@ sim::RunStats stats_from_journal(const JournalData& data);
 std::array<PhaseTotals, kPhaseCount> phases_from_journal(
     const JournalData& data);
 
+/// Per-kind run totals folded from the journal's per-round kind rows
+/// (ascending by kind) — feeds the auditor's wire-schema cross-check.
+std::vector<KindTotals> kinds_from_journal(const JournalData& data);
+
 }  // namespace renaming::obs

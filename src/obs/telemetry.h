@@ -121,6 +121,7 @@ class Telemetry {
     t.messages += count;
     t.bits += total;
     kind_messages_[kind] += count;
+    kind_bits_[kind] += total;
     messages_->add(count);
     bits_->add(total);
     message_bits_->add_weighted_sum(bits, count);
@@ -182,6 +183,9 @@ class Telemetry {
   std::uint64_t kind_messages(sim::MsgKind kind) const {
     return kind_messages_[kind];
   }
+  /// Total declared wire bits charged to `kind` (the per-kind ledger the
+  /// BudgetAuditor cross-checks against sim/wire_schema.h closed forms).
+  std::uint64_t kind_bits(sim::MsgKind kind) const { return kind_bits_[kind]; }
   const std::vector<PhaseSpan>& spans() const { return spans_; }
   const std::vector<Instant>& instants() const { return instants_; }
   const std::vector<std::int64_t>& per_round_wall_ns() const {
@@ -222,6 +226,7 @@ class Telemetry {
 
   std::array<std::uint8_t, 65536> kind_phase_{};   // MsgKind -> PhaseId
   std::array<std::uint64_t, 65536> kind_messages_{};
+  std::array<std::uint64_t, 65536> kind_bits_{};
   std::array<PhaseTotals, kPhaseCount> phases_{};
   std::vector<OpenPhase> node_phase_;
   std::vector<PhaseSpan> spans_;

@@ -11,6 +11,8 @@
 // file-local constants, so a renumbering there fails loudly here.
 #pragma once
 
+#include <cstddef>
+
 #include "sim/message.h"
 
 namespace renaming::sim {
@@ -55,5 +57,46 @@ constexpr const char* message_name(MsgKind kind) {
   const char* name = message_name_or_null(kind);
   return name != nullptr ? name : "?";
 }
+
+/// The canonical registry: every wire kind a shipped protocol emits, in
+/// ascending order. sim/wire_schema.h static_asserts that each entry has a
+/// wire schema, obs/kind_registry.h that each has a phase attribution, and
+/// the R11 kind-coverage lint that each has a dispatch handler. Bench- and
+/// test-local kinds are deliberately absent.
+inline constexpr MsgKind kRegisteredKinds[] = {
+    1, 2, 3, 10, 11, 12, 13, 14, 15, 16, 30, 31, 40, 41, 42, 45, 50, 51,
+};
+inline constexpr std::size_t kRegisteredKindCount =
+    sizeof(kRegisteredKinds) / sizeof(kRegisteredKinds[0]);
+
+namespace detail {
+
+constexpr bool registry_is_named_and_sorted() {
+  for (std::size_t i = 0; i < kRegisteredKindCount; ++i) {
+    if (message_name_or_null(kRegisteredKinds[i]) == nullptr) return false;
+    if (i > 0 && kRegisteredKinds[i - 1] >= kRegisteredKinds[i]) return false;
+  }
+  return true;
+}
+
+constexpr bool no_name_outside_registry() {
+  // The converse: a named kind must be registered — the name table cannot
+  // quietly outgrow the registry.
+  for (unsigned k = 0; k < 65536; ++k) {
+    if (message_name_or_null(static_cast<MsgKind>(k)) == nullptr) continue;
+    bool registered = false;
+    for (MsgKind r : kRegisteredKinds) registered = registered || (r == k);
+    if (!registered) return false;
+  }
+  return true;
+}
+
+}  // namespace detail
+
+static_assert(detail::registry_is_named_and_sorted(),
+              "kRegisteredKinds must be ascending and fully named");
+static_assert(detail::no_name_outside_registry(),
+              "message_name_or_null names a kind missing from "
+              "kRegisteredKinds");
 
 }  // namespace renaming::sim

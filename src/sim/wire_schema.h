@@ -1,0 +1,315 @@
+// Central declarative wire schema: the single source of truth for every
+// shipped message kind's bit layout.
+//
+// The paper's headline claim is subquadratic *bits* (Theorems 1.2/1.3), so
+// each Message declares its wire size and the engine sums the declarations
+// into RunStats/Telemetry/Journal. Before this table existed, the declared
+// widths were hand-written literals scattered across the protocol files;
+// one stale literal silently falsifies every BudgetAuditor gate and
+// BENCH_* cell. Here each kind instead lists its named fields with
+// closed-form widths parameterized by (n, namespace_size), the constexpr
+// wire_bits() evaluator folds them, and:
+//
+//   * protocols obtain widths ONLY through wire_bits()/make_message()
+//     (enforced statically by lint rule R9, scripts/protocol_lint.py);
+//   * the registry static_asserts below pin the table against
+//     sim/message_names.h, so a kind cannot ship without a schema;
+//   * BudgetAuditor cross-checks each honest run's per-kind emitted bits
+//     against the closed forms at runtime (obs/budget.h), and
+//     tests/wire_schema_test.cc pins the equivalence per protocol.
+//
+// Fixed vs variable kinds: most messages have a fixed field list whose
+// widths depend only on the run context. The four bulk kinds (VECTOR,
+// OBG_VECTOR, OBG_HALVING, EARLY_SET) ship identity sets, so their width
+// is per-element: max(1, count) * ceil(log2 N), clamped at kVariableBitsCap
+// to fit Message::bits. These are the Omega(n log N)-bit baselines the
+// paper criticises — the schema documents them, it does not bless them.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "sim/message.h"
+#include "sim/message_names.h"
+
+namespace renaming::sim::wire {
+
+/// Run parameters every closed-form width is phrased in.
+struct WireContext {
+  std::uint64_t n = 0;               ///< number of participants
+  std::uint64_t namespace_size = 0;  ///< N, the original-identity space
+};
+
+/// Closed-form width of one named field.
+enum class Width : std::uint8_t {
+  kConst8,        ///< 8 bits (control/flag byte)
+  kConst16,       ///< 16 bits (session + subkind control word)
+  kConst61,       ///< 61 bits (m61 fingerprint, hashing/m61.h)
+  kLogN,          ///< ceil(log2 n) — target-namespace values
+  kLogNPlus1,     ///< ceil(log2 (n+1)) — ranks/counts including 0
+  kLogNamespace,  ///< ceil(log2 N) — original identities
+};
+
+struct WireField {
+  const char* name = nullptr;
+  Width width = Width::kConst8;
+};
+
+inline constexpr std::size_t kMaxWireFields = 5;
+
+/// Declared layout of one message kind. For `variable` kinds the single
+/// field describes the per-element width of the shipped set.
+struct WireSchema {
+  MsgKind kind = 0;
+  const char* name = nullptr;  ///< must match sim::message_name(kind)
+  bool variable = false;
+  std::size_t field_count = 0;
+  WireField fields[kMaxWireFields]{};
+};
+
+/// Bulk payloads clamp here so the width fits Message::bits (uint32_t).
+inline constexpr std::uint32_t kVariableBitsCap = 1u << 30;
+
+/// The schema table, ascending by kind; one entry per registered kind
+/// (static_asserts below pin both directions against kRegisteredKinds).
+inline constexpr WireSchema kWireSchemas[] = {
+    // crash/crash_renaming.h (Tag) — Figure 1-3 message formats.
+    {1, "COMMITTEE", false, 1, {{"id", Width::kLogNamespace}}},
+    {2, "STATUS", false, 5,
+     {{"id", Width::kLogNamespace},
+      {"interval_lo", Width::kLogN},
+      {"interval_hi", Width::kLogN},
+      {"depth", Width::kConst8},
+      {"phase", Width::kConst8}}},
+    {3, "RESPONSE", false, 5,
+     {{"id", Width::kLogNamespace},
+      {"interval_lo", Width::kLogN},
+      {"interval_hi", Width::kLogN},
+      {"depth", Width::kConst8},
+      {"phase", Width::kConst8}}},
+    // byzantine/byz_renaming.h (Tag). The four control kinds (ELECT,
+    // ID_REPORT, CONSENSUS, DIFF) share one layout: an identity-sized
+    // value plus a 16-bit session/subkind control word.
+    {10, "ELECT", false, 2,
+     {{"id", Width::kLogNamespace}, {"control", Width::kConst16}}},
+    {11, "ID_REPORT", false, 2,
+     {{"id", Width::kLogNamespace}, {"control", Width::kConst16}}},
+    {12, "VALIDATOR", false, 3,
+     {{"fingerprint", Width::kConst61},
+      {"count", Width::kLogNPlus1},
+      {"control", Width::kConst16}}},
+    {13, "CONSENSUS", false, 2,
+     {{"value", Width::kLogNamespace}, {"control", Width::kConst16}}},
+    {14, "DIFF", false, 2,
+     {{"payload", Width::kLogNamespace}, {"control", Width::kConst16}}},
+    {15, "NEW", false, 2,
+     {{"rank", Width::kLogNPlus1}, {"control", Width::kConst8}}},
+    {16, "VECTOR", true, 1, {{"identity", Width::kLogNamespace}}},
+    // baselines (Table 1).
+    {30, "NAIVE_ID", false, 1, {{"id", Width::kLogNamespace}}},
+    {31, "CHT_STATUS", false, 3,
+     {{"id", Width::kLogNamespace},
+      {"interval_lo", Width::kLogN},
+      {"interval_hi", Width::kLogN}}},
+    {40, "OBG_ANNOUNCE", false, 1, {{"id", Width::kLogNamespace}}},
+    {41, "OBG_VECTOR", true, 1, {{"identity", Width::kLogNamespace}}},
+    {42, "OBG_HALVING", true, 1, {{"identity", Width::kLogNamespace}}},
+    {45, "EARLY_SET", true, 1, {{"identity", Width::kLogNamespace}}},
+    {50, "CLAIM", false, 2,
+     {{"id", Width::kLogNamespace}, {"slot", Width::kLogN}}},
+    {51, "OWNED", false, 2,
+     {{"id", Width::kLogNamespace}, {"slot", Width::kLogN}}},
+};
+inline constexpr std::size_t kWireSchemaCount =
+    sizeof(kWireSchemas) / sizeof(kWireSchemas[0]);
+
+/// Schema lookup; nullptr for unregistered (bench-/test-local) kinds.
+constexpr const WireSchema* schema_of_or_null(MsgKind kind) {
+  for (const WireSchema& s : kWireSchemas) {
+    if (s.kind == kind) return &s;
+  }
+  return nullptr;
+}
+
+/// Schema lookup for kinds that must be registered.
+constexpr const WireSchema& schema_of(MsgKind kind) {
+  const WireSchema* s = schema_of_or_null(kind);
+  RENAMING_CHECK(s != nullptr, "wire_schema: unregistered message kind");
+  return *s;
+}
+
+/// Closed-form width of one field.
+constexpr std::uint32_t width_bits(Width w, const WireContext& ctx) {
+  switch (w) {
+    case Width::kConst8: return 8;
+    case Width::kConst16: return 16;
+    case Width::kConst61: return 61;
+    case Width::kLogN: return ceil_log2(ctx.n);
+    case Width::kLogNPlus1: return ceil_log2(ctx.n + 1);
+    case Width::kLogNamespace: return ceil_log2(ctx.namespace_size);
+  }
+  RENAMING_CHECK(false, "wire_schema: unknown field width");
+  return 0;
+}
+
+/// Declared wire size of a fixed-layout kind: the sum of its field widths.
+constexpr std::uint32_t wire_bits(MsgKind kind, const WireContext& ctx) {
+  const WireSchema& s = schema_of(kind);
+  RENAMING_CHECK(!s.variable,
+                 "variable-width kind needs the payload-count overload");
+  std::uint64_t bits = 0;
+  for (std::size_t i = 0; i < s.field_count; ++i) {
+    bits += width_bits(s.fields[i].width, ctx);
+  }
+  return static_cast<std::uint32_t>(bits);
+}
+
+/// Declared wire size of a variable-width (bulk identity-set) kind:
+/// max(1, count) elements at the per-element width, clamped to the cap.
+/// The max(1, ...) floor keeps Message::bits > 0 for empty sets.
+constexpr std::uint32_t wire_bits(MsgKind kind, const WireContext& ctx,
+                                  std::uint64_t payload_count) {
+  const WireSchema& s = schema_of(kind);
+  RENAMING_CHECK(s.variable,
+                 "fixed-layout kind does not take a payload count");
+  const std::uint64_t per = width_bits(s.fields[0].width, ctx);
+  const std::uint64_t total = std::max<std::uint64_t>(1, payload_count) * per;
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(total, kVariableBitsCap));
+}
+
+/// Schema-deriving builder for fixed-layout kinds: the declared width
+/// flows from the table, never from a call-site literal (lint rule R9).
+template <typename... Words>
+Message make_message(MsgKind kind, const WireContext& ctx, Words... words) {
+  return sim::make_message(kind, wire_bits(kind, ctx), words...);
+}
+
+/// Schema-deriving builder for variable-width kinds: the width follows the
+/// blob's element count.
+template <typename... Words>
+Message make_blob_message(
+    MsgKind kind, const WireContext& ctx,
+    std::shared_ptr<const std::vector<std::uint64_t>> blob, Words... words) {
+  RENAMING_CHECK(blob != nullptr, "blob message without a blob");
+  Message m =
+      sim::make_message(kind, wire_bits(kind, ctx, blob->size()), words...);
+  m.blob = std::move(blob);
+  return m;
+}
+
+// --- adversarial probe widths ---------------------------------------------
+// Byzantine strategies (byzantine/strategies.h) forge messages whose
+// declared width deliberately does NOT follow the honest schema — the
+// attacker pays for whatever it puts on the wire (docs/MODEL.md
+// "Accounting"). The widths are named here so R9 can still insist every
+// bits argument flows from this header, and so the golden trace pins
+// record exactly these values.
+
+/// LyingMember's premature fake NEW volley: a bare probe rank, smaller
+/// than any honest NEW the schema admits.
+inline constexpr std::uint32_t kForgedNewProbeBits = 16;
+
+/// Spoofer's forged ELECT/ID_REPORT probes: a flat 32-bit claim, sent only
+/// to show the authentication layer is load-bearing.
+inline constexpr std::uint32_t kSpoofProbeBits = 32;
+
+// --- exhaustiveness guards -------------------------------------------------
+
+namespace detail {
+
+constexpr bool streq(const char* a, const char* b) {
+  if (a == nullptr || b == nullptr) return a == b;
+  while (*a != '\0' && *a == *b) {
+    ++a;
+    ++b;
+  }
+  return *a == *b;
+}
+
+constexpr bool every_registered_kind_has_schema() {
+  for (MsgKind k : kRegisteredKinds) {
+    if (schema_of_or_null(k) == nullptr) return false;
+  }
+  return true;
+}
+
+constexpr bool every_schema_kind_is_registered_and_named() {
+  for (const WireSchema& s : kWireSchemas) {
+    bool registered = false;
+    for (MsgKind k : kRegisteredKinds) registered = registered || (k == s.kind);
+    if (!registered) return false;
+    if (!streq(s.name, message_name(s.kind))) return false;
+  }
+  return true;
+}
+
+constexpr bool schemas_sorted_and_well_formed() {
+  for (std::size_t i = 0; i < kWireSchemaCount; ++i) {
+    const WireSchema& s = kWireSchemas[i];
+    if (i > 0 && kWireSchemas[i - 1].kind >= s.kind) return false;
+    if (s.field_count == 0 || s.field_count > kMaxWireFields) return false;
+    if (s.variable && s.field_count != 1) return false;
+    for (std::size_t j = 0; j < s.field_count; ++j) {
+      if (s.fields[j].name == nullptr) return false;
+    }
+  }
+  return true;
+}
+
+constexpr bool control_kinds_share_layout() {
+  // ELECT, ID_REPORT, CONSENSUS and DIFF are one wire family (the byz
+  // control message); their widths must never drift apart, because the
+  // host protocol reuses one cached width for all four.
+  constexpr MsgKind family[] = {10, 11, 13, 14};
+  const WireSchema& ref = schema_of(family[0]);
+  for (MsgKind k : family) {
+    const WireSchema& s = schema_of(k);
+    if (s.variable != ref.variable || s.field_count != ref.field_count) {
+      return false;
+    }
+    for (std::size_t j = 0; j < s.field_count; ++j) {
+      if (s.fields[j].width != ref.fields[j].width) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace detail
+
+static_assert(detail::every_registered_kind_has_schema(),
+              "every kind in sim::kRegisteredKinds needs a wire schema");
+static_assert(detail::every_schema_kind_is_registered_and_named(),
+              "every wire schema must describe a registered kind and carry "
+              "its canonical sim/message_names.h name");
+static_assert(detail::schemas_sorted_and_well_formed(),
+              "kWireSchemas must be ascending by kind with well-formed "
+              "field lists");
+static_assert(detail::control_kinds_share_layout(),
+              "the byz control kinds (ELECT/ID_REPORT/CONSENSUS/DIFF) must "
+              "share one field layout");
+
+// Closed-form pins at a concrete context (n = 48, N = 5*48*48): these are
+// the exact widths the pre-schema literals produced, and the golden trace
+// and journal byte pins depend on them. A schema edit that moves one of
+// these values is changing the wire protocol, not refactoring it.
+namespace detail {
+inline constexpr WireContext kPinCtx{48, 5ull * 48 * 48};
+}  // namespace detail
+static_assert(wire_bits(1, detail::kPinCtx) == 14);    // ceil_log2(N)
+static_assert(wire_bits(2, detail::kPinCtx) == 42);    // logN + 2 logn + 16
+static_assert(wire_bits(3, detail::kPinCtx) == 42);
+static_assert(wire_bits(10, detail::kPinCtx) == 30);   // logN + 16
+static_assert(wire_bits(12, detail::kPinCtx) == 83);   // 61 + log(n+1) + 16
+static_assert(wire_bits(15, detail::kPinCtx) == 14);   // log(n+1) + 8
+static_assert(wire_bits(16, detail::kPinCtx, 0) == 14);    // max(1,.) floor
+static_assert(wire_bits(16, detail::kPinCtx, 10) == 140);  // 10 * logN
+static_assert(wire_bits(31, detail::kPinCtx) == 26);   // logN + 2 logn
+static_assert(wire_bits(50, detail::kPinCtx) == 20);   // logN + logn
+
+}  // namespace renaming::sim::wire

@@ -1,0 +1,8 @@
+#include <cstdint>
+std::uint64_t tally(std::uint32_t per, int rounds) {
+  std::uint64_t total_bits = 0;
+  for (int r = 0; r < rounds; ++r) {
+    total_bits += per;
+  }
+  return total_bits;
+}

@@ -1,0 +1,5 @@
+struct Summary { unsigned long value; };
+struct IdentityList { Summary summarize() const; };
+unsigned long probe(const IdentityList& ids) {
+  return ids.summarize().value;  // incremental summary, no dense scan
+}

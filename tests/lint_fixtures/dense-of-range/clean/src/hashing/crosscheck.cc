@@ -1,0 +1,5 @@
+// of_range is legal outside the protocol directories.
+struct Fp { unsigned long of_range(unsigned lo, unsigned hi) const; };
+unsigned long crosscheck(const Fp& fp, unsigned n) {
+  return fp.of_range(0, n);
+}

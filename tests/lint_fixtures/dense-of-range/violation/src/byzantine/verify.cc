@@ -1,0 +1,4 @@
+struct Fp { unsigned long of_range(unsigned lo, unsigned hi) const; };
+unsigned long probe(const Fp& fp, unsigned n) {
+  return fp.of_range(0, n);  // dense scan in protocol code
+}

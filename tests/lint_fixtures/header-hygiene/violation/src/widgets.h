@@ -1,0 +1,3 @@
+#pragma once
+// Missing #include <vector>: not self-contained.
+inline std::vector<int> widgets() { return {}; }

@@ -1,0 +1,6 @@
+#pragma once
+#include "sim/message_names.h"
+enum class Tag : sim::MsgKind {
+  kPing = 1,
+  kPong = 2,
+};

@@ -1,0 +1,5 @@
+#pragma once
+namespace sim {
+using MsgKind = unsigned short;
+inline constexpr MsgKind kRegisteredKinds[] = {1, 2};
+}  // namespace sim

@@ -1,0 +1,10 @@
+#pragma once
+#include "sim/message_names.h"
+namespace sim::wire {
+struct WireSchema { MsgKind kind; const char* name; };
+inline constexpr WireSchema kWireSchemas[] = {
+    {1, "PING"},
+    {2, "PONG"},
+    {9, "GHOST"},  // not registered
+};
+}  // namespace sim::wire

@@ -1,0 +1,6 @@
+#include "proto/tags.h"
+int dispatch(int kind) {
+  if (kind == static_cast<int>(Tag::kPing)) return 1;
+  if (kind == static_cast<int>(Tag::kPong)) return 2;
+  return 0;
+}

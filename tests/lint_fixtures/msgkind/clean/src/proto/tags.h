@@ -1,0 +1,6 @@
+#pragma once
+namespace sim { using MsgKind = unsigned short; }
+enum class Tag : sim::MsgKind {
+  kPing = 1,
+  kPong = 2,
+};

@@ -1,0 +1,5 @@
+#include "proto/tags.h"
+int dispatch(int kind) {
+  if (kind == static_cast<int>(Tag::kPing)) return 1;
+  return 0;
+}

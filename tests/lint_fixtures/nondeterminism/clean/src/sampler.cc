@@ -1,0 +1,7 @@
+// Fixture: the lexer must not fire on strings or comments.
+// A comment mentioning time(nullptr) and rand() is fine.
+struct Prng { unsigned next(); };
+const char* kDoc = "call rand() or std::random_device at your peril";
+unsigned jitter(Prng& prng) {
+  return prng.next();
+}

@@ -1,0 +1,4 @@
+// Fixture: draws entropy outside the seeded PRNG layer.
+int jitter() {
+  return rand();  // unseeded global PRNG
+}

@@ -1,0 +1,7 @@
+#include <cstdio>
+#include <ostream>
+// Caller-supplied stream + format-into-buffer are both sanctioned.
+void report(std::ostream& os, int v) { os << v; }
+int render(char* buf, unsigned long cap, int v) {
+  return std::snprintf(buf, cap, "%d", v);
+}

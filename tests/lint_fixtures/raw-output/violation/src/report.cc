@@ -1,0 +1,6 @@
+#include <cstdio>
+#include <iostream>
+void report(int v) {
+  std::cout << v << "\n";
+  std::printf("%d\n", v);
+}

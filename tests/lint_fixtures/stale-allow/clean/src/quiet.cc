@@ -1,0 +1,4 @@
+#include <ctime>
+long stamp() {
+  return time(nullptr);  // lint:allow(nondeterminism)
+}

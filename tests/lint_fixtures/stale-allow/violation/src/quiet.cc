@@ -1,0 +1,4 @@
+int plain() {
+  int x = 0;  // lint:allow(nondeterminism)
+  return x;   // lint:allow(bogus-rule)
+}

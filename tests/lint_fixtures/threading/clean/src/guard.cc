@@ -1,0 +1,3 @@
+// Single-threaded: no synchronization primitives needed.
+int g_value = 0;
+void touch() { ++g_value; }

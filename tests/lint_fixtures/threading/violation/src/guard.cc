@@ -1,0 +1,5 @@
+#include <mutex>
+std::mutex g_lock;
+void touch() {
+  std::lock_guard<std::mutex> hold(g_lock);
+}

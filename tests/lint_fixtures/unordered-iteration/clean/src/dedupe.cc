@@ -1,0 +1,6 @@
+#include <unordered_set>
+// Membership tests are fine; only iteration leaks the hash order.
+bool contains(int v) {
+  static std::unordered_set<int> seen;
+  return seen.count(v) != 0;
+}

@@ -1,0 +1,10 @@
+#include <unordered_set>
+#include <vector>
+std::vector<int> drain(const std::unordered_set<int>& src) {
+  std::unordered_set<int> seen = src;
+  std::vector<int> out;
+  for (int v : seen) {  // address-dependent order
+    out.push_back(v);
+  }
+  return out;
+}

@@ -1,0 +1,16 @@
+namespace sim {
+using MsgKind = unsigned short;
+struct Message { MsgKind kind; unsigned bits; };
+Message make_message(MsgKind kind, unsigned bits, unsigned long payload);
+namespace wire {
+struct WireContext { unsigned long n; unsigned long namespace_size; };
+unsigned wire_bits(MsgKind kind, const WireContext& ctx);
+}  // namespace wire
+}  // namespace sim
+struct Stats { void note_messages(unsigned long count, unsigned long bits); };
+constexpr sim::MsgKind kAnnounce = 1;
+void emit(Stats& stats, const sim::wire::WireContext& ctx, unsigned long id) {
+  const unsigned announce_bits = sim::wire::wire_bits(kAnnounce, ctx);
+  sim::Message m = sim::make_message(kAnnounce, announce_bits, id);
+  stats.note_messages(1, m.bits);
+}

@@ -1,0 +1,12 @@
+namespace sim {
+using MsgKind = unsigned short;
+struct Message { MsgKind kind; unsigned bits; };
+Message make_message(MsgKind kind, unsigned bits, unsigned long payload);
+}  // namespace sim
+struct Stats { void note_messages(unsigned long count, unsigned long bits); };
+constexpr sim::MsgKind kAnnounce = 1;
+void emit(Stats& stats, unsigned long id) {
+  sim::Message m = sim::make_message(kAnnounce, 64, id);  // raw width
+  stats.note_messages(1, 64);  // raw width
+  (void)m;
+}
