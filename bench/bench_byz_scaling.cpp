@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "baselines/obg_byzantine.h"
@@ -21,6 +22,8 @@
 #include "obs/budget.h"
 #include "obs/phase.h"
 #include "obs/telemetry.h"
+#include "sim/parallel/plan.h"
+#include "sim/parallel/worker_pool.h"
 
 namespace renaming {
 namespace {
@@ -153,6 +156,71 @@ int sweep(int argc, char** argv) {
   }
   std::printf("== E5: Byzantine algorithm scaling (pool constant 2.0; * = closed form) ==\n");
   table.print();
+
+  // E5b — shard-parallel engine scaling on the protocol hot path: the
+  // f = log n cell re-run with the engine callbacks fanned over T threads.
+  // Telemetry stays detached (a live recorder forces serial callbacks), so
+  // these rows carry RunStats only, no phase breakdown; msgs/bits/rounds
+  // are byte-identical across the whole column and asserted so. Rows are
+  // tagged "mt": true so bench_compare keys them apart from the sweep cell
+  // with the same (n, f).
+  {
+    const NodeIndex n = smoke ? 256u : 1024u;
+    const NodeIndex f = ceil_log2(n);
+    const std::uint64_t N = static_cast<std::uint64_t>(n) * n * 5;
+    const auto cfg = SystemConfig::random(n, N, 2200 + n + 1);
+    const auto byz = spread_byz(n, f);
+    const std::vector<unsigned> counts =
+        smoke ? std::vector<unsigned>{1, 2}
+              : std::vector<unsigned>{1, 2, 4, 8};
+    Table mt_table({"n", "f", "threads", "msgs", "wall ms", "speedup"});
+    double base_ms = 0.0;
+    std::uint64_t base_msgs = 0;
+    std::uint64_t base_bits = 0;
+    for (unsigned t : counts) {
+      std::unique_ptr<sim::parallel::WorkerPool> pool;
+      sim::parallel::ShardPlan plan;
+      if (t > 1) {
+        pool = std::make_unique<sim::parallel::WorkerPool>(t);
+        plan.pool = pool.get();
+      }
+      const auto start = std::chrono::steady_clock::now();
+      const auto r = byzantine::run_byz_renaming(
+          cfg, params, byz, &byzantine::SplitReporter::make, 0, nullptr,
+          nullptr, nullptr, plan);
+      const auto stop = std::chrono::steady_clock::now();
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(stop - start).count();
+      if (!r.report.ok(true)) {
+        std::printf("OURS FAILED at n=%u f=%u threads=%u\n", n, f, t);
+      }
+      if (t == 1) {
+        base_ms = wall_ms;
+        base_msgs = r.stats.total_messages;
+        base_bits = r.stats.total_bits;
+      } else {
+        RENAMING_CHECK(r.stats.total_messages == base_msgs &&
+                           r.stats.total_bits == base_bits,
+                       "thread count must not change the message stream");
+      }
+      const double speedup = wall_ms > 0.0 ? base_ms / wall_ms : 0.0;
+      mt_table.row({std::to_string(n), std::to_string(f), std::to_string(t),
+                    human(r.stats.total_messages), fixed(wall_ms, 1),
+                    fixed(speedup, 2)});
+      rows.push(Json::object()
+                    .set("n", Json::integer(n))
+                    .set("f", Json::integer(f))
+                    .set("threads", Json::integer(t))
+                    .set("mt", Json::boolean(true))
+                    .set("msgs", Json::integer(r.stats.total_messages))
+                    .set("bits", Json::integer(r.stats.total_bits))
+                    .set("rounds", Json::integer(r.stats.rounds))
+                    .set("wall_ms", Json::num(wall_ms, 1)));
+    }
+    std::printf("== E5b: shard-parallel engine scaling (byz, telemetry "
+                "detached) ==\n");
+    mt_table.print();
+  }
 
   if (json) {
     Json doc = Json::object();

@@ -42,6 +42,8 @@
 #include "obs/telemetry.h"
 #include "sim/adversary.h"
 #include "sim/engine.h"
+#include "sim/parallel/plan.h"
+#include "sim/parallel/worker_pool.h"
 
 namespace renaming {
 namespace {
@@ -86,6 +88,7 @@ struct Workload {
 struct Cell {
   std::string workload;
   NodeIndex n = 0;
+  unsigned threads = 1;  ///< Engine threads per simulation (1 = serial).
   std::uint64_t seeds = 0;
   std::uint64_t rounds = 0;  ///< Rounds of one representative run.
   std::uint64_t events = 0;  ///< Messages sent, summed over all seeds.
@@ -107,7 +110,8 @@ sim::RunStats run_ping(NodeIndex n, std::uint64_t /*seed*/) {
 
 sim::RunStats run_cht(NodeIndex n, std::uint64_t seed, bool with_crashes,
                       bool with_telemetry = false,
-                      bool with_journal = false) {
+                      bool with_journal = false,
+                      sim::parallel::ShardPlan plan = {}) {
   const auto cfg =
       SystemConfig::random(n, static_cast<std::uint64_t>(n) * n * 5, seed);
   auto adversary =
@@ -118,7 +122,7 @@ sim::RunStats run_cht(NodeIndex n, std::uint64_t seed, bool with_crashes,
   obs::Journal journal;
   auto result = baselines::run_cht_renaming(
       cfg, std::move(adversary), with_telemetry ? &telemetry : nullptr,
-      with_journal ? &journal : nullptr);
+      with_journal ? &journal : nullptr, plan);
   if (!result.report.ok()) {
     std::printf("WARNING: cht verifier failed at n=%u seed=%llu\n", n,
                 static_cast<unsigned long long>(seed));
@@ -178,6 +182,43 @@ Cell measure(const std::string& workload, NodeIndex n, std::uint64_t seeds,
   return cell;
 }
 
+/// Engine thread-scaling cell: the same cht workload, but the seeds run
+/// SEQUENTIALLY and each simulation itself runs shard-parallel on a
+/// dedicated WorkerPool of `engine_threads` threads (the two pools must
+/// not nest — WorkerPool::run is non-reentrant). Stats are byte-identical
+/// across thread counts; only wall time moves.
+Cell measure_engine_threads(NodeIndex n, std::uint64_t seeds,
+                            unsigned engine_threads) {
+  std::unique_ptr<sim::parallel::WorkerPool> pool;
+  sim::parallel::ShardPlan plan;
+  if (engine_threads > 1) {
+    pool = std::make_unique<sim::parallel::WorkerPool>(engine_threads);
+    plan.pool = pool.get();
+  }
+  std::vector<sim::RunStats> stats(seeds);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < seeds; ++i) {
+    stats[i] = run_cht(n, 7000 + 13 * i, /*with_crashes=*/false,
+                       /*with_telemetry=*/false, /*with_journal=*/false,
+                       plan);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+
+  Cell cell;
+  cell.workload = "cht-mt";
+  cell.n = n;
+  cell.threads = engine_threads;
+  cell.seeds = seeds;
+  cell.rounds = stats[0].rounds;
+  for (const sim::RunStats& s : stats) cell.events += s.total_messages;
+  cell.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  cell.events_per_sec =
+      cell.wall_ms > 0.0 ? cell.events / (cell.wall_ms / 1e3) : 0.0;
+  cell.peak_rss = bench::peak_rss_bytes();
+  return cell;
+}
+
 int run(int argc, char** argv) {
   const bool smoke = bench::has_flag(argc, argv, "--smoke");
   const bool json = bench::has_flag(argc, argv, "--json");
@@ -219,6 +260,7 @@ int run(int argc, char** argv) {
       rows.push(Json::object()
                     .set("workload", Json::str(cell.workload))
                     .set("n", Json::integer(cell.n))
+                    .set("threads", Json::integer(cell.threads))
                     .set("seeds", Json::integer(cell.seeds))
                     .set("rounds", Json::integer(cell.rounds))
                     .set("events", Json::integer(cell.events))
@@ -232,6 +274,49 @@ int run(int argc, char** argv) {
   std::printf("== E8: engine throughput (events = messages sent; "
               "seeds run in parallel) ==\n");
   table.print();
+
+  // Shard-parallel engine scaling: cht with the round callbacks fanned
+  // over T engine threads (seeds sequential so the pools don't nest).
+  // Events and rounds are byte-identical across the column; only wall
+  // time moves — that invariance is itself asserted here.
+  const NodeIndex mt_n = smoke ? 512 : 2048;
+  const std::uint64_t mt_seeds = smoke ? 2 : 4;
+  const std::vector<unsigned> mt_threads =
+      smoke ? std::vector<unsigned>{1, 2} : std::vector<unsigned>{1, 2, 4, 8};
+  Table mt_table({"workload", "n", "threads", "seeds", "events", "wall ms",
+                  "events/s", "speedup"});
+  double mt_base_ms = 0.0;
+  std::uint64_t mt_base_events = 0;
+  for (unsigned t : mt_threads) {
+    const Cell cell = measure_engine_threads(mt_n, mt_seeds, t);
+    if (t == 1) {
+      mt_base_ms = cell.wall_ms;
+      mt_base_events = cell.events;
+    } else {
+      RENAMING_CHECK(cell.events == mt_base_events,
+                     "thread count must not change the event stream");
+    }
+    const double speedup =
+        cell.wall_ms > 0.0 ? mt_base_ms / cell.wall_ms : 0.0;
+    mt_table.row({cell.workload, std::to_string(cell.n), std::to_string(t),
+                  std::to_string(cell.seeds), human(cell.events),
+                  fixed(cell.wall_ms, 1),
+                  human(static_cast<std::uint64_t>(cell.events_per_sec)),
+                  fixed(speedup, 2)});
+    rows.push(Json::object()
+                  .set("workload", Json::str(cell.workload))
+                  .set("n", Json::integer(cell.n))
+                  .set("threads", Json::integer(cell.threads))
+                  .set("seeds", Json::integer(cell.seeds))
+                  .set("rounds", Json::integer(cell.rounds))
+                  .set("events", Json::integer(cell.events))
+                  .set("wall_ms", Json::num(cell.wall_ms, 1))
+                  .set("events_per_sec", Json::num(cell.events_per_sec, 0))
+                  .set("peak_rss_bytes", Json::integer(cell.peak_rss)));
+  }
+  std::printf("== E8b: shard-parallel engine scaling (cht, seeds "
+              "sequential) ==\n");
+  mt_table.print();
 
   // Instrumentation overhead: plain cht vs the same cell with a recorder
   // attached. Two sweep cells are measured many seconds apart, so on a

@@ -1,23 +1,24 @@
 // Shared helpers for the experiment harnesses (see DESIGN.md section 3 for
 // the experiment index and EXPERIMENTS.md for recorded results).
 //
-// Threading note: bench/ is the only place in the repository allowed to use
-// <thread> (scripts/protocol_lint.py enforces the ban under src/). The
-// parallelism here fans *independent seeds/configs* across cores; each
-// simulation itself stays single-threaded and deterministic.
+// Threading note: all concurrency here rides on the repository's one
+// worker pool, sim::parallel::WorkerPool (the only code under src/ where
+// scripts/protocol_lint.py permits threading primitives). The parallelism
+// in this header fans *independent seeds/configs* across cores; whether a
+// simulation itself runs shard-parallel is the harness's choice via
+// sim::parallel::ShardPlan, and either way its output is deterministic.
 #pragma once
 
 #include <sys/resource.h>
 
-#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/check.h"
+#include "sim/parallel/worker_pool.h"
 
 namespace renaming::bench {
 
@@ -228,33 +229,22 @@ class Json {
 // ---------------------------------------------------------------------------
 // Seed-level parallelism for the harness drivers
 
-/// Runs jobs 0..count-1 across a fixed worker pool (default: one thread per
-/// core). Each job must write only its own result slot; the caller then
-/// reads results in job order, so the *output* is deterministic even though
-/// the scheduling is not. The simulations themselves stay single-threaded —
-/// this fans out independent (seed, config) cells only.
+/// The process-wide pool the harness drivers share; sized to the machine.
+/// Reused across calls so repeated sweeps don't respawn threads.
+inline sim::parallel::WorkerPool& harness_pool() {
+  static sim::parallel::WorkerPool pool(0);  // 0 = hardware concurrency
+  return pool;
+}
+
+/// Runs jobs 0..count-1 across the shared harness_pool() (default width:
+/// one thread per core; `threads` caps it). Each job must write only its
+/// own result slot; the caller then reads results in job order, so the
+/// *output* is deterministic even though the scheduling is not. Jobs must
+/// not call parallel_jobs themselves — the pool is non-reentrant; a cell
+/// that wants an intra-run parallel engine gets its own WorkerPool.
 template <typename Fn>
 inline void parallel_jobs(std::size_t count, Fn&& fn, unsigned threads = 0) {
-  if (count == 0) return;
-  unsigned workers = threads != 0 ? threads : std::thread::hardware_concurrency();
-  if (workers == 0) workers = 1;
-  if (workers > count) workers = static_cast<unsigned>(count);
-  if (workers == 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
-  }
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      for (std::size_t i = next.fetch_add(1); i < count;
-           i = next.fetch_add(1)) {
-        fn(i);
-      }
-    });
-  }
-  for (std::thread& t : pool) t.join();
+  harness_pool().run(count, fn, threads);
 }
 
 // ---------------------------------------------------------------------------

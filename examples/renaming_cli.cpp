@@ -13,7 +13,10 @@
 //   renaming_cli lowerbound --n 256 --budget 128 --trials 2000
 //
 // Common flags: --seed S, --csv, --trace FILE (JSONL event trace, crash/byz
-// only). Observability flags (all algorithms except lowerbound):
+// only), --threads T (shard-parallel engine callbacks on T threads, 0 =
+// all cores; results byte-identical to --threads 1), --shards K (override
+// the shard count, default one per thread). Observability flags (all
+// algorithms except lowerbound):
 //   --metrics-out FILE   phase-attributed metrics JSON (renaming-metrics-v1)
 //   --perfetto-out FILE  Chrome trace-event JSON; open at ui.perfetto.dev
 //   --journal-out FILE   deterministic flight-recorder journal (binary,
@@ -45,6 +48,8 @@
 #include "obs/export.h"
 #include "obs/journal.h"
 #include "obs/telemetry.h"
+#include "sim/parallel/plan.h"
+#include "sim/parallel/worker_pool.h"
 #include "sim/trace.h"
 
 namespace {
@@ -208,6 +213,19 @@ int main(int argc, char** argv) {
     journal = std::make_unique<obs::Journal>();
   }
 
+  // --threads T > 1 (0 = all cores) runs the engine's send/receive
+  // callbacks shard-parallel on a persistent pool; output stays
+  // byte-identical. Live telemetry (--audit/--metrics-out/--perfetto-out)
+  // makes the engine fall back to serial callbacks on its own.
+  const auto threads = static_cast<unsigned>(args.num("threads", 1));
+  std::unique_ptr<sim::parallel::WorkerPool> pool;
+  sim::parallel::ShardPlan plan;
+  if (threads != 1 || args.has("shards")) {
+    pool = std::make_unique<sim::parallel::WorkerPool>(threads);
+    plan.pool = pool.get();
+    plan.shards = static_cast<unsigned>(args.num("shards", 0));
+  }
+
   if (args.command == "crash") {
     crash::CrashParams params;
     params.election_constant = args.real("constant", 2.0);
@@ -235,7 +253,7 @@ int main(int argc, char** argv) {
     }
     const auto r = crash::run_crash_renaming(
         cfg, params, std::move(adversary), trace.get(), telemetry.get(),
-        journal.get());
+        journal.get(), plan);
     report(args, "crash", r.stats, r.report, n, r.stats.crashes);
     const int audit_rc = finish_observability(
         args, telemetry.get(), journal.get(), r.stats, "crash", cfg, budget,
@@ -271,7 +289,7 @@ int main(int argc, char** argv) {
     }
     const auto r = byzantine::run_byz_renaming(cfg, params, byz, factory, 0,
                                                trace.get(), telemetry.get(),
-                                               journal.get());
+                                               journal.get(), plan);
     report(args, "byz", r.stats, r.report, n, byz.size());
     if (!args.has("csv")) {
       std::printf("  loop iters    %u\n", r.loop_iterations);
@@ -293,7 +311,7 @@ int main(int argc, char** argv) {
     }
     if (args.command == "cht") {
       const auto r = baselines::run_cht_renaming(
-          cfg, std::move(adversary), telemetry.get(), journal.get());
+          cfg, std::move(adversary), telemetry.get(), journal.get(), plan);
       report(args, "cht", r.stats, r.report, n, r.stats.crashes);
       const int audit_rc =
           finish_observability(args, telemetry.get(), journal.get(), r.stats,
@@ -302,7 +320,7 @@ int main(int argc, char** argv) {
     }
     if (args.command == "claiming") {
       const auto r = baselines::run_claiming_renaming(
-          cfg, std::move(adversary), telemetry.get(), journal.get());
+          cfg, std::move(adversary), telemetry.get(), journal.get(), plan);
       report(args, "claiming", r.stats, r.report, n, r.stats.crashes);
       const int audit_rc = finish_observability(
           args, telemetry.get(), journal.get(), r.stats, "claiming", cfg,
@@ -311,7 +329,7 @@ int main(int argc, char** argv) {
     }
     if (args.command == "early") {
       const auto r = baselines::run_early_deciding_renaming(
-          cfg, std::move(adversary), telemetry.get(), journal.get());
+          cfg, std::move(adversary), telemetry.get(), journal.get(), plan);
       report(args, "early", r.stats, r.report, n, r.stats.crashes);
       if (!args.has("csv")) {
         std::printf("  decided by    round %u\n", r.max_decision_round);
@@ -322,7 +340,7 @@ int main(int argc, char** argv) {
       return r.report.ok() ? audit_rc : 1;
     }
     const auto r = baselines::run_naive_renaming(
-        cfg, std::move(adversary), telemetry.get(), journal.get());
+        cfg, std::move(adversary), telemetry.get(), journal.get(), plan);
     report(args, "naive", r.stats, r.report, n, r.stats.crashes);
     const int audit_rc = finish_observability(
         args, telemetry.get(), journal.get(), r.stats, "naive", cfg, budget);
@@ -337,7 +355,7 @@ int main(int argc, char** argv) {
     }
     const auto r = baselines::run_obg_renaming(
         cfg, byz, baselines::ObgByzBehaviour::kSplitAnnounce, telemetry.get(),
-        journal.get());
+        journal.get(), plan);
     report(args, "obg", r.stats, r.report, n, f);
     const int audit_rc = finish_observability(
         args, telemetry.get(), journal.get(), r.stats, "obg", cfg, f);

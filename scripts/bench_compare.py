@@ -7,13 +7,18 @@ Usage:
 
 Knows the two benches CI pins (the "bench" key selects the rules):
 
-* engine (BENCH_engine.json) — cells match on (workload, n). `rounds` is
-  deterministic and must be EQUAL; `events` must be equal when the seed
-  batches match (`seeds`); `events_per_sec` is hardware-dependent and only
-  warns when it moved by more than --ratio-threshold (default 0.30 — CI
-  machines are noisy; tighten locally).
-* byz_scaling (BENCH_byz_scaling.json) — rows match on (n, f). The seed is
-  a function of n alone, so `msgs`, `bits`, `rounds` and the per-phase
+* engine (BENCH_engine.json) — cells match on (workload, n, threads),
+  where `threads` is the shard-parallel engine width (absent = 1, the
+  serial engine). `rounds` is deterministic and must be EQUAL; `events`
+  must be equal when the seed batches match (`seeds`); `events_per_sec`
+  is hardware-dependent and only warns when it moved by more than
+  --ratio-threshold (default 0.30 — CI machines are noisy; tighten
+  locally).
+* byz_scaling (BENCH_byz_scaling.json) — rows match on (n, f, threads,
+  mt), `threads`/`mt` defaulting to 1/false for the serial sweep rows
+  (the `mt` tag keeps the thread-scaling re-run of a cell apart from the
+  telemetry-attached sweep cell with the same n and f). The seed is a
+  function of n alone, so `msgs`, `bits`, `rounds` and the per-phase
   message/bit ledgers are deterministic and must be EQUAL; `wall_ms` /
   `wall_us` only warn past the ratio threshold.
 
@@ -62,14 +67,17 @@ def check_ratio(cell, field, fresh, base, threshold):
 
 
 def compare_engine(fresh, base, threshold):
-    baseline = {(r["workload"], r["n"]): r for r in base["rows"]}
+    def key_of(r):
+        return (r["workload"], r["n"], r.get("threads", 1))
+
+    baseline = {key_of(r): r for r in base["rows"]}
     compared = 0
     for row in fresh["rows"]:
-        key = (row["workload"], row["n"])
+        key = key_of(row)
         if key not in baseline:
             continue
         compared += 1
-        cell = f"engine {key[0]} n={key[1]}"
+        cell = f"engine {key[0]} n={key[1]} threads={key[2]}"
         ref = baseline[key]
         check_equal(cell, "rounds", row, ref)
         if row.get("seeds") == ref.get("seeds"):
@@ -79,14 +87,17 @@ def compare_engine(fresh, base, threshold):
 
 
 def compare_byz_scaling(fresh, base, threshold):
-    baseline = {(r["n"], r["f"]): r for r in base["rows"]}
+    def key_of(r):
+        return (r["n"], r["f"], r.get("threads", 1), r.get("mt", False))
+
+    baseline = {key_of(r): r for r in base["rows"]}
     compared = 0
     for row in fresh["rows"]:
-        key = (row["n"], row["f"])
+        key = key_of(row)
         if key not in baseline:
             continue
         compared += 1
-        cell = f"byz_scaling n={key[0]} f={key[1]}"
+        cell = f"byz_scaling n={key[0]} f={key[1]} threads={key[2]}"
         ref = baseline[key]
         for field in ("msgs", "bits", "rounds"):
             check_equal(cell, field, row, ref)

@@ -33,15 +33,21 @@ and suppression markers are tracked precisely per (line, rule).
                       (include-what-you-use smoke test with
                       `g++ -fsyntax-only`). Results are memoized in a
                       content-hash cache keyed on the header's transitive
-                      repo includes, so incremental runs stay fast.
-  R6  threading       The simulator is single-threaded and deterministic by
-                      design (ROADMAP invariant; docs/PERFORMANCE.md):
-                      <thread>, <mutex>, <shared_mutex>, <condition_variable>,
-                      <future>, <stop_token> and the std::thread/std::jthread/
+                      repo includes AND this script's own content hash (a
+                      rule change invalidates old verdicts), so incremental
+                      runs stay fast.
+  R6  threading       The simulator is deterministic by design (ROADMAP
+                      invariant; docs/PERFORMANCE.md): <thread>, <mutex>,
+                      <shared_mutex>, <condition_variable>, <future>,
+                      <stop_token> and the std::thread/std::jthread/
                       std::mutex/std::async/std::atomic families are banned
-                      under src/. Parallelism lives in the bench drivers
-                      (bench/bench_util.h runs independent seeds on a pool),
-                      which this script does not scan.
+                      under src/ — with exactly one sanctioned exception,
+                      src/sim/parallel/, the shard-parallel worker pool
+                      whose fork/join discipline keeps engine output
+                      byte-identical to the serial run (docs/PERFORMANCE.md
+                      "Shard-parallel engine"). Everywhere else under src/
+                      the ban stands; protocol and engine code reach
+                      parallelism only through sim::parallel::ShardPlan.
   R7  dense-of-range  Protocol code (src/byzantine/, src/crash/) must not
                       call SetFingerprint/RabinFingerprint::of_range: those
                       evaluate a fingerprint by walking a dense BitVec over
@@ -662,6 +668,13 @@ _THREAD_PRIMS = {
 }
 
 
+# The one place under src/ where threading primitives are sanctioned: the
+# shard-parallel worker pool. Its fork/join discipline (serial merge in
+# fixed shard order) is what keeps the rest of src/ entitled to assume
+# deterministic, effectively single-threaded execution.
+THREADING_ALLOWED_PREFIX = "sim/parallel/"
+
+
 def check_threading(files: list[SourceFile]) -> list[Violation]:
     out = []
 
@@ -671,13 +684,15 @@ def check_threading(files: list[SourceFile]) -> list[Violation]:
                 "threading",
                 f.path,
                 line,
-                f"{why} in simulator code; src/ is single-threaded and "
-                "deterministic — parallelism belongs in the bench drivers "
-                "(bench/)",
+                f"{why} in simulator code; src/ is deterministic and "
+                "single-threaded outside the sanctioned worker pool — "
+                "parallelism belongs in src/sim/parallel/ only",
             )
         )
 
     for f in files:
+        if f.rel.startswith(THREADING_ALLOWED_PREFIX):
+            continue
         for t in f.pp_tokens:
             if _THREAD_HEADER_RE.search(t.text):
                 hit(f, t.line, "threading/atomics header")
@@ -1051,14 +1066,30 @@ def _include_closure(files_by_rel: dict[str, SourceFile], rel: str,
             _include_closure(files_by_rel, m.group(1), seen)
 
 
+def _lint_engine_hash() -> str:
+    """Content hash of this script itself. Mixed into every cache key so a
+    rule-set or engine change invalidates stale verdicts instead of letting
+    the cache keep vouching for headers a newer rule would reject."""
+    cached = getattr(_lint_engine_hash, "_memo", None)
+    if cached is None:
+        try:
+            cached = hashlib.sha256(Path(__file__).read_bytes()).hexdigest()
+        except OSError:
+            cached = "unreadable-lint-engine"
+        _lint_engine_hash._memo = cached
+    return cached
+
+
 def _header_fingerprint(files_by_rel: dict[str, SourceFile], rel: str,
                         compiler: str) -> str:
-    """Content hash over the header and its transitive repo includes, plus
-    the compiler identity — any change re-triggers the syntax-only check."""
+    """Content hash over the header and its transitive repo includes, the
+    compiler identity, and the lint engine's own content hash — any change
+    to any of them re-triggers the syntax-only check."""
     closure: set[str] = set()
     _include_closure(files_by_rel, rel, closure)
     h = hashlib.sha256()
     h.update(compiler.encode())
+    h.update(_lint_engine_hash().encode())
     for dep in sorted(closure):
         f = files_by_rel.get(dep)
         if f is not None:

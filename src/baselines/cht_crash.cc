@@ -64,7 +64,8 @@ class ChtNode final : public sim::Node {
 
 ChtRunResult run_cht_renaming(const SystemConfig& cfg,
                               std::unique_ptr<sim::CrashAdversary> adversary,
-                              obs::Telemetry* telemetry, obs::Journal* journal) {
+                              obs::Telemetry* telemetry, obs::Journal* journal,
+                              sim::parallel::ShardPlan plan) {
   const std::uint64_t budget =
       adversary != nullptr ? adversary->budget() : 0;
   if (telemetry != nullptr) {
@@ -80,6 +81,7 @@ ChtRunResult run_cht_renaming(const SystemConfig& cfg,
   sim::Engine engine(std::move(nodes), std::move(adversary));
   engine.set_telemetry(telemetry);
   engine.set_journal(journal);
+  engine.set_parallel(plan);
 
   ChtRunResult result;
   result.stats = engine.run(ceil_log2(cfg.n) == 0 ? 1 : ceil_log2(cfg.n));

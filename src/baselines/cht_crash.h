@@ -20,6 +20,7 @@
 #include "core/verifier.h"
 #include "sim/adversary.h"
 #include "sim/node.h"
+#include "sim/parallel/plan.h"
 #include "sim/stats.h"
 
 namespace renaming::obs {
@@ -41,6 +42,6 @@ ChtRunResult run_cht_renaming(
     const SystemConfig& cfg,
     std::unique_ptr<sim::CrashAdversary> adversary = nullptr,
     obs::Telemetry* telemetry = nullptr,
-    obs::Journal* journal = nullptr);
+    obs::Journal* journal = nullptr, sim::parallel::ShardPlan plan = {});
 
 }  // namespace renaming::baselines

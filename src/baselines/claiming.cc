@@ -93,7 +93,8 @@ class ClaimingNode final : public sim::Node {
 
 ClaimingRunResult run_claiming_renaming(
     const SystemConfig& cfg, std::unique_ptr<sim::CrashAdversary> adversary,
-    obs::Telemetry* telemetry, obs::Journal* journal) {
+    obs::Telemetry* telemetry, obs::Journal* journal,
+    sim::parallel::ShardPlan plan) {
   const std::uint64_t budget =
       adversary != nullptr ? adversary->budget() : 0;
   if (telemetry != nullptr) {
@@ -110,6 +111,7 @@ ClaimingRunResult run_claiming_renaming(
   sim::Engine engine(std::move(nodes), std::move(adversary));
   engine.set_telemetry(telemetry);
   engine.set_journal(journal);
+  engine.set_parallel(plan);
 
   ClaimingRunResult result;
   // Whp O(log n) rounds; crashes can only free slots. Generous cap.

@@ -78,7 +78,8 @@ class EarlyDecidingNode final : public sim::Node {
 
 EarlyDecidingRunResult run_early_deciding_renaming(
     const SystemConfig& cfg, std::unique_ptr<sim::CrashAdversary> adversary,
-    obs::Telemetry* telemetry, obs::Journal* journal) {
+    obs::Telemetry* telemetry, obs::Journal* journal,
+    sim::parallel::ShardPlan plan) {
   const std::uint64_t budget =
       adversary != nullptr ? adversary->budget() : 0;
   if (telemetry != nullptr) {
@@ -94,6 +95,7 @@ EarlyDecidingRunResult run_early_deciding_renaming(
   sim::Engine engine(std::move(nodes), std::move(adversary));
   engine.set_telemetry(telemetry);
   engine.set_journal(journal);
+  engine.set_parallel(plan);
 
   EarlyDecidingRunResult result;
   // Every dirty round consumes a crash; 2n + 4 is a safe deterministic cap.

@@ -27,6 +27,7 @@
 #include "core/verifier.h"
 #include "sim/adversary.h"
 #include "sim/node.h"
+#include "sim/parallel/plan.h"
 #include "sim/stats.h"
 
 namespace renaming::obs {
@@ -49,6 +50,6 @@ EarlyDecidingRunResult run_early_deciding_renaming(
     const SystemConfig& cfg,
     std::unique_ptr<sim::CrashAdversary> adversary = nullptr,
     obs::Telemetry* telemetry = nullptr,
-    obs::Journal* journal = nullptr);
+    obs::Journal* journal = nullptr, sim::parallel::ShardPlan plan = {});
 
 }  // namespace renaming::baselines

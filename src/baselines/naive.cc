@@ -52,7 +52,9 @@ class NaiveNode final : public sim::Node {
 
 NaiveRunResult run_naive_renaming(const SystemConfig& cfg,
                                   std::unique_ptr<sim::CrashAdversary> adversary,
-                                  obs::Telemetry* telemetry, obs::Journal* journal) {
+                                  obs::Telemetry* telemetry,
+                                  obs::Journal* journal,
+                                  sim::parallel::ShardPlan plan) {
   const std::uint64_t budget =
       adversary != nullptr ? adversary->budget() : 0;
   if (telemetry != nullptr) {
@@ -68,6 +70,7 @@ NaiveRunResult run_naive_renaming(const SystemConfig& cfg,
   sim::Engine engine(std::move(nodes), std::move(adversary));
   engine.set_telemetry(telemetry);
   engine.set_journal(journal);
+  engine.set_parallel(plan);
 
   NaiveRunResult result;
   result.stats = engine.run(1);

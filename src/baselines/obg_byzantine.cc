@@ -178,7 +178,8 @@ class ObgByzNode final : public ObgNode {
 ObgRunResult run_obg_renaming(const SystemConfig& cfg,
                               const std::vector<NodeIndex>& byzantine,
                               ObgByzBehaviour behaviour,
-                              obs::Telemetry* telemetry, obs::Journal* journal) {
+                              obs::Telemetry* telemetry, obs::Journal* journal,
+                              sim::parallel::ShardPlan plan) {
   if (telemetry != nullptr) {
     telemetry->map_kind(kAnnounce, obs::PhaseId::kBaselineExchange);
     telemetry->map_kind(kVector, obs::PhaseId::kBaselineExchange);
@@ -205,6 +206,7 @@ ObgRunResult run_obg_renaming(const SystemConfig& cfg,
   sim::Engine engine(std::move(nodes));
   engine.set_telemetry(telemetry);
   engine.set_journal(journal);
+  engine.set_parallel(plan);
   for (NodeIndex b : byzantine) engine.mark_byzantine(b);
 
   ObgRunResult result;

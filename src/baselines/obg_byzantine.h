@@ -30,6 +30,7 @@
 #include "core/system.h"
 #include "core/verifier.h"
 #include "sim/node.h"
+#include "sim/parallel/plan.h"
 #include "sim/stats.h"
 
 namespace renaming::obs {
@@ -59,6 +60,7 @@ ObgRunResult run_obg_renaming(const SystemConfig& cfg,
                               ObgByzBehaviour behaviour =
                                   ObgByzBehaviour::kSplitAnnounce,
                               obs::Telemetry* telemetry = nullptr,
-                              obs::Journal* journal = nullptr);
+                              obs::Journal* journal = nullptr,
+                              sim::parallel::ShardPlan plan = {});
 
 }  // namespace renaming::baselines

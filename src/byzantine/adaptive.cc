@@ -11,7 +11,13 @@ AdaptiveRunResult run_adaptive_experiment(const SystemConfig& cfg,
                                           std::uint64_t budget,
                                           Round max_rounds,
                                           obs::Telemetry* telemetry,
-                                          obs::Journal* journal) {
+                                          obs::Journal* journal,
+                                          sim::parallel::ShardPlan plan) {
+  // The plan is deliberately unused: try_corrupt_member hands out the
+  // corruption budget first-come-first-served in engine node order, so a
+  // shard-parallel receive phase would race on the controller and change
+  // which members turn. This experiment always runs serial (see header).
+  (void)plan;
   const Directory directory(cfg);
   AdaptiveController controller(budget);
   const auto coeff_cache = hashing::make_coefficient_cache(params.shared_seed);

@@ -111,11 +111,16 @@ struct AdaptiveRunResult {
 /// and the adaptive adversary corrupts up to `budget` committee members
 /// the instant they are elected. `telemetry` (optional) is wired exactly
 /// as in run_byz_renaming; turned nodes simply stop producing spans.
+/// `plan` is accepted for interface uniformity but the callbacks always
+/// run serial: try_corrupt_member is first-come-first-served in engine
+/// node order, deliberately order-dependent cross-node state that a
+/// shard-parallel receive phase would both race on and reorder.
 AdaptiveRunResult run_adaptive_experiment(const SystemConfig& cfg,
                                           const ByzParams& params,
                                           std::uint64_t budget,
                                           Round max_rounds = 0,
                                           obs::Telemetry* telemetry = nullptr,
-                                          obs::Journal* journal = nullptr);
+                                          obs::Journal* journal = nullptr,
+                                          sim::parallel::ShardPlan plan = {});
 
 }  // namespace renaming::byzantine

@@ -383,7 +383,8 @@ ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
                               ByzStrategyFactory factory, Round max_rounds,
                               sim::TraceSink* trace,
                               obs::Telemetry* telemetry,
-                              obs::Journal* journal) {
+                              obs::Journal* journal,
+                              sim::parallel::ShardPlan plan) {
   const Directory directory(cfg);
 
   std::vector<bool> is_byz(cfg.n, false);
@@ -401,7 +402,11 @@ ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
 
   // One coefficient cache for the whole run: every correct node holds the
   // same beacon seed, so the memo is shared knowledge, not a shortcut.
-  const auto coeff_cache = hashing::make_coefficient_cache(params.shared_seed);
+  // Under a shard-parallel plan the memo table would be written from
+  // several threads at once, so the cache runs in its stateless mode
+  // (same coefficients, recomputed per call) instead.
+  const auto coeff_cache = hashing::make_coefficient_cache(
+      params.shared_seed, /*memoize=*/!plan.active());
 
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
@@ -417,6 +422,7 @@ ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
   engine.set_trace(trace);
   engine.set_telemetry(telemetry);
   engine.set_journal(journal);
+  engine.set_parallel(plan);
   for (NodeIndex b : byzantine) engine.mark_byzantine(b);
 
   if (max_rounds == 0) {

@@ -55,6 +55,7 @@
 #include "byzantine/identity_list.h"
 #include "obs/phase.h"
 #include "sim/node.h"
+#include "sim/parallel/plan.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
 #include "sim/wire_schema.h"
@@ -242,7 +243,8 @@ ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
                               Round max_rounds = 0,
                               sim::TraceSink* trace = nullptr,
                               obs::Telemetry* telemetry = nullptr,
-                              obs::Journal* journal = nullptr);
+                              obs::Journal* journal = nullptr,
+                              sim::parallel::ShardPlan plan = {});
 
 /// Registers the Byzantine protocol's MsgKind -> PhaseId mapping with
 /// `telemetry` (the central phase-id table of obs/phase.h). Exposed so

@@ -231,7 +231,8 @@ void register_crash_phases(obs::Telemetry& telemetry) {
 CrashRunResult run_crash_renaming(
     const SystemConfig& cfg, const CrashParams& params,
     std::unique_ptr<sim::CrashAdversary> adversary, sim::TraceSink* trace,
-    obs::Telemetry* telemetry, obs::Journal* journal) {
+    obs::Telemetry* telemetry, obs::Journal* journal,
+    sim::parallel::ShardPlan plan) {
   const std::uint64_t budget = adversary != nullptr ? adversary->budget() : 0;
   if (telemetry != nullptr) {
     register_crash_phases(*telemetry);
@@ -247,6 +248,7 @@ CrashRunResult run_crash_renaming(
   engine.set_trace(trace);
   engine.set_telemetry(telemetry);
   engine.set_journal(journal);
+  engine.set_parallel(plan);
 
   const Round max_rounds =
       params.phase_multiplier * ceil_log2(cfg.n) * kSubrounds;

@@ -45,6 +45,7 @@
 #include "obs/phase.h"
 #include "sim/adversary.h"
 #include "sim/node.h"
+#include "sim/parallel/plan.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
 #include "sim/wire_schema.h"
@@ -155,7 +156,7 @@ CrashRunResult run_crash_renaming(
     const SystemConfig& cfg, const CrashParams& params,
     std::unique_ptr<sim::CrashAdversary> adversary = nullptr,
     sim::TraceSink* trace = nullptr, obs::Telemetry* telemetry = nullptr,
-    obs::Journal* journal = nullptr);
+    obs::Journal* journal = nullptr, sim::parallel::ShardPlan plan = {});
 
 /// Registers the crash protocol's MsgKind -> PhaseId mapping with
 /// `telemetry` (the central phase-id table of obs/phase.h).

@@ -11,7 +11,14 @@
 //
 // The cache is deliberately sparse: only positions actually queried are
 // materialized, so memory is O(identities touched), never Theta(N).
-// Single-threaded by design (protocol lint R6 bans threading under src/).
+//
+// The memo table is the one piece of cross-node shared mutable state in a
+// run, so it is single-threaded by design (protocol lint R6 bans threading
+// under src/ outside sim/parallel/). Shard-parallel runs construct the
+// cache with memoize = false: coefficient() then recomputes from the pure
+// sample_coefficient every time — bit-identical values, no shared writes —
+// and the rejection loop costs about as much as the hash lookup it
+// replaces (docs/PERFORMANCE.md §9).
 #pragma once
 
 #include <cstdint>
@@ -43,16 +50,22 @@ inline std::uint64_t sample_coefficient(const SharedRandomness& beacon,
 class CoefficientCache {
  public:
   /// The cache copies the beacon (it is just a seed), so it never dangles
-  /// even if the creating node dies first.
-  explicit CoefficientCache(const SharedRandomness& beacon)
-      : beacon_(beacon) {}
-  explicit CoefficientCache(std::uint64_t shared_seed)
-      : beacon_(shared_seed) {}
+  /// even if the creating node dies first. `memoize = false` makes
+  /// coefficient() a pure stateless recomputation, safe to share across
+  /// shard-parallel node callbacks.
+  explicit CoefficientCache(const SharedRandomness& beacon,
+                            bool memoize = true)
+      : beacon_(beacon), memoize_(memoize) {}
+  explicit CoefficientCache(std::uint64_t shared_seed, bool memoize = true)
+      : beacon_(shared_seed), memoize_(memoize) {}
 
-  /// Coefficient for position `i`, memoized. The map is lookup-only (its
-  /// address-dependent order never escapes), which is exactly the use the
-  /// determinism lint permits for unordered containers.
+  /// Coefficient for position `i`, memoized unless the cache was built
+  /// stateless. The map is lookup-only (its address-dependent order never
+  /// escapes), which is exactly the use the determinism lint permits for
+  /// unordered containers. Both modes return bit-identical values: the
+  /// memo stores exactly what sample_coefficient would recompute.
   std::uint64_t coefficient(std::uint64_t i) const {
+    if (!memoize_) return sample_coefficient(beacon_, i);
     const auto it = memo_.find(i);
     if (it != memo_.end()) return it->second;
     const std::uint64_t c = sample_coefficient(beacon_, i);
@@ -61,17 +74,21 @@ class CoefficientCache {
   }
 
   const SharedRandomness& beacon() const { return beacon_; }
+  bool memoizing() const { return memoize_; }
   std::size_t materialized() const { return memo_.size(); }
 
  private:
   SharedRandomness beacon_;
+  bool memoize_;
   mutable std::unordered_map<std::uint64_t, std::uint64_t> memo_;
 };
 
 /// One cache per run: convenience maker used by the protocol runners.
+/// Pass memoize = false for runs whose engine executes callbacks
+/// shard-parallel (the memo table would be a cross-thread data race).
 inline std::shared_ptr<const CoefficientCache> make_coefficient_cache(
-    std::uint64_t shared_seed) {
-  return std::make_shared<const CoefficientCache>(shared_seed);
+    std::uint64_t shared_seed, bool memoize = true) {
+  return std::make_shared<const CoefficientCache>(shared_seed, memoize);
 }
 
 }  // namespace renaming::hashing

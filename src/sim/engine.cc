@@ -4,8 +4,28 @@
 
 #include "common/check.h"
 #include "sim/inbox.h"
+#include "sim/parallel/shard.h"
+#include "sim/parallel/worker_pool.h"
 
 namespace renaming::sim {
+
+namespace {
+
+// Minimum node-list items per shard before a phase fans out: below this the
+// fork/join handoff costs more than the callbacks (a Byzantine committee
+// round runs O(log n) nodes in ~1 us). Purely a scheduling heuristic —
+// results are byte-identical either way, so tuning it is always safe.
+constexpr std::size_t kMinNodesPerShard = 64;
+
+// Effective shard count for a list: never more than the plan's K, never so
+// many that a shard drops under the grain, always at least 1.
+unsigned effective_shards(std::size_t items, unsigned shards) {
+  const std::size_t cap = items / kMinNodesPerShard;
+  if (cap < 2 || shards <= 1) return 1;
+  return cap < shards ? static_cast<unsigned>(cap) : shards;
+}
+
+}  // namespace
 
 Engine::Engine(std::vector<std::unique_ptr<Node>> nodes,
                std::unique_ptr<CrashAdversary> adversary)
@@ -111,26 +131,90 @@ RunStats Engine::run(Round max_rounds) {
   std::vector<const Message*> shared_slots;
   shared_slots.reserve(n);
 
+  // Shard-parallel callback execution (docs/PERFORMANCE.md §9). The plan
+  // only parallelizes the two phases whose writes are per-node by
+  // construction — send (each node fills its own outbox) and receive (each
+  // node mutates its own state) — while the adversary and the whole
+  // delivery/accounting sweep stay on this thread in their original order,
+  // so stats, traces, journal bytes and delivery order cannot change by
+  // construction. A live telemetry forces the callbacks serial: PhaseScope
+  // spans inside protocol node code mutate the shared Telemetry directly,
+  // the one observer the engine does not mediate. (Under
+  // RENAMING_NO_TELEMETRY those spans compile out and `tel` folds to
+  // nullptr, so parallel execution is permitted again.)
+  parallel::WorkerPool* const pool = plan_.pool;
+  unsigned plan_shards = 1;
+  if (pool != nullptr && tel == nullptr) {
+    plan_shards = plan_.shards != 0 ? plan_.shards : pool->threads();
+    if (plan_shards == 0) plan_shards = 1;
+  }
+  // Per-shard scratch for the done/active bookkeeping: shard s accumulates
+  // its deltas here and the caller folds them in fixed order 0..K-1 (the
+  // fold is a sum, but the fixed order keeps the argument trivial).
+  struct ShardScratch {
+    std::int64_t remaining_delta = 0;
+    bool active_dirty = false;
+  };
+  std::vector<ShardScratch> shard_scratch(plan_shards);
+
   // Re-query a node whose callback just ran; the only places done()/idle()
-  // may legally change.
-  auto refresh = [&](NodeIndex v) {
-    if (!alive_[v]) return;
+  // may legally change. Writes node_done[v]/active[v] (distinct elements,
+  // safe shard-parallel) and accumulates the two shared counters into the
+  // caller-provided scratch.
+  auto refresh_into = [&](NodeIndex v, ShardScratch& scratch) {
     const bool d = nodes_[v]->done();
     if (d != (node_done[v] != 0)) {
       node_done[v] = d ? 1 : 0;
-      if (!byzantine_[v]) {
-        if (d) {
-          --correct_remaining;
-        } else {
-          ++correct_remaining;
-        }
-      }
+      if (!byzantine_[v]) scratch.remaining_delta += d ? -1 : 1;
     }
     const bool a = !nodes_[v]->idle();
     if (a != (active[v] != 0)) {
       active[v] = a ? 1 : 0;
-      active_dirty = true;
+      scratch.active_dirty = true;
     }
+  };
+  auto fold_scratch = [&](unsigned used_shards) {
+    for (unsigned s = 0; s < used_shards; ++s) {
+      ShardScratch& scratch = shard_scratch[s];
+      correct_remaining = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(correct_remaining) +
+          scratch.remaining_delta);
+      if (scratch.active_dirty) active_dirty = true;
+      scratch = {};
+    }
+  };
+  auto refresh = [&](NodeIndex v) {
+    if (!alive_[v]) return;
+    refresh_into(v, shard_scratch[0]);
+    fold_scratch(1);
+  };
+
+  // Runs receive() + bookkeeping for an ascending node list (all entries
+  // alive), shard-parallel when the list is big enough to pay for the
+  // fork/join. `view_of(v)` supplies each node's inbox view; `note` is the
+  // serial-only telemetry hook (tel != nullptr implies K == 1).
+  auto receive_all = [&](const std::vector<NodeIndex>& list, auto&& view_of,
+                         bool note, Round round) {
+    const unsigned k = effective_shards(list.size(), plan_shards);
+    if (k <= 1) {
+      for (NodeIndex v : list) {
+        if (note && tel != nullptr) tel->note_inbox(1, view_of(v).size());
+        nodes_[v]->receive(round, view_of(v));
+        refresh(v);
+      }
+      return;
+    }
+    const parallel::Partition part(list.size(), k);
+    pool->run(k, [&](std::size_t s) {
+      ShardScratch& scratch = shard_scratch[s];
+      const auto r = part.range(static_cast<unsigned>(s));
+      for (std::size_t i = r.begin; i < r.end; ++i) {
+        const NodeIndex v = list[i];
+        nodes_[v]->receive(round, view_of(v));
+        refresh_into(v, scratch);
+      }
+    });
+    fold_scratch(k);
   };
 
   for (Round round = 1; round <= max_rounds; ++round) {
@@ -158,7 +242,22 @@ RunStats Engine::run(Round max_rounds) {
     senders = active_list;
     if (tel != nullptr) tel->note_active_senders(senders.size());
     if (jrn != nullptr) jrn->note_active_senders(senders.size());
-    for (NodeIndex v : senders) nodes_[v]->send(round, outboxes[v]);
+    // Shard-parallel: each node writes only its own outbox, and delivery
+    // below walks the outboxes in ascending sender order regardless of
+    // which thread filled them.
+    const unsigned send_shards = effective_shards(senders.size(), plan_shards);
+    if (send_shards <= 1) {
+      for (NodeIndex v : senders) nodes_[v]->send(round, outboxes[v]);
+    } else {
+      const parallel::Partition part(senders.size(), send_shards);
+      pool->run(send_shards, [&](std::size_t s) {
+        const auto r = part.range(static_cast<unsigned>(s));
+        for (std::size_t i = r.begin; i < r.end; ++i) {
+          const NodeIndex v = senders[i];
+          nodes_[v]->send(round, outboxes[v]);
+        }
+      });
+    }
 
     // --- Adversary phase: Eve may crash nodes, possibly mid-send. ------
     AdversaryView view{round, n, &alive_, &outboxes, &nodes_};
@@ -350,17 +449,17 @@ RunStats Engine::run(Round max_rounds) {
         if (tel != nullptr) {
           tel->note_inbox(alive_dests.size(), shared_view.size());
         }
-        for (NodeIndex v : alive_dests) {
-          nodes_[v]->receive(round, shared_view);
-          refresh(v);
-        }
+        receive_all(
+            alive_dests, [&](NodeIndex) { return shared_view; },
+            /*note=*/false, round);
       } else {
+        receivers.clear();
         for (NodeIndex v : senders) {
-          if (!alive_[v]) continue;
-          if (tel != nullptr) tel->note_inbox(1, 0);
-          nodes_[v]->receive(round, shared_view);
-          refresh(v);
+          if (alive_[v]) receivers.push_back(v);
         }
+        receive_all(
+            receivers, [&](NodeIndex) { return shared_view; },
+            /*note=*/true, round);
       }
     } else {
       receivers.clear();
@@ -374,11 +473,9 @@ RunStats Engine::run(Round max_rounds) {
         }
       }
       std::sort(receivers.begin(), receivers.end());
-      for (NodeIndex v : receivers) {
-        if (tel != nullptr) tel->note_inbox(1, inbox.view(v).size());
-        nodes_[v]->receive(round, inbox.view(v));
-        refresh(v);
-      }
+      receive_all(
+          receivers, [&](NodeIndex v) { return inbox.view(v); },
+          /*note=*/true, round);
     }
 
     // End-of-round clear: only senders (including this round's victims,

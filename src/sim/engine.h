@@ -17,6 +17,7 @@
 #include "obs/telemetry.h"
 #include "sim/adversary.h"
 #include "sim/node.h"
+#include "sim/parallel/plan.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
 
@@ -49,6 +50,19 @@ class Engine {
   /// across telemetry configs.
   void set_journal(obs::Journal* journal) { journal_ = journal; }
 
+  /// Attaches a shard-parallel execution plan (sim/parallel/, see
+  /// docs/PERFORMANCE.md §9): the send and receive phases fan their
+  /// per-node callbacks across K contiguous shards of the round's node
+  /// list on the plan's worker pool, while every order-sensitive sweep
+  /// (adversary, delivery, stats, traces, journal) stays on the calling
+  /// thread, and per-shard bookkeeping merges in fixed shard order
+  /// 0..K-1. Outcomes, RunStats, golden trace bytes, journal fingerprints
+  /// and telemetry ledgers are byte-identical at any thread/shard count.
+  /// A live telemetry (kTelemetryEnabled and set_telemetry attached)
+  /// forces the callbacks serial: PhaseScope spans inside node code are
+  /// the one observer not mediated by the engine. Default plan = serial.
+  void set_parallel(const parallel::ShardPlan& plan) { plan_ = plan; }
+
   /// Marks node `v` as Byzantine for accounting purposes (its Node
   /// implementation is expected to be an adversarial strategy). Byzantine
   /// nodes never "crash"; they run for the whole execution.
@@ -78,6 +92,7 @@ class Engine {
   TraceSink* trace_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;
   obs::Journal* journal_ = nullptr;
+  parallel::ShardPlan plan_;
 };
 
 }  // namespace renaming::sim

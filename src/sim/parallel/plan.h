@@ -1,0 +1,26 @@
+// Shard-parallel execution plan, threaded from the CLIs and benches down
+// through every run_* entry point into Engine::set_parallel.
+//
+// Deliberately a plain value with a non-owning pool pointer: the caller
+// owns the WorkerPool (one per process is the norm) and may hand the same
+// plan to many runs. A default-constructed plan means serial execution —
+// every entry point's behaviour with `{}` is byte-identical to the
+// pre-parallel engine. This header stays free of threading includes so the
+// protocol headers that embed it remain cheap to compile and lint.
+#pragma once
+
+namespace renaming::sim::parallel {
+
+class WorkerPool;
+
+struct ShardPlan {
+  /// Pool to fan callbacks across; nullptr = serial execution.
+  WorkerPool* pool = nullptr;
+  /// Shard count K; 0 = the pool's thread count. The engine merges shard
+  /// results in fixed order 0..K-1, so any K yields identical bytes.
+  unsigned shards = 0;
+
+  bool active() const { return pool != nullptr; }
+};
+
+}  // namespace renaming::sim::parallel

@@ -1,0 +1,50 @@
+// Contiguous shard partition of an index range (docs/PERFORMANCE.md §9).
+//
+// The engine shards *positions of an ascending node list*, never the nodes
+// themselves: shard s owns a contiguous slice, shards are merged in fixed
+// order 0..K-1, and the concatenation of all slices is the original list.
+// That is the whole determinism argument — any per-shard results replayed
+// in shard order are byte-identical to the serial sweep, regardless of
+// which thread ran which shard.
+#pragma once
+
+#include <cstddef>
+
+#include "common/check.h"
+
+namespace renaming::sim::parallel {
+
+class Partition {
+ public:
+  /// Splits [0, count) into `shards` contiguous ranges whose sizes differ
+  /// by at most one (the first count % shards ranges are the longer ones).
+  Partition(std::size_t count, unsigned shards)
+      : count_(count), shards_(shards) {
+    RENAMING_CHECK(shards >= 1, "a partition needs at least one shard");
+  }
+
+  unsigned shards() const { return shards_; }
+  std::size_t count() const { return count_; }
+
+  struct Range {
+    std::size_t begin = 0;
+    std::size_t end = 0;  ///< exclusive
+  };
+
+  Range range(unsigned shard) const {
+    RENAMING_CHECK(shard < shards_, "shard index out of range");
+    const std::size_t base = count_ / shards_;
+    const std::size_t rem = count_ % shards_;
+    const std::size_t extra = shard < rem ? shard : rem;
+    Range r;
+    r.begin = shard * base + extra;
+    r.end = r.begin + base + (shard < rem ? 1 : 0);
+    return r;
+  }
+
+ private:
+  std::size_t count_;
+  unsigned shards_;
+};
+
+}  // namespace renaming::sim::parallel

@@ -1,0 +1,109 @@
+#include "sim/parallel/worker_pool.h"
+
+namespace renaming::sim::parallel {
+namespace {
+
+// Bounded spin before a worker falls back to the condition variable: round
+// phases are microseconds apart in the steady state, and a condvar sleep /
+// wake pair costs more than a small round's whole parallel section. The
+// spin polls the atomic epoch only; publication still happens under the
+// mutex, so the handoff is race-free either way.
+constexpr int kSpinIterations = 1 << 14;
+
+}  // namespace
+
+WorkerPool::WorkerPool(unsigned threads) {
+  unsigned width = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (width == 0) width = 1;
+  workers_.reserve(width - 1);
+  for (unsigned id = 0; id + 1 < width; ++id) {
+    workers_.emplace_back([this, id] { worker_main(id); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkerPool::claim_loop(std::size_t tasks, JobFn fn, void* ctx) {
+  for (std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+       i < tasks; i = next_.fetch_add(1, std::memory_order_relaxed)) {
+    fn(ctx, i);
+  }
+}
+
+void WorkerPool::worker_main(unsigned id) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    JobFn fn = nullptr;
+    void* ctx = nullptr;
+    std::size_t tasks = 0;
+    {
+      for (int spin = 0; spin < kSpinIterations; ++spin) {
+        if (epoch_.load(std::memory_order_acquire) != seen) break;
+      }
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [&] {
+        return stop_ || epoch_.load(std::memory_order_relaxed) != seen;
+      });
+      if (stop_) return;
+      seen = epoch_.load(std::memory_order_relaxed);
+      if (id >= job_workers_) continue;  // capped out of this job
+      fn = job_fn_;
+      ctx = job_ctx_;
+      tasks = job_tasks_;
+      ++active_;
+    }
+    claim_loop(tasks, fn, ctx);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+    }
+    done_.notify_all();
+  }
+}
+
+void WorkerPool::run_impl(std::size_t tasks, JobFn fn, void* ctx,
+                          unsigned max_parallel) {
+  if (tasks == 0) return;
+  unsigned helpers = static_cast<unsigned>(workers_.size());
+  if (max_parallel != 0 && max_parallel - 1 < helpers) {
+    helpers = max_parallel - 1;
+  }
+  if (helpers == 0 || tasks == 1) {
+    for (std::size_t i = 0; i < tasks; ++i) fn(ctx, i);
+    return;
+  }
+  RENAMING_CHECK(!running_,
+                 "WorkerPool::run is not reentrant: a task may not run() "
+                 "on the pool executing it");
+  running_ = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = fn;
+    job_ctx_ = ctx;
+    job_tasks_ = tasks;
+    job_workers_ = helpers;
+    next_.store(0, std::memory_order_relaxed);
+    epoch_.store(epoch_.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_release);
+  }
+  wake_.notify_all();
+  claim_loop(tasks, fn, ctx);
+  {
+    // All tasks are claimed once the caller's loop exits; completion means
+    // every worker that joined this epoch has also left its loop. Waiting
+    // for active_ == 0 (not a task counter) guarantees no laggard can
+    // observe the *next* job's cursor with this job's function.
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [&] { return active_ == 0; });
+  }
+  running_ = false;
+}
+
+}  // namespace renaming::sim::parallel

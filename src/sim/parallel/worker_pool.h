@@ -1,0 +1,91 @@
+// Persistent fork/join worker pool — the repository's one concurrency
+// primitive (docs/PERFORMANCE.md "Shard-parallel engine").
+//
+// src/sim/parallel/ is the single directory where protocol lint R6 permits
+// threading headers: the engine fans its per-node send/receive callbacks
+// across contiguous node shards here, every shared-state merge stays on the
+// caller's thread, and the bench drivers reuse the same pool for seed-level
+// fan-out. Everything outside this directory remains single-threaded and
+// the ban still applies there (scripts/protocol_lint.py, docs/TOOLING.md).
+//
+// Design: N-1 threads are spawned once and parked on a condition variable;
+// run() publishes a job under the mutex, participates from the calling
+// thread, and returns only when every participating worker has left the
+// claim loop (so a subsequent run() can never race a laggard from the
+// previous one). Tasks are claimed dynamically off one atomic cursor —
+// scheduling is nondeterministic, which is exactly why callers must keep
+// all order-sensitive work (accounting, traces, journal absorbs) outside
+// the pool and merge per-task results in a fixed order afterwards.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace renaming::sim::parallel {
+
+class WorkerPool {
+ public:
+  /// `threads` is the total parallelism including the calling thread; 0
+  /// selects std::thread::hardware_concurrency(). A width-1 pool spawns no
+  /// threads and runs every job inline on the caller.
+  explicit WorkerPool(unsigned threads = 0);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Total parallelism: pool workers plus the calling thread.
+  unsigned threads() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Runs fn(i) for every i in [0, tasks) across the pool plus the calling
+  /// thread, returning once all tasks completed. fn must touch only
+  /// task-owned state (tasks are claimed in nondeterministic order).
+  /// `max_parallel` caps the participating threads (0 = the whole pool);
+  /// max_parallel == 1 degrades to an inline loop. Not reentrant: a task
+  /// must never call run() on the pool executing it.
+  template <typename Fn>
+  void run(std::size_t tasks, Fn&& fn, unsigned max_parallel = 0) {
+    using Decayed = std::remove_reference_t<Fn>;
+    run_impl(
+        tasks,
+        [](void* ctx, std::size_t i) { (*static_cast<Decayed*>(ctx))(i); },
+        &fn, max_parallel);
+  }
+
+ private:
+  using JobFn = void (*)(void* ctx, std::size_t task);
+
+  void run_impl(std::size_t tasks, JobFn fn, void* ctx,
+                unsigned max_parallel);
+  void worker_main(unsigned id);
+  /// Claims tasks off next_ until exhausted; runs on workers + caller.
+  void claim_loop(std::size_t tasks, JobFn fn, void* ctx);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable wake_;  ///< workers park here between jobs
+  std::condition_variable done_;  ///< caller parks here until active_ == 0
+  // Written under mu_; epoch_ is additionally atomic so parked-but-spinning
+  // workers can poll it without taking the lock.
+  std::atomic<std::uint64_t> epoch_{0};
+  bool stop_ = false;
+  JobFn job_fn_ = nullptr;
+  void* job_ctx_ = nullptr;
+  std::size_t job_tasks_ = 0;
+  unsigned job_workers_ = 0;  ///< pool workers admitted to this epoch
+  unsigned active_ = 0;       ///< workers currently inside claim_loop
+  std::atomic<std::size_t> next_{0};
+  bool running_ = false;  ///< reentrancy guard (caller-side only)
+};
+
+}  // namespace renaming::sim::parallel

@@ -1,0 +1,20 @@
+// The sanctioned exception: sim/parallel/ is the one subtree under src/
+// where threading primitives are allowed (R6 whitelist). This fixture
+// must stay CLEAN even though it uses <thread>, <mutex>, <atomic> and the
+// std:: primitives banned everywhere else.
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+std::mutex g_lock;
+std::condition_variable g_wake;
+std::atomic<int> g_next{0};
+
+void spin_worker() {
+  std::thread worker([] {
+    std::unique_lock<std::mutex> hold(g_lock);
+    g_next.fetch_add(1, std::memory_order_relaxed);
+  });
+  worker.join();
+}
