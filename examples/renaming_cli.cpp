@@ -217,13 +217,25 @@ int main(int argc, char** argv) {
   // callbacks shard-parallel on a persistent pool; output stays
   // byte-identical. Live telemetry (--audit/--metrics-out/--perfetto-out)
   // makes the engine fall back to serial callbacks on its own.
-  const auto threads = static_cast<unsigned>(args.num("threads", 1));
+  // Both flags are validated before the unsigned narrowing below: a
+  // negative value wraps through stoull to ~2^64, which would otherwise
+  // spawn that many threads / size per-run scratch by that many shards.
+  const std::uint64_t threads_raw = args.num("threads", 1);
+  const std::uint64_t shards_raw = args.num("shards", 0);
+  constexpr std::uint64_t kMaxParallelism = 4096;
+  if (threads_raw > kMaxParallelism || shards_raw > kMaxParallelism) {
+    std::fprintf(stderr,
+                 "--threads/--shards must be in [0, %llu]\n",
+                 static_cast<unsigned long long>(kMaxParallelism));
+    return usage();
+  }
+  const auto threads = static_cast<unsigned>(threads_raw);
   std::unique_ptr<sim::parallel::WorkerPool> pool;
   sim::parallel::ShardPlan plan;
   if (threads != 1 || args.has("shards")) {
     pool = std::make_unique<sim::parallel::WorkerPool>(threads);
     plan.pool = pool.get();
-    plan.shards = static_cast<unsigned>(args.num("shards", 0));
+    plan.shards = static_cast<unsigned>(shards_raw);
   }
 
   if (args.command == "crash") {

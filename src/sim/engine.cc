@@ -147,6 +147,12 @@ RunStats Engine::run(Round max_rounds) {
   if (pool != nullptr && tel == nullptr) {
     plan_shards = plan_.shards != 0 ? plan_.shards : pool->threads();
     if (plan_shards == 0) plan_shards = 1;
+    // A shard never holds fewer than one node, so K > n buys nothing —
+    // and the scratch vector below is sized by K, so an absurd --shards
+    // value (the CLI forwards it as a raw unsigned) must be capped here
+    // rather than turned into a multi-gigabyte allocation.
+    const unsigned max_shards = n != 0 ? n : 1;
+    if (plan_shards > max_shards) plan_shards = max_shards;
   }
   // Per-shard scratch for the done/active bookkeeping: shard s accumulates
   // its deltas here and the caller folds them in fixed order 0..K-1 (the

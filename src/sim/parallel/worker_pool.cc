@@ -79,12 +79,26 @@ void WorkerPool::run_impl(std::size_t tasks, JobFn fn, void* ctx,
     for (std::size_t i = 0; i < tasks; ++i) fn(ctx, i);
     return;
   }
-  RENAMING_CHECK(!running_,
-                 "WorkerPool::run is not reentrant: a task may not run() "
-                 "on the pool executing it");
-  running_ = true;
+  // exchange (not a plain read) so two threads racing into run() trip the
+  // check deterministically instead of corrupting the job slots unnoticed.
+  const bool was_running = running_.exchange(true, std::memory_order_acquire);
+  RENAMING_CHECK(!was_running,
+                 "WorkerPool::run is not reentrant: only one thread may be "
+                 "inside run(), and a task may not run() on the pool "
+                 "executing it");
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    // Drain laggards from the previous epoch before publishing. A worker
+    // whose condvar wakeup lands late can still enter the *old* epoch
+    // after the previous run() returned: that run's exit wait only covers
+    // workers that had already bumped active_. Such a laggard claims
+    // nothing — the old cursor is exhausted — but it does read the job
+    // slots and hold active_ > 0 briefly, so publishing underneath it
+    // would hand it the old fn/ctx with a freshly reset cursor:
+    // use-after-scope on the previous caller's stack lambda and a
+    // silently skipped task in the new job. Waiting for active_ == 0 in
+    // the same critical section that publishes closes that window.
+    done_.wait(lock, [&] { return active_ == 0; });
     job_fn_ = fn;
     job_ctx_ = ctx;
     job_tasks_ = tasks;
@@ -96,14 +110,15 @@ void WorkerPool::run_impl(std::size_t tasks, JobFn fn, void* ctx,
   wake_.notify_all();
   claim_loop(tasks, fn, ctx);
   {
-    // All tasks are claimed once the caller's loop exits; completion means
-    // every worker that joined this epoch has also left its loop. Waiting
-    // for active_ == 0 (not a task counter) guarantees no laggard can
-    // observe the *next* job's cursor with this job's function.
+    // All tasks are claimed once the caller's loop exits; waiting for
+    // active_ == 0 then ensures every worker that joined this epoch has
+    // finished its claimed tasks before fn/ctx go out of scope. A laggard
+    // joining *after* this wait claims nothing (next_ stays >= job_tasks_
+    // until the next publication, which drains it first — see above).
     std::unique_lock<std::mutex> lock(mu_);
     done_.wait(lock, [&] { return active_ == 0; });
   }
-  running_ = false;
+  running_.store(false, std::memory_order_release);
 }
 
 }  // namespace renaming::sim::parallel

@@ -10,9 +10,13 @@
 //
 // Design: N-1 threads are spawned once and parked on a condition variable;
 // run() publishes a job under the mutex, participates from the calling
-// thread, and returns only when every participating worker has left the
-// claim loop (so a subsequent run() can never race a laggard from the
-// previous one). Tasks are claimed dynamically off one atomic cursor —
+// thread, and returns once all tasks have completed. A worker whose condvar
+// wakeup lands late may still enter the *previous* epoch after its run()
+// returned; it claims nothing (that cursor is exhausted), and the next
+// publication drains such laggards (active_ == 0, under the publishing
+// critical section) before resetting the cursor, so no worker can ever
+// pair an old job's function with a new job's cursor.
+// Tasks are claimed dynamically off one atomic cursor —
 // scheduling is nondeterministic, which is exactly why callers must keep
 // all order-sensitive work (accounting, traces, journal absorbs) outside
 // the pool and merge per-task results in a fixed order afterwards.
@@ -51,8 +55,11 @@ class WorkerPool {
   /// thread, returning once all tasks completed. fn must touch only
   /// task-owned state (tasks are claimed in nondeterministic order).
   /// `max_parallel` caps the participating threads (0 = the whole pool);
-  /// max_parallel == 1 degrades to an inline loop. Not reentrant: a task
-  /// must never call run() on the pool executing it.
+  /// max_parallel == 1 degrades to an inline loop. Single external caller:
+  /// at most one thread may be inside run() at a time — concurrent run()
+  /// from two threads, or a task calling run() on the pool executing it,
+  /// trips the reentrancy check (an atomic exchange, so the cross-thread
+  /// case fails deterministically rather than corrupting the job slots).
   template <typename Fn>
   void run(std::size_t tasks, Fn&& fn, unsigned max_parallel = 0) {
     using Decayed = std::remove_reference_t<Fn>;
@@ -85,7 +92,9 @@ class WorkerPool {
   unsigned job_workers_ = 0;  ///< pool workers admitted to this epoch
   unsigned active_ = 0;       ///< workers currently inside claim_loop
   std::atomic<std::size_t> next_{0};
-  bool running_ = false;  ///< reentrancy guard (caller-side only)
+  /// Reentrancy guard, set/cleared via atomic exchange so concurrent run()
+  /// calls from distinct threads trip the check instead of racing.
+  std::atomic<bool> running_{false};
 };
 
 }  // namespace renaming::sim::parallel

@@ -198,6 +198,32 @@ TEST(ParallelEquivalence, TelemetryKindLedgersMatchSerialUnderAPlan) {
   }
 }
 
+// --- worker pool laggard drain -------------------------------------------
+
+// Back-to-back tiny jobs maximize the laggard window: a worker whose
+// condvar wakeup lands after the caller has already drained the cursor
+// joins its epoch late, possibly after run() returned, and the *next*
+// publication must drain it (active_ == 0) before resetting the cursor.
+// Without that drain a laggard could pair the previous job's lambda —
+// already destroyed on the caller's stack — with the fresh cursor:
+// use-after-scope and a silently lost task in the new job. The window is
+// a narrow OS-scheduling artifact, so this stress is probabilistic, not a
+// deterministic pin — it needs real parallelism to fire and earns its
+// keep on the multi-core TSan CI job (stack-reuse race report, or the
+// per-run count assertion below). The oversubscribed width keeps parked
+// workers plentiful so wakeups routinely land late.
+TEST(ParallelEquivalence, WorkerPoolBackToBackRunsLoseNoTasks) {
+  sim::parallel::WorkerPool pool(8);
+  for (int iter = 0; iter < 20000; ++iter) {
+    std::atomic<int> ran{0};
+    // >= 2 tasks so the pool path runs (1 task degrades to an inline loop).
+    const std::size_t tasks = 2 + static_cast<std::size_t>(iter % 7);
+    pool.run(tasks,
+             [&](std::size_t) { ran.fetch_add(1, std::memory_order_relaxed); });
+    ASSERT_EQ(ran.load(), static_cast<int>(tasks)) << "iteration " << iter;
+  }
+}
+
 // --- misuse checks -------------------------------------------------------
 
 #if !defined(RENAMING_UNCHECKED)
