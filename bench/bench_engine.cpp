@@ -251,6 +251,13 @@ int run(int argc, char** argv) {
   for (const Workload& w : workloads) {
     for (NodeIndex n : w.sizes) {
       const Cell cell = measure(w.name, n, w.seeds, threads);
+      // The RSS probe feeds the bench_compare.py memory gate; a probe that
+      // silently starts returning 0 would pass every ceiling, so smoke runs
+      // (the CI configuration) assert the row is real.
+      if (smoke) {
+        RENAMING_CHECK(cell.peak_rss > 0,
+                       "peak_rss_bytes row must be populated");
+      }
       cells.push_back(cell);
       table.row({cell.workload, std::to_string(cell.n),
                  std::to_string(cell.seeds), std::to_string(cell.rounds),

@@ -15,8 +15,29 @@
 // Common flags: --seed S, --csv, --trace FILE (JSONL event trace, crash/byz
 // only), --threads T (shard-parallel engine callbacks on T threads, 0 =
 // all cores; results byte-identical to --threads 1), --shards K (override
-// the shard count, default one per thread). Observability flags (all
-// algorithms except lowerbound):
+// the shard count, default one per thread).
+//
+// Million-node mode (docs/PERFORMANCE.md §10):
+//   --mode dense|sparse|auto  engine memory layout (default auto: sparse at
+//                        n >= 8192). Byte-identical output either way;
+//                        dense at large n needs --force (it eagerly
+//                        allocates per-node state).
+//   --closed-form C      baselines (cht/obg) switch to exact closed-form
+//                        accounting at n >= C when failure-free and
+//                        journal-less (default: the sparse cutoff;
+//                        0 = always simulate).
+//   --trace-cap M        forward at most M per-copy trace events, then
+//                        count drops (default above the sparse cutoff:
+//                        1000000; 0 = unbounded). A capped trace is not
+//                        byte-comparable to golden pins.
+//   --journal-rounds K   keep only the last K journal round records
+//                        (flight-recorder ring; run totals still cover the
+//                        whole run). Default above the sparse cutoff: 64;
+//                        0 = unbounded.
+// The effective configuration (engine mode, trace/journal bounding) is
+// printed as a run header — to stderr under --csv so parsers stay happy.
+//
+// Observability flags (all algorithms except lowerbound):
 //   --metrics-out FILE   phase-attributed metrics JSON (renaming-metrics-v1)
 //   --perfetto-out FILE  Chrome trace-event JSON; open at ui.perfetto.dev
 //   --journal-out FILE   deterministic flight-recorder journal (binary,
@@ -48,6 +69,7 @@
 #include "obs/export.h"
 #include "obs/journal.h"
 #include "obs/telemetry.h"
+#include "sim/engine.h"
 #include "sim/parallel/plan.h"
 #include "sim/parallel/worker_pool.h"
 #include "sim/trace.h"
@@ -190,17 +212,68 @@ int usage() {
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
-  const NodeIndex n = static_cast<NodeIndex>(args.num("n", 128));
+  const std::uint64_t n_raw = args.num("n", 128);
+  // Validate before the narrowing below: NodeIndex is 32-bit and the
+  // engine's dense layout eagerly allocates per-node state, so an absurd
+  // or wrapped --n must die here, not as a bad_alloc three layers down.
+  constexpr std::uint64_t kMaxNodes = 1ull << 24;  // 16M, ~16x the BENCH max
+  if (n_raw == 0 || n_raw > kMaxNodes) {
+    std::fprintf(stderr, "--n must be in [1, %llu]\n",
+                 static_cast<unsigned long long>(kMaxNodes));
+    return usage();
+  }
+  const NodeIndex n = static_cast<NodeIndex>(n_raw);
   const std::uint64_t seed = args.num("seed", 1);
   const std::uint64_t N = args.num("namespace", 5ull * n * n);
   const auto cfg = SystemConfig::random(n, N, seed);
 
+  // Engine memory layout (docs/PERFORMANCE.md §10). The static default
+  // reaches every engine the run constructs, including the ones protocol
+  // entry points build internally; output is byte-identical across modes.
+  const std::string mode_str = args.str("mode", "auto");
+  sim::EngineMode mode = sim::EngineMode::kAuto;
+  if (mode_str == "dense") {
+    mode = sim::EngineMode::kDense;
+  } else if (mode_str == "sparse") {
+    mode = sim::EngineMode::kSparse;
+  } else if (mode_str != "auto") {
+    std::fprintf(stderr, "--mode must be dense, sparse or auto\n");
+    return usage();
+  }
+  if (mode == sim::EngineMode::kDense && n >= sim::Engine::kSparseAutoCutoff &&
+      !args.has("force")) {
+    std::fprintf(stderr,
+                 "--mode dense at n >= %u allocates per-node state eagerly; "
+                 "use --mode sparse (byte-identical output) or add --force\n",
+                 sim::Engine::kSparseAutoCutoff);
+    return usage();
+  }
+  sim::Engine::set_default_mode(mode);
+  const bool sparse_effective =
+      mode == sim::EngineMode::kSparse ||
+      (mode == sim::EngineMode::kAuto && n >= sim::Engine::kSparseAutoCutoff);
+
+  // Memory-bounded observability defaults: above the sparse cutoff a full
+  // per-copy trace or per-round journal would itself be O(n^2)-ish, so the
+  // trace caps and the journal rings unless explicitly unbounded (0).
+  const bool big = n >= sim::Engine::kSparseAutoCutoff;
+  const std::uint64_t trace_cap =
+      args.num("trace-cap", big ? 1000000 : 0);
+  const std::uint64_t journal_rounds = args.num("journal-rounds", big ? 64 : 0);
+
   std::ofstream trace_file;
   std::unique_ptr<sim::JsonlTrace> trace;
+  std::unique_ptr<sim::CappedTrace> capped;
+  sim::TraceSink* trace_sink = nullptr;
   if (args.has("trace")) {
     trace_file.open(args.str("trace", "trace.jsonl"));
     trace = std::make_unique<sim::JsonlTrace>(trace_file,
                                               args.num("trace-sample", 1));
+    trace_sink = trace.get();
+    if (trace_cap > 0) {
+      capped = std::make_unique<sim::CappedTrace>(*trace, trace_cap);
+      trace_sink = capped.get();
+    }
   }
 
   std::unique_ptr<obs::Telemetry> telemetry;
@@ -210,7 +283,33 @@ int main(int argc, char** argv) {
   }
   std::unique_ptr<obs::Journal> journal;
   if (args.has("journal-out") || args.has("journal-jsonl")) {
-    journal = std::make_unique<obs::Journal>();
+    journal = std::make_unique<obs::Journal>(
+        static_cast<std::size_t>(journal_rounds));
+  }
+
+  // Effective-configuration run header. Under --csv it goes to stderr so
+  // stdout stays machine-parseable.
+  {
+    FILE* hdr = args.has("csv") ? stderr : stdout;
+    std::fprintf(hdr, "engine %s", sparse_effective ? "sparse" : "dense");
+    if (mode == sim::EngineMode::kAuto) std::fprintf(hdr, " (auto)");
+    if (trace_sink != nullptr) {
+      if (trace_cap > 0) {
+        std::fprintf(hdr, ", trace capped(%llu)",
+                     static_cast<unsigned long long>(trace_cap));
+      } else {
+        std::fprintf(hdr, ", trace full");
+      }
+    }
+    if (journal != nullptr) {
+      if (journal_rounds > 0) {
+        std::fprintf(hdr, ", journal ring(%llu)",
+                     static_cast<unsigned long long>(journal_rounds));
+      } else {
+        std::fprintf(hdr, ", journal full");
+      }
+    }
+    std::fprintf(hdr, "\n");
   }
 
   // --threads T > 1 (0 = all cores) runs the engine's send/receive
@@ -264,9 +363,13 @@ int main(int argc, char** argv) {
       }
     }
     const auto r = crash::run_crash_renaming(
-        cfg, params, std::move(adversary), trace.get(), telemetry.get(),
+        cfg, params, std::move(adversary), trace_sink, telemetry.get(),
         journal.get(), plan);
     report(args, "crash", r.stats, r.report, n, r.stats.crashes);
+    if (capped != nullptr && capped->dropped() > 0 && !args.has("csv")) {
+      std::printf("  trace         dropped %llu events past the cap\n",
+                  static_cast<unsigned long long>(capped->dropped()));
+    }
     const int audit_rc = finish_observability(
         args, telemetry.get(), journal.get(), r.stats, "crash", cfg, budget,
         params.election_constant, params.phase_multiplier);
@@ -300,11 +403,15 @@ int main(int argc, char** argv) {
       return usage();
     }
     const auto r = byzantine::run_byz_renaming(cfg, params, byz, factory, 0,
-                                               trace.get(), telemetry.get(),
+                                               trace_sink, telemetry.get(),
                                                journal.get(), plan);
     report(args, "byz", r.stats, r.report, n, byz.size());
     if (!args.has("csv")) {
       std::printf("  loop iters    %u\n", r.loop_iterations);
+      if (capped != nullptr && capped->dropped() > 0) {
+        std::printf("  trace         dropped %llu events past the cap\n",
+                    static_cast<unsigned long long>(capped->dropped()));
+      }
     }
     const int audit_rc = finish_observability(
         args, telemetry.get(), journal.get(), r.stats,
@@ -322,9 +429,16 @@ int main(int argc, char** argv) {
           std::make_unique<sim::ChaosCrashAdversary>(budget, 0.15, seed * 7);
     }
     if (args.command == "cht") {
+      const auto cutoff = static_cast<NodeIndex>(
+          args.num("closed-form", sim::Engine::kSparseAutoCutoff));
       const auto r = baselines::run_cht_renaming(
-          cfg, std::move(adversary), telemetry.get(), journal.get(), plan);
+          cfg, std::move(adversary), telemetry.get(), journal.get(), plan,
+          cutoff);
       report(args, "cht", r.stats, r.report, n, r.stats.crashes);
+      if (r.closed_form && !args.has("csv")) {
+        std::printf("  accounting    closed-form (failure-free, n >= %u)\n",
+                    cutoff);
+      }
       const int audit_rc =
           finish_observability(args, telemetry.get(), journal.get(), r.stats,
                                "cht", cfg, budget);
@@ -365,10 +479,16 @@ int main(int argc, char** argv) {
     for (NodeIndex i = 0; i < f && f < n; ++i) {
       byz.push_back((i * n) / (f + 1) + 1);
     }
+    const auto cutoff = static_cast<NodeIndex>(
+        args.num("closed-form", sim::Engine::kSparseAutoCutoff));
     const auto r = baselines::run_obg_renaming(
         cfg, byz, baselines::ObgByzBehaviour::kSplitAnnounce, telemetry.get(),
-        journal.get(), plan);
+        journal.get(), plan, cutoff);
     report(args, "obg", r.stats, r.report, n, f);
+    if (r.closed_form && !args.has("csv")) {
+      std::printf("  accounting    closed-form (failure-free, n >= %u)\n",
+                  cutoff);
+    }
     const int audit_rc = finish_observability(
         args, telemetry.get(), journal.get(), r.stats, "obg", cfg, f);
     return r.report.ok() ? audit_rc : 1;

@@ -3,9 +3,10 @@
 
 Usage:
     scripts/bench_compare.py FRESH.json BASELINE.json [--ratio-threshold R]
+                             [--rss-tolerance R] [--rss-ceiling BYTES]
                              [--strict]
 
-Knows the two benches CI pins (the "bench" key selects the rules):
+Knows the three benches CI pins (the "bench" key selects the rules):
 
 * engine (BENCH_engine.json) — cells match on (workload, n, threads),
   where `threads` is the shard-parallel engine width (absent = 1, the
@@ -21,6 +22,18 @@ Knows the two benches CI pins (the "bench" key selects the rules):
   function of n alone, so `msgs`, `bits`, `rounds` and the per-phase
   message/bit ledgers are deterministic and must be EQUAL; `wall_ms` /
   `wall_us` only warn past the ratio threshold.
+* million (BENCH_million.json) — cells match on (workload, n). The runs
+  are seeded and failure-free, so `rounds`, `messages`, `bits` and
+  `closed_form` must be EQUAL. `peak_rss_bytes` is the quantity this
+  bench exists to bound and is a HARD gate, not a warning: a fresh cell
+  whose RSS exceeds baseline * (1 + --rss-tolerance) fails (default
+  tolerance 1.0, i.e. 2x — RSS is stable across same-config runs but a
+  sanitizer or allocator change legitimately inflates it; CI's ASan job
+  therefore gates on --rss-ceiling instead). --rss-ceiling BYTES is an
+  absolute cap applied to EVERY fresh cell, baseline overlap or not —
+  this is the memory-regression tripwire for the sparse engine: a
+  reintroduced O(n) per-round allocation at n = 2^16 under ASan blows
+  straight past it. `wall_ms` only warns.
 
 Cells present on one side only are skipped (smoke sweeps are subsets of
 the committed full sweeps). Exit codes: 0 = clean or warnings only,
@@ -114,6 +127,36 @@ def compare_byz_scaling(fresh, base, threshold):
     return compared
 
 
+def compare_million(fresh, base, threshold, rss_tolerance, rss_ceiling):
+    def key_of(r):
+        return (r["workload"], r["n"])
+
+    baseline = {key_of(r): r for r in base["rows"]}
+    compared = 0
+    for row in fresh["rows"]:
+        key = key_of(row)
+        cell = f"million {key[0]} n={key[1]}"
+        rss = row.get("peak_rss_bytes")
+        if rss_ceiling and rss and rss > rss_ceiling:
+            fail(f"{cell}: peak_rss_bytes {rss} exceeds the absolute "
+                 f"ceiling {rss_ceiling} (memory regression in the sparse "
+                 "engine or observability caps)")
+        if key not in baseline:
+            continue
+        compared += 1
+        ref = baseline[key]
+        for field in ("rounds", "messages", "bits", "closed_form"):
+            check_equal(cell, field, row, ref)
+        base_rss = ref.get("peak_rss_bytes")
+        if rss and base_rss and rss > base_rss * (1.0 + rss_tolerance):
+            fail(f"{cell}: peak_rss_bytes {base_rss} -> {rss} "
+                 f"(over the {100 * rss_tolerance:.0f}% tolerance; this "
+                 "gate is hard — see docs/PERFORMANCE.md \"Million-node "
+                 "mode\")")
+        check_ratio(cell, "wall_ms", row, ref, threshold)
+    return compared
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="diff a fresh bench JSON against the committed baseline")
@@ -122,6 +165,13 @@ def main():
     parser.add_argument("--ratio-threshold", type=float, default=0.30,
                         help="relative drift that turns a wall-clock "
                              "quantity into a warning (default 0.30)")
+    parser.add_argument("--rss-tolerance", type=float, default=1.0,
+                        help="relative peak_rss_bytes growth over baseline "
+                             "that HARD-fails a million cell (default 1.0 "
+                             "= 2x)")
+    parser.add_argument("--rss-ceiling", type=int, default=0,
+                        help="absolute peak_rss_bytes cap hard-applied to "
+                             "every fresh million cell (0 = off)")
     parser.add_argument("--strict", action="store_true",
                         help="treat warnings as failures")
     args = parser.parse_args()
@@ -149,6 +199,9 @@ def main():
         compared = compare_engine(fresh, base, args.ratio_threshold)
     elif kind == "byz_scaling":
         compared = compare_byz_scaling(fresh, base, args.ratio_threshold)
+    elif kind == "million":
+        compared = compare_million(fresh, base, args.ratio_threshold,
+                                   args.rss_tolerance, args.rss_ceiling)
     else:
         print(f"bench_compare: unknown bench kind {kind!r}", file=sys.stderr)
         return 2

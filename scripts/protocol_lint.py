@@ -86,11 +86,22 @@ and suppression markers are tracked precisely per (line, rule).
                       sim::MsgKind` enumerator or a file-local `constexpr
                       sim::MsgKind`) somewhere under src/ — and the schema
                       table must not describe unregistered kinds.
+  R12 full-width-alloc The engine's steady-state round loop must never
+                      allocate full-width (O(n)) structures: that is what
+                      keeps million-node sparse runs at O(active) memory
+                      per round (docs/PERFORMANCE.md §10). In
+                      sim/engine.cc every .reserve / .resize / .assign
+                      call or container construction whose size expression
+                      mentions the node count `n` must sit between the
+                      `// lint:engine-setup-begin` and
+                      `// lint:engine-setup-end` markers — the one
+                      sanctioned setup section; anywhere else in the file
+                      it is a finding.
 
 Findings can be suppressed per line with `// lint:allow(<rule>)` where
 <rule> is one of: nondeterminism, bits-width, unordered-iteration,
-threading, dense-of-range, raw-output, wire-schema. Suppressions are
-tracked: a marker that matches no finding fails R10.
+threading, dense-of-range, raw-output, wire-schema, full-width-alloc.
+Suppressions are tracked: a marker that matches no finding fails R10.
 
 Exit status: 0 if clean, 1 if any violation, 2 on usage error.
 """
@@ -121,6 +132,7 @@ SUPPRESSIBLE = {
     "dense-of-range",
     "raw-output",
     "wire-schema",
+    "full-width-alloc",
 }
 
 # ---------------------------------------------------------------------------
@@ -1047,6 +1059,85 @@ def check_kind_coverage(files: list[SourceFile]) -> list[Violation]:
 
 
 # ---------------------------------------------------------------------------
+# R12: the engine round loop never allocates full-width structures
+
+_ENGINE_FILE = "sim/engine.cc"
+_ALLOC_MEMBERS = {"reserve", "resize", "assign"}
+_SETUP_BEGIN = "lint:engine-setup-begin"
+_SETUP_END = "lint:engine-setup-end"
+_CONTAINERS = {"vector", "deque", "valarray", "basic_string", "string"}
+
+
+def _mentions_node_count(tokens: list[Token]) -> bool:
+    """True when a size expression references the bare node count `n`
+    (member accesses like order.n and qualified names are someone else's
+    count and do not pin this file's full width)."""
+    for i, t in enumerate(tokens):
+        if t.kind != "id" or t.text != "n":
+            continue
+        if i >= 1 and tokens[i - 1].text in (".", "->", "::"):
+            continue
+        return True
+    return False
+
+
+def check_full_width_alloc(files: list[SourceFile]) -> list[Violation]:
+    out = []
+    for f in files:
+        if f.rel != _ENGINE_FILE:
+            continue
+        # The sanctioned setup section(s): marker comments pair up in file
+        # order. An unmatched begin extends to end-of-file (still bounded:
+        # the closing marker's absence shows up as every later allocation
+        # quietly passing, so require the pair to be complete).
+        begins = [t.line for t in f.tokens
+                  if t.kind == "comment" and _SETUP_BEGIN in t.text]
+        ends = [t.line for t in f.tokens
+                if t.kind == "comment" and _SETUP_END in t.text]
+        ranges = list(zip(begins, ends))
+
+        def in_setup(line: int) -> bool:
+            return any(lo <= line <= hi for lo, hi in ranges)
+
+        def hit(line: int, what: str) -> None:
+            out.append(
+                Violation(
+                    "full-width-alloc",
+                    f.path,
+                    line,
+                    f"{what} sized by the node count outside the "
+                    "lint:engine-setup markers; the steady-state round "
+                    "loop must stay O(active) — move the allocation into "
+                    "the setup section or size it by the active set "
+                    "(docs/PERFORMANCE.md \"Million-node mode\")",
+                )
+            )
+
+        sig = f.sig
+        for i, t in enumerate(sig):
+            if t.kind != "id":
+                continue
+            if t.text in _ALLOC_MEMBERS and i >= 1 and \
+                    sig[i - 1].text in (".", "->") and seq_at(sig, i + 1, "("):
+                args, _ = split_args(sig, i + 1)
+                if args and _mentions_node_count(args[0]) and \
+                        not in_setup(t.line):
+                    hit(t.line, f".{t.text}()")
+            elif t.text in _CONTAINERS and seq_at(sig, i + 1, "<"):
+                end = balanced_end(sig, i + 1, "<", ">")
+                j = end
+                if j < len(sig) and sig[j].kind == "id" and \
+                        j + 1 < len(sig) and sig[j + 1].text in ("(", "{"):
+                    open_ = sig[j + 1].text
+                    close = ")" if open_ == "(" else "}"
+                    body_end = balanced_end(sig, j + 1, open_, close)
+                    if _mentions_node_count(sig[j + 2 : body_end - 1]) and \
+                            not in_setup(t.line):
+                        hit(t.line, f"{t.text} construction")
+    return out
+
+
+# ---------------------------------------------------------------------------
 # R5: headers are self-contained (with a content-hash cache)
 
 _INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
@@ -1174,6 +1265,7 @@ RULES = (
     "wire-schema",
     "stale-allow",
     "kind-coverage",
+    "full-width-alloc",
 )
 
 
@@ -1199,6 +1291,8 @@ def run_rules(files: list[SourceFile], src: Path, selected: list[str],
         raw += check_wire_schema(files)
     if "kind-coverage" in selected:
         raw += check_kind_coverage(files)
+    if "full-width-alloc" in selected:
+        raw += check_full_width_alloc(files)
     if "header-hygiene" in selected:
         raw += check_header_hygiene(files, src, compiler, cache_path)
 

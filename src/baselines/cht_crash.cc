@@ -1,6 +1,7 @@
 #include "baselines/cht_crash.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/math.h"
 #include "core/interval.h"
@@ -60,12 +61,70 @@ class ChtNode final : public sim::Node {
   Interval interval_;
 };
 
+// Closed-form accounting of the failure-free execution (PERFORMANCE.md
+// §10). With no crashes every node broadcasts one kStatus per round for
+// R = ceil_log2(n) rounds, and the halving rule degenerates to a
+// deterministic binary search: the node holding the r-th smallest identity
+// lands on new name r. The ledgers below replay the engine's accounting
+// calls exactly — RunStats::note_messages is documented count-additive, and
+// Telemetry::note_messages/note_inbox are the same bulk hooks the broadcast
+// fast path uses — so stats and telemetry are bit-identical to the
+// simulated run (pinned by tests/closed_form_test.cc), and the Theorem
+// audit gates (obs/budget.h) see exactly the traffic the engine would have
+// charged. Quadratic cost becomes O(n log n) outcome assembly.
+ChtRunResult closed_form_cht(const SystemConfig& cfg, obs::Telemetry* tel) {
+  const NodeIndex n = cfg.n;
+  const Round rounds = ceil_log2(n);
+  const std::uint32_t bits =
+      sim::wire::wire_bits(kStatus, {cfg.n, cfg.namespace_size});
+  const std::uint64_t copies = static_cast<std::uint64_t>(n) * n;
+
+  // The accumulators are 64-bit (sim/stats.h); a quadratic baseline at
+  // huge n can genuinely exceed them. The simulation would be unreachable
+  // long before that point — the closed form IS reachable, so it refuses
+  // loudly instead of wrapping.
+  RENAMING_CHECK(bits <= UINT64_MAX / copies / rounds,
+                 "closed-form total bits overflow 64-bit accounting");
+
+  ChtRunResult result;
+  result.closed_form = true;
+  if (tel != nullptr) tel->begin_run(n);
+  for (Round round = 1; round <= rounds; ++round) {
+    result.stats.rounds = round;
+    result.stats.per_round.push_back({});
+    if (tel != nullptr) {
+      tel->on_round_begin(round);
+      tel->note_active_senders(n);
+      tel->note_messages(kStatus, copies, bits);
+    }
+    result.stats.note_messages(copies, bits);
+    if (tel != nullptr) {
+      tel->note_inbox(n, n);  // shared inbox: n receivers, n broadcasts
+      tel->on_round_end(round);
+    }
+  }
+  if (tel != nullptr) tel->end_run(rounds);
+
+  std::vector<OriginalId> sorted = cfg.ids;
+  std::sort(sorted.begin(), sorted.end());
+  result.outcomes.reserve(n);
+  for (NodeIndex v = 0; v < n; ++v) {
+    const NewId rank = 1 + static_cast<NewId>(
+        std::lower_bound(sorted.begin(), sorted.end(), cfg.ids[v]) -
+        sorted.begin());
+    result.outcomes.push_back(NodeOutcome{cfg.ids[v], rank, true});
+  }
+  result.report = verify_renaming(result.outcomes, n);
+  return result;
+}
+
 }  // namespace
 
 ChtRunResult run_cht_renaming(const SystemConfig& cfg,
                               std::unique_ptr<sim::CrashAdversary> adversary,
                               obs::Telemetry* telemetry, obs::Journal* journal,
-                              sim::parallel::ShardPlan plan) {
+                              sim::parallel::ShardPlan plan,
+                              NodeIndex closed_form_cutoff) {
   const std::uint64_t budget =
       adversary != nullptr ? adversary->budget() : 0;
   if (telemetry != nullptr) {
@@ -73,6 +132,14 @@ ChtRunResult run_cht_renaming(const SystemConfig& cfg,
     telemetry->set_run_info("cht", cfg.n, budget);
   }
   if (journal != nullptr) journal->set_run_info("cht", cfg.n, budget);
+  // A zero-budget adversary cannot crash anyone (the engine enforces the
+  // budget), so the run is failure-free and the closed form is exact. A
+  // journal needs real deliveries for its fingerprints; n < 2 runs end
+  // before round 1 (all nodes start done) — both always simulate.
+  if (closed_form_cutoff > 0 && cfg.n >= closed_form_cutoff && cfg.n >= 2 &&
+      budget == 0 && journal == nullptr) {
+    return closed_form_cht(cfg, telemetry);
+  }
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
   for (NodeIndex v = 0; v < cfg.n; ++v) {

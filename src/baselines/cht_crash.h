@@ -34,14 +34,28 @@ struct ChtRunResult {
   sim::RunStats stats;
   std::vector<NodeOutcome> outcomes;
   VerifyReport report;
+  /// True when the run was accounted in closed form instead of simulated
+  /// (docs/PERFORMANCE.md §10): exact same RunStats/outcomes/telemetry as
+  /// the failure-free execution, no O(n^2) event loop.
+  bool closed_form = false;
 };
 
 /// `telemetry` (optional) attributes all traffic to the baseline-exchange
 /// phase (baselines have no sub-phase structure worth spans).
+///
+/// `closed_form_cutoff` (0 = never): at n >= cutoff, a *failure-free* run
+/// (null adversary or zero budget) with no journal attached is accounted in
+/// closed form — the deterministic all-to-all execution is computed, not
+/// simulated, producing bit-for-bit the RunStats, outcomes and telemetry
+/// ledgers the engine would (pinned by tests/closed_form_test.cc), so the
+/// Theorem envelopes in obs::audit_run still gate million-node bench cells.
+/// Runs with failures, or with a journal (whose fingerprints require real
+/// deliveries), always simulate.
 ChtRunResult run_cht_renaming(
     const SystemConfig& cfg,
     std::unique_ptr<sim::CrashAdversary> adversary = nullptr,
     obs::Telemetry* telemetry = nullptr,
-    obs::Journal* journal = nullptr, sim::parallel::ShardPlan plan = {});
+    obs::Journal* journal = nullptr, sim::parallel::ShardPlan plan = {},
+    NodeIndex closed_form_cutoff = 0);
 
 }  // namespace renaming::baselines

@@ -1,6 +1,7 @@
 #include "baselines/obg_byzantine.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <memory>
 
@@ -173,13 +174,73 @@ class ObgByzNode final : public ObgNode {
   Xoshiro256 rng_;
 };
 
+// Closed-form accounting of the Byzantine-free execution (PERFORMANCE.md
+// §10), the exact mirror of closed_form_cht in cht_crash.cc. With no
+// Byzantine nodes every identity is vouched by all n vectors, so both
+// filters keep everything, every round is n broadcasts, and the halving
+// phase is the same deterministic binary search: node v lands on the rank
+// of its identity. Round schedule: 1 ANNOUNCE round, 2 VECTOR rounds, then
+// ceil_log2(n) HALVING rounds, each vector/halving payload carrying all n
+// identities. Exactness is pinned by tests/closed_form_test.cc.
+ObgRunResult closed_form_obg(const SystemConfig& cfg, obs::Telemetry* tel) {
+  const NodeIndex n = cfg.n;
+  const sim::wire::WireContext ctx{cfg.n, cfg.namespace_size};
+  const Round rounds = 3 + std::max<Round>(ceil_log2(cfg.n), 1);
+  const std::uint64_t copies = static_cast<std::uint64_t>(n) * n;
+
+  // The bulk kVector/kHalving payloads carry n identities, so total bits
+  // grow as ~n^3 log N — past roughly n = 2^18 that exceeds the 64-bit
+  // accumulators of sim/stats.h. Refuse loudly instead of wrapping (the
+  // widest per-round charge bounds them all).
+  RENAMING_CHECK(sim::wire::wire_bits(kVector, ctx, n) <=
+                     UINT64_MAX / copies / rounds,
+                 "closed-form total bits overflow 64-bit accounting");
+
+  ObgRunResult result;
+  result.closed_form = true;
+  if (tel != nullptr) tel->begin_run(n);
+  for (Round round = 1; round <= rounds; ++round) {
+    const sim::MsgKind kind =
+        round == 1 ? kAnnounce : (round <= 3 ? kVector : kHalving);
+    const std::uint32_t bits = round == 1
+                                   ? sim::wire::wire_bits(kAnnounce, ctx)
+                                   : sim::wire::wire_bits(kind, ctx, n);
+    result.stats.rounds = round;
+    result.stats.per_round.push_back({});
+    if (tel != nullptr) {
+      tel->on_round_begin(round);
+      tel->note_active_senders(n);
+      tel->note_messages(kind, copies, bits);
+    }
+    result.stats.note_messages(copies, bits);
+    if (tel != nullptr) {
+      tel->note_inbox(n, n);  // shared inbox: n receivers, n broadcasts
+      tel->on_round_end(round);
+    }
+  }
+  if (tel != nullptr) tel->end_run(rounds);
+
+  std::vector<OriginalId> sorted = cfg.ids;
+  std::sort(sorted.begin(), sorted.end());
+  result.outcomes.reserve(n);
+  for (NodeIndex v = 0; v < n; ++v) {
+    const NewId rank = 1 + static_cast<NewId>(
+        std::lower_bound(sorted.begin(), sorted.end(), cfg.ids[v]) -
+        sorted.begin());
+    result.outcomes.push_back(NodeOutcome{cfg.ids[v], rank, true});
+  }
+  result.report = verify_renaming(result.outcomes, n);
+  return result;
+}
+
 }  // namespace
 
 ObgRunResult run_obg_renaming(const SystemConfig& cfg,
                               const std::vector<NodeIndex>& byzantine,
                               ObgByzBehaviour behaviour,
                               obs::Telemetry* telemetry, obs::Journal* journal,
-                              sim::parallel::ShardPlan plan) {
+                              sim::parallel::ShardPlan plan,
+                              NodeIndex closed_form_cutoff) {
   if (telemetry != nullptr) {
     telemetry->map_kind(kAnnounce, obs::PhaseId::kBaselineExchange);
     telemetry->map_kind(kVector, obs::PhaseId::kBaselineExchange);
@@ -188,6 +249,13 @@ ObgRunResult run_obg_renaming(const SystemConfig& cfg,
   }
   if (journal != nullptr) {
     journal->set_run_info("obg", cfg.n, byzantine.size());
+  }
+  // No Byzantine nodes means a fully deterministic all-to-all exchange the
+  // closed form reproduces exactly; any adversary, a journal (fingerprints
+  // need real deliveries), or n < 2 (round-count edge cases) simulates.
+  if (closed_form_cutoff > 0 && cfg.n >= closed_form_cutoff && cfg.n >= 2 &&
+      byzantine.empty() && journal == nullptr) {
+    return closed_form_obg(cfg, telemetry);
   }
   const Directory directory(cfg);
   std::vector<bool> is_byz(cfg.n, false);

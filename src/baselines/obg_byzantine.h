@@ -44,6 +44,9 @@ struct ObgRunResult {
   sim::RunStats stats;
   std::vector<NodeOutcome> outcomes;
   VerifyReport report;
+  /// True when the run was accounted in closed form instead of simulated
+  /// (docs/PERFORMANCE.md §10); only failure-free runs qualify.
+  bool closed_form = false;
 };
 
 /// Byzantine behaviours for the baseline run.
@@ -55,12 +58,17 @@ enum class ObgByzBehaviour {
 
 /// `telemetry` (optional) attributes all traffic to the baseline-exchange
 /// phase.
+///
+/// `closed_form_cutoff` (0 = never): at n >= cutoff, a run with NO
+/// Byzantine nodes and no journal attached is accounted in closed form —
+/// see run_cht_renaming; the exact-equivalence contract is identical.
 ObgRunResult run_obg_renaming(const SystemConfig& cfg,
                               const std::vector<NodeIndex>& byzantine = {},
                               ObgByzBehaviour behaviour =
                                   ObgByzBehaviour::kSplitAnnounce,
                               obs::Telemetry* telemetry = nullptr,
                               obs::Journal* journal = nullptr,
-                              sim::parallel::ShardPlan plan = {});
+                              sim::parallel::ShardPlan plan = {},
+                              NodeIndex closed_form_cutoff = 0);
 
 }  // namespace renaming::baselines

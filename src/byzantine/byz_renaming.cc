@@ -20,7 +20,7 @@ constexpr sim::MsgKind kind_of(Tag t) { return static_cast<sim::MsgKind>(t); }
 ByzNode::ByzNode(NodeIndex self, const SystemConfig& cfg,
                  const Directory& directory, ByzParams params,
                  std::shared_ptr<const hashing::CoefficientCache> cache,
-                 obs::Telemetry* telemetry)
+                 obs::Telemetry* telemetry, consensus::ViewInterner* interner)
     : self_(self),
       n_(cfg.n),
       namespace_size_(cfg.namespace_size),
@@ -32,7 +32,9 @@ ByzNode::ByzNode(NodeIndex self, const SystemConfig& cfg,
       coeff_cache_(cache != nullptr
                        ? std::move(cache)
                        : hashing::make_coefficient_cache(params.shared_seed)),
-      telemetry_(telemetry) {}
+      telemetry_(telemetry),
+      interner_(interner),
+      view_(consensus::empty_committee_view()) {}
 
 obs::PhaseId ByzNode::phase_of(Stage stage) {
   switch (stage) {
@@ -92,7 +94,7 @@ void ByzNode::send(Round round, sim::Outbox& out) {
       break;
     }
     case Stage::kIdReport:
-      for (const consensus::Member& m : view_.members()) {
+      for (const consensus::Member& m : view_->members()) {
         out.send(m.link, sim::wire::make_message(kind_of(Tag::kIdReport),
                                                  wire_, id_));
       }
@@ -109,7 +111,7 @@ void ByzNode::send(Round round, sim::Outbox& out) {
       // Ablation A2: ship the entire identity vector to the committee —
       // the Omega(n log N)-bit pattern the fingerprint loop replaces.
       consensus::broadcast_to_committee(
-          view_, out,
+          *view_, out,
           sim::wire::make_blob_message(
               kind_of(Tag::kVector), wire_,
               std::make_shared<const std::vector<std::uint64_t>>(
@@ -118,7 +120,7 @@ void ByzNode::send(Round round, sim::Outbox& out) {
     }
     case Stage::kDiffExchange:
       consensus::broadcast_to_committee(
-          view_, out,
+          *view_, out,
           sim::wire::make_message(kind_of(Tag::kDiff), wire_, session_,
                                   static_cast<std::uint64_t>(diff_)));
       break;
@@ -153,8 +155,17 @@ void ByzNode::receive(Round round, sim::InboxView inbox) {
         }
         members.push_back({claimed, m.sender});
       }
-      view_ = consensus::CommitteeView(std::move(members));
-      my_view_index_ = view_.index_of_link(self_);
+      // One immutable view object per distinct member list: honest nodes
+      // all derive the same list here, so the interner collapses their
+      // views into one shared allocation (O(log n) instead of O(n log n)
+      // resident members at million-node scale).
+      if (interner_ != nullptr) {
+        view_ = interner_->intern(std::move(members));
+      } else {
+        view_ = std::make_shared<const consensus::CommitteeView>(
+            std::move(members));
+      }
+      my_view_index_ = view_->index_of_link(self_);
       if (elected_ && my_view_index_ == consensus::CommitteeView::npos) {
         elected_ = false;  // defensive; cannot happen with self-delivery
       }
@@ -188,7 +199,7 @@ void ByzNode::receive(Round round, sim::InboxView inbox) {
       validator_same_ = validator_->same();
       agreed_ = validator_->output();
       king_ = std::make_unique<consensus::PhaseKing>(
-          view_, my_view_index_, ++session_, kind_of(Tag::kConsensus),
+          *view_, my_view_index_, ++session_, kind_of(Tag::kConsensus),
           control_bits(), validator_same_);
       step_ = 0;
       stage_ = Stage::kSameConsensus;
@@ -209,12 +220,12 @@ void ByzNode::receive(Round round, sim::InboxView inbox) {
     }
     case Stage::kDiffExchange: {
       // One round: count members reporting diff = 1 for this session.
-      std::vector<bool> heard(view_.size(), false);
+      std::vector<bool> heard(view_->size(), false);
       std::size_t ones = 0;
       for (const sim::Message& m : inbox) {
         if (m.kind != kind_of(Tag::kDiff) || m.nwords < 2) continue;
         if (m.w[0] != session_) continue;
-        const std::size_t idx = view_.index_of_link(m.sender);
+        const std::size_t idx = view_->index_of_link(m.sender);
         if (idx == consensus::CommitteeView::npos || heard[idx]) continue;
         heard[idx] = true;
         ones += (m.w[1] & 1);
@@ -222,9 +233,9 @@ void ByzNode::receive(Round round, sim::InboxView inbox) {
       // "Many" = t + 1: Byzantine members alone can never force it, and a
       // passed vote implies >= m - 2t correct preimage holders.
       const bool diff_prime =
-          ones >= view_.max_tolerated() + 1 ? true : diff_;
+          ones >= view_->max_tolerated() + 1 ? true : diff_;
       king_ = std::make_unique<consensus::PhaseKing>(
-          view_, my_view_index_, ++session_, kind_of(Tag::kConsensus),
+          *view_, my_view_index_, ++session_, kind_of(Tag::kConsensus),
           control_bits(), diff_prime);
       step_ = 0;
       stage_ = Stage::kDiffConsensus;
@@ -254,11 +265,11 @@ void ByzNode::receive(Round round, sim::InboxView inbox) {
       // Witness filter: keep identities vouched by >= t+1 members (at
       // least one correct first-hand witness); all correct members see
       // the same broadcast blobs, so the result is consistent.
-      std::vector<bool> heard(view_.size(), false);
+      std::vector<bool> heard(view_->size(), false);
       std::map<std::uint64_t, std::size_t> counts;
       for (const sim::Message& m : inbox) {
         if (m.kind != kind_of(Tag::kVector) || !m.blob) continue;
-        const std::size_t idx = view_.index_of_link(m.sender);
+        const std::size_t idx = view_->index_of_link(m.sender);
         if (idx == consensus::CommitteeView::npos || heard[idx]) continue;
         heard[idx] = true;
         for (std::uint64_t id : *m.blob) {
@@ -268,7 +279,7 @@ void ByzNode::receive(Round round, sim::InboxView inbox) {
       auto merged =
           std::make_unique<IdentityList>(namespace_size_, coeff_cache_);
       for (const auto& [id, count] : counts) {
-        if (count >= view_.max_tolerated() + 1) merged->insert(id);
+        if (count >= view_->max_tolerated() + 1) merged->insert(id);
       }
       list_ = std::move(merged);
       iterations_ = 1;
@@ -296,13 +307,13 @@ void ByzNode::start_iteration() {
   if (current_.singleton()) {
     const bool bit = list_->summarize(current_).count > 0;
     king_ = std::make_unique<consensus::PhaseKing>(
-        view_, my_view_index_, ++session_, kind_of(Tag::kConsensus),
+        *view_, my_view_index_, ++session_, kind_of(Tag::kConsensus),
         control_bits(), bit);
     stage_ = Stage::kBitConsensus;
   } else {
     mine_ = list_->summarize(current_);
     validator_ = std::make_unique<consensus::Validator>(
-        view_, my_view_index_, ++session_, kind_of(Tag::kValidator),
+        *view_, my_view_index_, ++session_, kind_of(Tag::kValidator),
         fingerprint_bits(),
         consensus::ValidatorValue{mine_.fingerprint, mine_.count});
     stage_ = Stage::kValidator;
@@ -354,15 +365,15 @@ void ByzNode::distribute(sim::Outbox& out) {
 }
 
 void ByzNode::consider_new_messages(sim::InboxView inbox) {
-  if (new_id_.has_value() || view_.empty()) return;
+  if (new_id_.has_value() || view_->empty()) return;
   for (const sim::Message& m : inbox) {
     if (m.kind != kind_of(Tag::kNew) || m.nwords < 1) continue;
-    if (view_.index_of_link(m.sender) == consensus::CommitteeView::npos) {
+    if (view_->index_of_link(m.sender) == consensus::CommitteeView::npos) {
       continue;  // only committee members distribute
     }
     new_votes_.emplace(m.sender, m.w[0]);  // first message per sender wins
   }
-  if (new_votes_.size() * 2 <= view_.size()) return;  // need > half the view
+  if (new_votes_.size() * 2 <= view_->size()) return;  // need > half the view
 
   // Majority among the non-null votes is the true rank: correct holders of
   // my segment number >= m - 2t >= t + 1 > |B|.
@@ -408,6 +419,15 @@ ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
   const auto coeff_cache = hashing::make_coefficient_cache(
       params.shared_seed, /*memoize=*/!plan.active());
 
+  // Run-wide committee-view pool, same thread-safety policy as the cache:
+  // interning happens inside receive(), which a shard plan may run in
+  // parallel, so the pool only exists on serial runs. Declared before the
+  // nodes (and the engine that owns them) so the views it hands out
+  // outlive every node holding one.
+  consensus::ViewInterner view_interner;
+  consensus::ViewInterner* const interner =
+      plan.active() ? nullptr : &view_interner;
+
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
   for (NodeIndex v = 0; v < cfg.n; ++v) {
@@ -415,7 +435,8 @@ ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
       nodes.push_back(factory(v, cfg, directory, params));
     } else {
       nodes.push_back(std::make_unique<ByzNode>(v, cfg, directory, params,
-                                                coeff_cache, telemetry));
+                                                coeff_cache, telemetry,
+                                                interner));
     }
   }
   sim::Engine engine(std::move(nodes));

@@ -110,12 +110,20 @@ class ByzNode : public sim::Node {
   /// `cache` is the run-wide fingerprint-coefficient cache; when null the
   /// node builds a private one from params.shared_seed (same values, just
   /// not shared — used by strategy wrappers constructed via the factory).
+  /// `interner` (optional) is the run-wide committee-view pool
+  /// (consensus::ViewInterner): honest nodes deriving the same view then
+  /// share one immutable CommitteeView instead of storing n private copies,
+  /// the difference between O(n log n) and O(log n) resident view state at
+  /// n = 2^20. Null (the strategy-factory default, and whenever a shard
+  /// plan runs receive() in parallel) means private views — byte-identical
+  /// behaviour either way.
   /// `telemetry` (optional) receives PhaseScope spans and per-phase wall
   /// time; it never influences behaviour.
   ByzNode(NodeIndex self, const SystemConfig& cfg, const Directory& directory,
           ByzParams params,
           std::shared_ptr<const hashing::CoefficientCache> cache = nullptr,
-          obs::Telemetry* telemetry = nullptr);
+          obs::Telemetry* telemetry = nullptr,
+          consensus::ViewInterner* interner = nullptr);
 
   void send(Round round, sim::Outbox& out) override;
   void receive(Round round, sim::InboxView inbox) override;
@@ -129,7 +137,7 @@ class ByzNode : public sim::Node {
   bool elected() const { return elected_; }
   OriginalId original_id() const { return id_; }
   std::optional<NewId> new_id() const { return new_id_; }
-  const consensus::CommitteeView& view() const { return view_; }
+  const consensus::CommitteeView& view() const { return *view_; }
   std::uint32_t loop_iterations() const { return iterations_; }
   std::uint32_t segments_split() const { return splits_; }
   std::uint32_t segments_dirty() const { return dirties_; }
@@ -185,11 +193,14 @@ class ByzNode : public sim::Node {
   // sound because the beacon seed is common knowledge (Fact 3.2).
   std::shared_ptr<const hashing::CoefficientCache> coeff_cache_;
   obs::Telemetry* telemetry_;  // non-owning, may be null
+  consensus::ViewInterner* interner_;  // non-owning, may be null
 
   // --- common state ---
   Stage stage_ = Stage::kElect;
   bool elected_ = false;
-  consensus::CommitteeView view_;
+  /// Immutable, possibly shared across nodes via the interner; starts as
+  /// the process-wide empty view. Never null.
+  std::shared_ptr<const consensus::CommitteeView> view_;
   std::optional<NewId> new_id_;
   // NEW votes: sender -> value (0 = null), accumulated across rounds.
   // Ordered container: its iteration feeds the decision tally, and the

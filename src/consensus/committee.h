@@ -11,6 +11,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -86,5 +88,63 @@ class CommitteeView {
   /// Member links in view order, for Outbox::multicast.
   std::vector<NodeIndex> links_;
 };
+
+/// Hash-consing pool for committee views (docs/PERFORMANCE.md §10).
+///
+/// In a correct execution, almost every honest node derives the SAME view
+/// from the same announcement round, yet each historically stored a private
+/// copy — O(n · m) Members plus three side tables per run, the dominant
+/// per-node memory at n = 2^20. intern() normalizes the member list exactly
+/// like the CommitteeView constructor, then returns a shared immutable view,
+/// so k distinct views cost O(k · m) regardless of n. Byzantine strategies
+/// that fabricate per-node views simply intern distinct lists and share
+/// nothing — correctness never depends on sharing.
+///
+/// Not thread-safe: callers only intern from engine-serial sections (the
+/// run_* entry points skip the interner when a shard plan is active, the
+/// same policy as the coefficient cache's memoization).
+class ViewInterner {
+ public:
+  std::shared_ptr<const CommitteeView> intern(std::vector<Member> members) {
+    // Normalize first so logically identical lists hash identically; the
+    // CommitteeView constructor re-running the sort is a no-op.
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL + members.size();
+    for (const Member& m : members) {
+      h ^= (m.id * 0xff51afd7ed558ccdULL) + (h << 6) + (h >> 2);
+      h ^= (static_cast<std::uint64_t>(m.link) * 0xc4ceb9fe1a85ec53ULL) +
+           (h << 6) + (h >> 2);
+    }
+    for (const auto& candidate : pool_[h]) {
+      if (candidate->members() == members) return candidate;
+    }
+    auto view = std::make_shared<const CommitteeView>(std::move(members));
+    pool_[h].push_back(view);
+    return pool_[h].back();
+  }
+
+  /// Number of distinct views interned (the memory claim: stays O(1) per
+  /// honest execution, not O(n)).
+  std::size_t distinct() const {
+    std::size_t total = 0;
+    for (const auto& [h, views] : pool_) total += views.size();
+    return total;
+  }
+
+ private:
+  // Ordered map (R4): iteration order never feeds observers, but keeping
+  // the repo-wide determinism rule is cheaper than arguing the exception.
+  std::map<std::uint64_t, std::vector<std::shared_ptr<const CommitteeView>>>
+      pool_;
+};
+
+/// The shared empty view every node starts from before its announcement
+/// round resolves (one allocation per process, not one per node).
+inline const std::shared_ptr<const CommitteeView>& empty_committee_view() {
+  static const std::shared_ptr<const CommitteeView> kEmpty =
+      std::make_shared<const CommitteeView>();
+  return kEmpty;
+}
 
 }  // namespace renaming::consensus

@@ -1,8 +1,10 @@
 #include "crash/crash_renaming.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "common/check.h"
 
@@ -27,6 +29,26 @@ obs::PhaseId phase_of_subround(std::uint32_t sub) {
     default: return obs::PhaseId::kUnattributed;
   }
 }
+
+// Fenwick (binary indexed) tree over compressed interval endpoints, used by
+// committee_action's offline dominance count. Plain prefix sums, 1-based.
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t size) : tree_(size + 1, 0) {}
+
+  void add(std::size_t i) {
+    for (++i; i < tree_.size(); i += i & (~i + 1)) ++tree_[i];
+  }
+
+  std::uint64_t prefix(std::size_t count) const {
+    std::uint64_t total = 0;
+    for (std::size_t i = count; i > 0; i -= i & (~i + 1)) total += tree_[i];
+    return total;
+  }
+
+ private:
+  std::vector<std::uint64_t> tree_;
+};
 
 }  // namespace
 
@@ -108,6 +130,75 @@ void CrashNode::committee_action(sim::Outbox& out) {
   const std::uint64_t done_flag =
       params_.early_stopping && all_singleton ? 1 : 0;
 
+  // A committee member's mailbox holds one status per reporting node — up
+  // to n of them — and the naive Figure 2 evaluation recomputes two counts
+  // with an O(M) scan per status, an O(M^2) round that dominates every
+  // run past a few thousand nodes. Both counts are order statistics, so
+  // they precompute in O(M log M) and the per-status work drops to two
+  // binary searches. Exact for every input (no laminarity assumption):
+  //
+  //   rank(w)     = #{u : I_u == I_w and id_u <= id_w}
+  //                 -> sorted (lo, hi, id) triples + upper_bound.
+  //   occupied(w) = #{u : I_u subset_of bot(I_w)}
+  //                 = #{u : lo_u >= bot.lo and hi_u <= bot.hi}
+  //                 -> offline 2D dominance count: statuses inserted in
+  //                    descending-lo order into a Fenwick tree over
+  //                    compressed hi values, queries answered in
+  //                    descending-bot.lo order.
+  const std::size_t total = mailbox_.size();
+  std::vector<std::array<std::uint64_t, 3>> by_interval;  // (lo, hi, id)
+  by_interval.reserve(total);
+  std::vector<std::uint64_t> his;  // compressed hi universe
+  his.reserve(total);
+  for (const Status& u : mailbox_) {
+    by_interval.push_back({u.interval.lo, u.interval.hi, u.id});
+    his.push_back(u.interval.hi);
+  }
+  std::sort(by_interval.begin(), by_interval.end());
+  std::sort(his.begin(), his.end());
+  his.erase(std::unique(his.begin(), his.end()), his.end());
+
+  // Queries: one per status that halves this subround, keyed by bot(I_w).
+  // bot.lo == I_w.lo, so descending bot.lo orders both sides of the sweep.
+  struct OccupiedQuery {
+    std::uint64_t bot_lo = 0;
+    std::uint64_t bot_hi = 0;
+    std::size_t status_index = 0;
+  };
+  std::vector<OccupiedQuery> queries;
+  for (std::size_t i = 0; i < total; ++i) {
+    const Status& w = mailbox_[i];
+    if (!w.interval.singleton() && w.d == min_depth) {
+      const Interval bot = w.interval.bot();
+      queries.push_back({bot.lo, bot.hi, i});
+    }
+  }
+  std::sort(queries.begin(), queries.end(),
+            [](const OccupiedQuery& a, const OccupiedQuery& b) {
+              return a.bot_lo > b.bot_lo;
+            });
+  std::vector<std::size_t> by_lo_desc(total);
+  for (std::size_t i = 0; i < total; ++i) by_lo_desc[i] = i;
+  std::sort(by_lo_desc.begin(), by_lo_desc.end(),
+            [&](std::size_t a, std::size_t b) {
+              return mailbox_[a].interval.lo > mailbox_[b].interval.lo;
+            });
+  std::vector<std::uint64_t> occupied_of(total, 0);
+  Fenwick fen(his.size());
+  std::size_t inserted = 0;
+  for (const OccupiedQuery& q : queries) {
+    while (inserted < total &&
+           mailbox_[by_lo_desc[inserted]].interval.lo >= q.bot_lo) {
+      const std::uint64_t hi = mailbox_[by_lo_desc[inserted]].interval.hi;
+      fen.add(static_cast<std::size_t>(
+          std::lower_bound(his.begin(), his.end(), hi) - his.begin()));
+      ++inserted;
+    }
+    const std::size_t below = static_cast<std::size_t>(
+        std::upper_bound(his.begin(), his.end(), q.bot_hi) - his.begin());
+    occupied_of[q.status_index] = fen.prefix(below);
+  }
+
   for (const Status& w : mailbox_) {
     Interval reply_interval = w.interval;
     std::uint32_t reply_d = w.d;
@@ -115,12 +206,15 @@ void CrashNode::committee_action(sim::Outbox& out) {
       // Halve: compare w's rank among same-interval nodes against the
       // capacity of bot(I_w), counting nodes already inside bot(I_w).
       const Interval bot = w.interval.bot();
-      std::uint64_t rank = 0;       // 1-based rank of w.id in ID_{(v,w)}
-      std::uint64_t occupied = 0;   // |B_{(v,w)}|
-      for (const Status& u : mailbox_) {
-        if (u.interval == w.interval && u.id <= w.id) ++rank;
-        if (u.interval.subset_of(bot)) ++occupied;
-      }
+      const std::array<std::uint64_t, 3> key = {w.interval.lo, w.interval.hi,
+                                                w.id};
+      const std::uint64_t rank = static_cast<std::uint64_t>(
+          std::upper_bound(by_interval.begin(), by_interval.end(), key) -
+          std::lower_bound(by_interval.begin(), by_interval.end(),
+                           std::array<std::uint64_t, 3>{
+                               w.interval.lo, w.interval.hi, 0}));
+      const std::uint64_t occupied =
+          occupied_of[static_cast<std::size_t>(&w - mailbox_.data())];
       RENAMING_CHECK(rank >= 1, "w's own status is in the mailbox");
       if (occupied + rank <= bot.size()) {
         reply_interval = bot;

@@ -22,6 +22,7 @@
 #include "common/prng.h"
 #include "common/types.h"
 #include "sim/node.h"
+#include "sim/outbox_table.h"
 
 namespace renaming::sim {
 
@@ -31,17 +32,19 @@ namespace renaming::sim {
 /// Outbox::kBroadcast destination. Adversaries that reason about individual
 /// (dest, message) sends should use Outbox::size() for the logical count —
 /// that is the index space CrashOrder::keep addresses — and remember that a
-/// broadcast entry's recipients are 0..n-1 in order.
+/// broadcast entry's recipients are 0..n-1 in order. In sparse engine mode
+/// a node that queued nothing this round presents as an empty outbox
+/// (OutboxTable::peek), exactly as its dense-mode outbox would look.
 struct AdversaryView {
   Round round = 0;
   NodeIndex n = 0;
   const std::vector<bool>* alive = nullptr;
-  const std::vector<Outbox>* outboxes = nullptr;     // this round's sends
+  const OutboxTable* outboxes = nullptr;             // this round's sends
   const std::vector<std::unique_ptr<Node>>* nodes = nullptr;  // full state
 
   bool is_alive(NodeIndex v) const { return (*alive)[v]; }
   const Node& node(NodeIndex v) const { return *(*nodes)[v]; }
-  const Outbox& outbox(NodeIndex v) const { return (*outboxes)[v]; }
+  const Outbox& outbox(NodeIndex v) const { return outboxes->peek(v); }
 };
 
 /// One crash order: victim plus the indices (into its logical per-recipient

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "sim/inbox.h"
+#include "sim/outbox_table.h"
 #include "sim/parallel/shard.h"
 #include "sim/parallel/worker_pool.h"
 
@@ -70,8 +71,23 @@ void Engine::check_stats_consistent() const {
                  "adversary exceeded its declared crash budget");
 }
 
+EngineMode Engine::resolved_mode() const {
+  EngineMode m = mode_ != EngineMode::kAuto ? mode_ : default_mode_;
+  if (m != EngineMode::kAuto) {
+    return m;
+  }
+  return size() >= kSparseAutoCutoff ? EngineMode::kSparse : EngineMode::kDense;
+}
+
 RunStats Engine::run(Round max_rounds) {
   const NodeIndex n = size();
+  // Sparse mode (docs/PERFORMANCE.md §10): same round semantics, but
+  // per-node structures are allocated on first activity and the round loop
+  // never does O(n) work beyond what delivery itself requires. Every
+  // divergence from the dense layout below is branch-guarded on `sparse`
+  // and produces byte-identical observable output (traces, journal, stats,
+  // telemetry) — pinned by tests/sparse_equivalence_test.cc.
+  const bool sparse = resolved_mode() == EngineMode::kSparse;
 
   // Telemetry is observational: every hook below mirrors an accounting
   // site (stats/trace) without influencing behaviour. The constant fold
@@ -88,12 +104,20 @@ RunStats Engine::run(Round max_rounds) {
   obs::Journal* const jrn = journal_;
   if (jrn != nullptr) jrn->begin_run(n);
 
-  // Persistent round buffers (docs/PERFORMANCE.md): one outbox per node and
-  // one flat delivery arena, constructed once and clear()ed per round, so
-  // the steady-state round has no per-message allocation at all.
-  std::vector<Outbox> outboxes;
-  outboxes.reserve(n);
-  for (NodeIndex v = 0; v < n; ++v) outboxes.emplace_back(v, n);
+  // ----- Engine setup. All full-width (O(n)) allocations live inside the
+  // marker pair below; protocol_lint R12 bans them anywhere else in this
+  // file so the steady-state round provably never allocates per-node
+  // vectors. Sparse mode trims setup to per-node *bytes* (flags and slot
+  // indices), never per-node objects.
+  // lint:engine-setup-begin
+
+  // Persistent round buffers (docs/PERFORMANCE.md): per-node outboxes
+  // (dense: all constructed now; sparse: allocated on first send and
+  // recycled, see sim/outbox_table.h) and one flat delivery arena,
+  // clear()ed per round, so the steady-state round has no per-message
+  // allocation at all.
+  OutboxTable outboxes;
+  outboxes.reset(n, sparse);
   InboxArena inbox;
 
   // Idle fast path (docs/PERFORMANCE.md): a node's observable state only
@@ -103,33 +127,45 @@ RunStats Engine::run(Round max_rounds) {
   // entirely while no traffic addresses them; a round where only a small
   // committee is active then costs O(active + messages), not O(n).
   std::vector<char> node_done(n, 0);
-  std::vector<char> active(n, 0);   // alive and not idle
+  std::vector<char> active(n, 0);       // alive and not idle
+  std::vector<NodeIndex> active_list;   // ascending; the round's work list
+  if (!sparse) active_list.reserve(n);
   std::uint64_t correct_remaining = 0;  // alive, non-Byzantine, not done
   for (NodeIndex v = 0; v < n; ++v) {
     node_done[v] = nodes_[v]->done() ? 1 : 0;
     active[v] = (alive_[v] && !nodes_[v]->idle()) ? 1 : 0;
+    if (active[v] != 0) active_list.push_back(v);
     if (alive_[v] && !byzantine_[v] && node_done[v] == 0) ++correct_remaining;
   }
-  bool active_dirty = true;
-  std::vector<NodeIndex> active_list;  // ascending; rebuilt when dirty
-  active_list.reserve(n);
+  bool active_dirty = false;
+  // Sparse mode maintains active_list by merging newly activated nodes
+  // into the (sorted) previous list instead of rescanning [0, n); dense
+  // mode keeps the historical O(n) rebuild. Identical resulting lists.
+  std::vector<NodeIndex> activated;  // 0->1 transitions since last merge
+  std::vector<NodeIndex> merge_scratch;
   std::vector<NodeIndex> senders;    // nodes whose send() ran this round
   std::vector<NodeIndex> receivers;  // nodes whose receive() must run
   std::vector<NodeIndex> victims;    // crashed this round
   std::vector<char> crashed_now(n, 0);
-  // Ascending list of alive destinations, rebuilt only after crashes: the
-  // broadcast fast path iterates it instead of bit-testing alive_ per
-  // recipient. Ascending order keeps delivery order identical to n
-  // individual sends.
+  // Ascending list of alive destinations: the broadcast fast path iterates
+  // it instead of bit-testing alive_ per recipient. Built by one full scan
+  // on first use, then maintained by filtering crashed nodes out in place
+  // (identical bytes to a rebuild, no O(n) rescan per crash round).
+  // Ascending order keeps delivery order identical to n individual sends.
   std::vector<NodeIndex> alive_dests;
-  alive_dests.reserve(n);
   bool alive_dests_dirty = true;
+  bool alive_dests_primed = false;
   // Shared inbox for broadcast-only rounds: when every queued entry is a
   // broadcast (the steady state of all-to-all protocols) each alive node
   // receives exactly the same messages in the same order, so one slot list
   // serves every recipient and delivery is O(#broadcasts), not O(n^2).
   std::vector<const Message*> shared_slots;
-  shared_slots.reserve(n);
+  if (!sparse) {
+    alive_dests.reserve(n);
+    shared_slots.reserve(n);
+  }
+
+  // lint:engine-setup-end
 
   // Shard-parallel callback execution (docs/PERFORMANCE.md §9). The plan
   // only parallelizes the two phases whose writes are per-node by
@@ -160,13 +196,15 @@ RunStats Engine::run(Round max_rounds) {
   struct ShardScratch {
     std::int64_t remaining_delta = 0;
     bool active_dirty = false;
+    std::vector<NodeIndex> activated;  // sparse mode: 0->1 transitions
   };
   std::vector<ShardScratch> shard_scratch(plan_shards);
 
   // Re-query a node whose callback just ran; the only places done()/idle()
   // may legally change. Writes node_done[v]/active[v] (distinct elements,
   // safe shard-parallel) and accumulates the two shared counters into the
-  // caller-provided scratch.
+  // caller-provided scratch. Sparse mode additionally records activations
+  // so the active-list merge never has to rescan [0, n).
   auto refresh_into = [&](NodeIndex v, ShardScratch& scratch) {
     const bool d = nodes_[v]->done();
     if (d != (node_done[v] != 0)) {
@@ -177,6 +215,7 @@ RunStats Engine::run(Round max_rounds) {
     if (a != (active[v] != 0)) {
       active[v] = a ? 1 : 0;
       scratch.active_dirty = true;
+      if (sparse && a) scratch.activated.push_back(v);
     }
   };
   auto fold_scratch = [&](unsigned used_shards) {
@@ -186,7 +225,11 @@ RunStats Engine::run(Round max_rounds) {
           static_cast<std::int64_t>(correct_remaining) +
           scratch.remaining_delta);
       if (scratch.active_dirty) active_dirty = true;
-      scratch = {};
+      activated.insert(activated.end(), scratch.activated.begin(),
+                       scratch.activated.end());
+      scratch.remaining_delta = 0;
+      scratch.active_dirty = false;
+      scratch.activated.clear();
     }
   };
   auto refresh = [&](NodeIndex v) {
@@ -234,9 +277,40 @@ RunStats Engine::run(Round max_rounds) {
     if (jrn != nullptr) jrn->on_round_begin(round);
 
     if (active_dirty) {
-      active_list.clear();
-      for (NodeIndex v = 0; v < n; ++v) {
-        if (alive_[v] && active[v] != 0) active_list.push_back(v);
+      if (!sparse) {
+        active_list.clear();
+        for (NodeIndex v = 0; v < n; ++v) {
+          if (alive_[v] && active[v] != 0) active_list.push_back(v);
+        }
+      } else {
+        // Merge the newly activated nodes into the sorted previous list,
+        // dropping anything that crashed or went idle since. Produces the
+        // exact list the dense rescan would: ascending v with
+        // alive_[v] && active[v]. O(|old| + |new| log |new|), never O(n).
+        std::sort(activated.begin(), activated.end());
+        activated.erase(std::unique(activated.begin(), activated.end()),
+                        activated.end());
+        merge_scratch.clear();
+        std::size_t i = 0;
+        std::size_t j = 0;
+        while (i < active_list.size() || j < activated.size()) {
+          NodeIndex v;
+          if (j == activated.size()) {
+            v = active_list[i++];
+          } else if (i == active_list.size()) {
+            v = activated[j++];
+          } else if (active_list[i] < activated[j]) {
+            v = active_list[i++];
+          } else if (activated[j] < active_list[i]) {
+            v = activated[j++];
+          } else {
+            v = active_list[i++];
+            ++j;
+          }
+          if (alive_[v] && active[v] != 0) merge_scratch.push_back(v);
+        }
+        std::swap(active_list, merge_scratch);
+        activated.clear();
       }
       active_dirty = false;
     }
@@ -250,17 +324,22 @@ RunStats Engine::run(Round max_rounds) {
     if (jrn != nullptr) jrn->note_active_senders(senders.size());
     // Shard-parallel: each node writes only its own outbox, and delivery
     // below walks the outboxes in ascending sender order regardless of
-    // which thread filled them.
+    // which thread filled them. Lazy outbox allocation is serial-only, so
+    // sparse mode ensures every sender's outbox exists up front; after
+    // that, get() is safe from any shard.
+    if (outboxes.lazy()) {
+      for (NodeIndex v : senders) outboxes.ensure(v);
+    }
     const unsigned send_shards = effective_shards(senders.size(), plan_shards);
     if (send_shards <= 1) {
-      for (NodeIndex v : senders) nodes_[v]->send(round, outboxes[v]);
+      for (NodeIndex v : senders) nodes_[v]->send(round, outboxes.get(v));
     } else {
       const parallel::Partition part(senders.size(), send_shards);
       pool->run(send_shards, [&](std::size_t s) {
         const auto r = part.range(static_cast<unsigned>(s));
         for (std::size_t i = r.begin; i < r.end; ++i) {
           const NodeIndex v = senders[i];
-          nodes_[v]->send(round, outboxes[v]);
+          nodes_[v]->send(round, outboxes.get(v));
         }
       });
     }
@@ -286,9 +365,13 @@ RunStats Engine::run(Round max_rounds) {
       ++stats_.per_round.back().crashes;
       // Keep-indices address the logical per-recipient sequence, so a
       // victim's compressed broadcasts are expanded first; the adversary
-      // may cut a broadcast anywhere mid-fanout.
-      outboxes[v].expand();
-      auto& entries = outboxes[v].entries();
+      // may cut a broadcast anywhere mid-fanout. ensure(): in sparse mode
+      // an idle victim has no outbox yet — it presents (correctly) as
+      // empty, so any non-empty keep list trips the check below exactly as
+      // it would in dense mode.
+      Outbox& victim_box = outboxes.ensure(v);
+      victim_box.expand();
+      auto& entries = victim_box.entries();
       if (trace_ != nullptr) {
         trace_->on_crash(round, v, order.keep.size(), entries.size());
       }
@@ -313,9 +396,17 @@ RunStats Engine::run(Round max_rounds) {
     // delivering every copy individually. Only the senders' outboxes can
     // hold entries, so both passes iterate `senders` (ascending).
     if (alive_dests_dirty) {
-      alive_dests.clear();
-      for (NodeIndex d = 0; d < n; ++d) {
-        if (alive_[d]) alive_dests.push_back(d);
+      if (!alive_dests_primed) {
+        alive_dests.clear();
+        for (NodeIndex d = 0; d < n; ++d) {
+          if (alive_[d]) alive_dests.push_back(d);
+        }
+        alive_dests_primed = true;
+      } else {
+        // Nodes only ever leave the alive set, so filtering the previous
+        // (ascending) list in place yields exactly what a rescan would.
+        std::erase_if(alive_dests,
+                      [&](NodeIndex d) { return !alive_[d]; });
       }
       alive_dests_dirty = false;
     }
@@ -324,7 +415,7 @@ RunStats Engine::run(Round max_rounds) {
     // back to the general one so per-copy trace events keep their order.
     bool broadcast_only = trace_ == nullptr;
     for (std::size_t i = 0; i < senders.size() && broadcast_only; ++i) {
-      for (const auto& entry : outboxes[senders[i]].entries()) {
+      for (const auto& entry : outboxes.get(senders[i]).entries()) {
         if (entry.first != Outbox::kBroadcast) {
           broadcast_only = false;
           break;
@@ -335,12 +426,14 @@ RunStats Engine::run(Round max_rounds) {
     if (!broadcast_only) {
       inbox.begin_round(n);
       for (NodeIndex v : senders) {
+        const Outbox& ob = outboxes.get(v);
         std::size_t mc = 0;
-        for (const auto& entry : outboxes[v].entries()) {
+        for (const auto& entry : ob.entries()) {
           if (entry.first == Outbox::kBroadcast) {
             inbox.expect_broadcast();
-          } else if (entry.first == Outbox::kMulticast) {
-            for (NodeIndex d : outboxes[v].multicast_dests(mc++)) {
+          } else if (entry.first == Outbox::kMulticast ||
+                     entry.first == Outbox::kRepeat) {
+            for (NodeIndex d : ob.multicast_dests(mc++)) {
               inbox.expect_unicast(d);
             }
           } else {
@@ -357,17 +450,42 @@ RunStats Engine::run(Round max_rounds) {
       // round's victims may still have (adversary-kept) entries.
       RENAMING_CHECK(alive_[v] || crashed_now[v] != 0,
                      "crashed node sent messages after falling");
+      Outbox& sender_box = outboxes.get(v);
       std::size_t mc = 0;
-      for (auto& [dest, msg] : outboxes[v].entries()) {
+      for (auto& [dest, msg] : sender_box.entries()) {
         RENAMING_CHECK(msg.sender == v, "engine stamps the true origin");
         RENAMING_CHECK(msg.bits > 0,
                        "every message must declare a wire size");
+        if (dest == Outbox::kRepeat) {
+          // Repeat fast path: one stored message for a run of identical
+          // unicasts, but *per-copy* accounting in exactly the unicast
+          // path's order — stats, telemetry, journal and trace bytes are
+          // indistinguishable from the uncoalesced send() sequence.
+          const bool spoofed = msg.spoofed();
+          for (NodeIndex d : sender_box.multicast_dests(mc++)) {
+            RENAMING_CHECK(d < n, "message addressed outside the system");
+            stats_.note_message(msg.bits);
+            if (tel != nullptr) {
+              tel->note_messages(msg.kind, 1, msg.bits);
+              if (spoofed) tel->note_spoof(round, v, msg.kind);
+            }
+            if (jrn != nullptr) jrn->note_unicast(msg, d);
+            const bool delivered = !spoofed && alive_[d];
+            if (trace_ != nullptr) trace_->on_message(round, msg, d, delivered);
+            if (spoofed) {
+              ++stats_.spoofs_rejected;
+              continue;
+            }
+            if (alive_[d]) inbox.deliver(d, msg);
+          }
+          continue;
+        }
         if (dest == Outbox::kMulticast) {
           // Multicast fast path: one stored message, per-copy accounting
           // and delivery in destination-list order — byte-equivalent to
           // the expanded unicast sequence.
           const bool spoofed = msg.spoofed();
-          const auto mdests = outboxes[v].multicast_dests(mc++);
+          const auto mdests = sender_box.multicast_dests(mc++);
           if (tel != nullptr) {
             tel->note_messages(msg.kind, mdests.size(), msg.bits);
             if (spoofed) tel->note_spoof(round, v, msg.kind);
@@ -486,8 +604,14 @@ RunStats Engine::run(Round max_rounds) {
 
     // End-of-round clear: only senders (including this round's victims,
     // whose kept entries were just delivered) can hold entries, so this
-    // restores the all-outboxes-empty invariant in O(senders).
-    for (NodeIndex v : senders) outboxes[v].clear();
+    // restores the all-outboxes-empty invariant in O(senders). Sparse mode
+    // additionally returns the outboxes of nodes that just went quiet
+    // (crashed, done-and-idle) to the pool, keeping live outbox count at
+    // O(active) across the run.
+    for (NodeIndex v : senders) {
+      outboxes.get(v).clear();
+      if (sparse && (!alive_[v] || active[v] == 0)) outboxes.release(v);
+    }
     if (trace_ != nullptr) trace_->on_round_end(round, stats_.per_round.back());
     if (tel != nullptr) tel->on_round_end(round);
     if (jrn != nullptr) jrn->on_round_end(round);

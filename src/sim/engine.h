@@ -9,6 +9,7 @@
 // is counted in the run statistics).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -23,12 +24,45 @@
 
 namespace renaming::sim {
 
+/// Execution-layout mode (docs/PERFORMANCE.md §10). Dense is the historical
+/// layout: every per-node structure (outboxes, destination scratch, …) is
+/// materialized up front, so setup is O(n) Outbox constructions. Sparse
+/// generalizes the idle-node fast path into "only touch nodes with traffic":
+/// outboxes are allocated on first send and recycled when their node goes
+/// quiet, the active list is maintained by incremental sorted merges instead
+/// of O(n) rebuilds, and delivery scratch shrinks by filtering in place.
+/// Both modes produce byte-identical traces, journals, stats and telemetry
+/// (pinned by tests/sparse_equivalence_test.cc); kAuto picks sparse at
+/// n >= kSparseAutoCutoff.
+enum class EngineMode : std::uint8_t { kAuto, kDense, kSparse };
+
 class Engine {
  public:
+  /// kAuto resolves to sparse at or above this node count. All committed
+  /// small-n benches (n <= 4096) stay dense so their wall-clock baselines
+  /// keep meaning; a million-node run would spend seconds just constructing
+  /// dense outboxes.
+  static constexpr NodeIndex kSparseAutoCutoff = 8192;
+
   /// Takes ownership of the nodes (index i is node i) and, optionally, a
   /// crash adversary (defaults to no failures).
   Engine(std::vector<std::unique_ptr<Node>> nodes,
          std::unique_ptr<CrashAdversary> adversary = nullptr);
+
+  /// Selects the execution layout for subsequent run() calls. kAuto (the
+  /// default) defers to the process-wide default_mode(), then to the
+  /// kSparseAutoCutoff size rule.
+  void set_mode(EngineMode mode) { mode_ = mode; }
+
+  /// Process-wide mode override consulted by every Engine whose instance
+  /// mode is kAuto — this is how the CLI and the equivalence tests force a
+  /// layout without threading a parameter through all run_* entry points.
+  /// Not thread-safe; set it before spawning engines.
+  static void set_default_mode(EngineMode mode) { default_mode_ = mode; }
+  static EngineMode default_mode() { return default_mode_; }
+
+  /// The layout a run() would use right now, after resolving kAuto.
+  EngineMode resolved_mode() const;
 
   /// Attaches a non-owning trace sink receiving structured events during
   /// run(); pass nullptr to detach.
@@ -93,6 +127,8 @@ class Engine {
   obs::Telemetry* telemetry_ = nullptr;
   obs::Journal* journal_ = nullptr;
   parallel::ShardPlan plan_;
+  EngineMode mode_ = EngineMode::kAuto;
+  static inline EngineMode default_mode_ = EngineMode::kAuto;
 };
 
 }  // namespace renaming::sim

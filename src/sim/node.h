@@ -31,11 +31,20 @@ namespace renaming::sim {
 /// instead of n per-recipient copies, and multicast() records one entry
 /// plus a compact destination list (the committee sub-protocols address the
 /// same O(log N)-sized member set every round, so per-member Message copies
-/// would dominate their cost). The engine delivers both by reference. All
-/// *index-based* semantics (CrashOrder::keep, the Byzantine strategies'
-/// per-recipient tampering) are defined over the expanded per-recipient
-/// sequence — call expand() first to materialize it; the expansion is
-/// byte-equivalent to what the individual send() calls would have queued.
+/// would dominate their cost). send() additionally coalesces consecutive
+/// sends of an identical payload into ONE stored message plus a destination
+/// list (the kRepeat sentinel): a node reporting the same status to every
+/// committee member costs O(#dests) NodeIndex entries, not O(#dests)
+/// Message copies — at n = 2^20 that is the difference between megabytes
+/// and gigabytes of queued state. Unlike kMulticast, a kRepeat entry keeps
+/// *unicast fidelity*: the engine accounts, journals and traces every copy
+/// exactly as if the individual send() calls had been queued, so observable
+/// bytes are unchanged (docs/PERFORMANCE.md §10). The engine delivers all
+/// compressed forms by reference. All *index-based* semantics
+/// (CrashOrder::keep, the Byzantine strategies' per-recipient tampering)
+/// are defined over the expanded per-recipient sequence — call expand()
+/// first to materialize it; the expansion is byte-equivalent to what the
+/// individual send() calls would have queued.
 class Outbox {
  public:
   /// Destination sentinel of a compressed broadcast entry: the message goes
@@ -44,6 +53,10 @@ class Outbox {
   /// Destination sentinel of a compressed multicast entry: the k-th such
   /// entry (in send order) goes to multicast_dests(k), in list order.
   static constexpr NodeIndex kMulticast = kNoNode - 1;
+  /// Destination sentinel of a coalesced repeated-unicast entry: identical
+  /// payload sent to each destination in its multicast_dests list, in send
+  /// order, with per-copy (unicast) accounting in traces/journal/stats.
+  static constexpr NodeIndex kRepeat = kNoNode - 2;
 
   explicit Outbox(NodeIndex self, NodeIndex n) : self_(self), n_(n) {}
 
@@ -54,6 +67,29 @@ class Outbox {
     RENAMING_CHECK(m.bits > 0, "every message must declare a wire size");
     if (m.claimed_sender == kNoNode) m.claimed_sender = self_;
     m.sender = self_;
+    // Coalesce a run of identical payloads into one kRepeat entry. Only
+    // the LAST queued entry is a candidate, so send order is preserved
+    // exactly and the check is O(nwords).
+    if (!queued_.empty()) {
+      auto& [last_dest, last_msg] = queued_.back();
+      if (last_dest == kRepeat && mspans_.back().first +
+                                          mspans_.back().second ==
+                                      mdests_.size() &&
+          same_payload(last_msg, m)) {
+        mdests_.push_back(dest);
+        ++mspans_.back().second;
+        return;
+      }
+      if (last_dest < n_ && same_payload(last_msg, m)) {
+        // Upgrade the previous unicast to a two-destination repeat.
+        mspans_.emplace_back(static_cast<std::uint32_t>(mdests_.size()),
+                             std::uint32_t{2});
+        mdests_.push_back(last_dest);
+        mdests_.push_back(dest);
+        last_dest = kRepeat;
+        return;
+      }
+    }
     queued_.emplace_back(dest, std::move(m));
   }
 
@@ -85,15 +121,15 @@ class Outbox {
   }
 
   /// Number of *logical* (per-recipient) messages queued: a broadcast entry
-  /// counts n, a multicast entry its destination count. This is the index
-  /// space of CrashOrder::keep.
+  /// counts n, a multicast or repeat entry its destination count. This is
+  /// the index space of CrashOrder::keep.
   std::size_t size() const {
     std::size_t total = 0;
     std::size_t mc = 0;
     for (const auto& entry : queued_) {
       if (entry.first == kBroadcast) {
         total += n_;
-      } else if (entry.first == kMulticast) {
+      } else if (entry.first == kMulticast || entry.first == kRepeat) {
         total += mspans_[mc++].second;
       } else {
         ++total;
@@ -105,16 +141,26 @@ class Outbox {
   NodeIndex self() const { return self_; }
   NodeIndex fanout() const { return n_; }
 
-  /// Replaces every compressed broadcast/multicast entry with its
+  /// Re-targets a pooled Outbox at another node (sparse engine mode recycles
+  /// a small pool of Outbox objects across the whole system instead of
+  /// keeping n of them alive). The outbox must be clear().
+  void rebind(NodeIndex self, NodeIndex n) {
+    RENAMING_CHECK(queued_.empty(), "rebind of a non-empty outbox");
+    self_ = self;
+    n_ = n;
+  }
+
+  /// Replaces every compressed broadcast/multicast/repeat entry with its
   /// per-recipient copies (broadcast: destinations 0..n-1 in order;
-  /// multicast: its destination list in order), preserving the logical send
-  /// order. After expand(), entries() indices coincide with the logical
-  /// per-recipient indices. O(size()); only the crash and tampering paths
-  /// need it.
+  /// multicast/repeat: its destination list in order), preserving the
+  /// logical send order. After expand(), entries() indices coincide with
+  /// the logical per-recipient indices. O(size()); only the crash and
+  /// tampering paths need it.
   void expand() {
     bool compressed = false;
     for (const auto& entry : queued_) {
-      compressed |= entry.first == kBroadcast || entry.first == kMulticast;
+      compressed |= entry.first == kBroadcast || entry.first == kMulticast ||
+                    entry.first == kRepeat;
     }
     if (!compressed) return;
     std::vector<std::pair<NodeIndex, Message>> flat;
@@ -123,7 +169,7 @@ class Outbox {
     for (auto& [dest, msg] : queued_) {
       if (dest == kBroadcast) {
         for (NodeIndex d = 0; d < n_; ++d) flat.emplace_back(d, msg);
-      } else if (dest == kMulticast) {
+      } else if (dest == kMulticast || dest == kRepeat) {
         const auto [off, len] = mspans_[mc++];
         for (std::uint32_t i = 0; i < len; ++i) {
           flat.emplace_back(mdests_[off + i], msg);
@@ -153,7 +199,8 @@ class Outbox {
     return queued_;
   }
 
-  /// Destinations of the k-th kMulticast entry, in delivery order.
+  /// Destinations of the k-th kMulticast/kRepeat entry (counted together,
+  /// in send order), in delivery order.
   std::span<const NodeIndex> multicast_dests(std::size_t k) const {
     RENAMING_CHECK(k < mspans_.size(), "multicast entry index out of range");
     const auto [off, len] = mspans_[k];
@@ -161,11 +208,25 @@ class Outbox {
   }
 
  private:
+  /// True when the two messages are indistinguishable on the wire: same
+  /// origin claim, kind, declared bits, inline words and (shared) blob.
+  static bool same_payload(const Message& a, const Message& b) {
+    if (a.kind != b.kind || a.bits != b.bits || a.nwords != b.nwords ||
+        a.claimed_sender != b.claimed_sender || a.blob != b.blob) {
+      return false;
+    }
+    for (std::size_t i = 0; i < a.nwords; ++i) {
+      if (a.w[i] != b.w[i]) return false;
+    }
+    return true;
+  }
+
   NodeIndex self_;
   NodeIndex n_;
   std::vector<std::pair<NodeIndex, Message>> queued_;
-  /// Flat destination-list storage for kMulticast entries: mspans_[k] is
-  /// the (offset, length) of the k-th multicast's slice of mdests_.
+  /// Flat destination-list storage for kMulticast/kRepeat entries:
+  /// mspans_[k] is the (offset, length) of the k-th such entry's slice of
+  /// mdests_.
   std::vector<NodeIndex> mdests_;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> mspans_;
 };

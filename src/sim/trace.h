@@ -8,6 +8,7 @@
 #include <map>
 #include <ostream>
 
+#include "common/check.h"
 #include "common/types.h"
 #include "sim/message.h"
 #include "sim/message_names.h"
@@ -115,6 +116,58 @@ class JsonlTrace final : public TraceSink {
   std::ostream* out_;
   std::uint64_t sample_;
   std::uint64_t seen_ = 0;
+};
+
+/// Memory/volume bound for million-node runs (docs/PERFORMANCE.md §10): a
+/// decorator that forwards at most `max_messages` message events to the
+/// wrapped sink, then silently drops the rest of the run's messages (round
+/// and crash events always pass — they are O(rounds), not O(events)). The
+/// observability downstream is explicitly *incomplete* once dropped() is
+/// nonzero, so a capped trace refuses to stand in for a golden pin:
+/// assert_complete_for_pinning() aborts when any message was dropped, and
+/// every byte-comparison harness must call it before trusting the bytes.
+class CappedTrace final : public TraceSink {
+ public:
+  CappedTrace(TraceSink& inner, std::uint64_t max_messages)
+      : inner_(&inner), max_messages_(max_messages) {}
+
+  void on_round_begin(Round round) override { inner_->on_round_begin(round); }
+
+  void on_message(Round round, const Message& m, NodeIndex dest,
+                  bool delivered) override {
+    if (forwarded_ >= max_messages_) {
+      ++dropped_;
+      return;
+    }
+    ++forwarded_;
+    inner_->on_message(round, m, dest, delivered);
+  }
+
+  void on_crash(Round round, NodeIndex victim, std::size_t kept,
+                std::size_t queued) override {
+    inner_->on_crash(round, victim, kept, queued);
+  }
+
+  void on_round_end(Round round, const RoundStats& stats) override {
+    inner_->on_round_end(round, stats);
+  }
+
+  std::uint64_t forwarded() const { return forwarded_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Golden-pin guard: a trace that dropped events is not byte-comparable
+  /// to anything. Call this before feeding the inner sink's output to any
+  /// byte-identity check; it aborts the process on an incomplete trace.
+  void assert_complete_for_pinning() const {
+    RENAMING_CHECK(dropped_ == 0,
+                   "capped trace dropped events; bytes are not pinnable");
+  }
+
+ private:
+  TraceSink* inner_;
+  std::uint64_t max_messages_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace renaming::sim

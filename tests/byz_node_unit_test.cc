@@ -110,6 +110,7 @@ TEST(ByzNodeUnit, IdReportGoesToWholeView) {
   sim::Outbox out(2, cfg.n);
   node.send(2, out);
   ASSERT_EQ(out.size(), 2u);
+  out.expand();  // identical per-member reports coalesce into a kRepeat entry
   for (const auto& [dest, msg] : out.entries()) {
     EXPECT_EQ(msg.kind, static_cast<sim::MsgKind>(Tag::kIdReport));
     EXPECT_EQ(msg.w[0], 150u);  // node 2's identity

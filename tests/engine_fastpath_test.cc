@@ -497,7 +497,9 @@ TEST(Outbox, MulticastExpandAndSizeMatchSendLoop) {
   EXPECT_EQ(compressed.entries().size(), 2u);
   EXPECT_EQ(compressed.size(), 4u);
   EXPECT_EQ(compressed.multicast_dests(0).size(), 3u);
+  EXPECT_EQ(loop.size(), 4u);  // identical sends coalesced, same logical size
   compressed.expand();
+  loop.expand();
   ASSERT_EQ(compressed.entries().size(), loop.entries().size());
   for (std::size_t i = 0; i < loop.entries().size(); ++i) {
     EXPECT_EQ(compressed.entries()[i].first, loop.entries()[i].first);

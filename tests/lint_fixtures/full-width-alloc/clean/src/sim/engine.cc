@@ -1,0 +1,18 @@
+// Clean counterpart: full-width allocations stay inside the setup
+// markers; round-loop structures are sized by the active set.
+#include <vector>
+
+void run(unsigned n, const std::vector<unsigned>& active_list) {
+  // lint:engine-setup-begin
+  std::vector<char> active(n, 0);
+  std::vector<unsigned> scratch;
+  scratch.reserve(n);
+  // lint:engine-setup-end
+  for (unsigned round = 0; round < 4; ++round) {
+    std::vector<unsigned> senders;
+    senders.reserve(active_list.size());  // O(active), not O(n)
+    (void)active;
+    (void)scratch;
+    (void)senders;
+  }
+}

@@ -1,0 +1,15 @@
+// Planted R12 violation: a full-width allocation in the round loop,
+// outside the sanctioned setup markers.
+#include <vector>
+
+void run(unsigned n) {
+  // lint:engine-setup-begin
+  std::vector<char> active(n, 0);  // legal: inside the setup section
+  // lint:engine-setup-end
+  for (unsigned round = 0; round < 4; ++round) {
+    std::vector<unsigned> scratch;
+    scratch.reserve(n);  // O(n) allocation per round
+    (void)active;
+    (void)scratch;
+  }
+}

@@ -1,0 +1,251 @@
+// Sparse-engine equivalence suite (docs/PERFORMANCE.md §10).
+//
+// The contract of sim::EngineMode::kSparse is byte-identity: lazy outbox
+// allocation, active-list merging and outbox recycling must produce EXACTLY
+// the dense execution — same golden trace bytes, same flight-recorder
+// journal, same RunStats, same telemetry per-kind ledgers — at every n,
+// because sparseness only changes WHEN per-node structures exist, never
+// what any observer sees. These tests force the sparse layout far below
+// its auto cutoff (via the process default; restored by an RAII guard) and
+// diff it against dense on the engine paths with different delivery
+// shapes:
+//   * crash renaming under a mid-send CommitteeHunter (outbox expansion,
+//     keep-index slow path, idle-victim ensure());
+//   * Byzantine renaming with Spoofer nodes (authentication rejections,
+//     committee multicast, kRepeat coalescing, view interning);
+//   * crash renaming under a ChaosCrashAdversary (late idle->active
+//     transitions stressing the sorted active-list merge);
+//   * the CHT baseline untraced (shared-inbox broadcast fast path with
+//     outbox release/rebind cycling).
+// Plus the CappedTrace golden-pin refusal death test: a trace that dropped
+// events must never be byte-compared against a pin.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/cht_crash.h"
+#include "byzantine/byz_renaming.h"
+#include "byzantine/strategies.h"
+#include "crash/adversaries.h"
+#include "crash/crash_renaming.h"
+#include "obs/journal.h"
+#include "obs/telemetry.h"
+#include "sim/adversary.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+
+namespace renaming {
+namespace {
+
+// Node counts: all far below kSparseAutoCutoff, so sparse only ever runs
+// here because the guard forces it. 48 matches the golden-pin context.
+const NodeIndex kSizes[] = {48, 96, 256};
+
+/// Forces the process-wide engine-mode default for one scope.
+class ModeGuard {
+ public:
+  explicit ModeGuard(sim::EngineMode mode) {
+    sim::Engine::set_default_mode(mode);
+  }
+  ~ModeGuard() { sim::Engine::set_default_mode(sim::EngineMode::kAuto); }
+};
+
+struct Artifacts {
+  std::string trace;
+  std::string journal;
+  sim::RunStats stats;
+  std::vector<NodeOutcome> outcomes;
+  std::vector<std::uint64_t> kind_messages;
+  std::vector<std::uint64_t> kind_bits;
+};
+
+void record_telemetry(const obs::Telemetry& tel, Artifacts& a) {
+  for (unsigned kind = 0; kind < 64; ++kind) {
+    const auto k = static_cast<sim::MsgKind>(kind);
+    a.kind_messages.push_back(tel.kind_messages(k));
+    a.kind_bits.push_back(tel.kind_bits(k));
+  }
+}
+
+void expect_identical(const Artifacts& dense, const Artifacts& sparse,
+                      NodeIndex n) {
+  EXPECT_EQ(dense.trace, sparse.trace)
+      << "golden trace bytes diverged at n=" << n;
+  EXPECT_EQ(dense.journal, sparse.journal)
+      << "journal bytes diverged at n=" << n;
+  EXPECT_EQ(dense.stats, sparse.stats) << "RunStats diverged at n=" << n;
+  EXPECT_EQ(dense.kind_messages, sparse.kind_messages)
+      << "telemetry message ledgers diverged at n=" << n;
+  EXPECT_EQ(dense.kind_bits, sparse.kind_bits)
+      << "telemetry bit ledgers diverged at n=" << n;
+  ASSERT_EQ(dense.outcomes.size(), sparse.outcomes.size());
+  for (std::size_t v = 0; v < dense.outcomes.size(); ++v) {
+    EXPECT_EQ(dense.outcomes[v].original_id, sparse.outcomes[v].original_id);
+    EXPECT_EQ(dense.outcomes[v].new_id, sparse.outcomes[v].new_id)
+        << "node " << v << " decided differently at n=" << n;
+    EXPECT_EQ(dense.outcomes[v].correct, sparse.outcomes[v].correct);
+  }
+}
+
+std::string journal_bytes(const obs::Journal& journal) {
+  std::ostringstream out;
+  obs::write_journal_binary(out, journal.data());
+  return out.str();
+}
+
+Artifacts run_crash(sim::EngineMode mode, NodeIndex n, bool chaos) {
+  ModeGuard guard(mode);
+  const auto cfg = SystemConfig::random(n, 5ull * n * n, 77 + n);
+  crash::CrashParams params;
+  params.election_constant = 3.0;
+  std::unique_ptr<sim::CrashAdversary> adversary;
+  if (chaos) {
+    adversary = std::make_unique<sim::ChaosCrashAdversary>(n / 6, 0.2,
+                                                           77 + n);
+  } else {
+    adversary = std::make_unique<crash::CommitteeHunter>(
+        n / 6, crash::CommitteeHunter::Mode::kMidResponse, 77 + n, 0.5);
+  }
+  std::ostringstream trace_out;
+  sim::JsonlTrace trace(trace_out);
+  obs::Journal journal;
+  obs::Telemetry telemetry;
+  const auto r = crash::run_crash_renaming(cfg, params, std::move(adversary),
+                                           &trace, &telemetry, &journal, {});
+  Artifacts a{trace_out.str(), journal_bytes(journal), r.stats, r.outcomes,
+              {}, {}};
+  record_telemetry(telemetry, a);
+  return a;
+}
+
+Artifacts run_byz(sim::EngineMode mode, NodeIndex n) {
+  ModeGuard guard(mode);
+  const auto cfg = SystemConfig::random(n, 5ull * n * n, 91 + n);
+  byzantine::ByzParams params;
+  params.pool_constant = 4.0;
+  params.shared_seed = 91 + n;
+  const std::vector<NodeIndex> byz = {3u, n / 2u, n - 7u};
+  std::ostringstream trace_out;
+  sim::JsonlTrace trace(trace_out);
+  obs::Journal journal;
+  obs::Telemetry telemetry;
+  const auto r = byzantine::run_byz_renaming(cfg, params, byz,
+                                             &byzantine::Spoofer::make, 0,
+                                             &trace, &telemetry, &journal, {});
+  Artifacts a{trace_out.str(), journal_bytes(journal), r.stats, r.outcomes,
+              {}, {}};
+  record_telemetry(telemetry, a);
+  return a;
+}
+
+Artifacts run_cht(sim::EngineMode mode, NodeIndex n) {
+  ModeGuard guard(mode);
+  const auto cfg = SystemConfig::random(n, 5ull * n * n, 55 + n);
+  obs::Journal journal;
+  obs::Telemetry telemetry;
+  const auto r =
+      baselines::run_cht_renaming(cfg, nullptr, &telemetry, &journal, {});
+  Artifacts a{std::string(), journal_bytes(journal), r.stats, r.outcomes,
+              {}, {}};
+  record_telemetry(telemetry, a);
+  return a;
+}
+
+TEST(SparseEquivalence, CrashHunterIsByteIdentical) {
+  for (NodeIndex n : kSizes) {
+    const Artifacts dense = run_crash(sim::EngineMode::kDense, n, false);
+    ASSERT_GT(dense.stats.crashes, 0u)
+        << "the adversary never fired; the mid-send path went unexercised";
+    ASSERT_FALSE(dense.trace.empty());
+    expect_identical(dense, run_crash(sim::EngineMode::kSparse, n, false), n);
+  }
+}
+
+TEST(SparseEquivalence, CrashChaosIsByteIdentical) {
+  for (NodeIndex n : kSizes) {
+    const Artifacts dense = run_crash(sim::EngineMode::kDense, n, true);
+    expect_identical(dense, run_crash(sim::EngineMode::kSparse, n, true), n);
+  }
+}
+
+TEST(SparseEquivalence, ByzantineSpoofingIsByteIdentical) {
+  for (NodeIndex n : kSizes) {
+    const Artifacts dense = run_byz(sim::EngineMode::kDense, n);
+    ASSERT_GT(dense.stats.spoofs_rejected, 0u)
+        << "no spoofs rejected; the authentication path went unexercised";
+    expect_identical(dense, run_byz(sim::EngineMode::kSparse, n), n);
+  }
+}
+
+TEST(SparseEquivalence, ChtSharedInboxIsByteIdentical) {
+  for (NodeIndex n : kSizes) {
+    const Artifacts dense = run_cht(sim::EngineMode::kDense, n);
+    ASSERT_FALSE(dense.journal.empty());
+    expect_identical(dense, run_cht(sim::EngineMode::kSparse, n), n);
+  }
+}
+
+TEST(SparseEquivalence, AutoModeResolvesBySize) {
+  // Below the cutoff auto means dense; the explicit default overrides it.
+  // (Observable behaviour is identical either way — this pins the POLICY,
+  // which the CLI prints and the docs promise.)
+  std::vector<std::unique_ptr<sim::Node>> nodes;
+  nodes.push_back(std::make_unique<byzantine::SilentNode>());
+  sim::Engine engine(std::move(nodes));
+  EXPECT_EQ(engine.resolved_mode(), sim::EngineMode::kDense);
+  {
+    ModeGuard guard(sim::EngineMode::kSparse);
+    EXPECT_EQ(engine.resolved_mode(), sim::EngineMode::kSparse);
+  }
+  EXPECT_EQ(engine.resolved_mode(), sim::EngineMode::kDense);
+  engine.set_mode(sim::EngineMode::kSparse);
+  EXPECT_EQ(engine.resolved_mode(), sim::EngineMode::kSparse);
+}
+
+// An uncapped-equivalent CappedTrace (cap never hit) forwards every event:
+// the bytes stay pinnable and identical to the bare sink.
+TEST(SparseEquivalence, UntouchedCapKeepsTraceBytesIdentical) {
+  const NodeIndex n = 48;
+  const auto cfg = SystemConfig::random(n, 5ull * n * n, 7);
+  crash::CrashParams params;
+  params.election_constant = 3.0;
+  const auto run_with_cap = [&](bool capped) {
+    std::ostringstream out;
+    sim::JsonlTrace inner(out);
+    sim::CappedTrace cap(inner, 1ull << 40);
+    sim::TraceSink* sink = capped ? static_cast<sim::TraceSink*>(&cap)
+                                  : static_cast<sim::TraceSink*>(&inner);
+    const auto r = crash::run_crash_renaming(cfg, params, nullptr, sink);
+    EXPECT_TRUE(r.report.ok());
+    if (capped) {
+      EXPECT_EQ(cap.dropped(), 0u);
+      cap.assert_complete_for_pinning();  // must not abort: nothing dropped
+    }
+    return out.str();
+  };
+  EXPECT_EQ(run_with_cap(false), run_with_cap(true));
+}
+
+#if !defined(RENAMING_UNCHECKED) && defined(GTEST_HAS_DEATH_TEST)
+
+// The memory-bounded trace is NOT byte-comparable once it drops events;
+// feeding it to a golden-pin comparison must abort, not silently pass.
+TEST(SparseEquivalenceDeathTest, CappedTraceRefusesPinningAfterDrops) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  sim::CountingTrace inner;
+  sim::CappedTrace capped(inner, 1);
+  const sim::Message m = sim::make_message(2, 42, 1, 2, 3);
+  capped.on_round_begin(1);
+  capped.on_message(1, m, 0, true);  // forwarded (1/1)
+  capped.on_message(1, m, 1, true);  // dropped
+  EXPECT_GT(capped.dropped(), 0u);
+  EXPECT_DEATH(capped.assert_complete_for_pinning(), "not pinnable");
+}
+
+#endif  // !defined(RENAMING_UNCHECKED) && defined(GTEST_HAS_DEATH_TEST)
+
+}  // namespace
+}  // namespace renaming
