@@ -18,6 +18,11 @@
 //                  same plain cht cell (journal_overhead in the JSON;
 //                  budget: < 2%, and the journal is NOT compiled out by
 //                  RENAMING_NO_TELEMETRY);
+//   * cht-live   — cht with the live-observability pair attached: a
+//                  ring-only obs::Progress heartbeat plus an
+//                  obs::ShardProfile on the shard plan (live_obs_overhead
+//                  in the JSON; budget: < 2%, both are compiled out by
+//                  RENAMING_NO_TELEMETRY so the pair reads as noise there);
 //   * byz        — the full Byzantine renaming protocol (committee
 //                  multicast, identity-list summaries, fingerprint
 //                  consensus): the protocol-side hot path end to end.
@@ -39,6 +44,8 @@
 #include "byzantine/strategies.h"
 #include "common/math.h"
 #include "obs/journal.h"
+#include "obs/progress.h"
+#include "obs/shard_profile.h"
 #include "obs/telemetry.h"
 #include "sim/adversary.h"
 #include "sim/engine.h"
@@ -95,6 +102,7 @@ struct Cell {
   double wall_ms = 0.0;      ///< Wall time for the whole seed batch.
   double events_per_sec = 0.0;
   std::uint64_t peak_rss = 0;
+  double barrier_share = 0.0;  ///< cht-mt only: obs::barrier_wait_share.
 };
 
 sim::RunStats run_ping(NodeIndex n, std::uint64_t /*seed*/) {
@@ -111,6 +119,7 @@ sim::RunStats run_ping(NodeIndex n, std::uint64_t /*seed*/) {
 sim::RunStats run_cht(NodeIndex n, std::uint64_t seed, bool with_crashes,
                       bool with_telemetry = false,
                       bool with_journal = false,
+                      bool with_live = false,
                       sim::parallel::ShardPlan plan = {}) {
   const auto cfg =
       SystemConfig::random(n, static_cast<std::uint64_t>(n) * n * 5, seed);
@@ -120,9 +129,15 @@ sim::RunStats run_cht(NodeIndex n, std::uint64_t seed, bool with_crashes,
                    : nullptr;
   obs::Telemetry telemetry;
   obs::Journal journal;
+  // Ring-only heartbeat (no sink) + shard profile: the pure hot-path cost
+  // of the live-observability layer, without any I/O in the loop.
+  obs::Progress progress;
+  obs::ShardProfile profile;
+  if (with_live) plan.profile = &profile;
   auto result = baselines::run_cht_renaming(
       cfg, std::move(adversary), with_telemetry ? &telemetry : nullptr,
-      with_journal ? &journal : nullptr, plan);
+      with_journal ? &journal : nullptr, plan, /*closed_form_cutoff=*/0,
+      with_live ? &progress : nullptr);
   if (!result.report.ok()) {
     std::printf("WARNING: cht verifier failed at n=%u seed=%llu\n", n,
                 static_cast<unsigned long long>(seed));
@@ -162,7 +177,8 @@ Cell measure(const std::string& workload, NodeIndex n, std::uint64_t seeds,
           stats[i] = run_byz(n, seed);
         } else {
           stats[i] = run_cht(n, seed, workload == "cht-crash",
-                             workload == "cht-tel", workload == "cht-jrn");
+                             workload == "cht-tel", workload == "cht-jrn",
+                             workload == "cht-live");
         }
       },
       threads);
@@ -195,12 +211,18 @@ Cell measure_engine_threads(NodeIndex n, std::uint64_t seeds,
     pool = std::make_unique<sim::parallel::WorkerPool>(engine_threads);
     plan.pool = pool.get();
   }
+  // The shard profile rides along on every scaling cell: its
+  // barrier_wait_share lands in the JSON row so bench_compare.py can
+  // soft-gate on barrier overhead creep. begin_run resets it per
+  // simulation, so the reported share is the last seed's run.
+  obs::ShardProfile profile;
+  plan.profile = &profile;
   std::vector<sim::RunStats> stats(seeds);
   const auto start = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < seeds; ++i) {
     stats[i] = run_cht(n, 7000 + 13 * i, /*with_crashes=*/false,
                        /*with_telemetry=*/false, /*with_journal=*/false,
-                       plan);
+                       /*with_live=*/false, plan);
   }
   const auto stop = std::chrono::steady_clock::now();
 
@@ -216,6 +238,7 @@ Cell measure_engine_threads(NodeIndex n, std::uint64_t seeds,
   cell.events_per_sec =
       cell.wall_ms > 0.0 ? cell.events / (cell.wall_ms / 1e3) : 0.0;
   cell.peak_rss = bench::peak_rss_bytes();
+  cell.barrier_share = obs::barrier_wait_share(profile.data());
   return cell;
 }
 
@@ -233,6 +256,7 @@ int run(int argc, char** argv) {
                  {"cht", {256, 512}, 2},
                  {"cht-tel", {512}, 2},
                  {"cht-jrn", {512}, 2},
+                 {"cht-live", {512}, 2},
                  {"cht-crash", {256}, 2},
                  {"byz", {96}, 2}};
   } else {
@@ -240,6 +264,7 @@ int run(int argc, char** argv) {
                  {"cht", {256, 512, 1024, 2048, 4096}, 4},
                  {"cht-tel", {2048}, 4},
                  {"cht-jrn", {2048}, 4},
+                 {"cht-live", {2048}, 4},
                  {"cht-crash", {1024, 2048}, 4},
                  {"byz", {96, 192, 384}, 4}};
   }
@@ -291,7 +316,7 @@ int run(int argc, char** argv) {
   const std::vector<unsigned> mt_threads =
       smoke ? std::vector<unsigned>{1, 2} : std::vector<unsigned>{1, 2, 4, 8};
   Table mt_table({"workload", "n", "threads", "seeds", "events", "wall ms",
-                  "events/s", "speedup"});
+                  "events/s", "speedup", "barrier"});
   double mt_base_ms = 0.0;
   std::uint64_t mt_base_events = 0;
   for (unsigned t : mt_threads) {
@@ -309,7 +334,8 @@ int run(int argc, char** argv) {
                   std::to_string(cell.seeds), human(cell.events),
                   fixed(cell.wall_ms, 1),
                   human(static_cast<std::uint64_t>(cell.events_per_sec)),
-                  fixed(speedup, 2)});
+                  fixed(speedup, 2),
+                  fixed(100.0 * cell.barrier_share, 1) + "%"});
     rows.push(Json::object()
                   .set("workload", Json::str(cell.workload))
                   .set("n", Json::integer(cell.n))
@@ -319,7 +345,9 @@ int run(int argc, char** argv) {
                   .set("events", Json::integer(cell.events))
                   .set("wall_ms", Json::num(cell.wall_ms, 1))
                   .set("events_per_sec", Json::num(cell.events_per_sec, 0))
-                  .set("peak_rss_bytes", Json::integer(cell.peak_rss)));
+                  .set("peak_rss_bytes", Json::integer(cell.peak_rss))
+                  .set("barrier_wait_share",
+                       Json::num(cell.barrier_share, 3)));
   }
   std::printf("== E8b: shard-parallel engine scaling (cht, seeds "
               "sequential) ==\n");
@@ -377,6 +405,8 @@ int run(int argc, char** argv) {
       paired_overhead("cht-tel", "telemetry", overhead_n, overhead_seeds);
   Json journal_overhead =
       paired_overhead("cht-jrn", "journal", overhead_n, overhead_seeds);
+  Json live_overhead =
+      paired_overhead("cht-live", "live_obs", overhead_n, overhead_seeds);
 
   if (json) {
     Json doc = Json::object();
@@ -393,7 +423,8 @@ int run(int argc, char** argv) {
              Json::boolean(!obs::kTelemetryEnabled))
         .set("rows", std::move(rows))
         .set("telemetry_overhead", std::move(overhead))
-        .set("journal_overhead", std::move(journal_overhead));
+        .set("journal_overhead", std::move(journal_overhead))
+        .set("live_obs_overhead", std::move(live_overhead));
     std::ofstream out(out_path);
     if (!out) {
       std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());

@@ -11,6 +11,11 @@
 //   --smoke          n = 2^16 only (CI: ASan + RSS ceiling via
 //                    scripts/bench_compare.py)
 //   --json [--out F] write BENCH_million.json
+//   --progress       stream a live heartbeat (renaming-progress-v1 JSONL)
+//                    to stderr while each simulated cell runs — CI's
+//                    million-smoke liveness signal
+//   --progress-out F same heartbeat to a file (artifact-friendly); with
+//                    --progress too, the stream is teed to both
 //   --constant C     crash election constant (default 1.0: committee
 //                    ~ log n, the scale knob that keeps RESPONSE fan-out
 //                    at c * n, not n^2)
@@ -25,6 +30,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -36,6 +42,7 @@
 #include "common/check.h"
 #include "common/math.h"
 #include "crash/crash_renaming.h"
+#include "obs/progress.h"
 #include "sim/engine.h"
 #include "sim/wire_schema.h"
 
@@ -56,6 +63,32 @@ struct Cell {
   double wall_ms = 0.0;
   std::uint64_t peak_rss = 0;
   bool closed_form = false;
+};
+
+// Duplicates the heartbeat to stderr and a file when both --progress and
+// --progress-out are given (live log line + artifact from one stream).
+class TeeBuf : public std::streambuf {
+ public:
+  TeeBuf(std::streambuf* a, std::streambuf* b) : a_(a), b_(b) {}
+
+ protected:
+  int overflow(int c) override {
+    if (c == traits_type::eof()) return traits_type::not_eof(c);
+    const int ra = a_->sputc(static_cast<char>(c));
+    const int rb = b_->sputc(static_cast<char>(c));
+    return (ra == traits_type::eof() || rb == traits_type::eof())
+               ? traits_type::eof()
+               : c;
+  }
+  int sync() override {
+    const int ra = a_->pubsync();
+    const int rb = b_->pubsync();
+    return (ra == 0 && rb == 0) ? 0 : -1;
+  }
+
+ private:
+  std::streambuf* a_;
+  std::streambuf* b_;
 };
 
 template <typename Fn>
@@ -86,6 +119,30 @@ int run(int argc, char** argv) {
   const double pool_constant =
       std::stod(bench::flag_value(argc, argv, "--pool", "1.0"));
 
+  // Live heartbeat for the simulated cells (closed-form cells finish in
+  // microseconds and never enter the engine, so they emit nothing).
+  std::ofstream progress_file;
+  std::unique_ptr<TeeBuf> progress_tee_buf;
+  std::unique_ptr<std::ostream> progress_tee;
+  std::unique_ptr<obs::Progress> progress;
+  const bool progress_stderr = bench::has_flag(argc, argv, "--progress");
+  const std::string progress_path =
+      bench::flag_value(argc, argv, "--progress-out", "");
+  if (progress_stderr || !progress_path.empty()) {
+    progress = std::make_unique<obs::Progress>();
+    if (!progress_path.empty()) progress_file.open(progress_path);
+    if (progress_stderr && !progress_path.empty()) {
+      progress_tee_buf =
+          std::make_unique<TeeBuf>(std::cerr.rdbuf(), progress_file.rdbuf());
+      progress_tee = std::make_unique<std::ostream>(progress_tee_buf.get());
+      progress->set_sink(progress_tee.get());
+    } else if (!progress_path.empty()) {
+      progress->set_sink(&progress_file);
+    } else {
+      progress->set_sink(&std::cerr);
+    }
+  }
+
   const std::vector<NodeIndex> sizes =
       smoke ? std::vector<NodeIndex>{1u << 16}
             : std::vector<NodeIndex>{1u << 16, 1u << 20};
@@ -102,7 +159,9 @@ int run(int argc, char** argv) {
     cells.push_back(measure("crash", n, [&] {
       crash::CrashParams params;
       params.election_constant = election_constant;
-      const auto r = crash::run_crash_renaming(cfg, params);
+      const auto r = crash::run_crash_renaming(cfg, params, nullptr, nullptr,
+                                               nullptr, nullptr, {},
+                                               progress.get());
       RENAMING_CHECK(r.report.ok(), "crash verifier rejected the run");
       return r.stats;
     }));
@@ -111,7 +170,9 @@ int run(int argc, char** argv) {
       byzantine::ByzParams params;
       params.pool_constant = pool_constant;
       params.shared_seed = kSeed;
-      const auto r = byzantine::run_byz_renaming(cfg, params);
+      const auto r = byzantine::run_byz_renaming(
+          cfg, params, {}, nullptr, 0, nullptr, nullptr, nullptr, {},
+          progress.get());
       RENAMING_CHECK(r.report.ok(true), "byz verifier rejected the run");
       return r.stats;
     }));

@@ -46,6 +46,27 @@
 //   --audit [--slack X]  check the run against its theory budget
 //                        (Theorem 1.2/1.3 or Table 1); non-zero exit on a
 //                        violation, envelopes scaled by X (default 1)
+//
+// Live observability (docs/OBSERVABILITY.md §8):
+//   --progress-out FILE  stream a heartbeat (renaming-progress-v1 JSONL):
+//                        round, cumulative events, active set, outbox
+//                        occupancy, wall time, events/s, peak RSS
+//   --progress-interval R      sample every R-th round (default 1);
+//                        round cadence keeps the sampled set deterministic
+//   --progress-interval-ms M   sample on wall time instead (>= M ms apart);
+//                        bounded output, nondeterministic record selection
+//   --shard-profile-out FILE   per-shard, per-phase timing (binary,
+//                        renaming-shard-profile-v1); render with
+//                        renaming_doctor profile. Combined with
+//                        --perfetto-out the trace gains per-shard busy /
+//                        barrier-wait tracks (pid 3). Note: live telemetry
+//                        (--audit/--metrics-out/--perfetto-out) forces
+//                        serial callbacks, so profile shard lanes collapse
+//                        to one — profile a run without those flags to see
+//                        real shard parallelism.
+//   --telemetry-rounds K keep only the last K per-round telemetry samples
+//                        (default above the sparse cutoff: 4096;
+//                        0 = unbounded)
 // Exit code 0 iff the verifier accepted the outcome (and, with --audit,
 // the budget auditor did too).
 #include <cstdio>
@@ -68,6 +89,8 @@
 #include "obs/budget.h"
 #include "obs/export.h"
 #include "obs/journal.h"
+#include "obs/progress.h"
+#include "obs/shard_profile.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
 #include "sim/parallel/plan.h"
@@ -150,11 +173,12 @@ void report(const Args& args, const std::string& algo,
   }
 }
 
-// Handles --journal-out / --journal-jsonl / --metrics-out / --perfetto-out /
-// --audit for one finished run. Returns 0, or 1 when --audit was requested
-// and the run blew its budget.
+// Handles --journal-out / --journal-jsonl / --shard-profile-out /
+// --metrics-out / --perfetto-out / --audit for one finished run. Returns 0,
+// or 1 when --audit was requested and the run blew its budget.
 int finish_observability(const Args& args, const obs::Telemetry* telemetry,
                          const obs::Journal* journal,
+                         const obs::ShardProfile* profile,
                          const sim::RunStats& stats, const std::string& algo,
                          const SystemConfig& cfg, std::uint64_t f,
                          double committee_constant = 0.0,
@@ -169,6 +193,11 @@ int finish_observability(const Args& args, const obs::Telemetry* telemetry,
       std::ofstream out(args.str("journal-jsonl", "journal.jsonl"));
       obs::write_journal_jsonl(out, journal->data());
     }
+  }
+  if (profile != nullptr && args.has("shard-profile-out")) {
+    std::ofstream out(args.str("shard-profile-out", "shards.rnsp"),
+                      std::ios::binary);
+    obs::write_shard_profile_binary(out, profile->data());
   }
   if (telemetry == nullptr) return 0;
   obs::BudgetReport audit;
@@ -195,7 +224,8 @@ int finish_observability(const Args& args, const obs::Telemetry* telemetry,
   }
   if (args.has("perfetto-out")) {
     std::ofstream out(args.str("perfetto-out", "trace.perfetto.json"));
-    obs::write_perfetto_trace(out, *telemetry, stats);
+    obs::write_perfetto_trace(out, *telemetry, stats,
+                              profile != nullptr ? &profile->data() : nullptr);
   }
   return audited && !audit.ok() ? 1 : 0;
 }
@@ -276,15 +306,44 @@ int main(int argc, char** argv) {
     }
   }
 
+  const std::uint64_t telemetry_rounds =
+      args.num("telemetry-rounds", big ? 4096 : 0);
+
   std::unique_ptr<obs::Telemetry> telemetry;
   if (args.has("metrics-out") || args.has("perfetto-out") ||
       args.has("audit")) {
     telemetry = std::make_unique<obs::Telemetry>();
+    telemetry->set_per_round_capacity(
+        static_cast<std::size_t>(telemetry_rounds));
   }
   std::unique_ptr<obs::Journal> journal;
   if (args.has("journal-out") || args.has("journal-jsonl")) {
     journal = std::make_unique<obs::Journal>(
         static_cast<std::size_t>(journal_rounds));
+  }
+
+  // Live heartbeat: samples stream to the file as the run executes, so a
+  // long run is observable from a `tail -f` without touching its output.
+  std::ofstream progress_file;
+  std::unique_ptr<obs::Progress> progress;
+  if (args.has("progress-out")) {
+    obs::Progress::Options popts;
+    popts.every_rounds =
+        static_cast<std::uint32_t>(args.num("progress-interval", 1));
+    if (popts.every_rounds == 0) popts.every_rounds = 1;
+    popts.min_interval_ns = static_cast<std::int64_t>(
+        args.num("progress-interval-ms", 0) * 1000000ull);
+    progress = std::make_unique<obs::Progress>(popts);
+    progress_file.open(args.str("progress-out", "progress.jsonl"));
+    progress->set_sink(&progress_file);
+  }
+
+  // Shard profiler: attached via the shard plan below; purely
+  // observational, so it never changes the engine's serial/parallel choice.
+  std::unique_ptr<obs::ShardProfile> profile;
+  if (args.has("shard-profile-out")) {
+    profile = std::make_unique<obs::ShardProfile>();
+    profile->set_run_info(args.command);
   }
 
   // Effective-configuration run header. Under --csv it goes to stderr so
@@ -308,6 +367,16 @@ int main(int argc, char** argv) {
       } else {
         std::fprintf(hdr, ", journal full");
       }
+    }
+    if (telemetry != nullptr && telemetry_rounds > 0) {
+      std::fprintf(hdr, ", telemetry ring(%llu)",
+                   static_cast<unsigned long long>(telemetry_rounds));
+    }
+    if (progress != nullptr) {
+      std::fprintf(hdr, ", heartbeat");
+    }
+    if (profile != nullptr) {
+      std::fprintf(hdr, ", shard profile");
     }
     std::fprintf(hdr, "\n");
   }
@@ -336,6 +405,7 @@ int main(int argc, char** argv) {
     plan.pool = pool.get();
     plan.shards = static_cast<unsigned>(shards_raw);
   }
+  plan.profile = profile.get();
 
   if (args.command == "crash") {
     crash::CrashParams params;
@@ -364,14 +434,14 @@ int main(int argc, char** argv) {
     }
     const auto r = crash::run_crash_renaming(
         cfg, params, std::move(adversary), trace_sink, telemetry.get(),
-        journal.get(), plan);
+        journal.get(), plan, progress.get());
     report(args, "crash", r.stats, r.report, n, r.stats.crashes);
     if (capped != nullptr && capped->dropped() > 0 && !args.has("csv")) {
       std::printf("  trace         dropped %llu events past the cap\n",
                   static_cast<unsigned long long>(capped->dropped()));
     }
     const int audit_rc = finish_observability(
-        args, telemetry.get(), journal.get(), r.stats, "crash", cfg, budget,
+        args, telemetry.get(), journal.get(), profile.get(), r.stats, "crash", cfg, budget,
         params.election_constant, params.phase_multiplier);
     return r.report.ok() ? audit_rc : 1;
   }
@@ -404,7 +474,8 @@ int main(int argc, char** argv) {
     }
     const auto r = byzantine::run_byz_renaming(cfg, params, byz, factory, 0,
                                                trace_sink, telemetry.get(),
-                                               journal.get(), plan);
+                                               journal.get(), plan,
+                                               progress.get());
     report(args, "byz", r.stats, r.report, n, byz.size());
     if (!args.has("csv")) {
       std::printf("  loop iters    %u\n", r.loop_iterations);
@@ -414,7 +485,7 @@ int main(int argc, char** argv) {
       }
     }
     const int audit_rc = finish_observability(
-        args, telemetry.get(), journal.get(), r.stats,
+        args, telemetry.get(), journal.get(), profile.get(), r.stats,
         params.use_fingerprints ? "byz" : "byz-full", cfg, byz.size(),
         params.pool_constant);
     return r.report.ok(true) ? audit_rc : 1;
@@ -433,43 +504,46 @@ int main(int argc, char** argv) {
           args.num("closed-form", sim::Engine::kSparseAutoCutoff));
       const auto r = baselines::run_cht_renaming(
           cfg, std::move(adversary), telemetry.get(), journal.get(), plan,
-          cutoff);
+          cutoff, progress.get());
       report(args, "cht", r.stats, r.report, n, r.stats.crashes);
       if (r.closed_form && !args.has("csv")) {
         std::printf("  accounting    closed-form (failure-free, n >= %u)\n",
                     cutoff);
       }
       const int audit_rc =
-          finish_observability(args, telemetry.get(), journal.get(), r.stats,
+          finish_observability(args, telemetry.get(), journal.get(), profile.get(), r.stats,
                                "cht", cfg, budget);
       return r.report.ok() ? audit_rc : 1;
     }
     if (args.command == "claiming") {
       const auto r = baselines::run_claiming_renaming(
-          cfg, std::move(adversary), telemetry.get(), journal.get(), plan);
+          cfg, std::move(adversary), telemetry.get(), journal.get(), plan,
+          progress.get());
       report(args, "claiming", r.stats, r.report, n, r.stats.crashes);
       const int audit_rc = finish_observability(
-          args, telemetry.get(), journal.get(), r.stats, "claiming", cfg,
+          args, telemetry.get(), journal.get(), profile.get(), r.stats, "claiming", cfg,
           budget);
       return r.report.ok() ? audit_rc : 1;
     }
     if (args.command == "early") {
       const auto r = baselines::run_early_deciding_renaming(
-          cfg, std::move(adversary), telemetry.get(), journal.get(), plan);
+          cfg, std::move(adversary), telemetry.get(), journal.get(), plan,
+          progress.get());
       report(args, "early", r.stats, r.report, n, r.stats.crashes);
       if (!args.has("csv")) {
         std::printf("  decided by    round %u\n", r.max_decision_round);
       }
       const int audit_rc = finish_observability(
-          args, telemetry.get(), journal.get(), r.stats, "early", cfg,
+          args, telemetry.get(), journal.get(), profile.get(), r.stats, "early", cfg,
           budget);
       return r.report.ok() ? audit_rc : 1;
     }
     const auto r = baselines::run_naive_renaming(
-        cfg, std::move(adversary), telemetry.get(), journal.get(), plan);
+        cfg, std::move(adversary), telemetry.get(), journal.get(), plan,
+        progress.get());
     report(args, "naive", r.stats, r.report, n, r.stats.crashes);
     const int audit_rc = finish_observability(
-        args, telemetry.get(), journal.get(), r.stats, "naive", cfg, budget);
+        args, telemetry.get(), journal.get(), profile.get(), r.stats, "naive", cfg, budget);
     return r.report.ok() ? audit_rc : 1;
   }
 
@@ -483,14 +557,14 @@ int main(int argc, char** argv) {
         args.num("closed-form", sim::Engine::kSparseAutoCutoff));
     const auto r = baselines::run_obg_renaming(
         cfg, byz, baselines::ObgByzBehaviour::kSplitAnnounce, telemetry.get(),
-        journal.get(), plan, cutoff);
+        journal.get(), plan, cutoff, progress.get());
     report(args, "obg", r.stats, r.report, n, f);
     if (r.closed_form && !args.has("csv")) {
       std::printf("  accounting    closed-form (failure-free, n >= %u)\n",
                   cutoff);
     }
     const int audit_rc = finish_observability(
-        args, telemetry.get(), journal.get(), r.stats, "obg", cfg, f);
+        args, telemetry.get(), journal.get(), profile.get(), r.stats, "obg", cfg, f);
     return r.report.ok() ? audit_rc : 1;
   }
 

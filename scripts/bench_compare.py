@@ -4,7 +4,7 @@
 Usage:
     scripts/bench_compare.py FRESH.json BASELINE.json [--ratio-threshold R]
                              [--rss-tolerance R] [--rss-ceiling BYTES]
-                             [--strict]
+                             [--barrier-wait-cap S] [--strict]
 
 Knows the three benches CI pins (the "bench" key selects the rules):
 
@@ -14,7 +14,12 @@ Knows the three benches CI pins (the "bench" key selects the rules):
   must be equal when the seed batches match (`seeds`); `events_per_sec`
   is hardware-dependent and only warns when it moved by more than
   --ratio-threshold (default 0.30 — CI machines are noisy; tighten
-  locally).
+  locally). Shard-parallel rows (threads > 1) also carry
+  `barrier_wait_share` — the fraction of parallel shard-time spent
+  blocked at the join barrier, from the obs::ShardProfile riding on the
+  scaling cells; a fresh share above --barrier-wait-cap (default 0.85)
+  warns, as does drift past the ratio threshold, so a load-balance
+  regression is visible without being a merge blocker.
 * byz_scaling (BENCH_byz_scaling.json) — rows match on (n, f, threads,
   mt), `threads`/`mt` defaulting to 1/false for the serial sweep rows
   (the `mt` tag keeps the thread-scaling re-run of a cell apart from the
@@ -79,7 +84,7 @@ def check_ratio(cell, field, fresh, base, threshold):
              f"({100 * drift:.1f}% drift, threshold {100 * threshold:.0f}%)")
 
 
-def compare_engine(fresh, base, threshold):
+def compare_engine(fresh, base, threshold, barrier_wait_cap):
     def key_of(r):
         return (r["workload"], r["n"], r.get("threads", 1))
 
@@ -96,6 +101,13 @@ def compare_engine(fresh, base, threshold):
         if row.get("seeds") == ref.get("seeds"):
             check_equal(cell, "events", row, ref)
         check_ratio(cell, "events_per_sec", row, ref, threshold)
+        if key[2] > 1:
+            share = row.get("barrier_wait_share")
+            if share is not None and share > barrier_wait_cap:
+                warn(f"{cell}: barrier_wait_share {share:.3f} exceeds the "
+                     f"cap {barrier_wait_cap:.2f} (shards are mostly "
+                     "waiting at the join — load-balance regression?)")
+            check_ratio(cell, "barrier_wait_share", row, ref, threshold)
     return compared
 
 
@@ -169,6 +181,10 @@ def main():
                         help="relative peak_rss_bytes growth over baseline "
                              "that HARD-fails a million cell (default 1.0 "
                              "= 2x)")
+    parser.add_argument("--barrier-wait-cap", type=float, default=0.85,
+                        help="engine rows with threads > 1 warn when "
+                             "barrier_wait_share exceeds this (default "
+                             "0.85)")
     parser.add_argument("--rss-ceiling", type=int, default=0,
                         help="absolute peak_rss_bytes cap hard-applied to "
                              "every fresh million cell (0 = off)")
@@ -196,7 +212,8 @@ def main():
 
     kind = fresh.get("bench")
     if kind == "engine":
-        compared = compare_engine(fresh, base, args.ratio_threshold)
+        compared = compare_engine(fresh, base, args.ratio_threshold,
+                                  args.barrier_wait_cap)
     elif kind == "byz_scaling":
         compared = compare_byz_scaling(fresh, base, args.ratio_threshold)
     elif kind == "million":

@@ -97,10 +97,25 @@ and suppression markers are tracked precisely per (line, rule).
                       `// lint:engine-setup-end` markers — the one
                       sanctioned setup section; anywhere else in the file
                       it is a finding.
+  R13 wall-clock      Wall time lives in the obs layer only. The
+                      determinism contract (docs/OBSERVABILITY.md §8)
+                      sanctions exactly one clock under src/ —
+                      obs::now_ns() in obs/telemetry.cc — and exactly one
+                      set of surfaces where its readings may appear
+                      (telemetry, the progress heartbeat, the shard
+                      profile). Outside src/obs/, `#include <chrono>`,
+                      any `std::chrono` usage, clock_gettime() and
+                      timespec_get() are banned: code that wants a
+                      timestamp calls obs::now_ns(), so a grep for chrono
+                      tells you every place wall time can possibly leak
+                      from. (R1 already catches the `::now()` call sites;
+                      this rule catches duration arithmetic, includes and
+                      POSIX clocks that R1's pattern misses.)
 
 Findings can be suppressed per line with `// lint:allow(<rule>)` where
 <rule> is one of: nondeterminism, bits-width, unordered-iteration,
-threading, dense-of-range, raw-output, wire-schema, full-width-alloc.
+threading, dense-of-range, raw-output, wire-schema, full-width-alloc,
+wall-clock.
 Suppressions are tracked: a marker that matches no finding fails R10.
 
 Exit status: 0 if clean, 1 if any violation, 2 on usage error.
@@ -133,6 +148,7 @@ SUPPRESSIBLE = {
     "raw-output",
     "wire-schema",
     "full-width-alloc",
+    "wall-clock",
 }
 
 # ---------------------------------------------------------------------------
@@ -1138,6 +1154,57 @@ def check_full_width_alloc(files: list[SourceFile]) -> list[Violation]:
 
 
 # ---------------------------------------------------------------------------
+# R13: wall-clock hygiene — raw clocks live in the obs layer only
+
+_WALLCLOCK_HEADER_RE = re.compile(r"#\s*include\s*<(chrono|ctime|sys/time\.h)>")
+_WALLCLOCK_CALLS = {"clock_gettime", "timespec_get"}
+
+# The sanctioned owner of wall time: the observability layer, whose output
+# (telemetry, progress heartbeat, shard profile) is the contract's
+# nondeterministic surface. Everything else under src/ measures through
+# obs::now_ns().
+WALLCLOCK_ALLOWED_PREFIX = "obs/"
+
+
+def check_wall_clock(files: list[SourceFile]) -> list[Violation]:
+    out = []
+
+    def hit(f: SourceFile, line: int, why: str) -> None:
+        out.append(
+            Violation(
+                "wall-clock",
+                f.path,
+                line,
+                f"{why} outside src/obs/; wall time is owned by the obs "
+                "layer — measure through obs::now_ns() (obs/telemetry.h) "
+                "and keep the reading out of traces, journals and "
+                "RunStats (docs/OBSERVABILITY.md)",
+            )
+        )
+
+    for f in files:
+        if f.rel.startswith(WALLCLOCK_ALLOWED_PREFIX):
+            continue
+        for t in f.pp_tokens:
+            m = _WALLCLOCK_HEADER_RE.search(t.text)
+            if m:
+                hit(f, t.line, f"#include <{m.group(1)}>")
+        sig = f.sig
+        for i, t in enumerate(sig):
+            if t.kind != "id":
+                continue
+            prev = sig[i - 1].text if i > 0 else ""
+            if t.text == "chrono" and (seq_at(sig, i + 1, "::")
+                                       or (prev == "::" and i >= 2
+                                           and sig[i - 2].text == "std")):
+                hit(f, t.line, "std::chrono usage")
+            elif t.text in _WALLCLOCK_CALLS and seq_at(sig, i + 1, "(") \
+                    and prev not in (".", "->"):
+                hit(f, t.line, f"{t.text}() (raw OS clock)")
+    return out
+
+
+# ---------------------------------------------------------------------------
 # R5: headers are self-contained (with a content-hash cache)
 
 _INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
@@ -1266,6 +1333,7 @@ RULES = (
     "stale-allow",
     "kind-coverage",
     "full-width-alloc",
+    "wall-clock",
 )
 
 
@@ -1293,6 +1361,8 @@ def run_rules(files: list[SourceFile], src: Path, selected: list[str],
         raw += check_kind_coverage(files)
     if "full-width-alloc" in selected:
         raw += check_full_width_alloc(files)
+    if "wall-clock" in selected:
+        raw += check_wall_clock(files)
     if "header-hygiene" in selected:
         raw += check_header_hygiene(files, src, compiler, cache_path)
 

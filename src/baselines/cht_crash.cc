@@ -7,6 +7,7 @@
 #include "core/interval.h"
 #include "sim/wire_schema.h"
 #include "obs/journal.h"
+#include "obs/progress.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
 
@@ -124,7 +125,8 @@ ChtRunResult run_cht_renaming(const SystemConfig& cfg,
                               std::unique_ptr<sim::CrashAdversary> adversary,
                               obs::Telemetry* telemetry, obs::Journal* journal,
                               sim::parallel::ShardPlan plan,
-                              NodeIndex closed_form_cutoff) {
+                              NodeIndex closed_form_cutoff,
+                              obs::Progress* progress) {
   const std::uint64_t budget =
       adversary != nullptr ? adversary->budget() : 0;
   if (telemetry != nullptr) {
@@ -132,6 +134,7 @@ ChtRunResult run_cht_renaming(const SystemConfig& cfg,
     telemetry->set_run_info("cht", cfg.n, budget);
   }
   if (journal != nullptr) journal->set_run_info("cht", cfg.n, budget);
+  if (progress != nullptr) progress->set_run_info("cht");
   // A zero-budget adversary cannot crash anyone (the engine enforces the
   // budget), so the run is failure-free and the closed form is exact. A
   // journal needs real deliveries for its fingerprints; n < 2 runs end
@@ -148,6 +151,7 @@ ChtRunResult run_cht_renaming(const SystemConfig& cfg,
   sim::Engine engine(std::move(nodes), std::move(adversary));
   engine.set_telemetry(telemetry);
   engine.set_journal(journal);
+  engine.set_progress(progress);
   engine.set_parallel(plan);
 
   ChtRunResult result;

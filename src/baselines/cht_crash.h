@@ -26,6 +26,7 @@
 namespace renaming::obs {
 class Telemetry;  // obs/telemetry.h; optional, observational only
 class Journal;    // obs/journal.h; deterministic flight recorder
+class Progress;   // obs/progress.h; live run heartbeat
 }
 
 namespace renaming::baselines {
@@ -56,6 +57,6 @@ ChtRunResult run_cht_renaming(
     std::unique_ptr<sim::CrashAdversary> adversary = nullptr,
     obs::Telemetry* telemetry = nullptr,
     obs::Journal* journal = nullptr, sim::parallel::ShardPlan plan = {},
-    NodeIndex closed_form_cutoff = 0);
+    NodeIndex closed_form_cutoff = 0, obs::Progress* progress = nullptr);
 
 }  // namespace renaming::baselines

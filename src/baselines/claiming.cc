@@ -6,6 +6,7 @@
 #include "common/prng.h"
 #include "sim/wire_schema.h"
 #include "obs/journal.h"
+#include "obs/progress.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
 
@@ -94,7 +95,7 @@ class ClaimingNode final : public sim::Node {
 ClaimingRunResult run_claiming_renaming(
     const SystemConfig& cfg, std::unique_ptr<sim::CrashAdversary> adversary,
     obs::Telemetry* telemetry, obs::Journal* journal,
-    sim::parallel::ShardPlan plan) {
+    sim::parallel::ShardPlan plan, obs::Progress* progress) {
   const std::uint64_t budget =
       adversary != nullptr ? adversary->budget() : 0;
   if (telemetry != nullptr) {
@@ -103,6 +104,7 @@ ClaimingRunResult run_claiming_renaming(
     telemetry->set_run_info("claiming", cfg.n, budget);
   }
   if (journal != nullptr) journal->set_run_info("claiming", cfg.n, budget);
+  if (progress != nullptr) progress->set_run_info("claiming");
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
   for (NodeIndex v = 0; v < cfg.n; ++v) {
@@ -111,6 +113,7 @@ ClaimingRunResult run_claiming_renaming(
   sim::Engine engine(std::move(nodes), std::move(adversary));
   engine.set_telemetry(telemetry);
   engine.set_journal(journal);
+  engine.set_progress(progress);
   engine.set_parallel(plan);
 
   ClaimingRunResult result;

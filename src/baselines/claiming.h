@@ -30,6 +30,7 @@
 namespace renaming::obs {
 class Telemetry;  // obs/telemetry.h; optional, observational only
 class Journal;    // obs/journal.h; deterministic flight recorder
+class Progress;   // obs/progress.h; live run heartbeat
 }
 
 namespace renaming::baselines {
@@ -46,6 +47,7 @@ ClaimingRunResult run_claiming_renaming(
     const SystemConfig& cfg,
     std::unique_ptr<sim::CrashAdversary> adversary = nullptr,
     obs::Telemetry* telemetry = nullptr,
-    obs::Journal* journal = nullptr, sim::parallel::ShardPlan plan = {});
+    obs::Journal* journal = nullptr, sim::parallel::ShardPlan plan = {},
+    obs::Progress* progress = nullptr);
 
 }  // namespace renaming::baselines

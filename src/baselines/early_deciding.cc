@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "obs/journal.h"
+#include "obs/progress.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
 #include "sim/wire_schema.h"
@@ -79,7 +80,7 @@ class EarlyDecidingNode final : public sim::Node {
 EarlyDecidingRunResult run_early_deciding_renaming(
     const SystemConfig& cfg, std::unique_ptr<sim::CrashAdversary> adversary,
     obs::Telemetry* telemetry, obs::Journal* journal,
-    sim::parallel::ShardPlan plan) {
+    sim::parallel::ShardPlan plan, obs::Progress* progress) {
   const std::uint64_t budget =
       adversary != nullptr ? adversary->budget() : 0;
   if (telemetry != nullptr) {
@@ -87,6 +88,7 @@ EarlyDecidingRunResult run_early_deciding_renaming(
     telemetry->set_run_info("early", cfg.n, budget);
   }
   if (journal != nullptr) journal->set_run_info("early", cfg.n, budget);
+  if (progress != nullptr) progress->set_run_info("early");
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
   for (NodeIndex v = 0; v < cfg.n; ++v) {
@@ -95,6 +97,7 @@ EarlyDecidingRunResult run_early_deciding_renaming(
   sim::Engine engine(std::move(nodes), std::move(adversary));
   engine.set_telemetry(telemetry);
   engine.set_journal(journal);
+  engine.set_progress(progress);
   engine.set_parallel(plan);
 
   EarlyDecidingRunResult result;

@@ -33,6 +33,7 @@
 namespace renaming::obs {
 class Telemetry;  // obs/telemetry.h; optional, observational only
 class Journal;    // obs/journal.h; deterministic flight recorder
+class Progress;   // obs/progress.h; live run heartbeat
 }
 
 namespace renaming::baselines {
@@ -50,6 +51,7 @@ EarlyDecidingRunResult run_early_deciding_renaming(
     const SystemConfig& cfg,
     std::unique_ptr<sim::CrashAdversary> adversary = nullptr,
     obs::Telemetry* telemetry = nullptr,
-    obs::Journal* journal = nullptr, sim::parallel::ShardPlan plan = {});
+    obs::Journal* journal = nullptr, sim::parallel::ShardPlan plan = {},
+    obs::Progress* progress = nullptr);
 
 }  // namespace renaming::baselines

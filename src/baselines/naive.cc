@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/journal.h"
+#include "obs/progress.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
 #include "sim/wire_schema.h"
@@ -54,7 +55,8 @@ NaiveRunResult run_naive_renaming(const SystemConfig& cfg,
                                   std::unique_ptr<sim::CrashAdversary> adversary,
                                   obs::Telemetry* telemetry,
                                   obs::Journal* journal,
-                                  sim::parallel::ShardPlan plan) {
+                                  sim::parallel::ShardPlan plan,
+                                  obs::Progress* progress) {
   const std::uint64_t budget =
       adversary != nullptr ? adversary->budget() : 0;
   if (telemetry != nullptr) {
@@ -62,6 +64,7 @@ NaiveRunResult run_naive_renaming(const SystemConfig& cfg,
     telemetry->set_run_info("naive", cfg.n, budget);
   }
   if (journal != nullptr) journal->set_run_info("naive", cfg.n, budget);
+  if (progress != nullptr) progress->set_run_info("naive");
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
   for (NodeIndex v = 0; v < cfg.n; ++v) {
@@ -70,6 +73,7 @@ NaiveRunResult run_naive_renaming(const SystemConfig& cfg,
   sim::Engine engine(std::move(nodes), std::move(adversary));
   engine.set_telemetry(telemetry);
   engine.set_journal(journal);
+  engine.set_progress(progress);
   engine.set_parallel(plan);
 
   NaiveRunResult result;

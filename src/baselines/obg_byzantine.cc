@@ -10,6 +10,7 @@
 #include "core/directory.h"
 #include "core/interval.h"
 #include "obs/journal.h"
+#include "obs/progress.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
 #include "sim/wire_schema.h"
@@ -240,7 +241,8 @@ ObgRunResult run_obg_renaming(const SystemConfig& cfg,
                               ObgByzBehaviour behaviour,
                               obs::Telemetry* telemetry, obs::Journal* journal,
                               sim::parallel::ShardPlan plan,
-                              NodeIndex closed_form_cutoff) {
+                              NodeIndex closed_form_cutoff,
+                              obs::Progress* progress) {
   if (telemetry != nullptr) {
     telemetry->map_kind(kAnnounce, obs::PhaseId::kBaselineExchange);
     telemetry->map_kind(kVector, obs::PhaseId::kBaselineExchange);
@@ -250,6 +252,7 @@ ObgRunResult run_obg_renaming(const SystemConfig& cfg,
   if (journal != nullptr) {
     journal->set_run_info("obg", cfg.n, byzantine.size());
   }
+  if (progress != nullptr) progress->set_run_info("obg");
   // No Byzantine nodes means a fully deterministic all-to-all exchange the
   // closed form reproduces exactly; any adversary, a journal (fingerprints
   // need real deliveries), or n < 2 (round-count edge cases) simulates.
@@ -274,6 +277,7 @@ ObgRunResult run_obg_renaming(const SystemConfig& cfg,
   sim::Engine engine(std::move(nodes));
   engine.set_telemetry(telemetry);
   engine.set_journal(journal);
+  engine.set_progress(progress);
   engine.set_parallel(plan);
   for (NodeIndex b : byzantine) engine.mark_byzantine(b);
 

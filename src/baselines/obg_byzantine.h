@@ -36,6 +36,7 @@
 namespace renaming::obs {
 class Telemetry;  // obs/telemetry.h; optional, observational only
 class Journal;    // obs/journal.h; deterministic flight recorder
+class Progress;   // obs/progress.h; live run heartbeat
 }
 
 namespace renaming::baselines {
@@ -69,6 +70,7 @@ ObgRunResult run_obg_renaming(const SystemConfig& cfg,
                               obs::Telemetry* telemetry = nullptr,
                               obs::Journal* journal = nullptr,
                               sim::parallel::ShardPlan plan = {},
-                              NodeIndex closed_form_cutoff = 0);
+                              NodeIndex closed_form_cutoff = 0,
+                              obs::Progress* progress = nullptr);
 
 }  // namespace renaming::baselines

@@ -1,6 +1,7 @@
 #include "byzantine/adaptive.h"
 
 #include "obs/journal.h"
+#include "obs/progress.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
 
@@ -12,7 +13,8 @@ AdaptiveRunResult run_adaptive_experiment(const SystemConfig& cfg,
                                           Round max_rounds,
                                           obs::Telemetry* telemetry,
                                           obs::Journal* journal,
-                                          sim::parallel::ShardPlan plan) {
+                                          sim::parallel::ShardPlan plan,
+                                          obs::Progress* progress) {
   // The plan is deliberately unused: try_corrupt_member hands out the
   // corruption budget first-come-first-served in engine node order, so a
   // shard-parallel receive phase would race on the controller and change
@@ -27,6 +29,7 @@ AdaptiveRunResult run_adaptive_experiment(const SystemConfig& cfg,
     telemetry->set_run_info("byz-adaptive", cfg.n, budget);
   }
   if (journal != nullptr) journal->set_run_info("byz-adaptive", cfg.n, budget);
+  if (progress != nullptr) progress->set_run_info("byz-adaptive");
 
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
@@ -37,6 +40,7 @@ AdaptiveRunResult run_adaptive_experiment(const SystemConfig& cfg,
   sim::Engine engine(std::move(nodes));
   engine.set_telemetry(telemetry);
   engine.set_journal(journal);
+  engine.set_progress(progress);
 
   if (max_rounds == 0) {
     // A wrecked run never terminates on its own; keep the cap modest so

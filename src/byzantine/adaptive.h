@@ -121,6 +121,7 @@ AdaptiveRunResult run_adaptive_experiment(const SystemConfig& cfg,
                                           Round max_rounds = 0,
                                           obs::Telemetry* telemetry = nullptr,
                                           obs::Journal* journal = nullptr,
-                                          sim::parallel::ShardPlan plan = {});
+                                          sim::parallel::ShardPlan plan = {},
+                                          obs::Progress* progress = nullptr);
 
 }  // namespace renaming::byzantine

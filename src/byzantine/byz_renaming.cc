@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "obs/journal.h"
+#include "obs/progress.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
 
@@ -395,7 +396,8 @@ ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
                               sim::TraceSink* trace,
                               obs::Telemetry* telemetry,
                               obs::Journal* journal,
-                              sim::parallel::ShardPlan plan) {
+                              sim::parallel::ShardPlan plan,
+                              obs::Progress* progress) {
   const Directory directory(cfg);
 
   std::vector<bool> is_byz(cfg.n, false);
@@ -409,6 +411,9 @@ ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
   if (journal != nullptr) {
     journal->set_run_info(params.use_fingerprints ? "byz" : "byz-full", cfg.n,
                           byzantine.size());
+  }
+  if (progress != nullptr) {
+    progress->set_run_info(params.use_fingerprints ? "byz" : "byz-full");
   }
 
   // One coefficient cache for the whole run: every correct node holds the
@@ -443,6 +448,7 @@ ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
   engine.set_trace(trace);
   engine.set_telemetry(telemetry);
   engine.set_journal(journal);
+  engine.set_progress(progress);
   engine.set_parallel(plan);
   for (NodeIndex b : byzantine) engine.mark_byzantine(b);
 

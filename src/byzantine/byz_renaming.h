@@ -63,6 +63,7 @@
 namespace renaming::obs {
 class Telemetry;  // obs/telemetry.h; nodes hold a non-owning pointer
 class Journal;    // obs/journal.h; deterministic flight recorder
+class Progress;   // obs/progress.h; live run heartbeat
 }
 
 namespace renaming::byzantine {
@@ -255,7 +256,8 @@ ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
                               sim::TraceSink* trace = nullptr,
                               obs::Telemetry* telemetry = nullptr,
                               obs::Journal* journal = nullptr,
-                              sim::parallel::ShardPlan plan = {});
+                              sim::parallel::ShardPlan plan = {},
+                              obs::Progress* progress = nullptr);
 
 /// Registers the Byzantine protocol's MsgKind -> PhaseId mapping with
 /// `telemetry` (the central phase-id table of obs/phase.h). Exposed so

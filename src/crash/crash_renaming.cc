@@ -9,6 +9,7 @@
 #include "common/check.h"
 
 #include "obs/journal.h"
+#include "obs/progress.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
 
@@ -326,13 +327,14 @@ CrashRunResult run_crash_renaming(
     const SystemConfig& cfg, const CrashParams& params,
     std::unique_ptr<sim::CrashAdversary> adversary, sim::TraceSink* trace,
     obs::Telemetry* telemetry, obs::Journal* journal,
-    sim::parallel::ShardPlan plan) {
+    sim::parallel::ShardPlan plan, obs::Progress* progress) {
   const std::uint64_t budget = adversary != nullptr ? adversary->budget() : 0;
   if (telemetry != nullptr) {
     register_crash_phases(*telemetry);
     telemetry->set_run_info("crash", cfg.n, budget);
   }
   if (journal != nullptr) journal->set_run_info("crash", cfg.n, budget);
+  if (progress != nullptr) progress->set_run_info("crash");
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
   for (NodeIndex v = 0; v < cfg.n; ++v) {
@@ -342,6 +344,7 @@ CrashRunResult run_crash_renaming(
   engine.set_trace(trace);
   engine.set_telemetry(telemetry);
   engine.set_journal(journal);
+  engine.set_progress(progress);
   engine.set_parallel(plan);
 
   const Round max_rounds =

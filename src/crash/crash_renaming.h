@@ -53,6 +53,7 @@
 namespace renaming::obs {
 class Telemetry;  // obs/telemetry.h; nodes hold a non-owning pointer
 class Journal;    // obs/journal.h; deterministic flight recorder
+class Progress;   // obs/progress.h; live run heartbeat
 }
 
 namespace renaming::crash {
@@ -156,7 +157,8 @@ CrashRunResult run_crash_renaming(
     const SystemConfig& cfg, const CrashParams& params,
     std::unique_ptr<sim::CrashAdversary> adversary = nullptr,
     sim::TraceSink* trace = nullptr, obs::Telemetry* telemetry = nullptr,
-    obs::Journal* journal = nullptr, sim::parallel::ShardPlan plan = {});
+    obs::Journal* journal = nullptr, sim::parallel::ShardPlan plan = {},
+    obs::Progress* progress = nullptr);
 
 /// Registers the crash protocol's MsgKind -> PhaseId mapping with
 /// `telemetry` (the central phase-id table of obs/phase.h).

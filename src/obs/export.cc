@@ -32,29 +32,11 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-// Log-bucket percentile: the lower bound of the bucket where the
-// cumulative count crosses q — exact when the bucket holds one distinct
-// value, otherwise an under-estimate by at most the bucket width (2x).
-std::uint64_t histogram_percentile(const LogHistogram& h, double q) {
-  const std::uint64_t target =
-      static_cast<std::uint64_t>(q * static_cast<double>(h.count() - 1)) + 1;
-  std::uint64_t seen = 0;
-  std::uint64_t last = 0;
-  for (std::size_t b = 0; b < LogHistogram::kBuckets; ++b) {
-    if (h.bucket(b) == 0) continue;
-    last = LogHistogram::bucket_lo(b);
-    seen += h.bucket(b);
-    if (seen >= target) return last;
-  }
-  return last;
-}
-
 void write_histogram(std::ostream& out, const LogHistogram& h) {
   out << "{\"count\":" << h.count() << ",\"sum\":" << h.sum();
   if (h.count() > 0) {
-    out << ",\"p50\":" << histogram_percentile(h, 0.50)
-        << ",\"p90\":" << histogram_percentile(h, 0.90)
-        << ",\"p99\":" << histogram_percentile(h, 0.99);
+    out << ",\"p50\":" << h.percentile(0.50) << ",\"p90\":" << h.percentile(0.90)
+        << ",\"p99\":" << h.percentile(0.99);
   }
   out << ",\"buckets\":[";
   bool first = true;
@@ -142,6 +124,14 @@ void write_metrics_json(std::ostream& out, const Telemetry& telemetry,
   }
   out << "}";
 
+  // Per-round series bookkeeping: the rings keep only the most recent
+  // rounds once capped, and silence would read as "these are all the
+  // rounds" — truncation must be explicit (docs/OBSERVABILITY.md §8).
+  out << ",\"per_round\":{\"kept\":" << telemetry.per_round_wall_ns().size()
+      << ",\"dropped\":" << telemetry.per_round_dropped()
+      << ",\"truncated\":"
+      << (telemetry.per_round_dropped() > 0 ? "true" : "false") << "}";
+
   if (audit != nullptr) {
     out << ",\"audit\":{\"ok\":" << (audit->ok() ? "true" : "false")
         << ",\"lines\":[";
@@ -159,7 +149,8 @@ void write_metrics_json(std::ostream& out, const Telemetry& telemetry,
 }
 
 void write_perfetto_trace(std::ostream& out, const Telemetry& telemetry,
-                          const sim::RunStats& stats) {
+                          const sim::RunStats& stats,
+                          const ShardProfileData* shard_profile) {
   // Deterministic timeline: 1 round = 1000 trace microseconds. Perfetto
   // renders pid/tid tracks; we use pid 1 for nodes and pid 2 for the
   // per-round counter tracks.
@@ -227,22 +218,89 @@ void write_perfetto_trace(std::ostream& out, const Telemetry& telemetry,
         << ts << ",\"args\":{\"crashes\":" << stats.per_round[r].crashes
         << "}}";
   }
+  // The telemetry per-round rings may have evicted early rounds; entry i
+  // belongs to round dropped + i + 1, so the tracks keep their true
+  // timeline positions and the gap is visible (plus an explicit marker —
+  // a silently shifted track would misattribute every sample).
+  const std::uint64_t dropped = telemetry.per_round_dropped();
+  if (dropped > 0) {
+    out << ",{\"ph\":\"i\",\"pid\":2,\"tid\":0,\"cat\":\"meta\","
+           "\"name\":\"per-round ring truncated: first "
+        << dropped << " rounds evicted\",\"ts\":" << kRoundUs
+        << ",\"s\":\"g\"}";
+  }
   // Active sender-set size per round (deterministic; tracks protocol
   // progress and crash attrition), same stride.
-  const auto& active = telemetry.per_round_active_senders();
+  const auto active = telemetry.per_round_active_senders();
   for (std::size_t r = 0; r < active.size(); r += stride) {
-    const std::int64_t ts = static_cast<std::int64_t>(r + 1) * kRoundUs;
+    const std::int64_t ts =
+        static_cast<std::int64_t>(dropped + r + 1) * kRoundUs;
     out << ",{\"ph\":\"C\",\"pid\":2,\"tid\":0,"
            "\"name\":\"active_senders\",\"ts\":"
         << ts << ",\"args\":{\"nodes\":" << active[r] << "}}";
   }
-  // Wall time per round (the one nondeterministic track), same stride.
-  const auto& wall = telemetry.per_round_wall_ns();
+  // Wall time per round (nondeterministic track), same stride.
+  const auto wall = telemetry.per_round_wall_ns();
   for (std::size_t r = 0; r < wall.size(); r += stride) {
-    const std::int64_t ts = static_cast<std::int64_t>(r + 1) * kRoundUs;
+    const std::int64_t ts =
+        static_cast<std::int64_t>(dropped + r + 1) * kRoundUs;
     out << ",{\"ph\":\"C\",\"pid\":2,\"tid\":0,\"name\":\"round_wall_ns\","
            "\"ts\":"
         << ts << ",\"args\":{\"ns\":" << wall[r] << "}}";
+  }
+
+  // Per-shard profiler tracks (pid 3, nondeterministic): one busy and one
+  // wait counter per parallel phase, with one series per shard, from the
+  // profile's per-round sample ring. Lets a straggler shard show up as a
+  // visibly taller series at the exact rounds it lagged.
+  if (shard_profile != nullptr && shard_profile->shards > 0) {
+    const ShardProfileData& sp = *shard_profile;
+    out << ",{\"ph\":\"M\",\"pid\":3,\"tid\":0,\"name\":\"process_name\","
+           "\"args\":{\"name\":\"shard profiler (" << sp.shards
+        << " shards)\"}}";
+    if (sp.dropped_samples > 0) {
+      out << ",{\"ph\":\"i\",\"pid\":3,\"tid\":0,\"cat\":\"meta\","
+             "\"name\":\"shard-profile ring truncated: "
+          << sp.dropped_samples << " rounds evicted\",\"ts\":" << kRoundUs
+          << ",\"s\":\"g\"}";
+    }
+    const std::size_t sample_stride =
+        sp.samples.size() > 20000 ? (sp.samples.size() + 19999) / 20000 : 1;
+    for (std::size_t i = 0; i < sp.samples.size(); i += sample_stride) {
+      const ShardRoundSample& s = sp.samples[i];
+      const std::int64_t ts = static_cast<std::int64_t>(s.round) * kRoundUs;
+      for (std::size_t p = 0; p < kShardPhaseCount; ++p) {
+        const ShardPhase phase = static_cast<ShardPhase>(p);
+        if (!shard_phase_parallel(phase)) continue;
+        for (const char* series : {"busy", "wait"}) {
+          const auto& lane =
+              series[0] == 'b' ? s.busy_ns : s.wait_ns;
+          out << ",{\"ph\":\"C\",\"pid\":3,\"tid\":0,\"name\":\""
+              << shard_phase_name(phase) << "_" << series
+              << "_ns\",\"ts\":" << ts << ",\"args\":{";
+          for (std::uint32_t k = 0; k < sp.shards; ++k) {
+            const std::size_t slot = p * sp.shards + k;
+            if (k != 0) out << ",";
+            out << "\"shard" << k << "\":"
+                << (slot < lane.size() ? lane[slot] : 0);
+          }
+          out << "}}";
+        }
+      }
+      // Serial lanes as single-series counters on the same timeline.
+      const std::size_t deliver_slot =
+          static_cast<std::size_t>(ShardPhase::kDeliver) * sp.shards;
+      const std::size_t merge_slot =
+          static_cast<std::size_t>(ShardPhase::kMerge) * sp.shards;
+      out << ",{\"ph\":\"C\",\"pid\":3,\"tid\":0,\"name\":\"deliver_ns\","
+             "\"ts\":" << ts << ",\"args\":{\"ns\":"
+          << (deliver_slot < s.busy_ns.size() ? s.busy_ns[deliver_slot] : 0)
+          << "}}";
+      out << ",{\"ph\":\"C\",\"pid\":3,\"tid\":0,\"name\":\"merge_ns\","
+             "\"ts\":" << ts << ",\"args\":{\"ns\":"
+          << (merge_slot < s.busy_ns.size() ? s.busy_ns[merge_slot] : 0)
+          << "}}";
+    }
   }
   out << "]}\n";
 }

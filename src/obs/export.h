@@ -8,11 +8,13 @@
 //   write_perfetto_trace  Chrome trace-event / Perfetto JSON: protocol
 //                         phases as duration events on per-node tracks,
 //                         crashes and spoof rejections as instant events,
-//                         per-round message/bit counter tracks. The
+//                         per-round message/bit counter tracks, and —
+//                         when a shard profile is supplied — per-shard
+//                         busy/barrier-wait counter tracks (pid 3). The
 //                         timeline is deterministic — 1 round = 1 ms of
 //                         trace time — so two runs of the same seed
-//                         produce the same trace shape; only the separate
-//                         wall-time counter track is nondeterministic.
+//                         produce the same trace shape; only the wall-time
+//                         and shard-profiler tracks are nondeterministic.
 //                         Open the file at ui.perfetto.dev.
 //
 // Writing to a caller-supplied std::ostream keeps src/ free of raw stdout
@@ -22,6 +24,7 @@
 #include <ostream>
 
 #include "obs/budget.h"
+#include "obs/shard_profile.h"
 #include "obs/telemetry.h"
 #include "sim/stats.h"
 
@@ -32,6 +35,7 @@ void write_metrics_json(std::ostream& out, const Telemetry& telemetry,
                         const BudgetReport* audit = nullptr);
 
 void write_perfetto_trace(std::ostream& out, const Telemetry& telemetry,
-                          const sim::RunStats& stats);
+                          const sim::RunStats& stats,
+                          const ShardProfileData* shard_profile = nullptr);
 
 }  // namespace renaming::obs

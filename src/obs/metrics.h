@@ -68,6 +68,27 @@ class LogHistogram {
 
   std::uint64_t count() const { return count_; }
   std::uint64_t sum() const { return sum_; }
+
+  /// Log-bucket percentile: the lower bound of the bucket where the
+  /// cumulative count crosses q — exact when the bucket holds one distinct
+  /// value, otherwise an under-estimate by at most the bucket width (2x).
+  /// q is clamped to [0, 1]; an empty histogram yields 0.
+  std::uint64_t percentile(double q) const {
+    if (count_ == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+    std::uint64_t seen = 0;
+    std::uint64_t last = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (buckets_[b] == 0) continue;
+      last = bucket_lo(b);
+      seen += buckets_[b];
+      if (seen >= target) return last;
+    }
+    return last;
+  }
   std::uint64_t bucket(std::size_t b) const {
     RENAMING_CHECK(b < kBuckets, "histogram bucket out of range");
     return buckets_[b];

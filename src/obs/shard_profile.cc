@@ -1,0 +1,353 @@
+#include "obs/shard_profile.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+namespace renaming::obs {
+
+const char* shard_phase_name(ShardPhase p) {
+  switch (p) {
+    case ShardPhase::kSend:
+      return "send";
+    case ShardPhase::kDeliver:
+      return "deliver";
+    case ShardPhase::kMerge:
+      return "merge";
+    case ShardPhase::kReceive:
+      return "receive";
+  }
+  return "?";
+}
+
+double shard_imbalance(const ShardProfileData& data, ShardPhase p) {
+  const auto& row = data.totals[static_cast<std::size_t>(p)];
+  std::int64_t max = 0;
+  std::int64_t sum = 0;
+  std::size_t lanes = 0;
+  for (const ShardPhaseTotals& t : row) {
+    if (t.rounds == 0) continue;
+    max = std::max(max, t.busy_ns);
+    sum += t.busy_ns;
+    ++lanes;
+  }
+  if (lanes == 0 || sum <= 0) return 0.0;
+  const double mean = static_cast<double>(sum) / static_cast<double>(lanes);
+  return static_cast<double>(max) / mean;
+}
+
+double barrier_wait_share(const ShardProfileData& data) {
+  std::int64_t busy = 0;
+  std::int64_t wait = 0;
+  for (std::size_t p = 0; p < kShardPhaseCount; ++p) {
+    if (!shard_phase_parallel(static_cast<ShardPhase>(p))) continue;
+    for (const ShardPhaseTotals& t : data.totals[p]) {
+      busy += t.busy_ns;
+      wait += t.wait_ns;
+    }
+  }
+  const std::int64_t total = busy + wait;
+  if (total <= 0) return 0.0;
+  return static_cast<double>(wait) / static_cast<double>(total);
+}
+
+std::uint32_t straggler_shard(const ShardProfileData& data) {
+  std::uint32_t best = 0;
+  std::int64_t best_busy = -1;
+  for (std::uint32_t s = 0; s < data.shards; ++s) {
+    std::int64_t busy = 0;
+    for (std::size_t p = 0; p < kShardPhaseCount; ++p) {
+      if (!shard_phase_parallel(static_cast<ShardPhase>(p))) continue;
+      if (s < data.totals[p].size()) busy += data.totals[p][s].busy_ns;
+    }
+    if (busy > best_busy) {
+      best_busy = busy;
+      best = s;
+    }
+  }
+  return best;
+}
+
+ShardProfile::ShardProfile() : ShardProfile(Options{}) {}
+
+ShardProfile::ShardProfile(Options opts) : opts_(opts) {}
+
+void ShardProfile::begin_run(NodeIndex n, unsigned shards) {
+  if (shards == 0) shards = 1;
+  const std::string algorithm = std::move(data_.algorithm);
+  data_ = ShardProfileData{};
+  data_.algorithm = algorithm;
+  data_.n = n;
+  data_.shards = shards;
+  for (std::size_t p = 0; p < kShardPhaseCount; ++p) {
+    data_.totals[p].assign(shards, ShardPhaseTotals{});
+  }
+}
+
+void ShardProfile::on_round_begin(Round round) {
+  open_.round = round;
+  open_.busy_ns.assign(kShardPhaseCount * data_.shards, 0);
+  open_.wait_ns.assign(kShardPhaseCount * data_.shards, 0);
+}
+
+void ShardProfile::note_shard(ShardPhase p, unsigned shard,
+                              std::int64_t busy_ns, std::int64_t wait_ns) {
+  if (busy_ns < 0) busy_ns = 0;
+  if (wait_ns < 0) wait_ns = 0;
+  const std::size_t pi = static_cast<std::size_t>(p);
+  if (shard >= data_.totals[pi].size()) return;
+  ShardPhaseTotals& t = data_.totals[pi][shard];
+  t.busy_ns += busy_ns;
+  t.wait_ns += wait_ns;
+  ++t.rounds;
+  const std::size_t slot = pi * data_.shards + shard;
+  if (slot < open_.busy_ns.size()) {
+    open_.busy_ns[slot] += busy_ns;
+    open_.wait_ns[slot] += wait_ns;
+  }
+}
+
+void ShardProfile::on_round_end(Round round) {
+  open_.round = round;
+  // The journal's ring policy: samples stay ordered oldest to newest, so
+  // the binary format and the doctor's report never need to unrotate.
+  if (opts_.ring_capacity > 0 && data_.samples.size() >= opts_.ring_capacity) {
+    data_.samples.erase(data_.samples.begin());
+    ++data_.dropped_samples;
+  }
+  data_.samples.push_back(std::move(open_));
+  open_ = ShardRoundSample{};
+}
+
+// --- binary format ----------------------------------------------------------
+//
+// "RNSP" magic, u32 version, then fixed-width little-endian fields in
+// struct order — the same conventions as the journal format (journal.cc):
+// no padding, incremental growth on read, clean failure on truncation.
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'N', 'S', 'P'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_bytes(std::ostream& out, std::uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    out.put(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+void put_u64(std::ostream& out, std::uint64_t v) { put_bytes(out, v, 8); }
+void put_u32(std::ostream& out, std::uint32_t v) { put_bytes(out, v, 4); }
+void put_i64(std::ostream& out, std::int64_t v) {
+  put_bytes(out, static_cast<std::uint64_t>(v), 8);
+}
+
+bool get_bytes(std::istream& in, std::uint64_t* v, int bytes) {
+  std::uint64_t out = 0;
+  for (int i = 0; i < bytes; ++i) {
+    const int ch = in.get();
+    if (ch < 0) return false;
+    out |= static_cast<std::uint64_t>(ch & 0xff) << (8 * i);
+  }
+  *v = out;
+  return true;
+}
+bool get_u64(std::istream& in, std::uint64_t* v) {
+  return get_bytes(in, v, 8);
+}
+bool get_u32(std::istream& in, std::uint32_t* v) {
+  std::uint64_t tmp = 0;
+  if (!get_bytes(in, &tmp, 4)) return false;
+  *v = static_cast<std::uint32_t>(tmp);
+  return true;
+}
+bool get_i64(std::istream& in, std::int64_t* v) {
+  std::uint64_t tmp = 0;
+  if (!get_bytes(in, &tmp, 8)) return false;
+  *v = static_cast<std::int64_t>(tmp);
+  return true;
+}
+
+bool fail(std::string* error, const char* what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+void append_ratio(std::string* out, double v) {
+  // Two decimal places without <iostream> formatting state.
+  const auto scaled = static_cast<std::int64_t>(v * 100.0 + 0.5);
+  *out += std::to_string(scaled / 100);
+  *out += '.';
+  *out += static_cast<char>('0' + (scaled / 10) % 10);
+  *out += static_cast<char>('0' + scaled % 10);
+}
+
+std::string format_ms(std::int64_t ns) {
+  std::int64_t us = ns / 1000;
+  std::string s = std::to_string(us / 1000);
+  s += '.';
+  s += static_cast<char>('0' + (us / 100) % 10);
+  s += static_cast<char>('0' + (us / 10) % 10);
+  s += static_cast<char>('0' + us % 10);
+  s += "ms";
+  return s;
+}
+
+}  // namespace
+
+void write_shard_profile_binary(std::ostream& out,
+                                const ShardProfileData& data) {
+  out.write(kMagic, 4);
+  put_u32(out, kVersion);
+  put_u32(out, static_cast<std::uint32_t>(data.algorithm.size()));
+  out.write(data.algorithm.data(),
+            static_cast<std::streamsize>(data.algorithm.size()));
+  put_u64(out, data.n);
+  put_u32(out, data.shards);
+  put_u64(out, data.rounds);
+  put_u64(out, data.dropped_samples);
+  for (std::size_t p = 0; p < kShardPhaseCount; ++p) {
+    for (const ShardPhaseTotals& t : data.totals[p]) {
+      put_i64(out, t.busy_ns);
+      put_i64(out, t.wait_ns);
+      put_u64(out, t.rounds);
+    }
+  }
+  put_u64(out, data.samples.size());
+  for (const ShardRoundSample& s : data.samples) {
+    put_u64(out, s.round);
+    for (std::int64_t v : s.busy_ns) put_i64(out, v);
+    for (std::int64_t v : s.wait_ns) put_i64(out, v);
+  }
+}
+
+bool read_shard_profile_binary(std::istream& in, ShardProfileData* data,
+                               std::string* error) {
+  char magic[4] = {};
+  in.read(magic, 4);
+  if (in.gcount() != 4 || magic[0] != kMagic[0] || magic[1] != kMagic[1] ||
+      magic[2] != kMagic[2] || magic[3] != kMagic[3]) {
+    return fail(error, "not a shard profile (bad magic)");
+  }
+  std::uint32_t version = 0;
+  if (!get_u32(in, &version)) return fail(error, "truncated header");
+  if (version != kVersion) {
+    return fail(error, "unsupported shard-profile version");
+  }
+  ShardProfileData out;
+  std::uint32_t algo_len = 0;
+  if (!get_u32(in, &algo_len)) return fail(error, "truncated header");
+  if (algo_len > 4096) return fail(error, "implausible algorithm name");
+  out.algorithm.resize(algo_len);
+  in.read(out.algorithm.data(), algo_len);
+  if (in.gcount() != static_cast<std::streamsize>(algo_len)) {
+    return fail(error, "truncated header");
+  }
+  if (!get_u64(in, &out.n) || !get_u32(in, &out.shards) ||
+      !get_u64(in, &out.rounds) || !get_u64(in, &out.dropped_samples)) {
+    return fail(error, "truncated header");
+  }
+  if (out.shards == 0 || out.shards > 65536) {
+    return fail(error, "implausible shard count");
+  }
+  for (std::size_t p = 0; p < kShardPhaseCount; ++p) {
+    for (std::uint32_t s = 0; s < out.shards; ++s) {
+      ShardPhaseTotals t;
+      if (!get_i64(in, &t.busy_ns) || !get_i64(in, &t.wait_ns) ||
+          !get_u64(in, &t.rounds)) {
+        return fail(error, "truncated totals");
+      }
+      out.totals[p].push_back(t);
+    }
+  }
+  std::uint64_t sample_count = 0;
+  if (!get_u64(in, &sample_count)) return fail(error, "truncated header");
+  const std::size_t lanes = kShardPhaseCount * out.shards;
+  // Grow incrementally: a corrupt count must not turn into an allocation.
+  for (std::uint64_t i = 0; i < sample_count; ++i) {
+    ShardRoundSample s;
+    std::uint64_t round64 = 0;
+    if (!get_u64(in, &round64)) return fail(error, "truncated sample");
+    s.round = static_cast<Round>(round64);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      std::int64_t v = 0;
+      if (!get_i64(in, &v)) return fail(error, "truncated sample");
+      s.busy_ns.push_back(v);
+    }
+    for (std::size_t l = 0; l < lanes; ++l) {
+      std::int64_t v = 0;
+      if (!get_i64(in, &v)) return fail(error, "truncated sample");
+      s.wait_ns.push_back(v);
+    }
+    out.samples.push_back(std::move(s));
+  }
+  *data = std::move(out);
+  return true;
+}
+
+std::string describe_shard_profile(const ShardProfileData& data) {
+  std::string out;
+  out += "shard profile: ";
+  out += data.algorithm.empty() ? "(unnamed run)" : data.algorithm;
+  out += ", n=" + std::to_string(data.n);
+  out += ", shards=" + std::to_string(data.shards);
+  out += ", rounds=" + std::to_string(data.rounds);
+  out += "\n\n";
+
+  // Per-phase table: total busy, per-shard utilization bars, imbalance.
+  for (std::size_t p = 0; p < kShardPhaseCount; ++p) {
+    const ShardPhase phase = static_cast<ShardPhase>(p);
+    const auto& row = data.totals[p];
+    std::int64_t busy = 0;
+    std::int64_t wait = 0;
+    std::int64_t max_busy = 0;
+    std::uint64_t rounds = 0;
+    for (const ShardPhaseTotals& t : row) {
+      busy += t.busy_ns;
+      wait += t.wait_ns;
+      max_busy = std::max(max_busy, t.busy_ns);
+      rounds = std::max(rounds, t.rounds);
+    }
+    out += "phase ";
+    out += shard_phase_name(phase);
+    if (rounds == 0) {
+      out += ": (never ran)\n";
+      continue;
+    }
+    out += shard_phase_parallel(phase) ? " (parallel)" : " (serial)";
+    out += ": busy " + format_ms(busy);
+    if (shard_phase_parallel(phase)) {
+      out += ", barrier wait " + format_ms(wait);
+      out += ", imbalance ";
+      append_ratio(&out, shard_imbalance(data, phase));
+      out += "x\n";
+      // One utilization bar per shard, scaled to the busiest lane.
+      for (std::uint32_t s = 0; s < data.shards && s < row.size(); ++s) {
+        const ShardPhaseTotals& t = row[s];
+        out += "  shard " + std::to_string(s) + "  ";
+        const int width =
+            max_busy > 0
+                ? static_cast<int>((t.busy_ns * 40 + max_busy - 1) / max_busy)
+                : 0;
+        for (int b = 0; b < 40; ++b) out += b < width ? '#' : '.';
+        out += "  " + format_ms(t.busy_ns);
+        out += " busy, " + format_ms(t.wait_ns) + " wait\n";
+      }
+    } else {
+      out += "\n";
+    }
+  }
+
+  out += "\nbarrier_wait_share ";
+  append_ratio(&out, barrier_wait_share(data));
+  out += " (fraction of parallel shard-time spent blocked at the join)\n";
+  out += "straggler: shard " + std::to_string(straggler_shard(data));
+  out += " (largest total busy time across parallel phases)\n";
+  if (data.dropped_samples > 0) {
+    out += "per-round samples: ring kept last " +
+           std::to_string(data.samples.size()) + " rounds, dropped " +
+           std::to_string(data.dropped_samples) + " older rounds\n";
+  }
+  return out;
+}
+
+}  // namespace renaming::obs

@@ -46,6 +46,47 @@ inline constexpr bool kTelemetryEnabled = true;
 /// call this.
 std::int64_t now_ns();
 
+/// Bounded per-round series: a plain vector until `capacity` entries, then
+/// modular overwrite keeping the most recent rounds — the same ring policy
+/// as the journal's record ring (obs/journal.h). Capacity 0 = unbounded
+/// (the historical behaviour, fine below the sparse cutoff; a million-node
+/// run at an unbounded series is how the per_round vectors used to grow
+/// without limit). Exporters must consult dropped() and say so.
+template <typename T>
+class RoundRing {
+ public:
+  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::size_t size() const { return data_.size(); }
+
+  void push_back(T v) {
+    if (capacity_ == 0 || data_.size() < capacity_) {
+      data_.push_back(v);
+    } else {
+      data_[head_] = v;
+      head_ = (head_ + 1) % capacity_;
+      ++dropped_;
+    }
+  }
+
+  /// Ring contents oldest to newest; entry i is round dropped() + i + 1.
+  std::vector<T> snapshot() const {
+    std::vector<T> out;
+    out.reserve(data_.size());
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      out.push_back(data_[(head_ + i) % data_.size()]);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<T> data_;
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
 /// Double-entry ledger cell: everything charged to one phase.
 struct PhaseTotals {
   std::uint64_t messages = 0;
@@ -91,6 +132,16 @@ class Telemetry {
   /// "committee"). May be called after the run.
   void label_node(NodeIndex node, std::string label) {
     node_labels_[node] = std::move(label);
+  }
+
+  /// Caps the per-round series (round wall time, active-sender counts) at
+  /// the last `capacity` rounds, the journal's flight-recorder ring policy
+  /// — run totals and histograms still span the whole run. 0 = unbounded.
+  /// The CLI applies a default cap at or above the engine's sparse cutoff,
+  /// where round counts (and thus the old unbounded vectors) get large.
+  void set_per_round_capacity(std::size_t capacity) {
+    per_round_wall_ns_.set_capacity(capacity);
+    per_round_active_.set_capacity(capacity);
   }
 
   // --- engine hooks (hot path: pointer bumps and array indexing only) ----
@@ -188,12 +239,20 @@ class Telemetry {
   std::uint64_t kind_bits(sim::MsgKind kind) const { return kind_bits_[kind]; }
   const std::vector<PhaseSpan>& spans() const { return spans_; }
   const std::vector<Instant>& instants() const { return instants_; }
-  const std::vector<std::int64_t>& per_round_wall_ns() const {
-    return per_round_wall_ns_;
+  /// Snapshot of the kept rounds, oldest to newest; entry i belongs to
+  /// round per_round_dropped() + i + 1.
+  std::vector<std::int64_t> per_round_wall_ns() const {
+    return per_round_wall_ns_.snapshot();
   }
-  /// One entry per round (deterministic; feeds a Perfetto counter track).
-  const std::vector<std::uint32_t>& per_round_active_senders() const {
-    return per_round_active_;
+  /// One entry per kept round (deterministic; feeds a Perfetto counter
+  /// track), same indexing as per_round_wall_ns().
+  std::vector<std::uint32_t> per_round_active_senders() const {
+    return per_round_active_.snapshot();
+  }
+  /// Rounds evicted from the per-round rings (0 when uncapped). The two
+  /// series push once per round each, so one figure covers both.
+  std::uint64_t per_round_dropped() const {
+    return per_round_wall_ns_.dropped();
   }
   const std::map<NodeIndex, std::string>& node_labels() const {
     return node_labels_;
@@ -231,8 +290,8 @@ class Telemetry {
   std::vector<OpenPhase> node_phase_;
   std::vector<PhaseSpan> spans_;
   std::vector<Instant> instants_;
-  std::vector<std::int64_t> per_round_wall_ns_;
-  std::vector<std::uint32_t> per_round_active_;
+  RoundRing<std::int64_t> per_round_wall_ns_;
+  RoundRing<std::uint32_t> per_round_active_;
   std::map<NodeIndex, std::string> node_labels_;
   std::string algorithm_;
   std::uint64_t n_ = 0;

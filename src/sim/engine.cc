@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/shard_profile.h"
 #include "sim/inbox.h"
 #include "sim/outbox_table.h"
 #include "sim/parallel/shard.h"
@@ -104,6 +105,13 @@ RunStats Engine::run(Round max_rounds) {
   obs::Journal* const jrn = journal_;
   if (jrn != nullptr) jrn->begin_run(n);
 
+  // The live heartbeat follows telemetry's contract (wall clock appears
+  // only in its own output) and telemetry's compile-out, but the journal's
+  // mediation model: the engine hands it counters at round end, so unlike
+  // a live Telemetry it never forces the shard callbacks serial.
+  obs::Progress* const prg = obs::kTelemetryEnabled ? progress_ : nullptr;
+  if (prg != nullptr) prg->begin_run(n);
+
   // ----- Engine setup. All full-width (O(n)) allocations live inside the
   // marker pair below; protocol_lint R12 bans them anywhere else in this
   // file so the steady-state round provably never allocates per-node
@@ -197,8 +205,34 @@ RunStats Engine::run(Round max_rounds) {
     std::int64_t remaining_delta = 0;
     bool active_dirty = false;
     std::vector<NodeIndex> activated;  // sparse mode: 0->1 transitions
+    // Profiling stamps: each shard writes only its own slot inside the
+    // pool callback; the caller reads them after the join.
+    std::int64_t busy_begin_ns = 0;
+    std::int64_t busy_end_ns = 0;
   };
   std::vector<ShardScratch> shard_scratch(plan_shards);
+
+  // Per-shard, per-phase profiler (obs/shard_profile.h). Observational
+  // like telemetry and folded out with it, but engine-mediated: shards
+  // stamp their own scratch slots and this thread folds after the join,
+  // so attaching a profile does NOT force the callbacks serial and cannot
+  // change a byte of output. Serial runs profile as one shard.
+  obs::ShardProfile* const prof =
+      obs::kTelemetryEnabled ? plan_.profile : nullptr;
+  if (prof != nullptr) prof->begin_run(n, plan_shards);
+  // Reads the stamps of a just-joined parallel phase: busy is the shard's
+  // callback window, wait is from its finish to the slowest finisher.
+  auto fold_profile = [&](obs::ShardPhase phase, unsigned used_shards) {
+    std::int64_t join_ns = 0;
+    for (unsigned s = 0; s < used_shards; ++s) {
+      join_ns = std::max(join_ns, shard_scratch[s].busy_end_ns);
+    }
+    for (unsigned s = 0; s < used_shards; ++s) {
+      const ShardScratch& scratch = shard_scratch[s];
+      prof->note_shard(phase, s, scratch.busy_end_ns - scratch.busy_begin_ns,
+                       join_ns - scratch.busy_end_ns);
+    }
+  };
 
   // Re-query a node whose callback just ran; the only places done()/idle()
   // may legally change. Writes node_done[v]/active[v] (distinct elements,
@@ -246,23 +280,31 @@ RunStats Engine::run(Round max_rounds) {
                          bool note, Round round) {
     const unsigned k = effective_shards(list.size(), plan_shards);
     if (k <= 1) {
+      const std::int64_t begin_ns = prof != nullptr ? obs::now_ns() : 0;
       for (NodeIndex v : list) {
         if (note && tel != nullptr) tel->note_inbox(1, view_of(v).size());
         nodes_[v]->receive(round, view_of(v));
         refresh(v);
+      }
+      if (prof != nullptr) {
+        prof->note_shard(obs::ShardPhase::kReceive, 0, obs::now_ns() - begin_ns,
+                         0);
       }
       return;
     }
     const parallel::Partition part(list.size(), k);
     pool->run(k, [&](std::size_t s) {
       ShardScratch& scratch = shard_scratch[s];
+      if (prof != nullptr) scratch.busy_begin_ns = obs::now_ns();
       const auto r = part.range(static_cast<unsigned>(s));
       for (std::size_t i = r.begin; i < r.end; ++i) {
         const NodeIndex v = list[i];
         nodes_[v]->receive(round, view_of(v));
         refresh_into(v, scratch);
       }
+      if (prof != nullptr) scratch.busy_end_ns = obs::now_ns();
     });
+    if (prof != nullptr) fold_profile(obs::ShardPhase::kReceive, k);
     fold_scratch(k);
   };
 
@@ -275,7 +317,9 @@ RunStats Engine::run(Round max_rounds) {
     if (trace_ != nullptr) trace_->on_round_begin(round);
     if (tel != nullptr) tel->on_round_begin(round);
     if (jrn != nullptr) jrn->on_round_begin(round);
+    if (prof != nullptr) prof->on_round_begin(round);
 
+    const std::int64_t merge_begin_ns = prof != nullptr ? obs::now_ns() : 0;
     if (active_dirty) {
       if (!sparse) {
         active_list.clear();
@@ -314,6 +358,10 @@ RunStats Engine::run(Round max_rounds) {
       }
       active_dirty = false;
     }
+    if (prof != nullptr) {
+      prof->note_serial(obs::ShardPhase::kMerge,
+                        obs::now_ns() - merge_begin_ns);
+    }
 
     // --- Send phase: every active alive node queues its messages. -------
     // Idle nodes are skipped under the Node::idle contract (their send()
@@ -332,19 +380,31 @@ RunStats Engine::run(Round max_rounds) {
     }
     const unsigned send_shards = effective_shards(senders.size(), plan_shards);
     if (send_shards <= 1) {
+      const std::int64_t begin_ns = prof != nullptr ? obs::now_ns() : 0;
       for (NodeIndex v : senders) nodes_[v]->send(round, outboxes.get(v));
+      if (prof != nullptr) {
+        prof->note_shard(obs::ShardPhase::kSend, 0, obs::now_ns() - begin_ns,
+                         0);
+      }
     } else {
       const parallel::Partition part(senders.size(), send_shards);
       pool->run(send_shards, [&](std::size_t s) {
+        ShardScratch& scratch = shard_scratch[s];
+        if (prof != nullptr) scratch.busy_begin_ns = obs::now_ns();
         const auto r = part.range(static_cast<unsigned>(s));
         for (std::size_t i = r.begin; i < r.end; ++i) {
           const NodeIndex v = senders[i];
           nodes_[v]->send(round, outboxes.get(v));
         }
+        if (prof != nullptr) scratch.busy_end_ns = obs::now_ns();
       });
+      if (prof != nullptr) fold_profile(obs::ShardPhase::kSend, send_shards);
     }
 
     // --- Adversary phase: Eve may crash nodes, possibly mid-send. ------
+    // Profiled together with delivery below as the serial kDeliver lane:
+    // both are order-sensitive sweeps pinned to this thread.
+    const std::int64_t deliver_begin_ns = prof != nullptr ? obs::now_ns() : 0;
     AdversaryView view{round, n, &alive_, &outboxes, &nodes_};
     for (CrashOrder& order : adversary_->decide(view)) {
       const NodeIndex v = order.victim;
@@ -560,6 +620,10 @@ RunStats Engine::run(Round max_rounds) {
         if (alive_[dest]) inbox.deliver(dest, msg);
       }
     }
+    if (prof != nullptr) {
+      prof->note_serial(obs::ShardPhase::kDeliver,
+                        obs::now_ns() - deliver_begin_ns);
+    }
 
     // --- Receive phase. -------------------------------------------------
     // The arena slices point into the outboxes, which stay untouched until
@@ -615,10 +679,17 @@ RunStats Engine::run(Round max_rounds) {
     if (trace_ != nullptr) trace_->on_round_end(round, stats_.per_round.back());
     if (tel != nullptr) tel->on_round_end(round);
     if (jrn != nullptr) jrn->on_round_end(round);
+    if (prof != nullptr) prof->on_round_end(round);
+    if (prg != nullptr) {
+      prg->on_round_end(round, stats_.total_messages, stats_.total_bits,
+                        senders.size(), stats_.crashes, outboxes.live());
+    }
   }
 
   if (tel != nullptr) tel->end_run(stats_.rounds);
   if (jrn != nullptr) jrn->end_run(stats_.rounds);
+  if (prof != nullptr) prof->end_run(stats_.rounds);
+  if (prg != nullptr) prg->end_run(stats_.rounds);
   check_stats_consistent();
   return stats_;
 }

@@ -15,6 +15,7 @@
 
 #include "common/types.h"
 #include "obs/journal.h"
+#include "obs/progress.h"
 #include "obs/telemetry.h"
 #include "sim/adversary.h"
 #include "sim/node.h"
@@ -84,6 +85,14 @@ class Engine {
   /// across telemetry configs.
   void set_journal(obs::Journal* journal) { journal_ = journal; }
 
+  /// Attaches a non-owning live-run heartbeat (obs/progress.h): at each
+  /// round end the engine offers it the cumulative counters, the round's
+  /// active-set size and the outbox-table occupancy; the heartbeat decides
+  /// whether to sample/stream per its cadence. Purely observational and —
+  /// unlike a live telemetry — engine-mediated, so it never forces the
+  /// shard-parallel callbacks serial. Ignored under RENAMING_NO_TELEMETRY.
+  void set_progress(obs::Progress* progress) { progress_ = progress; }
+
   /// Attaches a shard-parallel execution plan (sim/parallel/, see
   /// docs/PERFORMANCE.md §9): the send and receive phases fan their
   /// per-node callbacks across K contiguous shards of the round's node
@@ -126,6 +135,7 @@ class Engine {
   TraceSink* trace_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;
   obs::Journal* journal_ = nullptr;
+  obs::Progress* progress_ = nullptr;
   parallel::ShardPlan plan_;
   EngineMode mode_ = EngineMode::kAuto;
   static inline EngineMode default_mode_ = EngineMode::kAuto;

@@ -9,6 +9,10 @@
 // protocol headers that embed it remain cheap to compile and lint.
 #pragma once
 
+namespace renaming::obs {
+class ShardProfile;
+}  // namespace renaming::obs
+
 namespace renaming::sim::parallel {
 
 class WorkerPool;
@@ -19,6 +23,13 @@ struct ShardPlan {
   /// Shard count K; 0 = the pool's thread count. The engine merges shard
   /// results in fixed order 0..K-1, so any K yields identical bytes.
   unsigned shards = 0;
+  /// Optional per-shard, per-phase profiler (obs/shard_profile.h). Purely
+  /// observational: the engine stamps shard windows into its own scratch
+  /// and folds them here from the calling thread, so attaching a profile
+  /// perturbs no bytes and — unlike a live Telemetry — does NOT force the
+  /// callbacks serial. Ignored under RENAMING_NO_TELEMETRY. A serial run
+  /// (pool == nullptr) profiles too, as one shard.
+  obs::ShardProfile* profile = nullptr;
 
   bool active() const { return pool != nullptr; }
 };

@@ -41,6 +41,7 @@ CASES = {
     "stale-allow": "nondeterminism,stale-allow",
     "kind-coverage": "kind-coverage",
     "full-width-alloc": "full-width-alloc",
+    "wall-clock": "wall-clock",
 }
 
 

@@ -1,0 +1,18 @@
+// The sanctioned exception: src/obs/ owns wall time (the telemetry /
+// progress / shard-profile surfaces are the determinism contract's
+// nondeterministic outputs). This fixture must stay CLEAN even though it
+// uses <chrono> and clock_gettime, both banned everywhere else.
+#include <chrono>
+#include <ctime>
+
+long long now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+long long coarse_now_ns() {
+  timespec ts{};
+  clock_gettime(0, &ts);
+  return static_cast<long long>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}

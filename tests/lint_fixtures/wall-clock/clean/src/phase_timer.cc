@@ -1,0 +1,16 @@
+// The closest legal counterpart: protocol-layer code that wants a
+// timestamp calls the obs layer's sanctioned clock instead of reading
+// std::chrono itself. An unrelated member call named chrono() must not
+// trip the token matcher either.
+namespace renaming::obs {
+long long now_ns();
+}
+
+struct Probe {
+  long long chrono = 0;  // field named chrono, no :: — not a finding
+};
+
+long long phase_elapsed_ns(long long begin_ns) {
+  Probe probe;
+  return renaming::obs::now_ns() - begin_ns + probe.chrono * 0;
+}

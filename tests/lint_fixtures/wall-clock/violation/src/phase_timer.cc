@@ -1,0 +1,10 @@
+// Planted R13 violation: protocol-layer code reading the wall clock
+// directly instead of going through obs::now_ns(). Both the <chrono>
+// include and the std::chrono usage must be flagged.
+#include <chrono>
+
+long long phase_elapsed_ns(std::chrono::steady_clock::time_point begin) {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(now - begin)
+      .count();
+}

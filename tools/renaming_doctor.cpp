@@ -12,6 +12,11 @@
 //       phases by envelope overshoot and name the dominating theorem term.
 //   renaming_doctor show J.bin [--rounds]
 //       Print the journal header (and per-round records with --rounds).
+//   renaming_doctor profile P.rnsp
+//       Render a shard-utilization and straggler report from a shard
+//       profile written by renaming_cli --shard-profile-out or
+//       bench_engine: per-phase busy/barrier-wait totals, utilization
+//       bars per shard, imbalance ratio and barrier-wait share.
 //
 // Exit codes: 0 = identical / audit pass, 1 = diverged / budget violation,
 // 2 = usage or I/O error.
@@ -22,6 +27,7 @@
 
 #include "obs/doctor.h"
 #include "obs/journal.h"
+#include "obs/shard_profile.h"
 #include "sim/message_names.h"
 
 namespace {
@@ -33,7 +39,8 @@ int usage() {
                "usage: renaming_doctor diff A.bin B.bin\n"
                "       renaming_doctor explain J.bin [--slack X] "
                "[--constant C] [--phase-multiplier M] [--namespace N]\n"
-               "       renaming_doctor show J.bin [--rounds]\n");
+               "       renaming_doctor show J.bin [--rounds]\n"
+               "       renaming_doctor profile P.rnsp\n");
   return 2;
 }
 
@@ -148,6 +155,23 @@ int cmd_show(int argc, char** argv) {
   return 0;
 }
 
+int cmd_profile(int argc, char** argv) {
+  if (argc < 1) return usage();
+  std::ifstream in(argv[0], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "renaming_doctor: cannot open %s\n", argv[0]);
+    return 2;
+  }
+  obs::ShardProfileData data;
+  std::string error;
+  if (!obs::read_shard_profile_binary(in, &data, &error)) {
+    std::fprintf(stderr, "renaming_doctor: %s: %s\n", argv[0], error.c_str());
+    return 2;
+  }
+  std::printf("%s", obs::describe_shard_profile(data).c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -156,5 +180,6 @@ int main(int argc, char** argv) {
   if (command == "diff") return cmd_diff(argc - 2, argv + 2);
   if (command == "explain") return cmd_explain(argc - 2, argv + 2);
   if (command == "show") return cmd_show(argc - 2, argv + 2);
+  if (command == "profile") return cmd_profile(argc - 2, argv + 2);
   return usage();
 }
