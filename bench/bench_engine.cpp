@@ -23,6 +23,11 @@
 //                  obs::ShardProfile on the shard plan (live_obs_overhead
 //                  in the JSON; budget: < 2%, both are compiled out by
 //                  RENAMING_NO_TELEMETRY so the pair reads as noise there);
+//   * cht-prov   — cht with a watch-set obs::Provenance recorder attached
+//                  (8 sampled watch nodes, bounded horizon): the causal
+//                  decision-event cost (provenance_overhead in the JSON;
+//                  budget: < 2% with the watch-set, exactly 0 under
+//                  RENAMING_NO_TELEMETRY where the pointer folds away);
 //   * byz        — the full Byzantine renaming protocol (committee
 //                  multicast, identity-list summaries, fingerprint
 //                  consensus): the protocol-side hot path end to end.
@@ -45,6 +50,7 @@
 #include "common/math.h"
 #include "obs/journal.h"
 #include "obs/progress.h"
+#include "obs/provenance.h"
 #include "obs/shard_profile.h"
 #include "obs/telemetry.h"
 #include "sim/adversary.h"
@@ -120,6 +126,7 @@ sim::RunStats run_cht(NodeIndex n, std::uint64_t seed, bool with_crashes,
                       bool with_telemetry = false,
                       bool with_journal = false,
                       bool with_live = false,
+                      bool with_prov = false,
                       sim::parallel::ShardPlan plan = {}) {
   const auto cfg =
       SystemConfig::random(n, static_cast<std::uint64_t>(n) * n * 5, seed);
@@ -134,10 +141,20 @@ sim::RunStats run_cht(NodeIndex n, std::uint64_t seed, bool with_crashes,
   obs::Progress progress;
   obs::ShardProfile profile;
   if (with_live) plan.profile = &profile;
+  // Watch-set recorder, as a real diagnosis run would use it: a small
+  // sampled watch-set (8 suspect nodes, the --trace-sample scale of the
+  // CI smoke) and a bounded horizon (docs/OBSERVABILITY.md §9). Watched
+  // nodes re-walk their inbox for cause attribution, so the overhead is
+  // proportional to the watch fraction — watching n/8 of the system is
+  // the documented expensive mode, not the diagnosis default.
+  obs::ProvenanceOptions prov_opts;
+  prov_opts.sample = 8;
+  prov_opts.horizon = 1 << 16;
+  obs::Provenance provenance(prov_opts);
   auto result = baselines::run_cht_renaming(
       cfg, std::move(adversary), with_telemetry ? &telemetry : nullptr,
       with_journal ? &journal : nullptr, plan, /*closed_form_cutoff=*/0,
-      with_live ? &progress : nullptr);
+      with_live ? &progress : nullptr, with_prov ? &provenance : nullptr);
   if (!result.report.ok()) {
     std::printf("WARNING: cht verifier failed at n=%u seed=%llu\n", n,
                 static_cast<unsigned long long>(seed));
@@ -178,7 +195,8 @@ Cell measure(const std::string& workload, NodeIndex n, std::uint64_t seeds,
         } else {
           stats[i] = run_cht(n, seed, workload == "cht-crash",
                              workload == "cht-tel", workload == "cht-jrn",
-                             workload == "cht-live");
+                             workload == "cht-live",
+                             workload == "cht-prov");
         }
       },
       threads);
@@ -222,7 +240,7 @@ Cell measure_engine_threads(NodeIndex n, std::uint64_t seeds,
   for (std::size_t i = 0; i < seeds; ++i) {
     stats[i] = run_cht(n, 7000 + 13 * i, /*with_crashes=*/false,
                        /*with_telemetry=*/false, /*with_journal=*/false,
-                       /*with_live=*/false, plan);
+                       /*with_live=*/false, /*with_prov=*/false, plan);
   }
   const auto stop = std::chrono::steady_clock::now();
 
@@ -257,6 +275,7 @@ int run(int argc, char** argv) {
                  {"cht-tel", {512}, 2},
                  {"cht-jrn", {512}, 2},
                  {"cht-live", {512}, 2},
+                 {"cht-prov", {512}, 2},
                  {"cht-crash", {256}, 2},
                  {"byz", {96}, 2}};
   } else {
@@ -265,6 +284,7 @@ int run(int argc, char** argv) {
                  {"cht-tel", {2048}, 4},
                  {"cht-jrn", {2048}, 4},
                  {"cht-live", {2048}, 4},
+                 {"cht-prov", {2048}, 4},
                  {"cht-crash", {1024, 2048}, 4},
                  {"byz", {96, 192, 384}, 4}};
   }
@@ -407,6 +427,11 @@ int run(int argc, char** argv) {
       paired_overhead("cht-jrn", "journal", overhead_n, overhead_seeds);
   Json live_overhead =
       paired_overhead("cht-live", "live_obs", overhead_n, overhead_seeds);
+  // Provenance rides the telemetry fold: with RENAMING_NO_TELEMETRY the
+  // recorder pointer folds to nullptr before any node sees it, so this
+  // pair runs identical code and must read as noise around 0.
+  Json provenance_overhead =
+      paired_overhead("cht-prov", "provenance", overhead_n, overhead_seeds);
 
   if (json) {
     Json doc = Json::object();
@@ -424,7 +449,8 @@ int run(int argc, char** argv) {
         .set("rows", std::move(rows))
         .set("telemetry_overhead", std::move(overhead))
         .set("journal_overhead", std::move(journal_overhead))
-        .set("live_obs_overhead", std::move(live_overhead));
+        .set("live_obs_overhead", std::move(live_overhead))
+        .set("provenance_overhead", std::move(provenance_overhead));
     std::ofstream out(out_path);
     if (!out) {
       std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());

@@ -47,6 +47,23 @@
 //                        (Theorem 1.2/1.3 or Table 1); non-zero exit on a
 //                        violation, envelopes scaled by X (default 1)
 //
+// Decision provenance (docs/OBSERVABILITY.md §9):
+//   --provenance-out FILE    causal decision-event graph (binary, RNPV v1);
+//                        feed to renaming_doctor why / blame
+//   --provenance-jsonl FILE  same graph as line-delimited JSON
+//   --trace-nodes v1,v2,..   watch-set: retain only decision events at the
+//                        listed nodes plus their transitive causes
+//   --trace-sample K         watch ~K evenly-strided nodes instead (also
+//                        samples the --trace JSONL, as before)
+//   --provenance-horizon H   cause-retention ring: causes further than H
+//                        events back degrade to "(evicted)" in doctor why
+//                        (default above the sparse cutoff: 1000000;
+//                        0 = unbounded). With neither watch flag every
+//                        node is watched; combined with a provenance flag
+//                        the engine runs serial callbacks (deterministic
+//                        event order), so the exported bytes are identical
+//                        across --threads and dense/sparse modes.
+//
 // Live observability (docs/OBSERVABILITY.md §8):
 //   --progress-out FILE  stream a heartbeat (renaming-progress-v1 JSONL):
 //                        round, cumulative events, active set, outbox
@@ -65,8 +82,10 @@
 //                        to one — profile a run without those flags to see
 //                        real shard parallelism.
 //   --telemetry-rounds K keep only the last K per-round telemetry samples
-//                        (default above the sparse cutoff: 4096;
-//                        0 = unbounded)
+//                        (default above the sparse cutoff: 4096; unbounded
+//                        below it). K must be a positive integer — an
+//                        explicit 0 or a negative value is a usage error,
+//                        as for the --progress-interval* cadences.
 // Exit code 0 iff the verifier accepted the outcome (and, with --audit,
 // the budget auditor did too).
 #include <cstdio>
@@ -90,6 +109,7 @@
 #include "obs/export.h"
 #include "obs/journal.h"
 #include "obs/progress.h"
+#include "obs/provenance.h"
 #include "obs/shard_profile.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
@@ -179,6 +199,7 @@ void report(const Args& args, const std::string& algo,
 int finish_observability(const Args& args, const obs::Telemetry* telemetry,
                          const obs::Journal* journal,
                          const obs::ShardProfile* profile,
+                         const obs::Provenance* provenance,
                          const sim::RunStats& stats, const std::string& algo,
                          const SystemConfig& cfg, std::uint64_t f,
                          double committee_constant = 0.0,
@@ -192,6 +213,19 @@ int finish_observability(const Args& args, const obs::Telemetry* telemetry,
     if (args.has("journal-jsonl")) {
       std::ofstream out(args.str("journal-jsonl", "journal.jsonl"));
       obs::write_journal_jsonl(out, journal->data());
+    }
+  }
+  obs::ProvenanceData pdata;
+  if (provenance != nullptr) {
+    pdata = provenance->data();
+    if (args.has("provenance-out")) {
+      std::ofstream out(args.str("provenance-out", "provenance.rnpv"),
+                        std::ios::binary);
+      obs::write_provenance_binary(out, pdata);
+    }
+    if (args.has("provenance-jsonl")) {
+      std::ofstream out(args.str("provenance-jsonl", "provenance.jsonl"));
+      obs::write_provenance_jsonl(out, pdata);
     }
   }
   if (profile != nullptr && args.has("shard-profile-out")) {
@@ -225,7 +259,8 @@ int finish_observability(const Args& args, const obs::Telemetry* telemetry,
   if (args.has("perfetto-out")) {
     std::ofstream out(args.str("perfetto-out", "trace.perfetto.json"));
     obs::write_perfetto_trace(out, *telemetry, stats,
-                              profile != nullptr ? &profile->data() : nullptr);
+                              profile != nullptr ? &profile->data() : nullptr,
+                              provenance != nullptr ? &pdata : nullptr);
   }
   return audited && !audit.ok() ? 1 : 0;
 }
@@ -238,10 +273,54 @@ int usage() {
   return 2;
 }
 
+// True iff `key`, when given, carries a positive integer. A zero cadence or
+// capacity is meaningless, and a negative value would wrap through stoull
+// into an absurd unsigned — both must die as usage errors, not as a
+// division by zero or a 2^64-round ring three layers down.
+bool positive_flag_ok(const Args& args, const std::string& key) {
+  const auto it = args.flags.find(key);
+  if (it == args.flags.end()) return true;
+  if (it->second.empty() || it->second[0] == '-') return false;
+  try {
+    return std::stoull(it->second) > 0;
+  } catch (...) {
+    return false;
+  }
+}
+
+// Parses --trace-nodes v1,v2,.. into a watch list; out-of-range entries
+// are reported by the caller via the false return.
+bool parse_watch_nodes(const std::string& csv, NodeIndex n,
+                       std::vector<NodeIndex>* out) {
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok =
+        csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? csv.size() : comma + 1;
+    if (tok.empty()) continue;
+    try {
+      const std::uint64_t v = std::stoull(tok);
+      if (v >= n) return false;
+      out->push_back(static_cast<NodeIndex>(v));
+    } catch (...) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
+  for (const char* key :
+       {"progress-interval", "progress-interval-ms", "telemetry-rounds"}) {
+    if (!positive_flag_ok(args, key)) {
+      std::fprintf(stderr, "--%s must be a positive integer\n", key);
+      return usage();
+    }
+  }
   const std::uint64_t n_raw = args.num("n", 128);
   // Validate before the narrowing below: NodeIndex is 32-bit and the
   // engine's dense layout eagerly allocates per-node state, so an absurd
@@ -322,6 +401,25 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(journal_rounds));
   }
 
+  // Causal decision recorder (docs/OBSERVABILITY.md §9). Activated only by
+  // the export flags; --trace-nodes / --trace-sample bound its memory to a
+  // watch-set, --provenance-horizon bounds the cause-retention ring.
+  std::unique_ptr<obs::Provenance> provenance;
+  if (args.has("provenance-out") || args.has("provenance-jsonl")) {
+    obs::ProvenanceOptions popts;
+    if (args.has("trace-nodes") &&
+        !parse_watch_nodes(args.str("trace-nodes", ""), n,
+                           &popts.watch_nodes)) {
+      std::fprintf(stderr, "--trace-nodes must be node indices below n\n");
+      return usage();
+    }
+    if (!args.has("trace-nodes")) {
+      popts.sample = static_cast<NodeIndex>(args.num("trace-sample", 0));
+    }
+    popts.horizon = args.num("provenance-horizon", big ? 1000000 : 0);
+    provenance = std::make_unique<obs::Provenance>(std::move(popts));
+  }
+
   // Live heartbeat: samples stream to the file as the run executes, so a
   // long run is observable from a `tail -f` without touching its output.
   std::ofstream progress_file;
@@ -377,6 +475,17 @@ int main(int argc, char** argv) {
     }
     if (profile != nullptr) {
       std::fprintf(hdr, ", shard profile");
+    }
+    if (provenance != nullptr) {
+      if (args.has("trace-nodes")) {
+        std::fprintf(hdr, ", provenance watch(list)");
+      } else if (args.num("trace-sample", 0) > 0) {
+        std::fprintf(hdr, ", provenance watch(sample %llu)",
+                     static_cast<unsigned long long>(
+                         args.num("trace-sample", 0)));
+      } else {
+        std::fprintf(hdr, ", provenance full");
+      }
     }
     std::fprintf(hdr, "\n");
   }
@@ -434,14 +543,15 @@ int main(int argc, char** argv) {
     }
     const auto r = crash::run_crash_renaming(
         cfg, params, std::move(adversary), trace_sink, telemetry.get(),
-        journal.get(), plan, progress.get());
+        journal.get(), plan, progress.get(), provenance.get());
     report(args, "crash", r.stats, r.report, n, r.stats.crashes);
     if (capped != nullptr && capped->dropped() > 0 && !args.has("csv")) {
       std::printf("  trace         dropped %llu events past the cap\n",
                   static_cast<unsigned long long>(capped->dropped()));
     }
     const int audit_rc = finish_observability(
-        args, telemetry.get(), journal.get(), profile.get(), r.stats, "crash", cfg, budget,
+        args, telemetry.get(), journal.get(), profile.get(), provenance.get(),
+        r.stats, "crash", cfg, budget,
         params.election_constant, params.phase_multiplier);
     return r.report.ok() ? audit_rc : 1;
   }
@@ -475,7 +585,8 @@ int main(int argc, char** argv) {
     const auto r = byzantine::run_byz_renaming(cfg, params, byz, factory, 0,
                                                trace_sink, telemetry.get(),
                                                journal.get(), plan,
-                                               progress.get());
+                                               progress.get(),
+                                               provenance.get());
     report(args, "byz", r.stats, r.report, n, byz.size());
     if (!args.has("csv")) {
       std::printf("  loop iters    %u\n", r.loop_iterations);
@@ -485,9 +596,9 @@ int main(int argc, char** argv) {
       }
     }
     const int audit_rc = finish_observability(
-        args, telemetry.get(), journal.get(), profile.get(), r.stats,
-        params.use_fingerprints ? "byz" : "byz-full", cfg, byz.size(),
-        params.pool_constant);
+        args, telemetry.get(), journal.get(), profile.get(), provenance.get(),
+        r.stats, params.use_fingerprints ? "byz" : "byz-full", cfg,
+        byz.size(), params.pool_constant);
     return r.report.ok(true) ? audit_rc : 1;
   }
 
@@ -504,46 +615,47 @@ int main(int argc, char** argv) {
           args.num("closed-form", sim::Engine::kSparseAutoCutoff));
       const auto r = baselines::run_cht_renaming(
           cfg, std::move(adversary), telemetry.get(), journal.get(), plan,
-          cutoff, progress.get());
+          cutoff, progress.get(), provenance.get());
       report(args, "cht", r.stats, r.report, n, r.stats.crashes);
       if (r.closed_form && !args.has("csv")) {
         std::printf("  accounting    closed-form (failure-free, n >= %u)\n",
                     cutoff);
       }
-      const int audit_rc =
-          finish_observability(args, telemetry.get(), journal.get(), profile.get(), r.stats,
-                               "cht", cfg, budget);
+      const int audit_rc = finish_observability(
+          args, telemetry.get(), journal.get(), profile.get(),
+          provenance.get(), r.stats, "cht", cfg, budget);
       return r.report.ok() ? audit_rc : 1;
     }
     if (args.command == "claiming") {
       const auto r = baselines::run_claiming_renaming(
           cfg, std::move(adversary), telemetry.get(), journal.get(), plan,
-          progress.get());
+          progress.get(), provenance.get());
       report(args, "claiming", r.stats, r.report, n, r.stats.crashes);
       const int audit_rc = finish_observability(
-          args, telemetry.get(), journal.get(), profile.get(), r.stats, "claiming", cfg,
-          budget);
+          args, telemetry.get(), journal.get(), profile.get(),
+          provenance.get(), r.stats, "claiming", cfg, budget);
       return r.report.ok() ? audit_rc : 1;
     }
     if (args.command == "early") {
       const auto r = baselines::run_early_deciding_renaming(
           cfg, std::move(adversary), telemetry.get(), journal.get(), plan,
-          progress.get());
+          progress.get(), provenance.get());
       report(args, "early", r.stats, r.report, n, r.stats.crashes);
       if (!args.has("csv")) {
         std::printf("  decided by    round %u\n", r.max_decision_round);
       }
       const int audit_rc = finish_observability(
-          args, telemetry.get(), journal.get(), profile.get(), r.stats, "early", cfg,
-          budget);
+          args, telemetry.get(), journal.get(), profile.get(),
+          provenance.get(), r.stats, "early", cfg, budget);
       return r.report.ok() ? audit_rc : 1;
     }
     const auto r = baselines::run_naive_renaming(
         cfg, std::move(adversary), telemetry.get(), journal.get(), plan,
-        progress.get());
+        progress.get(), provenance.get());
     report(args, "naive", r.stats, r.report, n, r.stats.crashes);
     const int audit_rc = finish_observability(
-        args, telemetry.get(), journal.get(), profile.get(), r.stats, "naive", cfg, budget);
+        args, telemetry.get(), journal.get(), profile.get(), provenance.get(),
+        r.stats, "naive", cfg, budget);
     return r.report.ok() ? audit_rc : 1;
   }
 
@@ -557,14 +669,15 @@ int main(int argc, char** argv) {
         args.num("closed-form", sim::Engine::kSparseAutoCutoff));
     const auto r = baselines::run_obg_renaming(
         cfg, byz, baselines::ObgByzBehaviour::kSplitAnnounce, telemetry.get(),
-        journal.get(), plan, cutoff, progress.get());
+        journal.get(), plan, cutoff, progress.get(), provenance.get());
     report(args, "obg", r.stats, r.report, n, f);
     if (r.closed_form && !args.has("csv")) {
       std::printf("  accounting    closed-form (failure-free, n >= %u)\n",
                   cutoff);
     }
     const int audit_rc = finish_observability(
-        args, telemetry.get(), journal.get(), profile.get(), r.stats, "obg", cfg, f);
+        args, telemetry.get(), journal.get(), profile.get(), provenance.get(),
+        r.stats, "obg", cfg, f);
     return r.report.ok() ? audit_rc : 1;
   }
 

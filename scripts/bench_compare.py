@@ -41,9 +41,13 @@ Knows the three benches CI pins (the "bench" key selects the rules):
   straight past it. `wall_ms` only warns.
 
 Cells present on one side only are skipped (smoke sweeps are subsets of
-the committed full sweeps). Exit codes: 0 = clean or warnings only,
-1 = a deterministic quantity moved (or any drift with --strict),
-2 = usage / unreadable input.
+the committed full sweeps). A baseline recorded by an older bench binary
+may lack fields newer rows carry (e.g. `barrier_wait_share` on
+pre-shard-profile cells) or may have an empty row list entirely; both
+produce a "skip" line naming the cell and the missing field — this is a
+soft gate, so a schema gap must never die with a KeyError traceback.
+Exit codes: 0 = clean or warnings only, 1 = a deterministic quantity
+moved (or any drift with --strict), 2 = usage / unreadable input.
 
 CI runs this as a SOFT gate (continue-on-error) so a hardware blip never
 blocks a merge; promote it to a hard gate by deleting that line — see
@@ -68,6 +72,37 @@ def warn(msg):
     print(f"warn  {msg}")
 
 
+def skip(msg):
+    """A cell the soft gate cannot compare (older schema / empty sweep).
+
+    Not a warning: a baseline written by an older bench binary is an
+    expected state during a schema transition, not a regression signal.
+    """
+    print(f"skip  {msg}")
+
+
+def keyed_rows(doc, side, required):
+    """Index `doc["rows"]` for matching, tolerating older schemas.
+
+    Rows missing one of the `required` key fields are skipped with a
+    message instead of raising KeyError; a missing or empty row list
+    yields an empty index the same way.
+    """
+    rows = doc.get("rows")
+    if not rows:
+        skip(f"{side}: no rows (empty trajectory) — nothing to compare")
+        return []
+    out = []
+    for r in rows:
+        missing = [f for f in required if f not in r]
+        if missing:
+            skip(f"{side} row {r.get('workload', '?')!r}: missing "
+                 f"{', '.join(missing)} (older bench schema) — cell skipped")
+            continue
+        out.append(r)
+    return out
+
+
 def check_equal(cell, field, fresh, base):
     if fresh.get(field) != base.get(field):
         fail(f"{cell}: {field} {base.get(field)} -> {fresh.get(field)} "
@@ -88,9 +123,10 @@ def compare_engine(fresh, base, threshold, barrier_wait_cap):
     def key_of(r):
         return (r["workload"], r["n"], r.get("threads", 1))
 
-    baseline = {key_of(r): r for r in base["rows"]}
+    required = ("workload", "n")
+    baseline = {key_of(r): r for r in keyed_rows(base, "baseline", required)}
     compared = 0
-    for row in fresh["rows"]:
+    for row in keyed_rows(fresh, "fresh", required):
         key = key_of(row)
         if key not in baseline:
             continue
@@ -115,9 +151,10 @@ def compare_byz_scaling(fresh, base, threshold):
     def key_of(r):
         return (r["n"], r["f"], r.get("threads", 1), r.get("mt", False))
 
-    baseline = {key_of(r): r for r in base["rows"]}
+    required = ("n", "f")
+    baseline = {key_of(r): r for r in keyed_rows(base, "baseline", required)}
     compared = 0
-    for row in fresh["rows"]:
+    for row in keyed_rows(fresh, "fresh", required):
         key = key_of(row)
         if key not in baseline:
             continue
@@ -127,8 +164,13 @@ def compare_byz_scaling(fresh, base, threshold):
         for field in ("msgs", "bits", "rounds"):
             check_equal(cell, field, row, ref)
         check_ratio(cell, "wall_ms", row, ref, threshold)
-        ref_phases = {p["phase"]: p for p in ref.get("phases", [])}
+        ref_phases = {p["phase"]: p
+                      for p in ref.get("phases", []) if "phase" in p}
         for phase in row.get("phases", []):
+            if "phase" not in phase:
+                skip(f"{cell}: unlabelled phase row (older bench schema) "
+                     "— phase skipped")
+                continue
             if phase["phase"] not in ref_phases:
                 continue
             pcell = f"{cell} phase={phase['phase']}"
@@ -143,9 +185,10 @@ def compare_million(fresh, base, threshold, rss_tolerance, rss_ceiling):
     def key_of(r):
         return (r["workload"], r["n"])
 
-    baseline = {key_of(r): r for r in base["rows"]}
+    required = ("workload", "n")
+    baseline = {key_of(r): r for r in keyed_rows(base, "baseline", required)}
     compared = 0
-    for row in fresh["rows"]:
+    for row in keyed_rows(fresh, "fresh", required):
         key = key_of(row)
         cell = f"million {key[0]} n={key[1]}"
         rss = row.get("peak_rss_bytes")

@@ -111,6 +111,17 @@ and suppression markers are tracked precisely per (line, rule).
                       from. (R1 already catches the `::now()` call sites;
                       this rule catches duration arithmetic, includes and
                       POSIX clocks that R1's pattern misses.)
+  R14 provenance-coverage  Every kind in sim::wire::kWireSchemas carries a
+                      decision payload, so every one of them must have an
+                      attribution row in obs::kProvenanceKinds
+                      (obs/provenance_kinds.h) — that table is how
+                      `renaming_doctor why` labels a cause hop, and a
+                      missing row silently degrades a causal chain to
+                      "unattributed". The converse holds too: a provenance
+                      row for a kind with no wire schema is dead vocabulary.
+                      Mirrors the three-way static_assert in
+                      obs/kind_registry.h so the gap is caught even in
+                      trees that lint before they compile.
 
 Findings can be suppressed per line with `// lint:allow(<rule>)` where
 <rule> is one of: nondeterminism, bits-width, unordered-iteration,
@@ -975,34 +986,7 @@ def _registered_kinds(f: SourceFile) -> tuple[dict[int, int], int]:
 
 def _schema_kinds(f: SourceFile) -> dict[int, int]:
     """Parses kWireSchemas: the first number of each top-level {...} entry."""
-    sig = f.sig
-    for i, t in enumerate(sig):
-        if t.text != "kWireSchemas":
-            continue
-        j = i + 1
-        while j < len(sig) and sig[j].text != "{":
-            if sig[j].text == ";":
-                break
-            j += 1
-        if j >= len(sig) or sig[j].text != "{":
-            continue
-        end = balanced_end(sig, j, "{", "}")
-        kinds = {}
-        k = j + 1
-        while k < end - 1:
-            if sig[k].text == "{":
-                entry_end = balanced_end(sig, k, "{", "}")
-                for tk in sig[k + 1 : entry_end]:
-                    if tk.kind == "num":
-                        v = _int_literal(tk.text)
-                        if v is not None:
-                            kinds[v] = tk.line
-                        break
-                k = entry_end
-            else:
-                k += 1
-        return kinds
-    return {}
+    return _table_kinds(f, "kWireSchemas")
 
 
 def _declared_kinds(files: list[SourceFile]) -> dict[int, str]:
@@ -1082,6 +1066,81 @@ _ALLOC_MEMBERS = {"reserve", "resize", "assign"}
 _SETUP_BEGIN = "lint:engine-setup-begin"
 _SETUP_END = "lint:engine-setup-end"
 _CONTAINERS = {"vector", "deque", "valarray", "basic_string", "string"}
+
+
+def _table_kinds(f: SourceFile, table: str) -> dict[int, int]:
+    """First number of each top-level {...} entry of `table` (the kind)."""
+    sig = f.sig
+    for i, t in enumerate(sig):
+        if t.text != table:
+            continue
+        j = i + 1
+        while j < len(sig) and sig[j].text != "{":
+            if sig[j].text == ";":
+                break
+            j += 1
+        if j >= len(sig) or sig[j].text != "{":
+            continue
+        end = balanced_end(sig, j, "{", "}")
+        kinds = {}
+        k = j + 1
+        while k < end - 1:
+            if sig[k].text == "{":
+                entry_end = balanced_end(sig, k, "{", "}")
+                for tk in sig[k + 1 : entry_end]:
+                    if tk.kind == "num":
+                        v = _int_literal(tk.text)
+                        if v is not None:
+                            kinds[v] = tk.line
+                        break
+                k = entry_end
+            else:
+                k += 1
+        return kinds
+    return {}
+
+
+# ---------------------------------------------------------------------------
+# R14: every wire-schema kind has a provenance attribution entry
+
+_PROV_FILE = "obs/provenance_kinds.h"
+
+
+def check_provenance_coverage(files: list[SourceFile]) -> list[Violation]:
+    prov_file = next((f for f in files if f.rel == _PROV_FILE), None)
+    schema_file = next((f for f in files if f.rel == _SCHEMA_FILE), None)
+    if prov_file is None or schema_file is None:
+        return []  # fixture trees without both tables have nothing to pin
+    prov = _table_kinds(prov_file, "kProvenanceKinds")
+    schema = _schema_kinds(schema_file)
+    if not prov or not schema:
+        return []
+    out = []
+    for kind, line in sorted(schema.items()):
+        if kind not in prov:
+            out.append(
+                Violation(
+                    "provenance-coverage",
+                    schema_file.path,
+                    line,
+                    f"wire-schema kind {kind} has no attribution entry in "
+                    f"obs::kProvenanceKinds ({_PROV_FILE}) — renaming_doctor "
+                    "why cannot label its cause hops",
+                )
+            )
+    for kind, line in sorted(prov.items()):
+        if kind not in schema:
+            out.append(
+                Violation(
+                    "provenance-coverage",
+                    prov_file.path,
+                    line,
+                    f"provenance attribution for kind {kind} which has no "
+                    f"wire-schema entry in {_SCHEMA_FILE} (kWireSchemas) — "
+                    "dead vocabulary",
+                )
+            )
+    return out
 
 
 def _mentions_node_count(tokens: list[Token]) -> bool:
@@ -1332,6 +1391,7 @@ RULES = (
     "wire-schema",
     "stale-allow",
     "kind-coverage",
+    "provenance-coverage",
     "full-width-alloc",
     "wall-clock",
 )
@@ -1359,6 +1419,8 @@ def run_rules(files: list[SourceFile], src: Path, selected: list[str],
         raw += check_wire_schema(files)
     if "kind-coverage" in selected:
         raw += check_kind_coverage(files)
+    if "provenance-coverage" in selected:
+        raw += check_provenance_coverage(files)
     if "full-width-alloc" in selected:
         raw += check_full_width_alloc(files)
     if "wall-clock" in selected:

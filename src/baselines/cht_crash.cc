@@ -8,6 +8,7 @@
 #include "sim/wire_schema.h"
 #include "obs/journal.h"
 #include "obs/progress.h"
+#include "obs/provenance.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
 
@@ -19,12 +20,22 @@ constexpr sim::MsgKind kStatus = 31;
 
 class ChtNode final : public sim::Node {
  public:
-  ChtNode(NodeIndex self, const SystemConfig& cfg)
-      : id_(cfg.ids[self]),
+  ChtNode(NodeIndex self, const SystemConfig& cfg,
+          obs::Provenance* provenance)
+      : self_(self),
+        id_(cfg.ids[self]),
         n_(cfg.n),
         bits_(sim::wire::wire_bits(kStatus, {cfg.n, cfg.namespace_size})),
         total_phases_(ceil_log2(cfg.n)),
-        interval_(1, cfg.n) {}
+        interval_(1, cfg.n),
+        // Watch-set gate, resolved once: cht's receive loop touches every
+        // one of the n^2 deliveries per round, so unwatched nodes must do
+        // zero provenance work there (the < 2% overhead budget). Cause hops
+        // from a watched node to an unwatched sender therefore resolve to
+        // no retained event — the watch-set lower-bound contract.
+        provenance_(provenance != nullptr && provenance->watched(self)
+                        ? provenance
+                        : nullptr) {}
 
   void send(Round, sim::Outbox& out) override {
     out.broadcast(sim::make_message(kStatus, bits_, id_, interval_.lo,
@@ -34,6 +45,13 @@ class ChtNode final : public sim::Node {
   void receive(Round round, sim::InboxView inbox) override {
     phase_ = round;
     if (interval_.singleton()) return;  // decided; keep reporting only
+    // The counting loop must stay free of any provenance code: a
+    // loop-invariant `provenance_ != nullptr` branch inside it makes the
+    // compiler unswitch the loop, and the instrumented version of this
+    // all-to-all scan is what blew the < 2% overhead budget. Watched nodes
+    // instead re-walk the inbox in record_halving() below with an early
+    // exit after kMaxProvCauses hits.
+    const Interval before = interval_;
     const Interval bot = interval_.bot();
     std::uint64_t rank = 0, occupied = 0;
     for (const sim::Message& m : inbox) {
@@ -44,6 +62,34 @@ class ChtNode final : public sim::Node {
       if (other.subset_of(bot)) ++occupied;
     }
     interval_ = (occupied + rank <= bot.size()) ? bot : interval_.top();
+    if (provenance_ != nullptr) record_halving(round, before, inbox);
+  }
+
+  /// Cold path, watched nodes only: re-walk the inbox for the first
+  /// kMaxProvCauses messages that ranked this node (against the interval it
+  /// held when the round's counting ran — `before`) and record the halving
+  /// step. Same causes, in the same delivery order, as an inline collection
+  /// would have produced.
+  void record_halving(Round round, const Interval& before,
+                      sim::InboxView inbox) {
+    obs::Provenance::Cause causes[obs::kMaxProvCauses];
+    std::size_t cause_count = 0;
+    for (const sim::Message& m : inbox) {
+      if (m.kind != kStatus || m.nwords < 3) continue;
+      const Interval other(std::min(m.w[1], m.w[2]),
+                           std::max(m.w[1], m.w[2]));
+      if (other == before && m.w[0] <= id_) {
+        causes[cause_count++] = {m.sender, kStatus, m.bits};
+        if (cause_count == obs::kMaxProvCauses) break;
+      }
+    }
+    // Halving step: a/b = the adopted half; a claim once singleton.
+    provenance_->note_event(round, self_,
+                            interval_.singleton()
+                                ? obs::ProvEventKind::kNameClaim
+                                : obs::ProvEventKind::kNameProposal,
+                            kStatus, interval_.lo, interval_.hi, causes,
+                            cause_count);
   }
 
   bool done() const override { return phase_ >= total_phases_; }
@@ -54,12 +100,14 @@ class ChtNode final : public sim::Node {
   OriginalId original_id() const { return id_; }
 
  private:
+  NodeIndex self_;
   OriginalId id_;
   NodeIndex n_;
   std::uint32_t bits_;
   Round total_phases_;
   Round phase_ = 0;
   Interval interval_;
+  obs::Provenance* provenance_;
 };
 
 // Closed-form accounting of the failure-free execution (PERFORMANCE.md
@@ -126,7 +174,8 @@ ChtRunResult run_cht_renaming(const SystemConfig& cfg,
                               obs::Telemetry* telemetry, obs::Journal* journal,
                               sim::parallel::ShardPlan plan,
                               NodeIndex closed_form_cutoff,
-                              obs::Progress* progress) {
+                              obs::Progress* progress,
+                              obs::Provenance* provenance) {
   const std::uint64_t budget =
       adversary != nullptr ? adversary->budget() : 0;
   if (telemetry != nullptr) {
@@ -135,23 +184,30 @@ ChtRunResult run_cht_renaming(const SystemConfig& cfg,
   }
   if (journal != nullptr) journal->set_run_info("cht", cfg.n, budget);
   if (progress != nullptr) progress->set_run_info("cht");
+  obs::Provenance* const prov = obs::kTelemetryEnabled ? provenance : nullptr;
+  if (prov != nullptr) {
+    prov->set_run_info("cht", cfg.n, budget);
+    prov->begin_run(cfg.n);
+  }
   // A zero-budget adversary cannot crash anyone (the engine enforces the
   // budget), so the run is failure-free and the closed form is exact. A
-  // journal needs real deliveries for its fingerprints; n < 2 runs end
-  // before round 1 (all nodes start done) — both always simulate.
+  // journal needs real deliveries for its fingerprints, a provenance
+  // recorder real decision events; n < 2 runs end before round 1 (all
+  // nodes start done) — all of these always simulate.
   if (closed_form_cutoff > 0 && cfg.n >= closed_form_cutoff && cfg.n >= 2 &&
-      budget == 0 && journal == nullptr) {
+      budget == 0 && journal == nullptr && prov == nullptr) {
     return closed_form_cht(cfg, telemetry);
   }
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
   for (NodeIndex v = 0; v < cfg.n; ++v) {
-    nodes.push_back(std::make_unique<ChtNode>(v, cfg));
+    nodes.push_back(std::make_unique<ChtNode>(v, cfg, prov));
   }
   sim::Engine engine(std::move(nodes), std::move(adversary));
   engine.set_telemetry(telemetry);
   engine.set_journal(journal);
   engine.set_progress(progress);
+  engine.set_provenance(prov);
   engine.set_parallel(plan);
 
   ChtRunResult result;

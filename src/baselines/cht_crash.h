@@ -24,9 +24,10 @@
 #include "sim/stats.h"
 
 namespace renaming::obs {
-class Telemetry;  // obs/telemetry.h; optional, observational only
-class Journal;    // obs/journal.h; deterministic flight recorder
-class Progress;   // obs/progress.h; live run heartbeat
+class Telemetry;   // obs/telemetry.h; optional, observational only
+class Journal;     // obs/journal.h; deterministic flight recorder
+class Progress;    // obs/progress.h; live run heartbeat
+class Provenance;  // obs/provenance.h; causal decision recorder
 }
 
 namespace renaming::baselines {
@@ -50,13 +51,15 @@ struct ChtRunResult {
 /// simulated, producing bit-for-bit the RunStats, outcomes and telemetry
 /// ledgers the engine would (pinned by tests/closed_form_test.cc), so the
 /// Theorem envelopes in obs::audit_run still gate million-node bench cells.
-/// Runs with failures, or with a journal (whose fingerprints require real
-/// deliveries), always simulate.
+/// Runs with failures, with a journal (whose fingerprints require real
+/// deliveries), or with a provenance recorder (whose causal events require
+/// real decisions) always simulate.
 ChtRunResult run_cht_renaming(
     const SystemConfig& cfg,
     std::unique_ptr<sim::CrashAdversary> adversary = nullptr,
     obs::Telemetry* telemetry = nullptr,
     obs::Journal* journal = nullptr, sim::parallel::ShardPlan plan = {},
-    NodeIndex closed_form_cutoff = 0, obs::Progress* progress = nullptr);
+    NodeIndex closed_form_cutoff = 0, obs::Progress* progress = nullptr,
+    obs::Provenance* provenance = nullptr);
 
 }  // namespace renaming::baselines

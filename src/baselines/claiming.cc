@@ -7,6 +7,7 @@
 #include "sim/wire_schema.h"
 #include "obs/journal.h"
 #include "obs/progress.h"
+#include "obs/provenance.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
 
@@ -19,12 +20,15 @@ constexpr sim::MsgKind kOwned = 51;
 
 class ClaimingNode final : public sim::Node {
  public:
-  ClaimingNode(NodeIndex self, const SystemConfig& cfg)
-      : id_(cfg.ids[self]),
+  ClaimingNode(NodeIndex self, const SystemConfig& cfg,
+               obs::Provenance* provenance)
+      : self_(self),
+        id_(cfg.ids[self]),
         n_(cfg.n),
         // CLAIM and OWNED share one layout; one cached width serves both.
         bits_(sim::wire::wire_bits(kClaim, {cfg.n, cfg.namespace_size})),
-        rng_(SplitMix64(cfg.seed ^ 0xC1A141ULL).next() + self) {}
+        rng_(SplitMix64(cfg.seed ^ 0xC1A141ULL).next() + self),
+        provenance_(provenance) {}
 
   void send(Round, sim::Outbox& out) override {
     if (slot_ != 0) {
@@ -49,19 +53,43 @@ class ClaimingNode final : public sim::Node {
     // claims: smallest original identity wins each slot.
     std::vector<bool> taken(n_ + 1, false);
     std::vector<OriginalId> best(n_ + 1, 0);  // winning claimant per slot
+    // The delivery that defeats my claim, for provenance attribution.
+    obs::Provenance::Cause blocker{};
+    bool have_blocker = false;
     for (const sim::Message& m : inbox) {
       if (m.nwords < 2) continue;
       const std::uint64_t slot = m.w[1];
       if (slot < 1 || slot > n_) continue;
       if (m.kind == kOwned) {
         taken[slot] = true;
+        if (provenance_ != nullptr && slot == claimed_ && !have_blocker) {
+          blocker = {m.sender, kOwned, m.bits};
+          have_blocker = true;
+        }
       } else if (m.kind == kClaim) {
-        if (best[slot] == 0 || m.w[0] < best[slot]) best[slot] = m.w[0];
+        if (best[slot] == 0 || m.w[0] < best[slot]) {
+          best[slot] = m.w[0];
+          if (provenance_ != nullptr && slot == claimed_ && m.w[0] < id_) {
+            blocker = {m.sender, kClaim, m.bits};
+            have_blocker = true;
+          }
+        }
       }
     }
     if (slot_ == 0 && claimed_ != 0 && !taken[claimed_] &&
         best[claimed_] == id_) {
       slot_ = claimed_;  // won the slot
+      if (provenance_ != nullptr) {
+        // a = the slot won, b = the round of the winning claim.
+        provenance_->note_event(round, self_, obs::ProvEventKind::kNameClaim,
+                                kClaim, slot_, round, {});
+      }
+    } else if (provenance_ != nullptr && slot_ == 0 && claimed_ != 0) {
+      // Lost the slot: a = the contested slot, b = the winning identity;
+      // the cause is the heartbeat or stronger claim that defeated mine.
+      provenance_->note_event(round, self_, obs::ProvEventKind::kConflictRetry,
+                              kOwned, claimed_, best[claimed_], &blocker,
+                              have_blocker ? 1 : 0);
     }
     claimed_ = 0;
     // Slots won by others this round count as taken for the next claims;
@@ -80,10 +108,12 @@ class ClaimingNode final : public sim::Node {
   OriginalId original_id() const { return id_; }
 
  private:
+  NodeIndex self_;
   OriginalId id_;
   NodeIndex n_;
   std::uint32_t bits_;
   Xoshiro256 rng_;
+  obs::Provenance* provenance_ = nullptr;
   std::uint64_t claimed_ = 0;  // slot claimed this round (0 = none)
   std::uint64_t slot_ = 0;     // owned slot (0 = undecided)
   std::vector<bool> taken_now_ = std::vector<bool>(n_ + 1, false);
@@ -95,7 +125,8 @@ class ClaimingNode final : public sim::Node {
 ClaimingRunResult run_claiming_renaming(
     const SystemConfig& cfg, std::unique_ptr<sim::CrashAdversary> adversary,
     obs::Telemetry* telemetry, obs::Journal* journal,
-    sim::parallel::ShardPlan plan, obs::Progress* progress) {
+    sim::parallel::ShardPlan plan, obs::Progress* progress,
+    obs::Provenance* provenance) {
   const std::uint64_t budget =
       adversary != nullptr ? adversary->budget() : 0;
   if (telemetry != nullptr) {
@@ -105,15 +136,21 @@ ClaimingRunResult run_claiming_renaming(
   }
   if (journal != nullptr) journal->set_run_info("claiming", cfg.n, budget);
   if (progress != nullptr) progress->set_run_info("claiming");
+  obs::Provenance* const prov = obs::kTelemetryEnabled ? provenance : nullptr;
+  if (prov != nullptr) {
+    prov->set_run_info("claiming", cfg.n, budget);
+    prov->begin_run(cfg.n);
+  }
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
   for (NodeIndex v = 0; v < cfg.n; ++v) {
-    nodes.push_back(std::make_unique<ClaimingNode>(v, cfg));
+    nodes.push_back(std::make_unique<ClaimingNode>(v, cfg, prov));
   }
   sim::Engine engine(std::move(nodes), std::move(adversary));
   engine.set_telemetry(telemetry);
   engine.set_journal(journal);
   engine.set_progress(progress);
+  engine.set_provenance(prov);
   engine.set_parallel(plan);
 
   ClaimingRunResult result;

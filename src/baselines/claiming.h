@@ -28,9 +28,10 @@
 #include "sim/stats.h"
 
 namespace renaming::obs {
-class Telemetry;  // obs/telemetry.h; optional, observational only
-class Journal;    // obs/journal.h; deterministic flight recorder
-class Progress;   // obs/progress.h; live run heartbeat
+class Telemetry;   // obs/telemetry.h; optional, observational only
+class Journal;     // obs/journal.h; deterministic flight recorder
+class Progress;    // obs/progress.h; live run heartbeat
+class Provenance;  // obs/provenance.h; causal decision recorder
 }
 
 namespace renaming::baselines {
@@ -48,6 +49,7 @@ ClaimingRunResult run_claiming_renaming(
     std::unique_ptr<sim::CrashAdversary> adversary = nullptr,
     obs::Telemetry* telemetry = nullptr,
     obs::Journal* journal = nullptr, sim::parallel::ShardPlan plan = {},
-    obs::Progress* progress = nullptr);
+    obs::Progress* progress = nullptr,
+    obs::Provenance* provenance = nullptr);
 
 }  // namespace renaming::baselines

@@ -5,6 +5,7 @@
 
 #include "obs/journal.h"
 #include "obs/progress.h"
+#include "obs/provenance.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
 #include "sim/wire_schema.h"
@@ -17,10 +18,13 @@ constexpr sim::MsgKind kSet = 45;
 
 class EarlyDecidingNode final : public sim::Node {
  public:
-  EarlyDecidingNode(NodeIndex self, const SystemConfig& cfg)
-      : id_(cfg.ids[self]),
+  EarlyDecidingNode(NodeIndex self, const SystemConfig& cfg,
+                    obs::Provenance* provenance)
+      : self_(self),
+        id_(cfg.ids[self]),
         n_(cfg.n),
         wire_{cfg.n, cfg.namespace_size},
+        provenance_(provenance),
         known_{cfg.ids[self]} {}
 
   void send(Round, sim::Outbox& out) override {
@@ -51,6 +55,19 @@ class EarlyDecidingNode final : public sim::Node {
         known_.size() == before) {
       decided_ = true;
       decision_round_ = round;
+      if (provenance_ != nullptr) {
+        // Clean-round decision: a = the final rank, b = |known set|.
+        const auto it = std::lower_bound(known_.begin(), known_.end(), id_);
+        provenance_->note_event(
+            round, self_, obs::ProvEventKind::kNameClaim, kSet,
+            static_cast<NewId>(it - known_.begin()) + 1, known_.size(), {});
+      }
+    } else if (provenance_ != nullptr && !decided_ && round >= 2 &&
+               known_.size() != before) {
+      // Dirty round: the identity set grew, the decision is postponed.
+      provenance_->note_event(round, self_,
+                              obs::ProvEventKind::kConflictRetry, kSet,
+                              known_.size() - before, known_.size(), {});
     }
     heard_prev_ = std::move(heard);
   }
@@ -66,9 +83,11 @@ class EarlyDecidingNode final : public sim::Node {
   Round decision_round() const { return decision_round_; }
 
  private:
+  NodeIndex self_;
   OriginalId id_;
   NodeIndex n_;
   sim::wire::WireContext wire_;  ///< message widths (sim/wire_schema.h)
+  obs::Provenance* provenance_;
   std::vector<std::uint64_t> known_;  // sorted cumulative identity set
   std::vector<NodeIndex> heard_prev_;
   bool decided_ = false;
@@ -80,7 +99,8 @@ class EarlyDecidingNode final : public sim::Node {
 EarlyDecidingRunResult run_early_deciding_renaming(
     const SystemConfig& cfg, std::unique_ptr<sim::CrashAdversary> adversary,
     obs::Telemetry* telemetry, obs::Journal* journal,
-    sim::parallel::ShardPlan plan, obs::Progress* progress) {
+    sim::parallel::ShardPlan plan, obs::Progress* progress,
+    obs::Provenance* provenance) {
   const std::uint64_t budget =
       adversary != nullptr ? adversary->budget() : 0;
   if (telemetry != nullptr) {
@@ -89,15 +109,21 @@ EarlyDecidingRunResult run_early_deciding_renaming(
   }
   if (journal != nullptr) journal->set_run_info("early", cfg.n, budget);
   if (progress != nullptr) progress->set_run_info("early");
+  obs::Provenance* const prov = obs::kTelemetryEnabled ? provenance : nullptr;
+  if (prov != nullptr) {
+    prov->set_run_info("early", cfg.n, budget);
+    prov->begin_run(cfg.n);
+  }
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
   for (NodeIndex v = 0; v < cfg.n; ++v) {
-    nodes.push_back(std::make_unique<EarlyDecidingNode>(v, cfg));
+    nodes.push_back(std::make_unique<EarlyDecidingNode>(v, cfg, prov));
   }
   sim::Engine engine(std::move(nodes), std::move(adversary));
   engine.set_telemetry(telemetry);
   engine.set_journal(journal);
   engine.set_progress(progress);
+  engine.set_provenance(prov);
   engine.set_parallel(plan);
 
   EarlyDecidingRunResult result;

@@ -4,6 +4,7 @@
 
 #include "obs/journal.h"
 #include "obs/progress.h"
+#include "obs/provenance.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
 #include "sim/wire_schema.h"
@@ -16,24 +17,39 @@ constexpr sim::MsgKind kId = 30;
 
 class NaiveNode final : public sim::Node {
  public:
-  NaiveNode(NodeIndex self, const SystemConfig& cfg)
-      : id_(cfg.ids[self]),
-        bits_(sim::wire::wire_bits(kId, {cfg.n, cfg.namespace_size})) {}
+  NaiveNode(NodeIndex self, const SystemConfig& cfg,
+            obs::Provenance* provenance)
+      : self_(self),
+        id_(cfg.ids[self]),
+        bits_(sim::wire::wire_bits(kId, {cfg.n, cfg.namespace_size})),
+        provenance_(provenance) {}
 
   void send(Round, sim::Outbox& out) override {
     out.broadcast(sim::make_message(kId, bits_, id_));
   }
 
-  void receive(Round, sim::InboxView inbox) override {
+  void receive(Round round, sim::InboxView inbox) override {
     std::vector<OriginalId> seen;
+    obs::Provenance::Cause causes[obs::kMaxProvCauses];
+    std::size_t cause_count = 0;
     for (const sim::Message& m : inbox) {
-      if (m.kind == kId && m.nwords >= 1) seen.push_back(m.w[0]);
+      if (m.kind == kId && m.nwords >= 1) {
+        seen.push_back(m.w[0]);
+        if (provenance_ != nullptr && cause_count < obs::kMaxProvCauses) {
+          causes[cause_count++] = {m.sender, kId, m.bits};
+        }
+      }
     }
     std::sort(seen.begin(), seen.end());
     seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
     const auto it = std::lower_bound(seen.begin(), seen.end(), id_);
     new_id_ = static_cast<NewId>(it - seen.begin()) + 1;
     decided_ = true;
+    if (provenance_ != nullptr) {
+      // a = the claimed rank, b = distinct identities in view.
+      provenance_->note_event(round, self_, obs::ProvEventKind::kNameClaim,
+                              kId, new_id_, seen.size(), causes, cause_count);
+    }
   }
 
   bool done() const override { return decided_; }
@@ -43,8 +59,10 @@ class NaiveNode final : public sim::Node {
   OriginalId original_id() const { return id_; }
 
  private:
+  NodeIndex self_;
   OriginalId id_;
   std::uint32_t bits_;
+  obs::Provenance* provenance_;
   NewId new_id_ = kNoNewId;
   bool decided_ = false;
 };
@@ -56,7 +74,8 @@ NaiveRunResult run_naive_renaming(const SystemConfig& cfg,
                                   obs::Telemetry* telemetry,
                                   obs::Journal* journal,
                                   sim::parallel::ShardPlan plan,
-                                  obs::Progress* progress) {
+                                  obs::Progress* progress,
+                                  obs::Provenance* provenance) {
   const std::uint64_t budget =
       adversary != nullptr ? adversary->budget() : 0;
   if (telemetry != nullptr) {
@@ -65,15 +84,21 @@ NaiveRunResult run_naive_renaming(const SystemConfig& cfg,
   }
   if (journal != nullptr) journal->set_run_info("naive", cfg.n, budget);
   if (progress != nullptr) progress->set_run_info("naive");
+  obs::Provenance* const prov = obs::kTelemetryEnabled ? provenance : nullptr;
+  if (prov != nullptr) {
+    prov->set_run_info("naive", cfg.n, budget);
+    prov->begin_run(cfg.n);
+  }
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
   for (NodeIndex v = 0; v < cfg.n; ++v) {
-    nodes.push_back(std::make_unique<NaiveNode>(v, cfg));
+    nodes.push_back(std::make_unique<NaiveNode>(v, cfg, prov));
   }
   sim::Engine engine(std::move(nodes), std::move(adversary));
   engine.set_telemetry(telemetry);
   engine.set_journal(journal);
   engine.set_progress(progress);
+  engine.set_provenance(prov);
   engine.set_parallel(plan);
 
   NaiveRunResult result;

@@ -11,6 +11,7 @@
 #include "core/interval.h"
 #include "obs/journal.h"
 #include "obs/progress.h"
+#include "obs/provenance.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
 #include "sim/wire_schema.h"
@@ -31,14 +32,16 @@ std::shared_ptr<const std::vector<std::uint64_t>> to_blob(
 
 class ObgNode : public sim::Node {
  public:
-  ObgNode(NodeIndex self, const SystemConfig& cfg, const Directory& directory)
+  ObgNode(NodeIndex self, const SystemConfig& cfg, const Directory& directory,
+          obs::Provenance* provenance = nullptr)
       : self_(self),
         id_(cfg.ids[self]),
         n_(cfg.n),
         t_((cfg.n - 1) / 3),
         wire_{cfg.n, cfg.namespace_size},
         halving_phases_(ceil_log2(cfg.n)),
-        directory_(&directory) {}
+        directory_(&directory),
+        provenance_(provenance) {}
 
   void send(Round round, sim::Outbox& out) override {
     if (round == 1) {
@@ -67,12 +70,14 @@ class ObgNode : public sim::Node {
       // Witness filter: keep identities vouched by >= t+1 vectors (at
       // least one correct first-hand witness).
       candidates_ = filter_by_count(inbox, t_ + 1);
+      note_filter(round, t_ + 1);
     } else if (round == 3) {
       // Majority filter: keep identities in more than half the vectors.
       candidates_ = filter_by_count(inbox, n_ / 2 + 1);
       interval_ = Interval(1, std::max<std::uint64_t>(candidates_.size(), 1));
+      note_filter(round, n_ / 2 + 1);
     } else {
-      halve(inbox);
+      halve(round, inbox);
     }
   }
 
@@ -111,19 +116,42 @@ class ObgNode : public sim::Node {
     return kept;
   }
 
-  void halve(sim::InboxView inbox) {
+  void note_filter(Round round, std::size_t threshold) {
+    if (provenance_ == nullptr) return;
+    // Vector filter: a = surviving candidates, b = the vote threshold.
+    provenance_->note_event(round, self_, obs::ProvEventKind::kNameProposal,
+                            kVector, candidates_.size(), threshold, {});
+  }
+
+  void halve(Round round, sim::InboxView inbox) {
     if (interval_.singleton()) return;
     const Interval bot = interval_.bot();
     std::uint64_t rank = 0, occupied = 0;
+    obs::Provenance::Cause causes[obs::kMaxProvCauses];
+    std::size_t cause_count = 0;
     for (const sim::Message& m : inbox) {
       if (m.kind != kHalving || m.nwords < 3) continue;
       if (!directory_->verify(m.sender, m.w[0])) continue;
       const Interval other(std::min(m.w[1], m.w[2]),
                            std::max(m.w[1], m.w[2]));
-      if (other == interval_ && m.w[0] <= id_) ++rank;
+      const bool ranks_me = other == interval_ && m.w[0] <= id_;
+      if (ranks_me) ++rank;
       if (other.subset_of(bot)) ++occupied;
+      if (provenance_ != nullptr && ranks_me &&
+          cause_count < obs::kMaxProvCauses) {
+        causes[cause_count++] = {m.sender, kHalving, m.bits};
+      }
     }
     interval_ = (occupied + rank <= bot.size()) ? bot : interval_.top();
+    if (provenance_ != nullptr) {
+      // Halving step: a/b = the adopted half; a claim once singleton.
+      provenance_->note_event(round, self_,
+                              interval_.singleton()
+                                  ? obs::ProvEventKind::kNameClaim
+                                  : obs::ProvEventKind::kNameProposal,
+                              kHalving, interval_.lo, interval_.hi, causes,
+                              cause_count);
+    }
   }
 
   NodeIndex self_;
@@ -134,6 +162,7 @@ class ObgNode : public sim::Node {
   Round halving_phases_;
   Round last_round_ = 0;
   const Directory* directory_;
+  obs::Provenance* provenance_;
   std::vector<OriginalId> candidates_;
   Interval interval_{1, 1};
 };
@@ -242,7 +271,8 @@ ObgRunResult run_obg_renaming(const SystemConfig& cfg,
                               obs::Telemetry* telemetry, obs::Journal* journal,
                               sim::parallel::ShardPlan plan,
                               NodeIndex closed_form_cutoff,
-                              obs::Progress* progress) {
+                              obs::Progress* progress,
+                              obs::Provenance* provenance) {
   if (telemetry != nullptr) {
     telemetry->map_kind(kAnnounce, obs::PhaseId::kBaselineExchange);
     telemetry->map_kind(kVector, obs::PhaseId::kBaselineExchange);
@@ -253,11 +283,18 @@ ObgRunResult run_obg_renaming(const SystemConfig& cfg,
     journal->set_run_info("obg", cfg.n, byzantine.size());
   }
   if (progress != nullptr) progress->set_run_info("obg");
+  obs::Provenance* const prov = obs::kTelemetryEnabled ? provenance : nullptr;
+  if (prov != nullptr) {
+    prov->set_run_info("obg", cfg.n, byzantine.size());
+    prov->begin_run(cfg.n);
+    for (NodeIndex b : byzantine) prov->mark_faulty(b);
+  }
   // No Byzantine nodes means a fully deterministic all-to-all exchange the
   // closed form reproduces exactly; any adversary, a journal (fingerprints
-  // need real deliveries), or n < 2 (round-count edge cases) simulates.
+  // need real deliveries), a provenance recorder (causal events need real
+  // decisions), or n < 2 (round-count edge cases) simulates.
   if (closed_form_cutoff > 0 && cfg.n >= closed_form_cutoff && cfg.n >= 2 &&
-      byzantine.empty() && journal == nullptr) {
+      byzantine.empty() && journal == nullptr && prov == nullptr) {
     return closed_form_obg(cfg, telemetry);
   }
   const Directory directory(cfg);
@@ -271,13 +308,14 @@ ObgRunResult run_obg_renaming(const SystemConfig& cfg,
       nodes.push_back(std::make_unique<ObgByzNode>(v, cfg, directory,
                                                    behaviour, cfg.seed));
     } else {
-      nodes.push_back(std::make_unique<ObgNode>(v, cfg, directory));
+      nodes.push_back(std::make_unique<ObgNode>(v, cfg, directory, prov));
     }
   }
   sim::Engine engine(std::move(nodes));
   engine.set_telemetry(telemetry);
   engine.set_journal(journal);
   engine.set_progress(progress);
+  engine.set_provenance(prov);
   engine.set_parallel(plan);
   for (NodeIndex b : byzantine) engine.mark_byzantine(b);
 

@@ -34,9 +34,10 @@
 #include "sim/stats.h"
 
 namespace renaming::obs {
-class Telemetry;  // obs/telemetry.h; optional, observational only
-class Journal;    // obs/journal.h; deterministic flight recorder
-class Progress;   // obs/progress.h; live run heartbeat
+class Telemetry;   // obs/telemetry.h; optional, observational only
+class Journal;     // obs/journal.h; deterministic flight recorder
+class Progress;    // obs/progress.h; live run heartbeat
+class Provenance;  // obs/provenance.h; causal decision recorder
 }
 
 namespace renaming::baselines {
@@ -71,6 +72,7 @@ ObgRunResult run_obg_renaming(const SystemConfig& cfg,
                               obs::Journal* journal = nullptr,
                               sim::parallel::ShardPlan plan = {},
                               NodeIndex closed_form_cutoff = 0,
-                              obs::Progress* progress = nullptr);
+                              obs::Progress* progress = nullptr,
+                              obs::Provenance* provenance = nullptr);
 
 }  // namespace renaming::baselines

@@ -63,9 +63,11 @@ class TurncoatNode final : public sim::Node {
                const Directory& directory, const ByzParams& params,
                AdaptiveController& controller,
                std::shared_ptr<const hashing::CoefficientCache> cache = nullptr,
-               obs::Telemetry* telemetry = nullptr)
+               obs::Telemetry* telemetry = nullptr,
+               obs::Provenance* provenance = nullptr)
       : self_(self),
-        honest_(self, cfg, directory, params, std::move(cache), telemetry),
+        honest_(self, cfg, directory, params, std::move(cache), telemetry,
+                /*interner=*/nullptr, provenance),
         controller_(&controller) {}
 
   void send(Round round, sim::Outbox& out) override {
@@ -122,6 +124,7 @@ AdaptiveRunResult run_adaptive_experiment(const SystemConfig& cfg,
                                           obs::Telemetry* telemetry = nullptr,
                                           obs::Journal* journal = nullptr,
                                           sim::parallel::ShardPlan plan = {},
-                                          obs::Progress* progress = nullptr);
+                                          obs::Progress* progress = nullptr,
+                                          obs::Provenance* provenance = nullptr);
 
 }  // namespace renaming::byzantine

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "obs/journal.h"
 #include "obs/progress.h"
+#include "obs/provenance.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
 
@@ -21,7 +22,8 @@ constexpr sim::MsgKind kind_of(Tag t) { return static_cast<sim::MsgKind>(t); }
 ByzNode::ByzNode(NodeIndex self, const SystemConfig& cfg,
                  const Directory& directory, ByzParams params,
                  std::shared_ptr<const hashing::CoefficientCache> cache,
-                 obs::Telemetry* telemetry, consensus::ViewInterner* interner)
+                 obs::Telemetry* telemetry, consensus::ViewInterner* interner,
+                 obs::Provenance* provenance)
     : self_(self),
       n_(cfg.n),
       namespace_size_(cfg.namespace_size),
@@ -35,6 +37,7 @@ ByzNode::ByzNode(NodeIndex self, const SystemConfig& cfg,
                        : hashing::make_coefficient_cache(params.shared_seed)),
       telemetry_(telemetry),
       interner_(interner),
+      provenance_(provenance),
       view_(consensus::empty_committee_view()) {}
 
 obs::PhaseId ByzNode::phase_of(Stage stage) {
@@ -91,6 +94,12 @@ void ByzNode::send(Round round, sim::Outbox& out) {
         elected_ = true;
         out.broadcast(
             sim::wire::make_message(kind_of(Tag::kElect), wire_, id_));
+        if (provenance_ != nullptr) {
+          // Pool self-election: a = the identity that won the beacon coin.
+          provenance_->note_event(round, self_,
+                                  obs::ProvEventKind::kCommitteeVote,
+                                  kind_of(Tag::kElect), id_, 1, {});
+        }
       }
       break;
     }
@@ -126,7 +135,7 @@ void ByzNode::send(Round round, sim::Outbox& out) {
                                   static_cast<std::uint64_t>(diff_)));
       break;
     case Stage::kDistribute:
-      distribute(out);
+      distribute(round, out);
       stage_ = Stage::kDone;
       break;
     case Stage::kDone:
@@ -140,7 +149,7 @@ void ByzNode::receive(Round round, sim::InboxView inbox) {
   const obs::PhaseScope scope(telemetry_, self_, phase_of(stage_), round);
   // NEW messages can arrive in any round once Byzantine members exist;
   // the view-majority threshold makes early fakes harmless.
-  consider_new_messages(inbox);
+  consider_new_messages(round, inbox);
 
   switch (stage_) {
     case Stage::kElect: {
@@ -208,8 +217,16 @@ void ByzNode::receive(Round round, sim::InboxView inbox) {
     }
     case Stage::kSameConsensus: {
       if (!king_->receive(step_++, inbox)) break;
+      if (provenance_ != nullptr) {
+        // Verdict on "do we all hold the same fingerprint": a = bit,
+        // b = the phase-king session that produced it.
+        provenance_->note_event(round, self_,
+                                obs::ProvEventKind::kPhaseKingVerdict,
+                                kind_of(Tag::kConsensus),
+                                king_->output() ? 1 : 0, session_, {});
+      }
       if (!king_->output()) {
-        split_current();
+        split_current(round);
         start_iteration();
       } else {
         diff_ = !(mine_.fingerprint == agreed_.a && mine_.count == agreed_.b);
@@ -244,8 +261,14 @@ void ByzNode::receive(Round round, sim::InboxView inbox) {
     }
     case Stage::kDiffConsensus: {
       if (!king_->receive(step_++, inbox)) break;
+      if (provenance_ != nullptr) {
+        provenance_->note_event(round, self_,
+                                obs::ProvEventKind::kPhaseKingVerdict,
+                                kind_of(Tag::kConsensus),
+                                king_->output() ? 1 : 0, session_, {});
+      }
       if (king_->output()) {
-        split_current();
+        split_current(round);
       } else {
         accept_current(agreed_.b, /*dirty=*/mine_.fingerprint != agreed_.a ||
                                       mine_.count != agreed_.b);
@@ -256,6 +279,13 @@ void ByzNode::receive(Round round, sim::InboxView inbox) {
     case Stage::kBitConsensus: {
       if (!king_->receive(step_++, inbox)) break;
       const bool bit = king_->output();
+      if (provenance_ != nullptr) {
+        // Singleton segment: a = agreed presence bit, b = the identity.
+        provenance_->note_event(round, self_,
+                                obs::ProvEventKind::kPhaseKingVerdict,
+                                kind_of(Tag::kConsensus), bit ? 1 : 0,
+                                current_.lo, {});
+      }
       list_->set(current_.lo, bit);
       processed_[current_.lo] =
           Processed{current_, bit ? 1ull : 0ull, /*dirty=*/false};
@@ -283,6 +313,14 @@ void ByzNode::receive(Round round, sim::InboxView inbox) {
         if (count >= view_->max_tolerated() + 1) merged->insert(id);
       }
       list_ = std::move(merged);
+      if (provenance_ != nullptr) {
+        // Ablation A2 merge: a = identities kept by the witness filter,
+        // b = distinct identities seen across all vectors.
+        provenance_->note_event(round, self_,
+                                obs::ProvEventKind::kNameProposal,
+                                kind_of(Tag::kVector), list_->size(),
+                                counts.size(), {});
+      }
       iterations_ = 1;
       processed_.clear();
       processed_[1] = Processed{Interval(1, namespace_size_), list_->size(),
@@ -321,8 +359,14 @@ void ByzNode::start_iteration() {
   }
 }
 
-void ByzNode::split_current() {
+void ByzNode::split_current(Round round) {
   ++splits_;
+  if (provenance_ != nullptr) {
+    // Segment retry: consensus rejected [a..b], push both halves.
+    provenance_->note_event(round, self_, obs::ProvEventKind::kConflictRetry,
+                            kind_of(Tag::kConsensus), current_.lo,
+                            current_.hi, {});
+  }
   pending_.push_back(current_.top());
   pending_.push_back(current_.bot());  // bot processed first (LIFO)
 }
@@ -332,11 +376,12 @@ void ByzNode::accept_current(std::uint64_t agreed_count, bool dirty) {
   processed_[current_.lo] = Processed{current_, agreed_count, dirty};
 }
 
-void ByzNode::distribute(sim::Outbox& out) {
+void ByzNode::distribute(Round round, sim::Outbox& out) {
   // Ranks follow from the *agreed* per-segment counts, so dirty segments
   // never skew positions; the member simply abstains inside them (sending
   // NEW(null) to the reporters it knows there).
   std::uint64_t before = 0;  // agreed ones before the current segment
+  std::uint64_t ranks_sent = 0, nulls_sent = 0;
   for (const auto& [lo, proc] : processed_) {
     scratch_ids_.clear();
     list_->append_ids_in(proc.segment, scratch_ids_);
@@ -351,6 +396,7 @@ void ByzNode::distribute(sim::Outbox& out) {
         if (link == kNoNode) continue;  // identity never joined: skip
         out.send(link, sim::wire::make_message(kind_of(Tag::kNew), wire_,
                                                before + offset));
+        ++ranks_sent;
       }
     } else {
       // NEW(null) to every reporter inside the dirty segment.
@@ -358,14 +404,20 @@ void ByzNode::distribute(sim::Outbox& out) {
         if (proc.segment.contains(id)) {
           out.send(link, sim::wire::make_message(kind_of(Tag::kNew), wire_,
                                                  std::uint64_t{0}));
+          ++nulls_sent;
         }
       }
     }
     before += proc.count;
   }
+  if (provenance_ != nullptr) {
+    // Rank distribution: a = NEW(rank) sent, b = NEW(null) abstentions.
+    provenance_->note_event(round, self_, obs::ProvEventKind::kNameProposal,
+                            kind_of(Tag::kNew), ranks_sent, nulls_sent, {});
+  }
 }
 
-void ByzNode::consider_new_messages(sim::InboxView inbox) {
+void ByzNode::consider_new_messages(Round round, sim::InboxView inbox) {
   if (new_id_.has_value() || view_->empty()) return;
   for (const sim::Message& m : inbox) {
     if (m.kind != kind_of(Tag::kNew) || m.nwords < 1) continue;
@@ -373,6 +425,7 @@ void ByzNode::consider_new_messages(sim::InboxView inbox) {
       continue;  // only committee members distribute
     }
     new_votes_.emplace(m.sender, m.w[0]);  // first message per sender wins
+    if (provenance_ != nullptr) new_vote_bits_.emplace(m.sender, m.bits);
   }
   if (new_votes_.size() * 2 <= view_->size()) return;  // need > half the view
 
@@ -388,6 +441,21 @@ void ByzNode::consider_new_messages(sim::InboxView inbox) {
                          return a.second < b.second;
                        });
   if (best != counts.end()) new_id_ = best->first;
+  if (provenance_ != nullptr && new_id_.has_value()) {
+    // The final claim: a = the adopted rank, b = supporting vote count.
+    // Causes = the committee members whose NEW(rank) votes formed the
+    // majority (note_event keeps the first kMaxProvCauses, counts the rest).
+    std::vector<obs::Provenance::Cause> causes;
+    for (const auto& [sender, value] : new_votes_) {
+      if (value != *new_id_) continue;
+      const auto bits = new_vote_bits_.find(sender);
+      causes.push_back({sender, kind_of(Tag::kNew),
+                        bits != new_vote_bits_.end() ? bits->second : 0});
+    }
+    provenance_->note_event(round, self_, obs::ProvEventKind::kNameClaim,
+                            kind_of(Tag::kNew), *new_id_, causes.size(),
+                            causes.data(), causes.size());
+  }
 }
 
 ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
@@ -397,7 +465,8 @@ ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
                               obs::Telemetry* telemetry,
                               obs::Journal* journal,
                               sim::parallel::ShardPlan plan,
-                              obs::Progress* progress) {
+                              obs::Progress* progress,
+                              obs::Provenance* provenance) {
   const Directory directory(cfg);
 
   std::vector<bool> is_byz(cfg.n, false);
@@ -414,6 +483,15 @@ ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
   }
   if (progress != nullptr) {
     progress->set_run_info(params.use_fingerprints ? "byz" : "byz-full");
+  }
+  // Folded like Telemetry: under RENAMING_NO_TELEMETRY every provenance
+  // hook below is statically dead.
+  obs::Provenance* const prov = obs::kTelemetryEnabled ? provenance : nullptr;
+  if (prov != nullptr) {
+    prov->set_run_info(params.use_fingerprints ? "byz" : "byz-full", cfg.n,
+                       byzantine.size());
+    prov->begin_run(cfg.n);  // before nodes: ctors may record events
+    for (NodeIndex b : byzantine) prov->mark_faulty(b);
   }
 
   // One coefficient cache for the whole run: every correct node holds the
@@ -441,7 +519,7 @@ ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
     } else {
       nodes.push_back(std::make_unique<ByzNode>(v, cfg, directory, params,
                                                 coeff_cache, telemetry,
-                                                interner));
+                                                interner, prov));
     }
   }
   sim::Engine engine(std::move(nodes));
@@ -449,6 +527,7 @@ ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
   engine.set_telemetry(telemetry);
   engine.set_journal(journal);
   engine.set_progress(progress);
+  engine.set_provenance(prov);
   engine.set_parallel(plan);
   for (NodeIndex b : byzantine) engine.mark_byzantine(b);
 

@@ -61,9 +61,10 @@
 #include "sim/wire_schema.h"
 
 namespace renaming::obs {
-class Telemetry;  // obs/telemetry.h; nodes hold a non-owning pointer
-class Journal;    // obs/journal.h; deterministic flight recorder
-class Progress;   // obs/progress.h; live run heartbeat
+class Telemetry;   // obs/telemetry.h; nodes hold a non-owning pointer
+class Journal;     // obs/journal.h; deterministic flight recorder
+class Progress;    // obs/progress.h; live run heartbeat
+class Provenance;  // obs/provenance.h; causal decision recorder
 }
 
 namespace renaming::byzantine {
@@ -120,11 +121,16 @@ class ByzNode : public sim::Node {
   /// behaviour either way.
   /// `telemetry` (optional) receives PhaseScope spans and per-phase wall
   /// time; it never influences behaviour.
+  /// `provenance` (optional) records the node's decision events — election,
+  /// phase-king verdicts, segment splits, rank distribution, the final
+  /// majority claim — with cause links to the deliveries that produced
+  /// them; also purely observational.
   ByzNode(NodeIndex self, const SystemConfig& cfg, const Directory& directory,
           ByzParams params,
           std::shared_ptr<const hashing::CoefficientCache> cache = nullptr,
           obs::Telemetry* telemetry = nullptr,
-          consensus::ViewInterner* interner = nullptr);
+          consensus::ViewInterner* interner = nullptr,
+          obs::Provenance* provenance = nullptr);
 
   void send(Round round, sim::Outbox& out) override;
   void receive(Round round, sim::InboxView inbox) override;
@@ -172,10 +178,10 @@ class ByzNode : public sim::Node {
   };
 
   void start_iteration();
-  void split_current();
+  void split_current(Round round);
   void accept_current(std::uint64_t agreed_count, bool dirty);
-  void distribute(sim::Outbox& out);
-  void consider_new_messages(sim::InboxView inbox);
+  void distribute(Round round, sim::Outbox& out);
+  void consider_new_messages(Round round, sim::InboxView inbox);
 
   std::uint32_t fingerprint_bits() const;
   std::uint32_t control_bits() const;
@@ -195,6 +201,7 @@ class ByzNode : public sim::Node {
   std::shared_ptr<const hashing::CoefficientCache> coeff_cache_;
   obs::Telemetry* telemetry_;  // non-owning, may be null
   consensus::ViewInterner* interner_;  // non-owning, may be null
+  obs::Provenance* provenance_;  // non-owning, may be null
 
   // --- common state ---
   Stage stage_ = Stage::kElect;
@@ -207,6 +214,9 @@ class ByzNode : public sim::Node {
   // Ordered container: its iteration feeds the decision tally, and the
   // protocol lint bans unordered iteration anywhere near traces or stats.
   std::map<NodeIndex, std::uint64_t> new_votes_;
+  // Delivered wire bits per NEW vote, for provenance cause attribution.
+  // Maintained only when provenance_ is attached (lookups only).
+  std::map<NodeIndex, std::uint32_t> new_vote_bits_;
 
   // --- committee-member state ---
   std::unique_ptr<IdentityList> list_;
@@ -257,7 +267,8 @@ ByzRunResult run_byz_renaming(const SystemConfig& cfg, const ByzParams& params,
                               obs::Telemetry* telemetry = nullptr,
                               obs::Journal* journal = nullptr,
                               sim::parallel::ShardPlan plan = {},
-                              obs::Progress* progress = nullptr);
+                              obs::Progress* progress = nullptr,
+                              obs::Provenance* provenance = nullptr);
 
 /// Registers the Byzantine protocol's MsgKind -> PhaseId mapping with
 /// `telemetry` (the central phase-id table of obs/phase.h). Exposed so

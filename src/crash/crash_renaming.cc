@@ -10,6 +10,7 @@
 
 #include "obs/journal.h"
 #include "obs/progress.h"
+#include "obs/provenance.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
 
@@ -54,7 +55,8 @@ class Fenwick {
 }  // namespace
 
 CrashNode::CrashNode(NodeIndex self, const SystemConfig& cfg,
-                     CrashParams params, obs::Telemetry* telemetry)
+                     CrashParams params, obs::Telemetry* telemetry,
+                     obs::Provenance* provenance)
     : self_(self),
       n_(cfg.n),
       wire_{cfg.n, cfg.namespace_size},
@@ -63,18 +65,27 @@ CrashNode::CrashNode(NodeIndex self, const SystemConfig& cfg,
       total_phases_(params.phase_multiplier * ceil_log2(cfg.n)),
       rng_(SplitMix64(cfg.seed).next() ^ (0x6e6f646500ULL + self)),
       telemetry_(telemetry),
+      provenance_(provenance),
       interval_(1, cfg.n) {
   // Figure 1 line 2: initial self-election with probability c*log(n)/n.
-  try_elect();
+  try_elect(0);
 }
 
-void CrashNode::try_elect() {
+void CrashNode::try_elect(Round round) {
   if (elected_) return;
   const double logn = static_cast<double>(protocol_log(n_));
   const int exponent = params_.adaptive_reelection ? static_cast<int>(p_) : 0;
   const double prob = params_.election_constant * std::ldexp(1.0, exponent) *
                       logn / static_cast<double>(n_);
-  if (rng_.chance(prob)) elected_ = true;
+  if (rng_.chance(prob)) {
+    elected_ = true;
+    if (provenance_ != nullptr) {
+      provenance_->note_event(round, self_,
+                              obs::ProvEventKind::kCommitteeVote,
+                              static_cast<sim::MsgKind>(Tag::kCommittee),
+                              /*a=*/p_, /*b=*/1, {});
+    }
+  }
 }
 
 std::optional<NewId> CrashNode::new_id() const {
@@ -108,14 +119,14 @@ void CrashNode::send(Round round, sim::Outbox& out) {
       }
       break;
     case 3:
-      if (elected_) committee_action(out);
+      if (elected_) committee_action(round, out);
       break;
     default:
       break;
   }
 }
 
-void CrashNode::committee_action(sim::Outbox& out) {
+void CrashNode::committee_action(Round round, sim::Outbox& out) {
   // Figure 2. The minimum depth is taken over *undecided* intervals (see
   // header: Definition 2.1 restricts depth to nodes with |I_v| > 1).
   std::uint32_t min_depth = std::numeric_limits<std::uint32_t>::max();
@@ -223,6 +234,16 @@ void CrashNode::committee_action(sim::Outbox& out) {
         reply_interval = w.interval.top();
       }
       reply_d = w.d + 1;
+      if (provenance_ != nullptr) {
+        // One vote per halving reply: the member decided reply_interval
+        // *for w.link*, because of w.link's status report.
+        provenance_->note_event(
+            round, self_, obs::ProvEventKind::kCommitteeVote,
+            static_cast<sim::MsgKind>(Tag::kResponse), reply_interval.lo,
+            reply_interval.hi,
+            {{w.link, static_cast<sim::MsgKind>(Tag::kStatus), w.bits}},
+            /*subject=*/w.link);
+      }
     }
     out.send(w.link, sim::wire::make_message(
                          static_cast<sim::MsgKind>(Tag::kResponse), wire_,
@@ -252,14 +273,14 @@ void CrashNode::receive(Round round, sim::InboxView inbox) {
           mailbox_.push_back(Status{
               m.w[0], Interval(m.w[1], m.w[2]),
               static_cast<std::uint32_t>(m.w[3]),
-              static_cast<std::uint32_t>(m.w[4]), m.sender});
+              static_cast<std::uint32_t>(m.w[4]), m.sender, m.bits});
         }
         // Figure 1 line 10: absorb the maximum p seen.
         for (const Status& s : mailbox_) p_ = std::max(p_, s.p);
       }
       break;
     case 3:
-      node_action(inbox);
+      node_action(round, inbox);
       mailbox_.clear();
       announced_committee_.clear();
       break;
@@ -268,12 +289,14 @@ void CrashNode::receive(Round round, sim::InboxView inbox) {
   }
 }
 
-void CrashNode::node_action(sim::InboxView inbox) {
+void CrashNode::node_action(Round round, sim::InboxView inbox) {
   // Figure 3. Decode the committee responses addressed to us.
   struct Response {
     Interval interval;
     std::uint32_t d;
     std::uint32_t p;
+    NodeIndex link;      // responding committee member
+    std::uint32_t bits;  // delivered wire size (provenance attribution)
   };
   std::vector<Response> responses;
   for (const sim::Message& m : inbox) {
@@ -281,7 +304,8 @@ void CrashNode::node_action(sim::InboxView inbox) {
     if (m.w[0] != id_) continue;  // defensive: responses are per-recipient
     responses.push_back(Response{Interval(m.w[1], m.w[2]),
                                  static_cast<std::uint32_t>(m.w[3]),
-                                 static_cast<std::uint32_t>(m.w[4])});
+                                 static_cast<std::uint32_t>(m.w[4]),
+                                 m.sender, m.bits});
     if (params_.early_stopping && (m.w[4] >> 32) != 0 &&
         interval_.singleton()) {
       finished_early_ = true;
@@ -292,7 +316,13 @@ void CrashNode::node_action(sim::InboxView inbox) {
     // Whole committee crashed before responding (proof of Lemma 2.4):
     // double the election probability and maybe join the committee.
     ++p_;
-    try_elect();
+    if (provenance_ != nullptr) {
+      provenance_->note_event(round, self_,
+                              obs::ProvEventKind::kConflictRetry,
+                              static_cast<sim::MsgKind>(Tag::kResponse),
+                              /*a=*/p_, /*b=*/0, {});
+    }
+    try_elect(round);
     return;
   }
 
@@ -305,12 +335,23 @@ void CrashNode::node_action(sim::InboxView inbox) {
   if (!interval_.singleton()) {
     d_ = responses.front().d;
     interval_ = responses.front().interval;
+    if (provenance_ != nullptr) {
+      const Response& adopted = responses.front();
+      provenance_->note_event(
+          round, self_,
+          interval_.singleton() ? obs::ProvEventKind::kNameClaim
+                                : obs::ProvEventKind::kNameProposal,
+          static_cast<sim::MsgKind>(Tag::kResponse), interval_.lo,
+          interval_.hi,
+          {{adopted.link, static_cast<sim::MsgKind>(Tag::kResponse),
+            adopted.bits}});
+    }
   }
   std::uint32_t max_p = 0;
   for (const Response& r : responses) max_p = std::max(max_p, r.p);
   if (max_p > p_) {
     p_ = max_p;
-    try_elect();
+    try_elect(round);
   }
 }
 
@@ -327,24 +368,36 @@ CrashRunResult run_crash_renaming(
     const SystemConfig& cfg, const CrashParams& params,
     std::unique_ptr<sim::CrashAdversary> adversary, sim::TraceSink* trace,
     obs::Telemetry* telemetry, obs::Journal* journal,
-    sim::parallel::ShardPlan plan, obs::Progress* progress) {
+    sim::parallel::ShardPlan plan, obs::Progress* progress,
+    obs::Provenance* provenance) {
   const std::uint64_t budget = adversary != nullptr ? adversary->budget() : 0;
+  // Provenance folds exactly like telemetry: under RENAMING_NO_TELEMETRY
+  // the pointer is nulled before any node or engine sees it, so every
+  // recording hook is dead code and the observer costs exactly zero.
+  obs::Provenance* const prov =
+      obs::kTelemetryEnabled ? provenance : nullptr;
   if (telemetry != nullptr) {
     register_crash_phases(*telemetry);
     telemetry->set_run_info("crash", cfg.n, budget);
   }
   if (journal != nullptr) journal->set_run_info("crash", cfg.n, budget);
   if (progress != nullptr) progress->set_run_info("crash");
+  if (prov != nullptr) {
+    prov->set_run_info("crash", cfg.n, budget);
+    prov->begin_run(cfg.n);  // before nodes: ctors record self-elections
+  }
   std::vector<std::unique_ptr<sim::Node>> nodes;
   nodes.reserve(cfg.n);
   for (NodeIndex v = 0; v < cfg.n; ++v) {
-    nodes.push_back(std::make_unique<CrashNode>(v, cfg, params, telemetry));
+    nodes.push_back(
+        std::make_unique<CrashNode>(v, cfg, params, telemetry, prov));
   }
   sim::Engine engine(std::move(nodes), std::move(adversary));
   engine.set_trace(trace);
   engine.set_telemetry(telemetry);
   engine.set_journal(journal);
   engine.set_progress(progress);
+  engine.set_provenance(prov);
   engine.set_parallel(plan);
 
   const Round max_rounds =

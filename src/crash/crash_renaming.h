@@ -51,9 +51,10 @@
 #include "sim/wire_schema.h"
 
 namespace renaming::obs {
-class Telemetry;  // obs/telemetry.h; nodes hold a non-owning pointer
-class Journal;    // obs/journal.h; deterministic flight recorder
-class Progress;   // obs/progress.h; live run heartbeat
+class Telemetry;   // obs/telemetry.h; nodes hold a non-owning pointer
+class Journal;     // obs/journal.h; deterministic flight recorder
+class Progress;    // obs/progress.h; live run heartbeat
+class Provenance;  // obs/provenance.h; causal decision recorder
 }
 
 namespace renaming::crash {
@@ -88,9 +89,13 @@ enum class Tag : sim::MsgKind {
 class CrashNode final : public sim::Node {
  public:
   /// `telemetry` (optional) receives PhaseScope spans — one phase per
-  /// subround (obs/phase.h) — and never influences behaviour.
+  /// subround (obs/phase.h) — and never influences behaviour. `provenance`
+  /// (optional) records the node's decision events — committee election,
+  /// halving replies, adoption, retry — with cause links to the
+  /// deliveries that triggered them; also purely observational.
   CrashNode(NodeIndex self, const SystemConfig& cfg, CrashParams params,
-            obs::Telemetry* telemetry = nullptr);
+            obs::Telemetry* telemetry = nullptr,
+            obs::Provenance* provenance = nullptr);
 
   void send(Round round, sim::Outbox& out) override;
   void receive(Round round, sim::InboxView inbox) override;
@@ -111,12 +116,13 @@ class CrashNode final : public sim::Node {
     Interval interval;
     std::uint32_t d;
     std::uint32_t p;
-    NodeIndex link;  // which link it arrived on (= sender index)
+    NodeIndex link;      // which link it arrived on (= sender index)
+    std::uint32_t bits;  // delivered wire size (provenance attribution)
   };
 
-  void committee_action(sim::Outbox& out);
-  void node_action(sim::InboxView responses);
-  void try_elect();
+  void committee_action(Round round, sim::Outbox& out);
+  void node_action(Round round, sim::InboxView responses);
+  void try_elect(Round round);
 
   // --- immutable context ---
   NodeIndex self_;
@@ -126,7 +132,8 @@ class CrashNode final : public sim::Node {
   CrashParams params_;
   std::uint32_t total_phases_;
   Xoshiro256 rng_;
-  obs::Telemetry* telemetry_;  // non-owning, may be null
+  obs::Telemetry* telemetry_;    // non-owning, may be null
+  obs::Provenance* provenance_;  // non-owning, may be null
 
   // --- protocol state (Figure 1 initialisation) ---
   Interval interval_;
@@ -158,7 +165,8 @@ CrashRunResult run_crash_renaming(
     std::unique_ptr<sim::CrashAdversary> adversary = nullptr,
     sim::TraceSink* trace = nullptr, obs::Telemetry* telemetry = nullptr,
     obs::Journal* journal = nullptr, sim::parallel::ShardPlan plan = {},
-    obs::Progress* progress = nullptr);
+    obs::Progress* progress = nullptr,
+    obs::Provenance* provenance = nullptr);
 
 /// Registers the crash protocol's MsgKind -> PhaseId mapping with
 /// `telemetry` (the central phase-id table of obs/phase.h).

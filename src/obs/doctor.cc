@@ -273,6 +273,255 @@ std::vector<KindTotals> kinds_from_journal(const JournalData& data) {
   return kinds;
 }
 
+namespace {
+
+/// Events arrive ascending by id; resolve an id to its record (nullptr if
+/// the ring evicted it).
+const ProvEvent* event_by_id(const std::vector<ProvEvent>& events,
+                             std::uint64_t id) {
+  const auto it = std::lower_bound(
+      events.begin(), events.end(), id,
+      [](const ProvEvent& e, std::uint64_t want) { return e.id < want; });
+  if (it == events.end() || it->id != id) return nullptr;
+  return &*it;
+}
+
+bool provenance_watched(const ProvenanceData& data, NodeIndex v) {
+  if (data.watch_mode == 1) {
+    return std::binary_search(data.watch_nodes.begin(),
+                              data.watch_nodes.end(), v);
+  }
+  if (data.watch_mode == 2) {
+    return data.watch_stride > 0 && v % data.watch_stride == 0;
+  }
+  return true;
+}
+
+void describe_prov_event(std::ostringstream& out, const ProvEvent& e) {
+  out << "r" << e.round << " " << prov_event_name(e.kind);
+  switch (e.kind) {
+    case ProvEventKind::kNameProposal:
+      out << ": interval [" << e.a << ".." << e.b << "]";
+      break;
+    case ProvEventKind::kNameClaim:
+      out << ": new id " << e.a;
+      if (e.b > 0) out << " (support " << e.b << ")";
+      break;
+    case ProvEventKind::kConflictRetry:
+      out << ": retry " << e.a;
+      break;
+    case ProvEventKind::kCommitteeVote:
+      if (e.subject != kNoNode) out << " about node " << e.subject;
+      out << ": [" << e.a << ".." << e.b << "]";
+      break;
+    case ProvEventKind::kPhaseKingVerdict:
+      out << ": bit " << e.a << " (session " << e.b << ")";
+      break;
+    case ProvEventKind::kSpoofReject:
+      out << ": forged sender " << e.a << ", " << e.b
+          << " wire bits discarded";
+      break;
+    case ProvEventKind::kCrashObserved:
+      break;
+  }
+  if (e.msg_kind != 0 && e.kind != ProvEventKind::kSpoofReject) {
+    out << " via " << sim::message_name(e.msg_kind);
+  }
+}
+
+/// Renders one cause hop and (depth permitting) its transitive expansion.
+void render_cause(std::ostringstream& out, const ProvenanceData& data,
+                  const ProvCause& c, int indent, int depth) {
+  out << std::string(static_cast<std::size_t>(indent), ' ') << "<- node "
+      << c.sender << " " << sim::message_name(c.msg_kind) << " (" << c.bits
+      << " bits)";
+  if (c.event == kNoProvEvent) {
+    out << " [no retained cause event]\n";
+    return;
+  }
+  const ProvEvent* cause = event_by_id(data.events, c.event);
+  if (cause == nullptr) {
+    out << " [event #" << c.event << " evicted from horizon]\n";
+    return;
+  }
+  out << " because ";
+  describe_prov_event(out, *cause);
+  out << "\n";
+  if (depth <= 0) {
+    if (cause->cause_count > 0) {
+      out << std::string(static_cast<std::size_t>(indent + 2), ' ')
+          << "... (chain truncated at render depth)\n";
+    }
+    return;
+  }
+  for (std::uint8_t i = 0; i < cause->cause_count; ++i) {
+    render_cause(out, data, cause->causes[i], indent + 2, depth - 1);
+  }
+}
+
+}  // namespace
+
+WhyReport diagnose_why(const ProvenanceData& data, NodeIndex node) {
+  WhyReport rep;
+  rep.node = node;
+  rep.watched = provenance_watched(data, node);
+  std::ostringstream out;
+  out << "why [" << data.algorithm << " n=" << data.n << " f=" << data.f
+      << "] node " << node << ":\n";
+
+  std::vector<const ProvEvent*> chain;
+  for (const ProvEvent& e : data.events) {
+    if (e.node == node) chain.push_back(&e);
+  }
+  rep.found = !chain.empty();
+  rep.chain_events = chain.size();
+  if (chain.empty()) {
+    if (!rep.watched) {
+      out << "  node " << node
+          << " is outside the watch-set — re-record with --trace-nodes "
+          << node << " (or a wider --trace-sample)\n";
+    } else if (!data.complete()) {
+      out << "  no decision events retained for this node ("
+          << data.dropped_events
+          << " events evicted by the bounded horizon)\n";
+    } else {
+      out << "  no decision events recorded for this node\n";
+    }
+    rep.explanation = out.str();
+    return rep;
+  }
+
+  for (const ProvEvent* e : chain) {
+    out << "  ";
+    describe_prov_event(out, *e);
+    out << "\n";
+    for (std::uint8_t i = 0; i < e->cause_count; ++i) {
+      rep.cause_bits += e->causes[i].bits;
+      render_cause(out, data, e->causes[i], 4, 4);
+    }
+    if (e->causes_dropped > 0) {
+      out << "    (+" << e->causes_dropped << " further cause links)\n";
+    }
+    if (e->kind == ProvEventKind::kNameClaim) rep.final_name = e->a;
+  }
+
+  if (rep.final_name != kNoNewId) {
+    out << "  => final name " << rep.final_name << " after "
+        << chain.size() << " decision events; " << rep.cause_bits
+        << " wire bits fed the chain's direct causes\n";
+  } else {
+    out << "  => no name-claim retained for node " << node << " ("
+        << chain.size() << " decision events rendered)\n";
+  }
+  rep.explanation = out.str();
+  return rep;
+}
+
+BlameReport diagnose_blame(const ProvenanceData& data) {
+  BlameReport rep;
+  std::ostringstream out;
+
+  std::vector<NodeIndex> faulty = data.faulty;
+  for (const ProvEvent& e : data.events) {
+    if (e.kind == ProvEventKind::kSpoofReject) faulty.push_back(e.node);
+  }
+  std::sort(faulty.begin(), faulty.end());
+  faulty.erase(std::unique(faulty.begin(), faulty.end()), faulty.end());
+
+  out << "blame [" << data.algorithm << " n=" << data.n << " f=" << data.f
+      << "]:\n";
+  if (faulty.empty()) {
+    out << "  no faulty nodes marked and no spoof rejections recorded — "
+           "nothing to blame\n";
+    rep.explanation = out.str();
+    return rep;
+  }
+
+  const auto is_faulty = [&faulty](NodeIndex v) {
+    return std::binary_search(faulty.begin(), faulty.end(), v);
+  };
+
+  std::map<NodeIndex, BlameEntry> entries;
+  for (NodeIndex v : faulty) entries[v].node = v;
+  // Forward adjacency over retained cause links, for the downstream sweep.
+  std::map<std::uint64_t, std::vector<std::size_t>> children;
+  for (std::size_t i = 0; i < data.events.size(); ++i) {
+    const ProvEvent& e = data.events[i];
+    if (e.kind == ProvEventKind::kSpoofReject && is_faulty(e.node)) {
+      BlameEntry& en = entries[e.node];
+      en.direct_bits += e.b;
+      en.spoof_bits += e.b;
+      ++en.spoof_events;
+    }
+    for (std::uint8_t c = 0; c < e.cause_count; ++c) {
+      const ProvCause& cause = e.causes[c];
+      if (is_faulty(cause.sender)) {
+        entries[cause.sender].direct_bits += cause.bits;
+      }
+      if (cause.event != kNoProvEvent) children[cause.event].push_back(i);
+    }
+  }
+
+  // Downstream reach: decisions transitively influenced by any delivery or
+  // event of the faulty node, counted over the retained DAG.
+  for (auto& [node, entry] : entries) {
+    std::vector<std::size_t> stack;
+    std::vector<char> visited(data.events.size(), 0);
+    for (std::size_t i = 0; i < data.events.size(); ++i) {
+      const ProvEvent& e = data.events[i];
+      bool seed = e.node == node;
+      for (std::uint8_t c = 0; c < e.cause_count && !seed; ++c) {
+        seed = e.causes[c].sender == node;
+      }
+      if (seed && visited[i] == 0) {
+        visited[i] = 1;
+        stack.push_back(i);
+      }
+    }
+    while (!stack.empty()) {
+      const std::size_t i = stack.back();
+      stack.pop_back();
+      if (data.events[i].node != node) ++entry.downstream_events;
+      const auto it = children.find(data.events[i].id);
+      if (it == children.end()) continue;
+      for (std::size_t child : it->second) {
+        if (visited[child] == 0) {
+          visited[child] = 1;
+          stack.push_back(child);
+        }
+      }
+    }
+  }
+
+  for (const auto& [node, entry] : entries) rep.ranking.push_back(entry);
+  std::sort(rep.ranking.begin(), rep.ranking.end(),
+            [](const BlameEntry& x, const BlameEntry& y) {
+              if (x.direct_bits != y.direct_bits) {
+                return x.direct_bits > y.direct_bits;
+              }
+              return x.node < y.node;
+            });
+
+  std::size_t rank = 1;
+  for (const BlameEntry& e : rep.ranking) {
+    out << "  " << rank++ << ". node " << e.node << ": " << e.direct_bits
+        << " wire bits induced";
+    if (e.spoof_events > 0) {
+      out << " (" << e.spoof_bits << " bits across " << e.spoof_events
+          << " rejected forgeries)";
+    }
+    out << ", " << e.downstream_events
+        << " downstream decisions influenced\n";
+  }
+  if (!data.complete()) {
+    out << "  note: " << data.dropped_events
+        << " events were evicted by the bounded horizon — influence is a "
+           "lower bound\n";
+  }
+  rep.explanation = out.str();
+  return rep;
+}
+
 AuditDiagnosis diagnose_audit(const BudgetParams& params,
                               const JournalData& journal) {
   AuditDiagnosis diag;

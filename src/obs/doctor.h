@@ -5,7 +5,7 @@
 // src/ keeps the R8 "no terminal bytes" invariant; the renaming_doctor CLI
 // (tools/) owns all printing.
 //
-// Two diagnoses:
+// Four diagnoses:
 //   * diagnose_divergence(a, b): bisects the chained per-round digests to
 //     the FIRST divergent round, then drills into that round's kind/count/
 //     event deltas and explains what changed (or that only the payload
@@ -14,6 +14,12 @@
 //     and per-phase ledgers reconstructed from the journal (via the
 //     canonical kind registry), ranks phases by envelope overshoot with a
 //     per-round traffic breakdown, and names the dominating theorem term.
+//   * diagnose_why(provenance, node): renders node v's causal chain from
+//     initial ID to final name, expanding retained cause events and
+//     attributing wire-schema bits to every hop.
+//   * diagnose_blame(provenance): ranks faulty nodes (marked Byzantine or
+//     caught spoofing) by the bits their messages induced downstream —
+//     turning a budget-audit overshoot into a named culprit.
 #pragma once
 
 #include <array>
@@ -23,6 +29,7 @@
 
 #include "obs/budget.h"
 #include "obs/journal.h"
+#include "obs/provenance.h"
 #include "sim/stats.h"
 
 namespace renaming::obs {
@@ -100,5 +107,38 @@ std::array<PhaseTotals, kPhaseCount> phases_from_journal(
 /// Per-kind run totals folded from the journal's per-round kind rows
 /// (ascending by kind) — feeds the auditor's wire-schema cross-check.
 std::vector<KindTotals> kinds_from_journal(const JournalData& data);
+
+/// `renaming_doctor why --node v`: the causal chain behind node v's
+/// decisions, from its first retained event to its final name claim.
+struct WhyReport {
+  bool found = false;         ///< node has at least one retained event
+  bool watched = true;        ///< false = node outside the watch-set
+  NodeIndex node = kNoNode;
+  NewId final_name = kNoNewId;  ///< last name-claim payload, if any
+  std::size_t chain_events = 0;
+  std::uint64_t cause_bits = 0;  ///< wire bits across all rendered hops
+  std::string explanation;       ///< human-readable, multi-line
+};
+
+WhyReport diagnose_why(const ProvenanceData& data, NodeIndex node);
+
+/// One faulty node's ranked influence on the run.
+struct BlameEntry {
+  NodeIndex node = kNoNode;
+  std::uint64_t direct_bits = 0;  ///< wire bits of its decision-feeding
+                                  ///< deliveries + rejected forgeries
+  std::uint64_t spoof_bits = 0;   ///< subset from spoof rejections
+  std::uint64_t spoof_events = 0;
+  std::uint64_t downstream_events = 0;  ///< decisions transitively reached
+};
+
+struct BlameReport {
+  /// Descending by direct_bits (ties: by node index). Empty when the run
+  /// had no marked-faulty nodes and no spoof rejections.
+  std::vector<BlameEntry> ranking;
+  std::string explanation;  ///< human-readable, multi-line
+};
+
+BlameReport diagnose_blame(const ProvenanceData& data);
 
 }  // namespace renaming::obs

@@ -1,5 +1,6 @@
 #include "obs/export.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -150,7 +151,8 @@ void write_metrics_json(std::ostream& out, const Telemetry& telemetry,
 
 void write_perfetto_trace(std::ostream& out, const Telemetry& telemetry,
                           const sim::RunStats& stats,
-                          const ShardProfileData* shard_profile) {
+                          const ShardProfileData* shard_profile,
+                          const ProvenanceData* provenance) {
   // Deterministic timeline: 1 round = 1000 trace microseconds. Perfetto
   // renders pid/tid tracks; we use pid 1 for nodes and pid 2 for the
   // per-round counter tracks.
@@ -168,6 +170,9 @@ void write_perfetto_trace(std::ostream& out, const Telemetry& telemetry,
   std::map<NodeIndex, std::string> tracks;
   for (const PhaseSpan& s : telemetry.spans()) tracks.emplace(s.node, "");
   for (const Instant& i : telemetry.instants()) tracks.emplace(i.node, "");
+  if (provenance != nullptr) {
+    for (const ProvEvent& e : provenance->events) tracks.emplace(e.node, "");
+  }
   for (const auto& [node, label] : telemetry.node_labels()) {
     tracks[node] = label;
   }
@@ -247,6 +252,48 @@ void write_perfetto_trace(std::ostream& out, const Telemetry& telemetry,
     out << ",{\"ph\":\"C\",\"pid\":2,\"tid\":0,\"name\":\"round_wall_ns\","
            "\"ts\":"
         << ts << ",\"args\":{\"ns\":" << wall[r] << "}}";
+  }
+
+  // Decision provenance (docs/OBSERVABILITY.md §9): every retained
+  // decision as an instant on its node's track, and one flow arrow per
+  // retained cause link — a cross-node "because" edge from the causing
+  // event's track to the deciding node's. Strided like the counter tracks
+  // so a watch-all run stays loadable.
+  if (provenance != nullptr && !provenance->events.empty()) {
+    const std::size_t ecount = provenance->events.size();
+    const std::size_t estride =
+        ecount > 20000 ? (ecount + 19999) / 20000 : 1;
+    for (std::size_t i = 0; i < ecount; i += estride) {
+      const ProvEvent& e = provenance->events[i];
+      const std::int64_t ts =
+          static_cast<std::int64_t>(e.round) * kRoundUs + kRoundUs / 2;
+      out << ",{\"ph\":\"i\",\"pid\":1,\"tid\":" << e.node + 1
+          << ",\"cat\":\"decision\",\"name\":\"" << prov_event_name(e.kind)
+          << "\",\"ts\":" << ts << ",\"s\":\"t\"}";
+      for (std::uint8_t c = 0; c < e.cause_count; ++c) {
+        const ProvCause& cause = e.causes[c];
+        if (cause.event == kNoProvEvent) continue;
+        // Arrows only between retained endpoints: the start timestamp
+        // comes from the causing event's record.
+        const auto it = std::lower_bound(
+            provenance->events.begin(), provenance->events.end(), cause.event,
+            [](const ProvEvent& ev, std::uint64_t want) {
+              return ev.id < want;
+            });
+        if (it == provenance->events.end() || it->id != cause.event) continue;
+        const std::int64_t src_ts =
+            static_cast<std::int64_t>(it->round) * kRoundUs + kRoundUs / 2;
+        const std::uint64_t flow = e.id * kMaxProvCauses + c;
+        out << ",{\"ph\":\"s\",\"pid\":1,\"tid\":" << it->node + 1
+            << ",\"cat\":\"provenance\",\"name\":\""
+            << json_escape(sim::message_name(cause.msg_kind))
+            << "\",\"id\":" << flow << ",\"ts\":" << src_ts << "}";
+        out << ",{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":" << e.node + 1
+            << ",\"cat\":\"provenance\",\"name\":\""
+            << json_escape(sim::message_name(cause.msg_kind))
+            << "\",\"id\":" << flow << ",\"ts\":" << ts << "}";
+      }
+    }
   }
 
   // Per-shard profiler tracks (pid 3, nondeterministic): one busy and one

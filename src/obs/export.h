@@ -10,7 +10,11 @@
 //                         crashes and spoof rejections as instant events,
 //                         per-round message/bit counter tracks, and —
 //                         when a shard profile is supplied — per-shard
-//                         busy/barrier-wait counter tracks (pid 3). The
+//                         busy/barrier-wait counter tracks (pid 3), and —
+//                         when decision provenance is supplied — instant
+//                         decision markers plus flow arrows between the
+//                         node tracks, one arrow per retained cause link
+//                         (docs/OBSERVABILITY.md §9). The
 //                         timeline is deterministic — 1 round = 1 ms of
 //                         trace time — so two runs of the same seed
 //                         produce the same trace shape; only the wall-time
@@ -24,6 +28,7 @@
 #include <ostream>
 
 #include "obs/budget.h"
+#include "obs/provenance.h"
 #include "obs/shard_profile.h"
 #include "obs/telemetry.h"
 #include "sim/stats.h"
@@ -36,6 +41,7 @@ void write_metrics_json(std::ostream& out, const Telemetry& telemetry,
 
 void write_perfetto_trace(std::ostream& out, const Telemetry& telemetry,
                           const sim::RunStats& stats,
-                          const ShardProfileData* shard_profile = nullptr);
+                          const ShardProfileData* shard_profile = nullptr,
+                          const ProvenanceData* provenance = nullptr);
 
 }  // namespace renaming::obs

@@ -19,8 +19,10 @@
 #include <cstddef>
 
 #include "obs/phase.h"
+#include "obs/provenance_kinds.h"
 #include "sim/message.h"
 #include "sim/message_names.h"
+#include "sim/wire_schema.h"
 
 namespace renaming::obs {
 
@@ -92,7 +94,51 @@ constexpr bool no_phase_outside_shipped_kinds() {
   return true;
 }
 
+// Three-way shipped ↔ wire-schema ↔ provenance coverage. Every kind in
+// sim::kWireSchemas carries a decision payload, so each must have a row in
+// obs::kProvenanceKinds (the attribution `renaming_doctor why` renders), and
+// the provenance table must not outgrow the shipped set. Together with the
+// schema-coverage guard in sim/wire_schema.h this pins the three tables to
+// the same domain.
+constexpr bool every_wire_schema_kind_has_provenance() {
+  for (std::size_t i = 0; i < sim::wire::kWireSchemaCount; ++i) {
+    if (prov_entry_of_or_null(sim::wire::kWireSchemas[i].kind) == nullptr) {
+      return false;
+    }
+  }
+  return true;
+}
+
+constexpr bool every_provenance_kind_is_shipped() {
+  for (std::size_t i = 0; i < kProvenanceKindCount; ++i) {
+    bool shipped = false;
+    for (sim::MsgKind s : kShippedKinds) {
+      shipped = shipped || (s == kProvenanceKinds[i].kind);
+    }
+    if (!shipped) return false;
+  }
+  return true;
+}
+
+constexpr bool every_shipped_kind_has_provenance() {
+  for (sim::MsgKind k : kShippedKinds) {
+    if (prov_entry_of_or_null(k) == nullptr) return false;
+  }
+  return true;
+}
+
 }  // namespace detail
+
+static_assert(detail::every_wire_schema_kind_has_provenance(),
+              "every kind in sim::kWireSchemas carries a decision payload "
+              "and needs a row in obs::kProvenanceKinds "
+              "(obs/provenance_kinds.h)");
+static_assert(detail::every_provenance_kind_is_shipped(),
+              "obs::kProvenanceKinds lists a kind missing from "
+              "kShippedKinds");
+static_assert(detail::every_shipped_kind_has_provenance(),
+              "every shipped MsgKind needs a provenance attribution row in "
+              "obs::kProvenanceKinds");
 
 static_assert(detail::all_shipped_kinds_named(),
               "every shipped MsgKind needs a name in sim/message_names.h");

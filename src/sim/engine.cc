@@ -112,6 +112,20 @@ RunStats Engine::run(Round max_rounds) {
   obs::Progress* const prg = obs::kTelemetryEnabled ? progress_ : nullptr;
   if (prg != nullptr) prg->begin_run(n);
 
+  // Decision provenance folds like telemetry (zero cost under
+  // RENAMING_NO_TELEMETRY) but records like the journal: no wall clock,
+  // hooks only at order-pinned serial sites, so its bytes are identical
+  // across thread counts and dense/sparse modes. The engine contributes
+  // only the boundary events nodes cannot see (spoof rejections, crashes);
+  // nodes record their own decisions through the same recorder.
+  obs::Provenance* const prov = obs::kTelemetryEnabled ? provenance_ : nullptr;
+  if (prov != nullptr) {
+    prov->begin_run(n);
+    for (NodeIndex v = 0; v < n; ++v) {
+      if (byzantine_[v]) prov->mark_faulty(v);
+    }
+  }
+
   // ----- Engine setup. All full-width (O(n)) allocations live inside the
   // marker pair below; protocol_lint R12 bans them anywhere else in this
   // file so the steady-state round provably never allocates per-node
@@ -188,7 +202,7 @@ RunStats Engine::run(Round max_rounds) {
   // nullptr, so parallel execution is permitted again.)
   parallel::WorkerPool* const pool = plan_.pool;
   unsigned plan_shards = 1;
-  if (pool != nullptr && tel == nullptr) {
+  if (pool != nullptr && tel == nullptr && prov == nullptr) {
     plan_shards = plan_.shards != 0 ? plan_.shards : pool->threads();
     if (plan_shards == 0) plan_shards = 1;
     // A shard never holds fewer than one node, so K > n buys nothing —
@@ -437,6 +451,7 @@ RunStats Engine::run(Round max_rounds) {
       }
       if (tel != nullptr) tel->note_crash(round, v);
       if (jrn != nullptr) jrn->note_crash(round, v);
+      if (prov != nullptr) prov->note_crash(round, v);
       // Retain only the messages the adversary lets escape.
       std::vector<std::pair<NodeIndex, Message>> kept;
       kept.reserve(order.keep.size());
@@ -522,7 +537,12 @@ RunStats Engine::run(Round max_rounds) {
           // path's order — stats, telemetry, journal and trace bytes are
           // indistinguishable from the uncoalesced send() sequence.
           const bool spoofed = msg.spoofed();
-          for (NodeIndex d : sender_box.multicast_dests(mc++)) {
+          const auto rdests = sender_box.multicast_dests(mc++);
+          if (prov != nullptr && spoofed) {
+            prov->note_spoof(round, v, msg.claimed_sender, msg.kind, msg.bits,
+                             rdests.size());
+          }
+          for (NodeIndex d : rdests) {
             RENAMING_CHECK(d < n, "message addressed outside the system");
             stats_.note_message(msg.bits);
             if (tel != nullptr) {
@@ -551,6 +571,10 @@ RunStats Engine::run(Round max_rounds) {
             if (spoofed) tel->note_spoof(round, v, msg.kind);
           }
           if (jrn != nullptr) jrn->note_multicast(msg, mdests);
+          if (prov != nullptr && spoofed) {
+            prov->note_spoof(round, v, msg.claimed_sender, msg.kind, msg.bits,
+                             mdests.size());
+          }
           for (NodeIndex d : mdests) {
             stats_.note_message(msg.bits);
             const bool delivered = !spoofed && alive_[d];
@@ -576,6 +600,10 @@ RunStats Engine::run(Round max_rounds) {
           // untraced paths so the journal bytes do not depend on which
           // delivery path ran.
           if (jrn != nullptr) jrn->note_broadcast(msg, n);
+          if (prov != nullptr && spoofed) {
+            prov->note_spoof(round, v, msg.claimed_sender, msg.kind, msg.bits,
+                             n);
+          }
           if (trace_ == nullptr) {
             stats_.note_messages(n, msg.bits);
             if (spoofed) {
@@ -611,6 +639,10 @@ RunStats Engine::run(Round max_rounds) {
           if (msg.spoofed()) tel->note_spoof(round, v, msg.kind);
         }
         if (jrn != nullptr) jrn->note_unicast(msg, dest);
+        if (prov != nullptr && msg.spoofed()) {
+          prov->note_spoof(round, v, msg.claimed_sender, msg.kind, msg.bits,
+                           1);
+        }
         const bool delivered = !msg.spoofed() && alive_[dest];
         if (trace_ != nullptr) trace_->on_message(round, msg, dest, delivered);
         if (msg.spoofed()) {
@@ -688,6 +720,7 @@ RunStats Engine::run(Round max_rounds) {
 
   if (tel != nullptr) tel->end_run(stats_.rounds);
   if (jrn != nullptr) jrn->end_run(stats_.rounds);
+  if (prov != nullptr) prov->end_run(stats_.rounds);
   if (prof != nullptr) prof->end_run(stats_.rounds);
   if (prg != nullptr) prg->end_run(stats_.rounds);
   check_stats_consistent();

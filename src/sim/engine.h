@@ -16,6 +16,7 @@
 #include "common/types.h"
 #include "obs/journal.h"
 #include "obs/progress.h"
+#include "obs/provenance.h"
 #include "obs/telemetry.h"
 #include "sim/adversary.h"
 #include "sim/node.h"
@@ -93,6 +94,20 @@ class Engine {
   /// shard-parallel callbacks serial. Ignored under RENAMING_NO_TELEMETRY.
   void set_progress(obs::Progress* progress) { progress_ = progress; }
 
+  /// Attaches a non-owning decision-provenance recorder (obs/provenance.h):
+  /// the engine feeds it the causal boundary events only it can see —
+  /// spoof rejections (with the forged kind's wire-schema bits and copy
+  /// count) and observed crashes — while protocol nodes record their
+  /// decision events directly. Deterministic like the journal (bytes are a
+  /// pure function of the seeded run, identical across thread counts and
+  /// dense/sparse modes) but folded like telemetry: ignored under
+  /// RENAMING_NO_TELEMETRY. A live recorder forces the shard callbacks
+  /// serial, exactly as a live telemetry does, so recording order is
+  /// pinned by construction.
+  void set_provenance(obs::Provenance* provenance) {
+    provenance_ = provenance;
+  }
+
   /// Attaches a shard-parallel execution plan (sim/parallel/, see
   /// docs/PERFORMANCE.md §9): the send and receive phases fan their
   /// per-node callbacks across K contiguous shards of the round's node
@@ -136,6 +151,7 @@ class Engine {
   obs::Telemetry* telemetry_ = nullptr;
   obs::Journal* journal_ = nullptr;
   obs::Progress* progress_ = nullptr;
+  obs::Provenance* provenance_ = nullptr;
   parallel::ShardPlan plan_;
   EngineMode mode_ = EngineMode::kAuto;
   static inline EngineMode default_mode_ = EngineMode::kAuto;

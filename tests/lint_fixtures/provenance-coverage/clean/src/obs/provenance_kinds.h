@@ -1,0 +1,11 @@
+#pragma once
+#include "sim/message_names.h"
+namespace obs {
+enum class ProvEventKind { kNameProposal = 0, kNameClaim = 1 };
+struct ProvKindEntry { sim::MsgKind kind; ProvEventKind event; };
+// Every wire-schema kind attributed, and nothing beyond the schema.
+inline constexpr ProvKindEntry kProvenanceKinds[] = {
+    {1, ProvEventKind::kNameProposal},
+    {2, ProvEventKind::kNameClaim},
+};
+}  // namespace obs

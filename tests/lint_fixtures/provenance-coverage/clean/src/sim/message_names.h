@@ -1,0 +1,4 @@
+#pragma once
+namespace sim {
+using MsgKind = unsigned short;
+}  // namespace sim

@@ -1,0 +1,9 @@
+#pragma once
+#include "sim/message_names.h"
+namespace sim::wire {
+struct WireSchema { MsgKind kind; const char* name; };
+inline constexpr WireSchema kWireSchemas[] = {
+    {1, "PING"},
+    {2, "PONG"},
+};
+}  // namespace sim::wire

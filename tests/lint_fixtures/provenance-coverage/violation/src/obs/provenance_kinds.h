@@ -1,0 +1,12 @@
+#pragma once
+#include "sim/message_names.h"
+namespace obs {
+enum class ProvEventKind { kNameProposal = 0, kNameClaim = 1 };
+struct ProvKindEntry { sim::MsgKind kind; ProvEventKind event; };
+// Kind 2 ships a wire schema but has no attribution row here, and kind 9
+// is attributed without any wire schema — both directions must fire.
+inline constexpr ProvKindEntry kProvenanceKinds[] = {
+    {1, ProvEventKind::kNameProposal},
+    {9, ProvEventKind::kNameClaim},
+};
+}  // namespace obs

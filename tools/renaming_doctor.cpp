@@ -17,9 +17,18 @@
 //       profile written by renaming_cli --shard-profile-out or
 //       bench_engine: per-phase busy/barrier-wait totals, utilization
 //       bars per shard, imbalance ratio and barrier-wait share.
+//   renaming_doctor why P.rnpv --node V
+//       Render node V's causal decision chain from a provenance recording
+//       written by renaming_cli --provenance-out: every retained decision
+//       event with its triggering deliveries and per-hop wire-bit cost
+//       (docs/OBSERVABILITY.md §9).
+//   renaming_doctor blame P.rnpv
+//       Rank the run's faulty nodes (marked Byzantine / crashed / spoof
+//       sources) by the wire bits their deliveries fed into honest
+//       decisions.
 //
-// Exit codes: 0 = identical / audit pass, 1 = diverged / budget violation,
-// 2 = usage or I/O error.
+// Exit codes: 0 = identical / audit pass / chain found, 1 = diverged /
+// budget violation / node has no retained events, 2 = usage or I/O error.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -27,6 +36,7 @@
 
 #include "obs/doctor.h"
 #include "obs/journal.h"
+#include "obs/provenance.h"
 #include "obs/shard_profile.h"
 #include "sim/message_names.h"
 
@@ -40,7 +50,9 @@ int usage() {
                "       renaming_doctor explain J.bin [--slack X] "
                "[--constant C] [--phase-multiplier M] [--namespace N]\n"
                "       renaming_doctor show J.bin [--rounds]\n"
-               "       renaming_doctor profile P.rnsp\n");
+               "       renaming_doctor profile P.rnsp\n"
+               "       renaming_doctor why P.rnpv --node V\n"
+               "       renaming_doctor blame P.rnpv\n");
   return 2;
 }
 
@@ -155,6 +167,47 @@ int cmd_show(int argc, char** argv) {
   return 0;
 }
 
+bool load_provenance(const char* path, obs::ProvenanceData* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "renaming_doctor: cannot open %s\n", path);
+    return false;
+  }
+  std::string error;
+  if (!obs::read_provenance_binary(in, out, &error)) {
+    std::fprintf(stderr, "renaming_doctor: %s: %s\n", path, error.c_str());
+    return false;
+  }
+  return true;
+}
+
+int cmd_why(int argc, char** argv) {
+  if (argc < 1) return usage();
+  long long node = -1;
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--node") == 0) node = std::atoll(argv[i + 1]);
+  }
+  if (node < 0) {
+    std::fprintf(stderr, "renaming_doctor: why needs --node V\n");
+    return usage();
+  }
+  obs::ProvenanceData data;
+  if (!load_provenance(argv[0], &data)) return 2;
+  const obs::WhyReport report =
+      obs::diagnose_why(data, static_cast<NodeIndex>(node));
+  std::printf("%s", report.explanation.c_str());
+  return report.found ? 0 : 1;
+}
+
+int cmd_blame(int argc, char** argv) {
+  if (argc < 1) return usage();
+  obs::ProvenanceData data;
+  if (!load_provenance(argv[0], &data)) return 2;
+  const obs::BlameReport report = obs::diagnose_blame(data);
+  std::printf("%s", report.explanation.c_str());
+  return 0;
+}
+
 int cmd_profile(int argc, char** argv) {
   if (argc < 1) return usage();
   std::ifstream in(argv[0], std::ios::binary);
@@ -181,5 +234,7 @@ int main(int argc, char** argv) {
   if (command == "explain") return cmd_explain(argc - 2, argv + 2);
   if (command == "show") return cmd_show(argc - 2, argv + 2);
   if (command == "profile") return cmd_profile(argc - 2, argv + 2);
+  if (command == "why") return cmd_why(argc - 2, argv + 2);
+  if (command == "blame") return cmd_blame(argc - 2, argv + 2);
   return usage();
 }
